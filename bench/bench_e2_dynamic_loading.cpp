@@ -1,0 +1,142 @@
+// E2 — Dynamic loading applicability (paper §3).
+//
+// Claim reproduced: "The applicability of dynamic loading is limited by
+// the time required to physically download the FPGA configuration" —
+// i.e. it pays off only when an execution's compute time amortizes the
+// download, and a partial-reconfiguration port moves the break-even point
+// by orders of magnitude. Below the break-even, executing the algorithm in
+// software beats virtualizing the FPGA.
+//
+// Setup: two tasks alternating two different configurations (worst-case
+// thrashing) on one device; sweep the cycles per execution. Baseline:
+// kSoftwareOnly at 20x per-cycle slowdown.
+#include "bench_util.hpp"
+#include "core/os_kernel.hpp"
+
+using namespace vfpga;
+using namespace vfpga::bench;
+
+namespace {
+
+struct RunResult {
+  SimDuration makespan;
+  double utilization;
+  double overhead;
+};
+
+RunResult runPolicy(const DeviceProfile& prof, FpgaPolicy policy,
+                    std::uint64_t cyclesPerExec) {
+  Device dev = prof.makeDevice();
+  ConfigPort port(dev, prof.port);
+  Compiler compiler(dev);
+  Simulation sim;
+  OsOptions opt;
+  opt.policy = policy;
+  opt.softwareSlowdown = 20.0;
+  OsKernel kernel(sim, dev, port, compiler, opt);
+
+  auto circuits = standardCircuits();
+  ConfigId cfgA = kernel.registerConfig(compiler.compile(
+      circuits[0].netlist, Region::columns(dev.geometry(), 0, 4)));
+  ConfigId cfgB = kernel.registerConfig(compiler.compile(
+      circuits[1].netlist, Region::columns(dev.geometry(), 0, 4)));
+
+  // 8 executions alternating configurations across 2 tasks.
+  for (int t = 0; t < 2; ++t) {
+    TaskSpec spec;
+    spec.name = "t" + std::to_string(t);
+    for (int e = 0; e < 4; ++e) {
+      spec.ops.push_back(CpuBurst{micros(5)});
+      spec.ops.push_back(FpgaExec{(t + e) % 2 == 0 ? cfgA : cfgB,
+                                  cyclesPerExec});
+    }
+    kernel.addTask(spec);
+  }
+  kernel.run();
+  return RunResult{kernel.metrics().makespan,
+                   kernel.metrics().fpgaUtilization(),
+                   kernel.metrics().configOverhead()};
+}
+
+}  // namespace
+
+int main() {
+  tableHeader("E2",
+              "dynamic loading vs software-only, sweep cycles per execution");
+  std::printf("%-10s | %-9s %-28s | %-28s | %-12s\n", "", "",
+              "partial-reconfig port", "serial-full port", "software");
+  std::printf("%-10s | %9s %9s %8s | %9s %9s %8s | %12s | %s\n", "cycles",
+              "exec_ms", "mksp_ms", "ovhd%", "exec_ms", "mksp_ms", "ovhd%",
+              "mksp_ms", "winner");
+  for (std::uint64_t cycles :
+       {std::uint64_t{100}, std::uint64_t{1000}, std::uint64_t{10000},
+        std::uint64_t{100000}, std::uint64_t{1000000},
+        std::uint64_t{10000000}}) {
+    const auto partial =
+        runPolicy(mediumPartialProfile(), FpgaPolicy::kDynamicLoading, cycles);
+    const auto serial =
+        runPolicy(mediumSerialProfile(), FpgaPolicy::kDynamicLoading, cycles);
+    const auto sw =
+        runPolicy(mediumPartialProfile(), FpgaPolicy::kSoftwareOnly, cycles);
+    // Per-exec compute time estimate from utilization * makespan / 8 execs.
+    const double execMsP = toMilliseconds(partial.makespan) *
+                           partial.utilization / 8.0;
+    const double execMsS =
+        toMilliseconds(serial.makespan) * serial.utilization / 8.0;
+    const char* winner = "software";
+    double best = toMilliseconds(sw.makespan);
+    if (toMilliseconds(partial.makespan) < best) {
+      winner = "vfpga(partial)";
+      best = toMilliseconds(partial.makespan);
+    }
+    if (toMilliseconds(serial.makespan) < best) winner = "vfpga(serial)";
+    std::printf("%-10llu | %9.3f %9.2f %7.1f%% | %9.3f %9.2f %7.1f%% | "
+                "%12.2f | %s\n",
+                static_cast<unsigned long long>(cycles), execMsP,
+                toMilliseconds(partial.makespan), 100 * partial.overhead,
+                execMsS, toMilliseconds(serial.makespan),
+                100 * serial.overhead, toMilliseconds(sw.makespan), winner);
+  }
+
+  tableHeader("E2", "FPGA slice length vs preemption overhead (partial port)");
+  std::printf("%-12s %10s %12s %12s %10s\n", "slice_ms", "preempts",
+              "state_ms", "mksp_ms", "ovhd%");
+  for (SimDuration slice : {millis(1), millis(2), millis(5), millis(10),
+                            SimDuration{0}}) {
+    DeviceProfile prof = mediumPartialProfile();
+    Device dev = prof.makeDevice();
+    ConfigPort port(dev, prof.port);
+    Compiler compiler(dev);
+    Simulation sim;
+    OsOptions opt;
+    opt.policy = FpgaPolicy::kDynamicLoading;
+    opt.fpgaSlice = slice;
+    OsKernel kernel(sim, dev, port, compiler, opt);
+    auto circuits = standardCircuits();
+    ConfigId a = kernel.registerConfig(compiler.compile(
+        circuits[0].netlist, Region::columns(dev.geometry(), 0, 4)));
+    ConfigId b = kernel.registerConfig(compiler.compile(
+        circuits[1].netlist, Region::columns(dev.geometry(), 0, 4)));
+    for (int t = 0; t < 2; ++t) {
+      TaskSpec spec;
+      spec.name = "t" + std::to_string(t);
+      spec.ops = {FpgaExec{t == 0 ? a : b, 500000}};
+      kernel.addTask(spec);
+    }
+    kernel.run();
+    const auto& m = kernel.metrics();
+    if (slice == 0) {
+      std::printf("%-12s %10llu %12.3f %12.2f %9.1f%%\n", "run-to-end",
+                  static_cast<unsigned long long>(m.fpgaPreemptions),
+                  toMilliseconds(m.stateMoveTime),
+                  toMilliseconds(m.makespan), 100 * m.configOverhead());
+    } else {
+      std::printf("%-12.1f %10llu %12.3f %12.2f %9.1f%%\n",
+                  toMilliseconds(slice),
+                  static_cast<unsigned long long>(m.fpgaPreemptions),
+                  toMilliseconds(m.stateMoveTime),
+                  toMilliseconds(m.makespan), 100 * m.configOverhead());
+    }
+  }
+  return 0;
+}

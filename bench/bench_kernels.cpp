@@ -1,0 +1,185 @@
+// K1-K3 — CAD-flow and simulator microbenchmarks (google-benchmark), plus
+// the negotiated-congestion vs greedy routing ablation from DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "compile/compiler.hpp"
+#include "compile/loaded_circuit.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "techmap/lut_mapper.hpp"
+
+namespace {
+
+using namespace vfpga;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.scheduleAt(static_cast<SimTime>(i), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_NetlistEvaluation(benchmark::State& state) {
+  Netlist nl = lib::makeParallelCrc(16, 0x1021, 8);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", 8);
+  Rng rng(1);
+  for (auto _ : state) {
+    ev.writeBus(d, rng.next() & 0xFF);
+    ev.eval();
+    ev.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetlistEvaluation);
+
+void BM_TechMap(benchmark::State& state) {
+  Netlist nl = lib::makeArrayMultiplier(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    MappedNetlist m = mapToLuts(nl);
+    benchmark::DoNotOptimize(m.cells.size());
+  }
+}
+BENCHMARK(BM_TechMap)->Arg(4)->Arg(6);
+
+void BM_Place(benchmark::State& state) {
+  Netlist nl = lib::makeParallelCrc(16, 0x1021, 8);
+  MappedNetlist m = mapToLuts(nl);
+  for (auto _ : state) {
+    Rng rng(7);
+    Placement p = place(m, Region{0, 0, 10, 10}, rng);
+    benchmark::DoNotOptimize(p.finalCost);
+  }
+}
+BENCHMARK(BM_Place);
+
+void BM_RouteNegotiated(benchmark::State& state) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeParallelCrc(16, 0x1021, 8);
+  for (auto _ : state) {
+    CompileOptions opt;
+    opt.seed = 5;
+    CompiledCircuit c =
+        compiler.compile(nl, Region::columns(dev.geometry(), 0, 8), opt);
+    benchmark::DoNotOptimize(c.routes.nets.size());
+  }
+}
+BENCHMARK(BM_RouteNegotiated);
+
+/// Ablation: greedy first-fit routing fails where negotiation succeeds;
+/// measure the success rate over seeds on a congested strip.
+void BM_RouterAblationGreedyFailRate(benchmark::State& state) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  // A congested 7-column CRC-16 datapath: greedy first-fit routing fails on
+  // a third of placements where negotiation always converges.
+  Netlist nl = lib::makeParallelCrc(16, 0x1021, 8);
+  std::uint64_t greedyFails = 0, negotiatedFails = 0, trials = 0;
+  for (auto _ : state) {
+    for (bool greedy : {true, false}) {
+      CompileOptions opt;
+      opt.seed = 100 + trials;
+      opt.attempts = 1;
+      opt.route.greedy = greedy;
+      try {
+        (void)compiler.compile(nl, Region::columns(dev.geometry(), 0, 7),
+                               opt);
+      } catch (const CompileError&) {
+        ++(greedy ? greedyFails : negotiatedFails);
+      }
+    }
+    ++trials;
+  }
+  state.counters["greedy_fail_rate"] =
+      trials ? static_cast<double>(greedyFails) / static_cast<double>(trials)
+             : 0.0;
+  state.counters["negotiated_fail_rate"] =
+      trials ? static_cast<double>(negotiatedFails) /
+                   static_cast<double>(trials)
+             : 0.0;
+}
+BENCHMARK(BM_RouterAblationGreedyFailRate)->Iterations(10);
+
+void BM_DeviceElaboration(benchmark::State& state) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeParallelCrc(16, 0x1021, 8);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 8));
+  Bitstream bs = c.fullBitstream();
+  for (auto _ : state) {
+    dev.applyBitstream(bs);  // invalidates the elaboration
+    benchmark::DoNotOptimize(dev.configOk());
+  }
+}
+BENCHMARK(BM_DeviceElaboration);
+
+void BM_DeviceEvaluateTick(benchmark::State& state) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeParallelCrc(16, 0x1021, 8);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 8));
+  dev.applyBitstream(c.fullBitstream());
+  LoadedCircuit lc(dev, c);
+  Rng rng(3);
+  for (auto _ : state) {
+    lc.setInputBus("d", 8, rng.next() & 0xFF);
+    dev.evaluate();
+    dev.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeviceEvaluateTick);
+
+void BM_FullCompile(benchmark::State& state) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeRippleAdder(6);
+  for (auto _ : state) {
+    CompiledCircuit c =
+        compiler.compile(nl, Region::columns(dev.geometry(), 0, 5));
+    benchmark::DoNotOptimize(c.frames.size());
+  }
+}
+BENCHMARK(BM_FullCompile);
+
+void BM_Relocate(benchmark::State& state) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeRippleAdder(6);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 5));
+  std::uint16_t target = 1;
+  for (auto _ : state) {
+    CompiledCircuit moved = compiler.relocate(c, target);
+    benchmark::DoNotOptimize(moved.region.x0);
+    target = target == 1 ? 7 : 1;
+  }
+}
+BENCHMARK(BM_Relocate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harnesses: column-aligned table
+// printing and a standard set of benchmark circuits.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+
+namespace vfpga::bench {
+
+/// Prints a separator + title for one table of an experiment.
+inline void tableHeader(const char* experiment, const char* title) {
+  std::printf("\n== %s: %s ==\n", experiment, title);
+}
+
+/// printf-style row helper is plain std::printf; benches format explicitly
+/// so tables read like the paper's would.
+
+/// A standard mix of small/medium circuits with varied FF counts, named
+/// and width-annotated for the medium (12-column) device.
+struct BenchCircuit {
+  std::string name;
+  Netlist netlist;
+  std::uint16_t width;  ///< strip width on the medium device
+};
+
+inline std::vector<BenchCircuit> standardCircuits() {
+  std::vector<BenchCircuit> v;
+  auto add = [&](std::string name, Netlist nl, std::uint16_t w) {
+    nl.setName(name);
+    v.push_back(BenchCircuit{std::move(name), std::move(nl), w});
+  };
+  add("counter6", lib::makeCounter(6), 4);
+  add("checksum6", lib::makeChecksum(6), 4);
+  add("crc8", lib::makeSerialCrc(8, 0x07), 4);
+  add("lfsr8", lib::makeLfsr(8, 0b10111000), 4);
+  add("pi6", lib::makePiController(6, 1, 2), 6);
+  add("adder6", lib::makeRippleAdder(6), 5);
+  return v;
+}
+
+}  // namespace vfpga::bench

@@ -1,0 +1,95 @@
+// The VFPGA operating system end to end: a multitasking workload runs
+// under three policies — software-only, exclusive FIFO, and variable
+// partitions — and the kernel's own metrics and event trace show what the
+// paper's §3/§4 machinery actually did.
+#include <cstdio>
+
+#include "core/os_kernel.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "workloads/taskset.hpp"
+
+using namespace vfpga;
+
+namespace {
+
+void runPolicy(FpgaPolicy policy, bool printTrace) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  ConfigPort port(dev, prof.port);
+  Compiler compiler(dev);
+  Simulation sim;
+  OsOptions opt;
+  opt.policy = policy;
+  opt.cpuTimeSlice = millis(1);
+  OsKernel kernel(sim, dev, port, compiler, opt);
+
+  // Three hardware algorithms the tasks share.
+  struct Def {
+    const char* name;
+    Netlist nl;
+    std::uint16_t width;
+  };
+  std::vector<Def> defs;
+  defs.push_back({"crc", lib::makeSerialCrc(8, 0x07), 4});
+  defs.push_back({"counter", lib::makeCounter(6), 4});
+  defs.push_back({"checksum", lib::makeChecksum(6), 4});
+  std::vector<ConfigId> cfgs;
+  for (Def& d : defs) {
+    d.nl.setName(d.name);
+    cfgs.push_back(kernel.registerConfig(compiler.compile(
+        d.nl, Region::columns(dev.geometry(), 0, d.width))));
+  }
+
+  // A deterministic six-task workload.
+  workloads::TaskSetParams params;
+  params.numTasks = 6;
+  params.numConfigs = 3;
+  params.execsPerTask = 2;
+  params.minCycles = 50000;
+  params.maxCycles = 400000;
+  params.meanArrivalGapMs = 0.4;
+  params.oneConfigPerTask = true;
+  Rng rng(20260707);
+  for (auto& spec : workloads::makeTaskSet(params, rng)) {
+    kernel.addTask(spec);
+  }
+  kernel.run();
+
+  const OsMetrics& m = kernel.metrics();
+  std::printf("%-22s mksp %8.2f ms | wait %7.2f ms | cfg %7.2f ms | "
+              "downloads %3llu | busy %5.1f%%\n",
+              fpgaPolicyName(policy), toMilliseconds(m.makespan),
+              m.waitTime.mean() / double(kMillisecond),
+              toMilliseconds(m.configTime),
+              static_cast<unsigned long long>(m.downloads),
+              100 * m.fpgaUtilization());
+
+  if (printTrace) {
+    std::printf("\nfirst 18 kernel trace events (%s):\n",
+                fpgaPolicyName(policy));
+    std::size_t shown = 0;
+    for (const TraceRecord& r : kernel.trace().records()) {
+      if (shown++ >= 18) break;
+      std::printf("  t=%9.3f ms  %-18s %s\n", toMilliseconds(r.at),
+                  traceKindName(r.kind), r.detail.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("six tasks, three shared hardware algorithms, one 12x12 "
+              "device:\n\n");
+  runPolicy(FpgaPolicy::kSoftwareOnly, false);
+  runPolicy(FpgaPolicy::kExclusive, false);
+  runPolicy(FpgaPolicy::kDynamicLoading, false);
+  runPolicy(FpgaPolicy::kPartitionedVariable, true);
+  std::printf("\nthe partitioned kernel runs several circuits concurrently "
+              "(busy%% > 100); the trace shows arrivals, strip assignments "
+              "and releases — the paper's OS, working.\n");
+  return 0;
+}

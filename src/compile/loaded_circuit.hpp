@@ -1,0 +1,46 @@
+// Convenience harness for driving a compiled circuit that is currently
+// configured on a device: name-based port access (with bus helpers) and
+// FF-state translation between the mapped-netlist order and the device's
+// dense FF order. Used by tests, examples and the OS execution engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "compile/compiler.hpp"
+
+namespace vfpga {
+
+class LoadedCircuit {
+ public:
+  /// The circuit's bitstream must already be in the device (this class
+  /// never configures; the OS layer owns download policy and cost).
+  LoadedCircuit(Device& dev, const CompiledCircuit& circuit)
+      : dev_(&dev), c_(&circuit) {}
+
+  const CompiledCircuit& circuit() const { return *c_; }
+
+  void setInput(std::string_view port, bool v);
+  /// Drives input bits base0..base{w-1} (bare name when w == 1).
+  void setInputBus(const std::string& base, std::size_t width,
+                   std::uint64_t value);
+  bool output(std::string_view port);
+  std::uint64_t outputBus(const std::string& base, std::size_t width);
+
+  void evaluate() { dev_->evaluate(); }
+  void tick() { dev_->tick(); }
+
+  /// FF state in mapped-netlist order (stable across relocation), as the
+  /// OS stores it when preempting a task.
+  std::vector<bool> saveState();
+  void restoreState(const std::vector<bool>& mappedOrderState);
+  /// Writes the circuit's declared initial FF values into the device.
+  void applyInitialState();
+
+ private:
+  Device* dev_;
+  const CompiledCircuit* c_;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,34 @@
+#include "core/config_registry.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+ConfigId ConfigRegistry::add(CompiledCircuit circuit) {
+  if (byName(circuit.name) != kNoConfig) {
+    throw std::logic_error("configuration already registered: " +
+                           circuit.name);
+  }
+  entries_.push_back(std::make_unique<CompiledCircuit>(std::move(circuit)));
+  return static_cast<ConfigId>(entries_.size() - 1);
+}
+
+const CompiledCircuit& ConfigRegistry::circuit(ConfigId id) const {
+  return *entries_.at(id);
+}
+
+ConfigId ConfigRegistry::byName(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i]->name == name) return static_cast<ConfigId>(i);
+  }
+  return kNoConfig;
+}
+
+void ConfigRegistry::update(ConfigId id, CompiledCircuit circuit) {
+  if (entries_.at(id)->name != circuit.name) {
+    throw std::logic_error("update must keep the configuration name");
+  }
+  *entries_.at(id) = std::move(circuit);
+}
+
+}  // namespace vfpga

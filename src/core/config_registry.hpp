@@ -1,0 +1,40 @@
+// Configuration registry: the OS table where tasks declare the FPGA
+// configurations they will use, "at the beginning of the task life, when
+// the task itself is loaded into the system" (§3) — the paper's analogue of
+// registering a device configuration through fopen.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.hpp"
+
+namespace vfpga {
+
+using ConfigId = std::uint32_t;
+constexpr ConfigId kNoConfig = 0xffffffffu;
+
+class ConfigRegistry {
+ public:
+  /// Registers a compiled circuit; the returned id is what tasks name in
+  /// their FpgaExec ops. Duplicate names are rejected (one table entry per
+  /// declared configuration).
+  ConfigId add(CompiledCircuit circuit);
+
+  std::size_t size() const { return entries_.size(); }
+  const CompiledCircuit& circuit(ConfigId id) const;
+  ConfigId byName(const std::string& name) const;  ///< kNoConfig if absent
+
+  /// Replaces a registered circuit in place (used when the partition
+  /// manager relocates it). The name must be unchanged.
+  void update(ConfigId id, CompiledCircuit circuit);
+
+ private:
+  // unique_ptr keeps circuit() references stable across registry growth;
+  // update() replaces the pointee's contents, not the pointer.
+  std::vector<std::unique_ptr<CompiledCircuit>> entries_;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,76 @@
+#include "core/dynamic_loader.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+LoadedCircuit DynamicLoader::loaded() {
+  if (current_ == kNoConfig) {
+    throw std::logic_error("no configuration resident");
+  }
+  return LoadedCircuit(*dev_, registry_->circuit(current_));
+}
+
+DynamicLoader::SwitchCost DynamicLoader::activate(ConfigId id,
+                                                  bool saveOutgoing) {
+  SwitchCost cost;
+  if (id == current_) return cost;  // "most recently used" shortcut, §3
+  const CompiledCircuit& incoming = registry_->circuit(id);
+
+  // 1. Save the outgoing circuit's registers so it can be resumed later.
+  if (current_ != kNoConfig) {
+    const CompiledCircuit& outgoing = registry_->circuit(current_);
+    if (saveOutgoing && outgoing.ffCount() > 0 &&
+        port_->spec().stateAccess) {
+      LoadedCircuit lc(*dev_, outgoing);
+      savedStates_[current_] = lc.saveState();
+      cost.saveTime = port_->chargeStateRead(outgoing.ffCount());
+    } else {
+      savedStates_.erase(current_);  // roll-back: intermediate state lost
+    }
+  }
+
+  // 2. Download. A partial port writes only the differing frames (old
+  //    circuit erased, new one written in one pass); a serial-full port
+  //    rewrites the whole device.
+  if (port_->spec().partialReconfig) {
+    const auto dirty =
+        diffFrames(dev_->image(), incoming.image, incoming.frameBits);
+    if (!dirty.empty()) {
+      const Bitstream bs =
+          makePartialBitstream(incoming.image, incoming.frameBits, dirty);
+      cost.downloadTime = port_->download(bs);
+      cost.downloaded = true;
+    }
+  } else {
+    cost.downloadTime = port_->download(incoming.fullBitstream());
+    cost.downloaded = true;
+  }
+  current_ = id;
+
+  // 3. Restore the incoming circuit's registers: its previously saved
+  //    state when it was preempted, otherwise its declared initial values.
+  if (incoming.ffCount() > 0) {
+    LoadedCircuit lc(*dev_, incoming);
+    auto it = savedStates_.find(id);
+    if (it != savedStates_.end()) {
+      lc.restoreState(it->second);
+      cost.restoreTime = port_->chargeStateWrite(incoming.ffCount());
+      cost.restoredSavedState = true;
+    } else {
+      lc.applyInitialState();
+      // On a port without readback the initial values come for free with
+      // the configuration itself (init-by-configuration); with readback we
+      // model them as a state writeback.
+      if (incoming.needsInitialState() && port_->spec().stateAccess) {
+        cost.restoreTime = port_->chargeStateWrite(incoming.ffCount());
+      }
+    }
+  }
+
+  ++switches_;
+  cost.total = cost.saveTime + cost.downloadTime + cost.restoreTime;
+  return cost;
+}
+
+}  // namespace vfpga

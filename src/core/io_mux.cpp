@@ -1,0 +1,20 @@
+#include "core/io_mux.hpp"
+
+namespace vfpga {
+
+SimDuration IoMux::transfer(std::uint32_t virtualPins) {
+  const SimDuration t = transferTime(virtualPins);
+  ++transfers_;
+  frames_ += framesFor(virtualPins);
+  signals_ += virtualPins;
+  busy_ += t;
+  return t;
+}
+
+SimDuration IoMux::rebind(std::uint32_t virtualPins) {
+  const SimDuration t = virtualPins * spec_.rebindTimePerPin;
+  busy_ += t;
+  return t;
+}
+
+}  // namespace vfpga

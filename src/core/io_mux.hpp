@@ -1,0 +1,79 @@
+// I/O pin virtualization (§2): "input and output multiplexing is used to
+// assign the current inputs and outputs to the logical function associated
+// to the running task or to increase the number of inputs and outputs when
+// there are not enough physically available."
+//
+// The device package exposes P physical pins; a task's circuit may declare
+// V > P virtual pins. The multiplexer moves a full virtual I/O vector in
+// ceil(V / P) bus frames of `frameTime` each (external latches hold the
+// values — the pad-slot banks of the fabric model), plus a fixed mux
+// settling latency per transfer. Rebinding the pin table on a task switch
+// costs `rebindTime` per virtual pin.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace vfpga {
+
+struct IoMuxSpec {
+  std::uint32_t physicalPins = 64;
+  SimDuration frameTime = nanos(50);   ///< one bus frame of P signals
+  SimDuration muxLatency = nanos(20);  ///< settling per transfer
+  SimDuration rebindTimePerPin = nanos(5);
+};
+
+class IoMux {
+ public:
+  explicit IoMux(IoMuxSpec spec) : spec_(spec) {
+    if (spec.physicalPins == 0) {
+      throw std::invalid_argument("no physical pins");
+    }
+  }
+
+  const IoMuxSpec& spec() const { return spec_; }
+
+  /// Bus frames needed for one transfer of `virtualPins` signals.
+  std::uint32_t framesFor(std::uint32_t virtualPins) const {
+    return (virtualPins + spec_.physicalPins - 1) / spec_.physicalPins;
+  }
+
+  /// Time for one full transfer of a virtual I/O vector.
+  SimDuration transferTime(std::uint32_t virtualPins) const {
+    return spec_.muxLatency + framesFor(virtualPins) * spec_.frameTime;
+  }
+
+  /// Performs (accounts) one transfer.
+  SimDuration transfer(std::uint32_t virtualPins);
+
+  /// Rebinds the virtual->physical pin table for a new task (§2: assign
+  /// the current I/O to the running task's function).
+  SimDuration rebind(std::uint32_t virtualPins);
+
+  /// Effective per-virtual-pin signal rate (signals/second) at a given
+  /// virtual pin count: the bandwidth cost of exceeding the package.
+  double effectivePinBandwidth(std::uint32_t virtualPins) const {
+    const double t = toSeconds(transferTime(virtualPins));
+    return t > 0 ? 1.0 / t : 0.0;
+  }
+  /// Aggregate signals/second across the whole virtual interface.
+  double aggregateBandwidth(std::uint32_t virtualPins) const {
+    return effectivePinBandwidth(virtualPins) * virtualPins;
+  }
+
+  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t framesMoved() const { return frames_; }
+  std::uint64_t signalsMoved() const { return signals_; }
+  SimDuration busyTime() const { return busy_; }
+
+ private:
+  IoMuxSpec spec_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t signals_ = 0;
+  SimDuration busy_ = 0;
+};
+
+}  // namespace vfpga

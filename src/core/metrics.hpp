@@ -1,0 +1,48 @@
+// Metrics collected by the VFPGA OS layer; every experiment harness reports
+// rows built from these counters.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace vfpga {
+
+struct OsMetrics {
+  // Task-level outcomes.
+  std::uint64_t tasksFinished = 0;
+  OnlineStats waitTime;        ///< ready/blocked time before FPGA grants (ns)
+  OnlineStats turnaround;      ///< arrival -> finish (ns)
+  SimTime makespan = 0;        ///< finish time of the last task
+
+  // FPGA resource accounting.
+  std::uint64_t fpgaGrants = 0;
+  std::uint64_t fpgaPreemptions = 0;
+  std::uint64_t rollbacks = 0;  ///< executions restarted from scratch
+  SimDuration fpgaComputeTime = 0;  ///< time circuits actually computed
+  SimDuration configTime = 0;       ///< time spent downloading configs
+  SimDuration stateMoveTime = 0;    ///< time spent on state save/restore
+  std::uint64_t downloads = 0;
+  std::uint64_t bitsDownloaded = 0;
+
+  // Partition bookkeeping (partitioned policies only).
+  std::uint64_t partitionsCreated = 0;
+  std::uint64_t garbageCollections = 0;
+  std::uint64_t relocations = 0;
+
+  /// Fraction of the makespan the fabric spent computing.
+  double fpgaUtilization() const {
+    if (makespan == 0) return 0.0;
+    return static_cast<double>(fpgaComputeTime) /
+           static_cast<double>(makespan);
+  }
+  /// Fraction of the makespan burned on reconfiguration traffic.
+  double configOverhead() const {
+    if (makespan == 0) return 0.0;
+    return static_cast<double>(configTime + stateMoveTime) /
+           static_cast<double>(makespan);
+  }
+};
+
+}  // namespace vfpga

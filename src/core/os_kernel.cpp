@@ -1,0 +1,477 @@
+#include "core/os_kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace vfpga {
+
+const char* fpgaPolicyName(FpgaPolicy p) {
+  switch (p) {
+    case FpgaPolicy::kSoftwareOnly: return "software_only";
+    case FpgaPolicy::kExclusive: return "exclusive_fifo";
+    case FpgaPolicy::kDynamicLoading: return "dynamic_loading";
+    case FpgaPolicy::kPartitionedFixed: return "partitioned_fixed";
+    case FpgaPolicy::kPartitionedVariable: return "partitioned_variable";
+  }
+  return "unknown";
+}
+
+OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
+                   Compiler& compiler, OsOptions options)
+    : sim_(&sim), dev_(&device), port_(&port), compiler_(&compiler),
+      options_(std::move(options)), loader_(device, port, registry_) {
+  if (options_.policy == FpgaPolicy::kPartitionedFixed ||
+      options_.policy == FpgaPolicy::kPartitionedVariable) {
+    PartitionManagerOptions po;
+    po.fit = options_.fit;
+    po.garbageCollect = options_.garbageCollect;
+    if (options_.policy == FpgaPolicy::kPartitionedFixed) {
+      if (options_.fixedWidths.empty()) {
+        throw std::invalid_argument(
+            "kPartitionedFixed needs fixedWidths (the system configuration "
+            "file of §4)");
+      }
+      po.fixedWidths = options_.fixedWidths;
+    }
+    pm_.emplace(device, port, registry_, compiler, po);
+  }
+}
+
+ConfigId OsKernel::registerConfig(CompiledCircuit circuit) {
+  if (started_) throw std::logic_error("register configs before run()");
+  // Measure the clock period of the real routed design: download to the
+  // (still idle) device, read the timing analyzer, and blank the part.
+  dev_->clearConfig();
+  dev_->applyBitstream(circuit.fullBitstream());
+  if (!dev_->configOk()) {
+    throw std::logic_error("registered circuit does not decode: " +
+                           dev_->elaboration().faults.front());
+  }
+  const SimDuration period = dev_->minClockPeriod();
+  dev_->clearConfig();
+  const ConfigId id = registry_.add(std::move(circuit));
+  clockPeriods_.push_back(period);
+  return id;
+}
+
+SimDuration OsKernel::installService(ConfigId id) {
+  if (!pm_) {
+    throw std::logic_error(
+        "services (device-driver configurations) need a partitioned policy");
+  }
+  if (started_) throw std::logic_error("install services before run()");
+  if (serviceFor(id) != nullptr) {
+    throw std::logic_error("service already installed");
+  }
+  auto load = pm_->load(id);
+  if (!load) {
+    throw std::logic_error("no partition available for service " +
+                           registry_.circuit(id).name);
+  }
+  metrics_.configTime += load->cost;
+  ++metrics_.downloads;
+  trace_.record(sim_->now(), TraceKind::kPartitionAssign,
+                "service " + registry_.circuit(id).name);
+  services_.push_back(Service{id, load->partition, false, {}});
+  return load->cost;
+}
+
+OsKernel::Service* OsKernel::serviceFor(ConfigId id) {
+  for (Service& s : services_) {
+    if (s.config == id) return &s;
+  }
+  return nullptr;
+}
+
+void OsKernel::submitService(Service& svc, std::size_t t) {
+  startFpgaWait(t);
+  svc.queue.push_back(t);
+  dispatchService(svc);
+}
+
+void OsKernel::dispatchService(Service& svc) {
+  if (svc.busy || svc.queue.empty()) return;
+  const std::size_t t = svc.queue.front();
+  svc.queue.pop_front();
+  svc.busy = true;
+  TaskRuntime& tr = task(t);
+  chargeFpgaWait(t);
+  tr.state = TaskState::kRunningFpga;
+  ++tr.grants;
+  ++metrics_.fpgaGrants;
+  // No download: the whole point of the resident driver circuit.
+  const FpgaExec& fx = currentExec(t);
+  const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
+  metrics_.fpgaComputeTime += execTime;
+  const SimTime deadline = sim_->now() + execTime;
+  // Index capture: services_ never grows after run() starts, but an index
+  // is immune to reallocation either way.
+  const std::size_t svcIdx =
+      static_cast<std::size_t>(&svc - services_.data());
+  const EventId ev = sim_->scheduleAt(deadline, [this, t, svcIdx] {
+    runningExecs_.erase(
+        std::remove_if(runningExecs_.begin(), runningExecs_.end(),
+                       [t](const RunningExec& re) { return re.task == t; }),
+        runningExecs_.end());
+    services_[svcIdx].busy = false;
+    task(t).cyclesRemaining = 0;
+    opComplete(t);
+    dispatchService(services_[svcIdx]);
+  });
+  runningExecs_.push_back(RunningExec{t, ev, deadline});
+}
+
+void OsKernel::addTask(TaskSpec spec) {
+  // Validate configuration references up front.
+  for (const TaskOp& op : spec.ops) {
+    if (const auto* fx = std::get_if<FpgaExec>(&op)) {
+      if (fx->config >= registry_.size()) {
+        throw std::out_of_range("task references unregistered config");
+      }
+      if (pm_ && serviceFor(fx->config) == nullptr &&
+          !pm_->feasible(fx->config)) {
+        throw std::logic_error("config can never fit any partition: " +
+                               registry_.circuit(fx->config).name);
+      }
+    }
+  }
+  const std::size_t t = tasks_.size();
+  tasks_.push_back(TaskRuntime{std::move(spec)});
+  sim_->scheduleAt(tasks_[t].spec.arrival, [this, t] { onArrive(t); });
+}
+
+void OsKernel::run() {
+  started_ = true;
+  sim_->run();
+  metrics_.bitsDownloaded = port_->stats().bitsWritten;
+  if (pm_) {
+    metrics_.relocations = pm_->relocations();
+    metrics_.garbageCollections = pm_->garbageCollections();
+  }
+  for (const TaskRuntime& t : tasks_) {
+    if (!t.done()) {
+      throw std::logic_error("simulation drained with unfinished task " +
+                             t.spec.name);
+    }
+  }
+}
+
+const FpgaExec& OsKernel::currentExec(std::size_t t) const {
+  return std::get<FpgaExec>(tasks_[t].spec.ops[tasks_[t].opIndex]);
+}
+
+SimDuration OsKernel::execDuration(const FpgaExec& fx,
+                                   std::uint64_t cycles) const {
+  return cycles * clockPeriods_.at(fx.config);
+}
+
+void OsKernel::onArrive(std::size_t t) {
+  trace_.record(sim_->now(), TraceKind::kTaskArrive, task(t).spec.name);
+  task(t).state = TaskState::kReady;
+  if (task(t).spec.ops.empty()) {
+    finishTask(t);
+    return;
+  }
+  enterOp(t);
+}
+
+/// Sets up execution of the current op (called on op entry only).
+void OsKernel::enterOp(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  const TaskOp& op = tr.spec.ops[tr.opIndex];
+  if (const auto* cb = std::get_if<CpuBurst>(&op)) {
+    tr.cpuRemaining = cb->duration;
+    makeCpuReady(t);
+    return;
+  }
+  const FpgaExec& fx = std::get<FpgaExec>(op);
+  tr.cyclesRemaining = fx.cycles;
+  switch (options_.policy) {
+    case FpgaPolicy::kSoftwareOnly: {
+      // Execute the algorithm in software on the CPU instead (§4:
+      // "software programming of the algorithm should be considered").
+      const double ns = static_cast<double>(execDuration(fx, fx.cycles)) *
+                        options_.softwareSlowdown;
+      tr.cpuRemaining = static_cast<SimDuration>(std::llround(ns));
+      makeCpuReady(t);
+      return;
+    }
+    case FpgaPolicy::kExclusive:
+    case FpgaPolicy::kDynamicLoading:
+      submitWholeDevice(t);
+      return;
+    case FpgaPolicy::kPartitionedFixed:
+    case FpgaPolicy::kPartitionedVariable:
+      submitPartitioned(t);
+      return;
+  }
+}
+
+void OsKernel::opComplete(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  ++tr.opIndex;
+  if (tr.opIndex >= tr.spec.ops.size()) {
+    finishTask(t);
+    return;
+  }
+  enterOp(t);
+}
+
+void OsKernel::finishTask(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  tr.state = TaskState::kDone;
+  tr.finish = sim_->now();
+  trace_.record(sim_->now(), TraceKind::kTaskFinish, tr.spec.name);
+  ++metrics_.tasksFinished;
+  metrics_.waitTime.add(static_cast<double>(tr.fpgaWaitTotal));
+  metrics_.turnaround.add(static_cast<double>(tr.finish - tr.spec.arrival));
+  metrics_.makespan = std::max(metrics_.makespan, tr.finish);
+  // The whole-device policies keep per-config saved state; a finished task
+  // will never resume, so drop its snapshots.
+  if (options_.policy == FpgaPolicy::kDynamicLoading) {
+    for (const TaskOp& op : tr.spec.ops) {
+      if (const auto* fx = std::get_if<FpgaExec>(&op)) {
+        loader_.forgetState(fx->config);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------- CPU
+
+void OsKernel::makeCpuReady(std::size_t t) {
+  task(t).state = TaskState::kReady;
+  cpuReady_.push_back(t);
+  dispatchCpu();
+}
+
+std::size_t OsKernel::popNext(std::deque<std::size_t>& queue) {
+  std::size_t bestPos = 0;
+  if (options_.priorityScheduling) {
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (tasks_[queue[i]].spec.priority >
+          tasks_[queue[bestPos]].spec.priority) {
+        bestPos = i;
+      }
+    }
+  }
+  const std::size_t t = queue[bestPos];
+  queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(bestPos));
+  return t;
+}
+
+void OsKernel::dispatchCpu() {
+  if (cpuRunning_ || cpuReady_.empty()) return;
+  const std::size_t t = popNext(cpuReady_);
+  cpuRunning_ = t;
+  TaskRuntime& tr = task(t);
+  tr.state = TaskState::kRunningCpu;
+  trace_.record(sim_->now(), TraceKind::kTaskDispatch, tr.spec.name);
+  const SimDuration slice = options_.cpuTimeSlice == 0
+                                ? tr.cpuRemaining
+                                : std::min(options_.cpuTimeSlice,
+                                           tr.cpuRemaining);
+  sim_->scheduleAfter(slice, [this, t, slice] {
+    TaskRuntime& tr2 = task(t);
+    tr2.cpuRemaining -= slice;
+    cpuRunning_.reset();
+    if (tr2.cpuRemaining == 0) {
+      opComplete(t);
+    } else {
+      trace_.record(sim_->now(), TraceKind::kTaskPreempt, tr2.spec.name);
+      tr2.state = TaskState::kReady;
+      cpuReady_.push_back(t);
+    }
+    dispatchCpu();
+  });
+}
+
+// ----------------------------------------------------- whole-device FPGA
+
+void OsKernel::startFpgaWait(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  tr.state = TaskState::kWaitingFpga;
+  tr.fpgaWaitStart = sim_->now();
+  trace_.record(sim_->now(), TraceKind::kTaskBlock, tr.spec.name);
+}
+
+void OsKernel::chargeFpgaWait(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  tr.fpgaWaitTotal += sim_->now() - tr.fpgaWaitStart;
+}
+
+void OsKernel::submitWholeDevice(std::size_t t) {
+  startFpgaWait(t);
+  fpgaQueue_.push_back(t);
+  dispatchWholeDevice();
+}
+
+void OsKernel::dispatchWholeDevice() {
+  if (fpgaRunning_ || fpgaQueue_.empty()) return;
+  const std::size_t t = popNext(fpgaQueue_);
+  fpgaRunning_ = t;
+  TaskRuntime& tr = task(t);
+  chargeFpgaWait(t);
+  tr.state = TaskState::kRunningFpga;
+  ++tr.grants;
+  ++metrics_.fpgaGrants;
+
+  const FpgaExec& fx = currentExec(t);
+  const bool preemptive = options_.policy == FpgaPolicy::kDynamicLoading &&
+                          options_.fpgaSlice > 0 &&
+                          !tr.runToCompletionNext;
+  tr.runToCompletionNext = false;
+  // Save the resident circuit's registers only when a preemption left
+  // live intermediate state behind; a completed execution needs nothing.
+  const auto cost = loader_.activate(
+      fx.config, options_.saveStateOnPreempt && residentStateLive_);
+  if (cost.downloaded) {
+    ++metrics_.downloads;
+    trace_.record(sim_->now(), TraceKind::kConfigDownload,
+                  registry_.circuit(fx.config).name);
+  }
+  metrics_.configTime += cost.downloadTime;
+  metrics_.stateMoveTime += cost.saveTime + cost.restoreTime;
+
+  const SimDuration full = execDuration(fx, tr.cyclesRemaining);
+  SimDuration runFor = full;
+  bool sliceExpires = false;
+  if (preemptive && full > options_.fpgaSlice) {
+    runFor = options_.fpgaSlice;
+    sliceExpires = true;
+  }
+  // Round the slice to whole circuit cycles.
+  const SimDuration period = clockPeriods_.at(fx.config);
+  std::uint64_t cyclesRun = runFor / period;
+  if (cyclesRun == 0) cyclesRun = 1;
+  cyclesRun = std::min(cyclesRun, tr.cyclesRemaining);
+  const SimDuration execTime = cyclesRun * period;
+  metrics_.fpgaComputeTime += execTime;
+
+  const std::uint64_t cyclesAfter = tr.cyclesRemaining - cyclesRun;
+  sim_->scheduleAfter(cost.total + execTime, [this, t, cyclesAfter,
+                                              sliceExpires] {
+    task(t).cyclesRemaining = cyclesAfter;
+    wholeDeviceExecDone(t, sliceExpires && cyclesAfter > 0);
+  });
+}
+
+void OsKernel::wholeDeviceExecDone(std::size_t t, bool preempted) {
+  fpgaRunning_.reset();
+  residentStateLive_ = preempted;
+  TaskRuntime& tr = task(t);
+  if (preempted) {
+    ++tr.preemptions;
+    ++metrics_.fpgaPreemptions;
+    trace_.record(sim_->now(), TraceKind::kTaskPreempt,
+                  tr.spec.name + " (fpga)");
+    if (!options_.saveStateOnPreempt) {
+      // Roll-back: all progress of this execution is lost (§3). The aging
+      // rule lets the restarted execution run to completion so the system
+      // cannot livelock on mutual roll-backs.
+      ++tr.rollbacks;
+      ++metrics_.rollbacks;
+      tr.cyclesRemaining = currentExec(t).cycles;
+      tr.runToCompletionNext = true;
+    }
+    startFpgaWait(t);
+    fpgaQueue_.push_back(t);
+  } else {
+    opComplete(t);
+  }
+  dispatchWholeDevice();
+}
+
+// ----------------------------------------------------------- partitioned
+
+void OsKernel::submitPartitioned(std::size_t t) {
+  if (Service* svc = serviceFor(currentExec(t).config)) {
+    submitService(*svc, t);
+    return;
+  }
+  startFpgaWait(t);
+  fpgaWaiting_.push_back(t);
+  tryDispatchPartitioned();
+}
+
+void OsKernel::tryDispatchPartitioned() {
+  // Grant waiters in arrival order; a waiter that does not fit blocks only
+  // itself (later, smaller requests may still be served — documented
+  // deviation from strict head-of-line blocking, which §4 leaves open).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = fpgaWaiting_.begin(); it != fpgaWaiting_.end(); ++it) {
+      const std::size_t t = *it;
+      const FpgaExec& fx = currentExec(t);
+      auto load = pm_->load(fx.config);
+      if (!load) continue;
+      fpgaWaiting_.erase(it);
+      progress = true;
+
+      TaskRuntime& tr = task(t);
+      tr.state = TaskState::kRunningFpga;
+      tr.partition = load->partition;
+      ++tr.grants;
+      ++metrics_.fpgaGrants;
+      ++metrics_.downloads;
+      ++metrics_.partitionsCreated;
+      metrics_.configTime += load->cost;
+      // Serialize on the single configuration port: this download starts
+      // only when the port is free; the queueing delay counts as wait.
+      const SimTime portStart = std::max(sim_->now(), portFreeAt_);
+      portFreeAt_ = portStart + load->cost + load->gcCost;
+      chargeFpgaWait(t);
+      tr.fpgaWaitTotal += portStart - sim_->now();
+      trace_.record(sim_->now(), TraceKind::kPartitionAssign,
+                    registry_.circuit(fx.config).name + " -> strip " +
+                        std::to_string(pm_->circuitIn(load->partition)
+                                           .region.x0));
+      if (load->garbageCollected) {
+        ++metrics_.garbageCollections;
+        metrics_.configTime += load->gcCost;
+        trace_.record(sim_->now(), TraceKind::kGarbageCollect,
+                      "cost=" + std::to_string(load->gcCost));
+        // Compaction stalls every in-flight execution: shift their
+        // completions by the GC time.
+        for (RunningExec& re : runningExecs_) {
+          sim_->cancel(re.completionEvent);
+          re.deadline += load->gcCost;
+          const std::size_t rt = re.task;
+          re.completionEvent =
+              sim_->scheduleAt(re.deadline, [this, rt] {
+                partitionedExecDone(rt);
+              });
+        }
+      }
+
+      const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
+      metrics_.fpgaComputeTime += execTime;
+      const SimTime deadline = portFreeAt_ + execTime;
+      const EventId ev = sim_->scheduleAt(deadline, [this, t] {
+        partitionedExecDone(t);
+      });
+      runningExecs_.push_back(RunningExec{t, ev, deadline});
+      break;  // deque mutated; restart the scan
+    }
+  }
+}
+
+void OsKernel::partitionedExecDone(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  runningExecs_.erase(
+      std::remove_if(runningExecs_.begin(), runningExecs_.end(),
+                     [t](const RunningExec& re) { return re.task == t; }),
+      runningExecs_.end());
+  pm_->unload(tr.partition);
+  trace_.record(sim_->now(), TraceKind::kPartitionRelease, tr.spec.name);
+  tr.partition = kNoPartition;
+  tr.cyclesRemaining = 0;
+  metrics_.relocations = pm_->relocations();
+  opComplete(t);
+  tryDispatchPartitioned();
+}
+
+}  // namespace vfpga

@@ -1,0 +1,185 @@
+// The VFPGA operating-system kernel: a discrete-event model of a
+// single-CPU, single-FPGA multitasking system implementing the paper's
+// resource-management policies.
+//
+// FPGA policies (the experimental axes of E2-E5):
+//  * kSoftwareOnly      — no FPGA: FpgaExec ops run on the CPU, slowed by
+//                         `softwareSlowdown` (the baseline any
+//                         virtualization scheme must beat);
+//  * kExclusive         — §4's "more drastic solution": the FPGA is
+//                         non-preemptable; tasks queue FIFO for the whole
+//                         device and hold it to completion;
+//  * kDynamicLoading    — §3: the whole device is context-switched between
+//                         tasks; with fpgaSlice > 0 executions are
+//                         preempted on the slice boundary, saving register
+//                         state through the configuration port (or rolling
+//                         back when saveStateOnPreempt is false);
+//  * kPartitionedFixed / kPartitionedVariable — §4: column-strip
+//                         partitions, concurrent execution, and (variable
+//                         mode) split/merge plus garbage collection.
+//
+// The kernel performs *real* downloads on the device (the configuration
+// RAM always reflects what a real system would hold); circuit evaluation
+// time is charged analytically as cycles x clock period, with the clock
+// period measured from the actual routed design at registration time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "core/config_registry.hpp"
+#include "core/dynamic_loader.hpp"
+#include "core/metrics.hpp"
+#include "core/partition_manager.hpp"
+#include "core/task.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+
+namespace vfpga {
+
+enum class FpgaPolicy : std::uint8_t {
+  kSoftwareOnly,
+  kExclusive,
+  kDynamicLoading,
+  kPartitionedFixed,
+  kPartitionedVariable,
+};
+
+const char* fpgaPolicyName(FpgaPolicy p);
+
+struct OsOptions {
+  FpgaPolicy policy = FpgaPolicy::kDynamicLoading;
+  /// When true, ready queues (CPU and whole-device FPGA) pick the highest
+  /// TaskSpec::priority first (FIFO among equals) instead of plain FIFO.
+  bool priorityScheduling = false;
+  SimDuration cpuTimeSlice = millis(10);
+  /// FPGA preemption quantum for kDynamicLoading; 0 = run to completion.
+  SimDuration fpgaSlice = 0;
+  /// Preempted circuits save/restore state (true) or roll back (false).
+  bool saveStateOnPreempt = true;
+  /// Partitioned policies.
+  FitPolicy fit = FitPolicy::kFirstFit;
+  std::vector<std::uint16_t> fixedWidths;
+  bool garbageCollect = true;
+  /// Software execution of a circuit runs this many times slower than the
+  /// FPGA clock (per cycle).
+  double softwareSlowdown = 20.0;
+};
+
+class OsKernel {
+ public:
+  OsKernel(Simulation& sim, Device& device, ConfigPort& port,
+           Compiler& compiler, OsOptions options);
+
+  /// Registers a configuration and measures its clock period on the target
+  /// device (the device is left blank afterwards). Call before addTask.
+  ConfigId registerConfig(CompiledCircuit circuit);
+
+  /// Installs a registered configuration as a *service* — the paper's §3
+  /// device-driver case: "a single algorithm ... downloaded in the FPGA
+  /// for all tasks running on the system", selected "once for all tasks -
+  /// in the configuration parameters of the operating system". The circuit
+  /// is loaded now into a pinned partition and never evicted; FpgaExec ops
+  /// naming it run without any download, serialized like requests to a
+  /// shared driver. Partitioned policies only. Returns the install cost.
+  SimDuration installService(ConfigId id);
+
+  /// Declares a task; it arrives at spec.arrival simulated time.
+  void addTask(TaskSpec spec);
+
+  /// Runs the simulation until every task finished.
+  void run();
+
+  const OsMetrics& metrics() const { return metrics_; }
+  const Trace& trace() const { return trace_; }
+  const std::vector<TaskRuntime>& tasks() const { return tasks_; }
+  ConfigRegistry& registry() { return registry_; }
+  Simulation& sim() { return *sim_; }
+  /// Measured clock period of a registered configuration.
+  SimDuration clockPeriod(ConfigId id) const { return clockPeriods_.at(id); }
+
+ private:
+  Simulation* sim_;
+  Device* dev_;
+  ConfigPort* port_;
+  Compiler* compiler_;
+  OsOptions options_;
+  ConfigRegistry registry_;
+  std::vector<SimDuration> clockPeriods_;
+  DynamicLoader loader_;
+  std::optional<PartitionManager> pm_;
+  Trace trace_;
+  OsMetrics metrics_;
+
+  std::vector<TaskRuntime> tasks_;
+  bool started_ = false;
+
+  // CPU scheduling (round-robin).
+  std::deque<std::size_t> cpuReady_;
+  std::optional<std::size_t> cpuRunning_;
+
+  // Whole-device FPGA policies.
+  std::deque<std::size_t> fpgaQueue_;
+  std::optional<std::size_t> fpgaRunning_;
+  /// True when the resident configuration holds a preempted execution's
+  /// intermediate register state (which must be saved before eviction).
+  bool residentStateLive_ = false;
+
+  // Partitioned policies: waiting queue plus per-task completion events
+  // (so garbage collection can postpone in-flight completions).
+  std::deque<std::size_t> fpgaWaiting_;
+  /// The configuration port is a single resource: concurrent partition
+  /// loads queue behind each other. Time up to which the port is busy.
+  SimTime portFreeAt_ = 0;
+  struct RunningExec {
+    std::size_t task;
+    EventId completionEvent;
+    SimTime deadline;
+  };
+  std::vector<RunningExec> runningExecs_;
+
+  // Service (device-driver) configurations: pinned partitions, FIFO
+  // request queues, one request in flight per service.
+  struct Service {
+    ConfigId config = kNoConfig;
+    PartitionId partition = kNoPartition;
+    bool busy = false;
+    std::deque<std::size_t> queue;
+  };
+  std::vector<Service> services_;
+  Service* serviceFor(ConfigId id);
+  void submitService(Service& svc, std::size_t t);
+  void dispatchService(Service& svc);
+
+  // ---- helpers --------------------------------------------------------------
+  TaskRuntime& task(std::size_t t) { return tasks_[t]; }
+  const FpgaExec& currentExec(std::size_t t) const;
+  SimDuration execDuration(const FpgaExec& fx, std::uint64_t cycles) const;
+
+  void onArrive(std::size_t t);
+  void enterOp(std::size_t t);
+  void opComplete(std::size_t t);
+  void finishTask(std::size_t t);
+
+  void makeCpuReady(std::size_t t);
+  void dispatchCpu();
+  /// Pops the next task from a ready queue under the configured discipline.
+  std::size_t popNext(std::deque<std::size_t>& queue);
+  void startFpgaWait(std::size_t t);
+  void chargeFpgaWait(std::size_t t);
+
+  // Whole-device policies.
+  void submitWholeDevice(std::size_t t);
+  void dispatchWholeDevice();
+  void wholeDeviceExecDone(std::size_t t, bool sliceExpired);
+
+  // Partitioned policies.
+  void submitPartitioned(std::size_t t);
+  void tryDispatchPartitioned();
+  void partitionedExecDone(std::size_t t);
+};
+
+}  // namespace vfpga

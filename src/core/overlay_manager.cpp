@@ -1,0 +1,118 @@
+#include "core/overlay_manager.hpp"
+
+#include <stdexcept>
+
+#include "compile/loaded_circuit.hpp"
+
+namespace vfpga {
+
+OverlayManager::OverlayManager(Device& device, ConfigPort& port,
+                               Compiler& compiler,
+                               std::uint16_t residentWidth)
+    : dev_(&device), port_(&port), compiler_(&compiler),
+      residentWidth_(residentWidth) {
+  if (residentWidth >= device.geometry().cols) {
+    throw std::invalid_argument("resident strip leaves no overlay area");
+  }
+}
+
+std::uint16_t OverlayManager::overlayWidth() const {
+  return static_cast<std::uint16_t>(dev_->geometry().cols - residentWidth_);
+}
+
+SimDuration OverlayManager::installResident(const CompiledCircuit& common) {
+  if (common.region.w > residentWidth_) {
+    throw std::invalid_argument("common circuit exceeds resident strip");
+  }
+  residentCircuit_ = compiler_->relocate(common, 0);
+  const SimDuration t =
+      port_->spec().partialReconfig
+          ? port_->download(residentCircuit_->partialBitstream())
+          : port_->download(residentCircuit_->fullBitstream());
+  if (residentCircuit_->ffCount() > 0) {
+    LoadedCircuit lc(*dev_, *residentCircuit_);
+    lc.applyInitialState();
+  }
+  return t;
+}
+
+OverlayId OverlayManager::addOverlay(const CompiledCircuit& circuit) {
+  if (circuit.region.w > overlayWidth()) {
+    throw std::invalid_argument("overlay circuit exceeds overlay strip: " +
+                                circuit.name);
+  }
+  overlays_.push_back(compiler_->relocate(circuit, residentWidth_));
+  return static_cast<OverlayId>(overlays_.size() - 1);
+}
+
+OverlayManager::InvokeResult OverlayManager::invoke(OverlayId id) {
+  if (id >= overlays_.size()) throw std::out_of_range("unknown overlay");
+  ++invocations_;
+  InvokeResult r;
+  if (active_ && *active_ == id) return r;  // already loaded
+
+  const CompiledCircuit& target = overlays_[id];
+  if (port_->spec().partialReconfig) {
+    // Replace whatever occupies the overlay strip: the target image is
+    // blank outside its own region, so merging it over the overlay columns
+    // both installs the new function and erases the old one. Only frames
+    // that actually differ from the configuration RAM are written.
+    const ConfigMap& map = dev_->configMap();
+    auto [f0, f1] = map.framesOfColumns(
+        residentWidth_, static_cast<std::uint16_t>(dev_->geometry().cols - 1));
+    ConfigImage merged = dev_->image();
+    for (std::uint32_t f = f0; f < f1; ++f) {
+      for (std::uint32_t b = f * target.frameBits;
+           b < (f + 1) * target.frameBits; ++b) {
+        merged.set(b, target.image.get(b));
+      }
+    }
+    const auto dirty = diffFrames(dev_->image(), merged, target.frameBits);
+    if (!dirty.empty()) {
+      r.cost = port_->download(
+          makePartialBitstream(merged, target.frameBits, dirty));
+    }
+  } else {
+    // Serial-full port: the resident part must be rewritten too — the very
+    // inefficiency overlaying is meant to avoid on partial-port devices.
+    ConfigImage merged = target.image;
+    if (residentCircuit_) {
+      const ConfigMap& map = dev_->configMap();
+      auto [f0, f1] = map.framesOfColumns(
+          0, static_cast<std::uint16_t>(residentWidth_ - 1));
+      for (std::uint32_t f = f0; f < f1; ++f) {
+        for (std::uint32_t b = f * target.frameBits;
+             b < (f + 1) * target.frameBits; ++b) {
+          merged.set(b, residentCircuit_->image.get(b));
+        }
+      }
+    }
+    r.cost = port_->download(makeFullBitstream(merged, target.frameBits));
+  }
+  if (target.ffCount() > 0) {
+    LoadedCircuit lc(*dev_, target);
+    lc.applyInitialState();
+  }
+  active_ = id;
+  r.loaded = true;
+  ++loads_;
+  return r;
+}
+
+LoadedCircuit OverlayManager::activeOverlay() {
+  if (!active_) throw std::logic_error("no active overlay");
+  return LoadedCircuit(*dev_, overlays_[*active_]);
+}
+
+LoadedCircuit OverlayManager::resident() {
+  if (!residentCircuit_) throw std::logic_error("no resident circuit");
+  return LoadedCircuit(*dev_, *residentCircuit_);
+}
+
+double OverlayManager::hitRate() const {
+  if (invocations_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(loads_) /
+                   static_cast<double>(invocations_);
+}
+
+}  // namespace vfpga

@@ -1,0 +1,70 @@
+// Overlaying (§2): "configures part of the FPGA to compute common functions
+// which are frequently used, while the remaining part is used to download
+// specific functions which are typically rarely used or mutually
+// exclusive."
+//
+// The device is split into a resident strip (columns [0, residentWidth))
+// holding the always-loaded common circuit, and an overlay strip (the
+// remaining columns) holding at most one on-demand circuit at a time.
+// Invoking the resident function is free; invoking an overlay function
+// downloads it unless it is already the active overlay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "compile/loaded_circuit.hpp"
+#include "fabric/config_port.hpp"
+
+namespace vfpga {
+
+using OverlayId = std::uint32_t;
+
+class OverlayManager {
+ public:
+  OverlayManager(Device& device, ConfigPort& port, Compiler& compiler,
+                 std::uint16_t residentWidth);
+
+  std::uint16_t residentWidth() const { return residentWidth_; }
+  std::uint16_t overlayWidth() const;
+
+  /// Installs the common circuit into the resident strip (once, at system
+  /// configuration time). Must be relocatable and <= residentWidth wide.
+  SimDuration installResident(const CompiledCircuit& common);
+
+  /// Declares an overlay function (relocatable, <= overlayWidth wide).
+  OverlayId addOverlay(const CompiledCircuit& circuit);
+
+  struct InvokeResult {
+    bool loaded = false;  ///< a download was needed
+    SimDuration cost = 0;
+  };
+  /// Makes an overlay function active (downloading it if necessary).
+  InvokeResult invoke(OverlayId id);
+
+  /// The currently active overlay, if any.
+  std::optional<OverlayId> active() const { return active_; }
+  /// Harness for the active overlay / the resident circuit.
+  LoadedCircuit activeOverlay();
+  LoadedCircuit resident();
+
+  std::uint64_t invocations() const { return invocations_; }
+  std::uint64_t overlayLoads() const { return loads_; }
+  /// Hit rate of overlay invocations (active overlay already loaded).
+  double hitRate() const;
+
+ private:
+  Device* dev_;
+  ConfigPort* port_;
+  Compiler* compiler_;
+  std::uint16_t residentWidth_;
+  std::optional<CompiledCircuit> residentCircuit_;
+  std::vector<CompiledCircuit> overlays_;  ///< relocated to the overlay strip
+  std::optional<OverlayId> active_;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t loads_ = 0;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,89 @@
+#include "core/page_manager.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+PageManager::PageManager(const ConfigPortSpec& portSpec,
+                         std::uint32_t frameBits, PageManagerOptions options)
+    : spec_(portSpec), frameBits_(frameBits), options_(options) {
+  if (!spec_.partialReconfig) {
+    throw std::invalid_argument(
+        "pagination requires a partial-reconfiguration port (a serial-full "
+        "port can only move whole device images)");
+  }
+  if (options_.framesPerPage == 0 || options_.residentCapacity == 0) {
+    throw std::invalid_argument("degenerate page manager options");
+  }
+}
+
+ConfigId PageManager::addFunction(std::uint32_t frameCount) {
+  if (frameCount == 0) throw std::invalid_argument("empty function");
+  const std::uint32_t pages =
+      (frameCount + options_.framesPerPage - 1) / options_.framesPerPage;
+  functionPages_.push_back(pages);
+  return static_cast<ConfigId>(functionPages_.size() - 1);
+}
+
+std::uint32_t PageManager::pagesOf(ConfigId id) const {
+  return functionPages_.at(id);
+}
+
+SimDuration PageManager::pageLoadCost() const {
+  return options_.framesPerPage *
+         (spec_.frameOverhead + frameBits_ * spec_.bitPeriod);
+}
+
+void PageManager::touchPage(ConfigId id, std::uint32_t page,
+                            AccessResult& r) {
+  ++touches_;
+  ++clock_;
+  const PageKey key{id, page};
+  if (auto it = resident_.find(key); it != resident_.end()) {
+    it->second.lastUse = clock_;
+    return;
+  }
+  ++faults_;
+  ++r.pageFaults;
+  while (resident_.size() >= options_.residentCapacity) {
+    // Replacement: evict the FIFO-oldest or LRU-coldest page.
+    auto victim = resident_.begin();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+      const std::uint64_t a = options_.policy == ReplacementPolicy::kFifo
+                                  ? it->second.loadedAt
+                                  : it->second.lastUse;
+      const std::uint64_t b = options_.policy == ReplacementPolicy::kFifo
+                                  ? victim->second.loadedAt
+                                  : victim->second.lastUse;
+      if (a < b) victim = it;
+    }
+    resident_.erase(victim);
+    ++r.evictions;
+  }
+  resident_.emplace(key, PageInfo{clock_, clock_});
+  r.stall += pageLoadCost();
+  bitsMoved_ += std::uint64_t{options_.framesPerPage} * frameBits_;
+}
+
+PageManager::AccessResult PageManager::access(ConfigId id) {
+  const std::uint32_t pages = functionPages_.at(id);
+  if (pages > options_.residentCapacity) {
+    throw std::logic_error(
+        "function working set exceeds resident page capacity");
+  }
+  ++accesses_;
+  AccessResult r;
+  for (std::uint32_t p = 0; p < pages; ++p) touchPage(id, p, r);
+  return r;
+}
+
+PageManager::AccessResult PageManager::accessPage(ConfigId id,
+                                                  std::uint32_t page) {
+  if (page >= functionPages_.at(id)) throw std::out_of_range("page index");
+  ++accesses_;
+  AccessResult r;
+  touchPage(id, page, r);
+  return r;
+}
+
+}  // namespace vfpga

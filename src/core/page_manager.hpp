@@ -1,0 +1,86 @@
+// Pagination (§2): "partitions the function to be downloaded into smaller
+// portions of fixed size."
+//
+// Pages are fixed-size groups of configuration frames. The manager models
+// a device that can hold `residentCapacity` pages of configuration at
+// once; touching a function demand-loads its missing pages (page faults)
+// and replaces old pages FIFO or LRU. This is a configuration-traffic
+// model: it answers how many bits must move and how long the task stalls,
+// which is the quantity §2 argues about. (Functional placement of
+// arbitrary page subsets is beyond what the paper sketches; DESIGN.md
+// records this as a modelling decision.)
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/config_registry.hpp"
+#include "core/segment_manager.hpp"  // ReplacementPolicy
+#include "fabric/config_port.hpp"
+
+namespace vfpga {
+
+struct PageManagerOptions {
+  std::uint32_t framesPerPage = 4;
+  std::uint32_t residentCapacity = 16;  ///< pages the device can hold
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+};
+
+class PageManager {
+ public:
+  /// Costs are derived from the port spec; nothing is downloaded to a
+  /// device (see header comment).
+  PageManager(const ConfigPortSpec& portSpec, std::uint32_t frameBits,
+              PageManagerOptions options = {});
+
+  /// Declares a paged function occupying `frameCount` config frames.
+  ConfigId addFunction(std::uint32_t frameCount);
+  /// Convenience: page count of a declared function.
+  std::uint32_t pagesOf(ConfigId id) const;
+
+  struct AccessResult {
+    std::uint32_t pageFaults = 0;
+    std::uint32_t evictions = 0;
+    SimDuration stall = 0;  ///< time the task waits for the missing pages
+  };
+  /// Touches every page of a function (a full invocation). Throws when the
+  /// function alone exceeds the resident capacity.
+  AccessResult access(ConfigId id);
+  /// Touches a specific page only (partial use of a function).
+  AccessResult accessPage(ConfigId id, std::uint32_t page);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t bitsMoved() const { return bitsMoved_; }
+  std::uint32_t residentPages() const {
+    return static_cast<std::uint32_t>(resident_.size());
+  }
+  double faultRate() const {
+    return touches_ ? static_cast<double>(faults_) / touches_ : 0.0;
+  }
+
+ private:
+  ConfigPortSpec spec_;
+  std::uint32_t frameBits_;
+  PageManagerOptions options_;
+  std::vector<std::uint32_t> functionPages_;  // page count per function
+
+  using PageKey = std::pair<ConfigId, std::uint32_t>;
+  struct PageInfo {
+    std::uint64_t loadedAt;
+    std::uint64_t lastUse;
+  };
+  std::map<PageKey, PageInfo> resident_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t touches_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t bitsMoved_ = 0;
+
+  SimDuration pageLoadCost() const;
+  void touchPage(ConfigId id, std::uint32_t page, AccessResult& r);
+};
+
+}  // namespace vfpga

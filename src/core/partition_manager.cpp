@@ -1,0 +1,180 @@
+#include "core/partition_manager.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+namespace {
+
+StripAllocator makeAllocator(const Device& dev,
+                             const PartitionManagerOptions& options) {
+  const std::uint16_t cols = dev.geometry().cols;
+  if (options.fixedWidths.empty()) return StripAllocator(cols);
+  return StripAllocator(cols, options.fixedWidths);
+}
+
+}  // namespace
+
+PartitionManager::PartitionManager(Device& device, ConfigPort& port,
+                                   ConfigRegistry& registry,
+                                   Compiler& compiler,
+                                   PartitionManagerOptions options)
+    : dev_(&device), port_(&port), registry_(&registry), compiler_(&compiler),
+      options_(std::move(options)), alloc_(makeAllocator(device, options_)) {}
+
+bool PartitionManager::feasible(ConfigId id) const {
+  const CompiledCircuit& c = registry_->circuit(id);
+  if (!c.relocatable) return false;
+  if (alloc_.isFixed()) {
+    for (const Strip& s : alloc_.strips()) {
+      if (s.width >= c.region.w) return true;
+    }
+    return false;
+  }
+  return c.region.w <= alloc_.columns();
+}
+
+std::optional<PartitionManager::LoadResult> PartitionManager::load(
+    ConfigId id) {
+  const CompiledCircuit& canon = registry_->circuit(id);
+  if (!canon.relocatable) {
+    throw std::logic_error("partitioned loading needs a relocatable circuit: " +
+                           canon.name);
+  }
+  LoadResult result;
+  auto grant = alloc_.allocate(canon.region.w, options_.fit);
+  if (!grant && options_.garbageCollect && !alloc_.isFixed() &&
+      alloc_.wouldFitAfterCompaction(canon.region.w)) {
+    result.gcCost = compactNow();
+    result.garbageCollected = true;
+    grant = alloc_.allocate(canon.region.w, options_.fit);
+  }
+  if (!grant) return std::nullopt;
+
+  result.partition = *grant;
+  const Strip& strip = alloc_.strip(*grant);
+  CompiledCircuit relocated = compiler_->relocate(canon, strip.x0);
+  result.cost = downloadInto(relocated);
+  // Fixed partitions may be wider than the circuit: blank the remainder so
+  // a previous occupant's configuration cannot keep decoding there.
+  if (strip.width > relocated.region.w) {
+    result.cost += blankColumns(
+        static_cast<std::uint16_t>(strip.x0 + relocated.region.w),
+        static_cast<std::uint16_t>(strip.x0 + strip.width - 1));
+  }
+  occupants_[*grant] = Occupant{id, std::move(relocated)};
+  return result;
+}
+
+SimDuration PartitionManager::downloadInto(const CompiledCircuit& relocated) {
+  SimDuration t = 0;
+  if (port_->spec().partialReconfig) {
+    t += port_->download(relocated.partialBitstream());
+  } else {
+    // A serial-full-only port cannot write one strip in isolation: the
+    // whole current image plus the new strip must be re-downloaded. Build
+    // the merged image (current RAM already holds the other partitions).
+    ConfigImage merged = dev_->image();
+    const ConfigMap& map = dev_->configMap();
+    auto [f0, f1] =
+        map.framesOfColumns(relocated.region.x0, relocated.region.x1());
+    for (std::uint32_t f = f0; f < f1; ++f) {
+      for (std::uint32_t b = f * relocated.frameBits;
+           b < (f + 1) * relocated.frameBits; ++b) {
+        merged.set(b, relocated.image.get(b));
+      }
+    }
+    t += port_->download(makeFullBitstream(merged, relocated.frameBits));
+  }
+  if (relocated.ffCount() > 0) {
+    LoadedCircuit lc(*dev_, relocated);
+    lc.applyInitialState();
+    if (relocated.needsInitialState() && port_->spec().stateAccess) {
+      t += port_->chargeStateWrite(relocated.ffCount());
+    }
+  }
+  return t;
+}
+
+SimDuration PartitionManager::blankColumns(std::uint16_t c0,
+                                           std::uint16_t c1) {
+  const ConfigMap& map = dev_->configMap();
+  ConfigImage blank(map.totalBits());
+  auto [f0, f1] = map.framesOfColumns(c0, c1);
+  std::vector<std::uint32_t> frames;
+  for (std::uint32_t f = f0; f < f1; ++f) frames.push_back(f);
+  if (port_->spec().partialReconfig) {
+    return port_->download(
+        makePartialBitstream(blank, map.frameBits(), frames));
+  }
+  ConfigImage merged = dev_->image();
+  for (std::uint32_t f = f0; f < f1; ++f) {
+    for (std::uint32_t b = f * map.frameBits(); b < (f + 1) * map.frameBits();
+         ++b) {
+      merged.set(b, false);
+    }
+  }
+  return port_->download(makeFullBitstream(merged, map.frameBits()));
+}
+
+SimDuration PartitionManager::compactNow() {
+  ++gcRuns_;
+  SimDuration cost = 0;
+  // Capture the register state of every occupant that will move *before*
+  // touching the configuration RAM.
+  const auto moves = alloc_.compact();
+  for (const auto& move : moves) {
+    auto it = occupants_.find(move.id);
+    if (it == occupants_.end()) {
+      throw std::logic_error("compaction moved an unknown partition");
+    }
+    Occupant& occ = it->second;
+    std::vector<bool> state;
+    if (occ.circuit.ffCount() > 0) {
+      LoadedCircuit lc(*dev_, occ.circuit);
+      state = lc.saveState();
+      if (port_->spec().stateAccess) {
+        cost += port_->chargeStateRead(occ.circuit.ffCount());
+      }
+    }
+    // Blank the old strip (its columns may not be covered by any new
+    // occupant after packing), then download at the new location.
+    cost += blankColumns(move.fromX0,
+                         static_cast<std::uint16_t>(move.fromX0 +
+                                                    occ.circuit.region.w - 1));
+    occ.circuit = compiler_->relocate(occ.circuit, move.toX0);
+    ++relocationsDone_;
+    cost += downloadInto(occ.circuit);
+    if (!state.empty()) {
+      LoadedCircuit lc(*dev_, occ.circuit);
+      lc.restoreState(state);
+      if (port_->spec().stateAccess) {
+        cost += port_->chargeStateWrite(occ.circuit.ffCount());
+      }
+    }
+  }
+  return cost;
+}
+
+void PartitionManager::unload(PartitionId id) {
+  auto it = occupants_.find(id);
+  if (it == occupants_.end()) {
+    throw std::logic_error("unload of an empty partition");
+  }
+  occupants_.erase(it);
+  alloc_.release(id);
+}
+
+LoadedCircuit PartitionManager::loaded(PartitionId id) {
+  return LoadedCircuit(*dev_, circuitIn(id));
+}
+
+const CompiledCircuit& PartitionManager::circuitIn(PartitionId id) const {
+  auto it = occupants_.find(id);
+  if (it == occupants_.end()) {
+    throw std::out_of_range("partition has no occupant");
+  }
+  return it->second.circuit;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,92 @@
+// FPGA partitioning (§4): the device's column strips are allocated to
+// configurations like variable (or fixed) memory partitions, so several
+// circuits compute concurrently and reconfiguration touches only the
+// partition being (re)loaded.
+//
+// Responsibilities beyond the raw StripAllocator bookkeeping:
+//  * relocating a registered (relocatable) circuit into the strip it was
+//    granted and downloading the partial bitstream for those columns;
+//  * blanking leftover columns when a fixed partition is wider than the
+//    circuit (stale configuration from a previous occupant must not
+//    decode);
+//  * garbage collection: when a request would fit after compaction, move
+//    busy strips left — each move costs a state readback, a re-download
+//    and a state writeback, which is exactly why the paper says relocation
+//    "cannot be frequently applied".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "compile/loaded_circuit.hpp"
+#include "core/config_registry.hpp"
+#include "core/strip_allocator.hpp"
+#include "fabric/config_port.hpp"
+
+namespace vfpga {
+
+struct PartitionManagerOptions {
+  FitPolicy fit = FitPolicy::kFirstFit;
+  /// Empty = variable-size partitions; otherwise fixed widths at init.
+  std::vector<std::uint16_t> fixedWidths;
+  bool garbageCollect = true;
+};
+
+class PartitionManager {
+ public:
+  PartitionManager(Device& device, ConfigPort& port, ConfigRegistry& registry,
+                   Compiler& compiler, PartitionManagerOptions options = {});
+
+  struct LoadResult {
+    PartitionId partition = kNoPartition;
+    SimDuration cost = 0;       ///< download (+ state init) time
+    SimDuration gcCost = 0;     ///< additional compaction time, if GC ran
+    bool garbageCollected = false;
+  };
+
+  /// Allocates a strip for `id`'s width, relocates the circuit there and
+  /// downloads it. nullopt when no strip fits (even after GC, when GC is
+  /// enabled); the caller queues the task, as §4 prescribes.
+  std::optional<LoadResult> load(ConfigId id);
+
+  /// Releases the partition; the configuration stays in the RAM (harmless)
+  /// but the columns become reusable.
+  void unload(PartitionId id);
+
+  /// Whether `id` could ever be satisfied on an empty device.
+  bool feasible(ConfigId id) const;
+
+  /// Harness for the circuit loaded in a partition (valid until unload or
+  /// the next garbage collection, which may move it).
+  LoadedCircuit loaded(PartitionId id);
+  /// The relocated circuit occupying a partition.
+  const CompiledCircuit& circuitIn(PartitionId id) const;
+
+  const StripAllocator& allocator() const { return alloc_; }
+  std::uint64_t garbageCollections() const { return gcRuns_; }
+  std::uint64_t relocations() const { return relocationsDone_; }
+
+ private:
+  Device* dev_;
+  ConfigPort* port_;
+  ConfigRegistry* registry_;
+  Compiler* compiler_;
+  PartitionManagerOptions options_;
+  StripAllocator alloc_;
+  struct Occupant {
+    ConfigId config = kNoConfig;
+    CompiledCircuit circuit;  ///< relocated copy for this strip
+  };
+  std::unordered_map<PartitionId, Occupant> occupants_;
+  std::uint64_t gcRuns_ = 0;
+  std::uint64_t relocationsDone_ = 0;
+
+  SimDuration downloadInto(const CompiledCircuit& relocated);
+  SimDuration blankColumns(std::uint16_t c0, std::uint16_t c1);
+  SimDuration compactNow();
+};
+
+}  // namespace vfpga

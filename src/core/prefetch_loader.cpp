@@ -1,0 +1,131 @@
+#include "core/prefetch_loader.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vfpga {
+
+PrefetchLoader::PrefetchLoader(Device& device, ConfigPort& port,
+                               ConfigRegistry& registry, Compiler& compiler)
+    : dev_(&device), port_(&port), registry_(&registry), compiler_(&compiler),
+      halfWidth_(static_cast<std::uint16_t>(device.geometry().cols / 2)) {
+  if (halfWidth_ == 0) throw std::invalid_argument("device too narrow");
+  if (!port.spec().partialReconfig) {
+    throw std::invalid_argument(
+        "prefetching needs a partial-reconfiguration port (a background "
+        "download must not rewrite the active half)");
+  }
+}
+
+const CompiledCircuit& PrefetchLoader::circuitIn(ConfigId id, int half) {
+  const auto key = std::make_pair(id, half);
+  auto it = relocated_.find(key);
+  if (it == relocated_.end()) {
+    const CompiledCircuit& canon = registry_->circuit(id);
+    if (!canon.relocatable || canon.region.w > halfWidth_) {
+      throw std::invalid_argument(
+          "prefetched circuits must be relocatable and fit half the device: " +
+          canon.name);
+    }
+    it = relocated_
+             .emplace(key, compiler_->relocate(
+                               canon, static_cast<std::uint16_t>(
+                                          half == 0 ? 0 : halfWidth_)))
+             .first;
+  }
+  return it->second;
+}
+
+SimDuration PrefetchLoader::loadInto(ConfigId id, int half) {
+  const CompiledCircuit& c = circuitIn(id, half);
+  // Blank whatever the half held, then write the circuit: one pass — the
+  // circuit's image is blank outside its own cells, and its frames cover
+  // the whole half it was relocated into only if widths match; write the
+  // half's full frame range to be safe.
+  const ConfigMap& map = dev_->configMap();
+  const std::uint16_t c0 = static_cast<std::uint16_t>(half == 0 ? 0 : halfWidth_);
+  const std::uint16_t c1 = static_cast<std::uint16_t>(c0 + halfWidth_ - 1);
+  auto [f0, f1] = map.framesOfColumns(c0, c1);
+  ConfigImage merged = dev_->image();
+  for (std::uint32_t f = f0; f < f1; ++f) {
+    for (std::uint32_t b = f * map.frameBits(); b < (f + 1) * map.frameBits();
+         ++b) {
+      merged.set(b, c.image.get(b));
+    }
+  }
+  const auto dirty = diffFrames(dev_->image(), merged, map.frameBits());
+  SimDuration t = 0;
+  if (!dirty.empty()) {
+    t = port_->download(makePartialBitstream(merged, map.frameBits(), dirty));
+  }
+  if (c.ffCount() > 0) {
+    LoadedCircuit lc(*dev_, c);
+    lc.applyInitialState();
+  }
+  return t;
+}
+
+std::optional<ConfigId> PrefetchLoader::predictAfter(ConfigId id) const {
+  auto it = transitions_.find(id);
+  if (it == transitions_.end() || it->second.empty()) return std::nullopt;
+  ConfigId best = kNoConfig;
+  std::uint64_t bestCount = 0;
+  for (const auto& [next, count] : it->second) {
+    if (count > bestCount) {
+      best = next;
+      bestCount = count;
+    }
+  }
+  return best;
+}
+
+void PrefetchLoader::startPrefetch(SimTime from) {
+  const auto predicted = predictAfter(active_);
+  if (!predicted || *predicted == active_) {
+    shadow_ = kNoConfig;
+    return;
+  }
+  const int shadowHalf = 1 - activeHalf_;
+  const SimDuration cost = loadInto(*predicted, shadowHalf);
+  shadow_ = *predicted;
+  shadowReady_ = from + cost;
+}
+
+PrefetchLoader::SwitchResult PrefetchLoader::activate(ConfigId id,
+                                                      SimTime now) {
+  if (now < lastNow_) throw std::logic_error("time went backwards");
+  lastNow_ = now;
+  SwitchResult r;
+  if (id == active_) return r;
+
+  if (active_ != kNoConfig) ++transitions_[active_][id];
+
+  if (shadow_ == id) {
+    // Prediction hit: wait out whatever remains of the background load.
+    r.predicted = true;
+    ++hits_;
+    r.stall = shadowReady_ > now ? shadowReady_ - now : 0;
+    activeHalf_ = 1 - activeHalf_;
+  } else {
+    // Miss: demand-load into the shadow half, then flip.
+    ++misses_;
+    const int shadowHalf = 1 - activeHalf_;
+    // The port may still be busy with a useless prefetch; its remaining
+    // time serializes in front of the demand load.
+    const SimDuration pending = shadowReady_ > now ? shadowReady_ - now : 0;
+    r.stall = pending + loadInto(id, shadowHalf);
+    activeHalf_ = shadowHalf;
+  }
+  active_ = id;
+  shadow_ = kNoConfig;
+  stallTotal_ += r.stall;
+  startPrefetch(now + r.stall);
+  return r;
+}
+
+LoadedCircuit PrefetchLoader::loaded() {
+  if (active_ == kNoConfig) throw std::logic_error("nothing active");
+  return LoadedCircuit(*dev_, circuitIn(active_, activeHalf_));
+}
+
+}  // namespace vfpga

@@ -1,0 +1,90 @@
+#include "core/segment_manager.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+const char* replacementPolicyName(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kFifo: return "fifo";
+    case ReplacementPolicy::kLru: return "lru";
+  }
+  return "unknown";
+}
+
+SegmentManager::SegmentManager(Device& device, ConfigPort& port,
+                               Compiler& compiler, ReplacementPolicy policy)
+    : dev_(&device), port_(&port), compiler_(&compiler), policy_(policy),
+      alloc_(device.geometry().cols) {}
+
+SegmentId SegmentManager::addSegment(const CompiledCircuit& circuit) {
+  if (!circuit.relocatable) {
+    throw std::invalid_argument("segments must be relocatable");
+  }
+  if (circuit.region.w > dev_->geometry().cols) {
+    throw std::invalid_argument("segment wider than device");
+  }
+  segments_.push_back(circuit);
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+std::optional<SegmentId> SegmentManager::evictionVictim() const {
+  std::optional<SegmentId> victim;
+  std::uint64_t best = UINT64_MAX;
+  for (const auto& [seg, res] : residency_) {
+    const std::uint64_t key =
+        policy_ == ReplacementPolicy::kFifo ? res.loadedAt : res.lastUse;
+    if (key < best || (key == best && (!victim || seg < *victim))) {
+      best = key;
+      victim = seg;
+    }
+  }
+  return victim;
+}
+
+SegmentManager::AccessResult SegmentManager::access(SegmentId id) {
+  if (id >= segments_.size()) throw std::out_of_range("unknown segment");
+  ++accesses_;
+  ++clock_;
+  AccessResult r;
+  if (auto it = residency_.find(id); it != residency_.end()) {
+    it->second.lastUse = clock_;
+    return r;  // hit
+  }
+  r.fault = true;
+  ++faults_;
+
+  const std::uint16_t width = segments_[id].region.w;
+  auto grant = alloc_.allocate(width);
+  while (!grant) {
+    // Evict until the segment fits; compaction merges the holes.
+    auto victim = evictionVictim();
+    if (!victim) {
+      throw std::logic_error("segment cannot fit even on an empty device");
+    }
+    alloc_.release(residency_[*victim].strip);
+    residency_.erase(*victim);
+    ++evictions_;
+    ++r.evicted;
+    if (alloc_.largestFree() < width && alloc_.totalFree() >= width) {
+      // Holes fragmented: compact (the moved segments' download cost is
+      // charged like any relocation).
+      for (const auto& move : alloc_.compact()) {
+        for (auto& [seg, res] : residency_) {
+          if (res.strip != move.id) continue;
+          CompiledCircuit moved =
+              compiler_->relocate(segments_[seg], move.toX0);
+          r.cost += port_->download(moved.partialBitstream());
+        }
+      }
+    }
+    grant = alloc_.allocate(width);
+  }
+  const Strip& strip = alloc_.strip(*grant);
+  CompiledCircuit placed = compiler_->relocate(segments_[id], strip.x0);
+  r.cost += port_->download(placed.partialBitstream());
+  residency_[id] = Residency{*grant, clock_, clock_};
+  return r;
+}
+
+}  // namespace vfpga

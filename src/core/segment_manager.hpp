@@ -1,0 +1,77 @@
+// Segmentation (§2): "decomposes the function to be downloaded in the FPGA
+// into smaller parts computing a self-contained sub-function and, as a
+// consequence, having variable size."
+//
+// Segments are relocatable compiled circuits of varying widths. Accessing
+// a segment that is not resident triggers a segment fault: space is carved
+// from the column allocator (evicting the least-recently / first-loaded
+// resident segments until the new one fits) and the segment is downloaded.
+// Several segments are resident at once — the working set of the large
+// virtual circuit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "core/strip_allocator.hpp"
+#include "fabric/config_port.hpp"
+
+namespace vfpga {
+
+using SegmentId = std::uint32_t;
+
+enum class ReplacementPolicy : std::uint8_t { kFifo, kLru };
+
+const char* replacementPolicyName(ReplacementPolicy p);
+
+class SegmentManager {
+ public:
+  SegmentManager(Device& device, ConfigPort& port, Compiler& compiler,
+                 ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  /// Declares a segment (relocatable circuit).
+  SegmentId addSegment(const CompiledCircuit& circuit);
+
+  struct AccessResult {
+    bool fault = false;
+    std::size_t evicted = 0;
+    SimDuration cost = 0;
+  };
+  /// Touches a segment, loading it on a fault.
+  AccessResult access(SegmentId id);
+
+  bool resident(SegmentId id) const { return residency_.count(id) != 0; }
+  std::size_t residentCount() const { return residency_.size(); }
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t faults() const { return faults_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double faultRate() const {
+    return accesses_ ? static_cast<double>(faults_) / accesses_ : 0.0;
+  }
+
+ private:
+  Device* dev_;
+  ConfigPort* port_;
+  Compiler* compiler_;
+  ReplacementPolicy policy_;
+  StripAllocator alloc_;
+  std::vector<CompiledCircuit> segments_;  ///< canonical (compile-time strip)
+  struct Residency {
+    PartitionId strip;
+    std::uint64_t loadedAt;
+    std::uint64_t lastUse;
+  };
+  std::unordered_map<SegmentId, Residency> residency_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t evictions_ = 0;
+
+  std::optional<SegmentId> evictionVictim() const;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,145 @@
+#include "core/strip_allocator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vfpga {
+
+StripAllocator::StripAllocator(std::uint16_t columns)
+    : columns_(columns), fixed_(false) {
+  if (columns == 0) throw std::invalid_argument("zero-column allocator");
+  strips_.push_back(Strip{next_++, 0, columns, false});
+}
+
+StripAllocator::StripAllocator(std::uint16_t columns,
+                               const std::vector<std::uint16_t>& fixedWidths)
+    : columns_(columns), fixed_(true) {
+  if (columns == 0) throw std::invalid_argument("zero-column allocator");
+  std::uint16_t x = 0;
+  for (std::uint16_t w : fixedWidths) {
+    if (w == 0) throw std::invalid_argument("zero-width fixed partition");
+    if (x + w > columns) {
+      throw std::invalid_argument("fixed partitions exceed device columns");
+    }
+    strips_.push_back(Strip{next_++, x, w, false});
+    x = static_cast<std::uint16_t>(x + w);
+  }
+  if (x < columns) {
+    strips_.push_back(
+        Strip{next_++, x, static_cast<std::uint16_t>(columns - x), false});
+  }
+}
+
+std::size_t StripAllocator::indexOf(PartitionId id) const {
+  for (std::size_t i = 0; i < strips_.size(); ++i) {
+    if (strips_[i].id == id) return i;
+  }
+  throw std::out_of_range("unknown partition id");
+}
+
+std::optional<PartitionId> StripAllocator::allocate(std::uint16_t width,
+                                                    FitPolicy fit) {
+  if (width == 0) throw std::invalid_argument("zero-width allocation");
+  std::size_t best = strips_.size();
+  for (std::size_t i = 0; i < strips_.size(); ++i) {
+    const Strip& s = strips_[i];
+    if (s.busy || s.width < width) continue;
+    if (fit == FitPolicy::kFirstFit) {
+      best = i;
+      break;
+    }
+    if (best == strips_.size() || s.width < strips_[best].width) best = i;
+  }
+  if (best == strips_.size()) return std::nullopt;
+
+  if (fixed_) {
+    strips_[best].busy = true;
+    return strips_[best].id;
+  }
+  // Variable mode: split off exactly `width` columns from the left edge.
+  Strip& s = strips_[best];
+  if (s.width == width) {
+    s.busy = true;
+    return s.id;
+  }
+  Strip allocated{next_++, s.x0, width, true};
+  s.x0 = static_cast<std::uint16_t>(s.x0 + width);
+  s.width = static_cast<std::uint16_t>(s.width - width);
+  strips_.insert(strips_.begin() + static_cast<std::ptrdiff_t>(best),
+                 allocated);
+  return allocated.id;
+}
+
+void StripAllocator::release(PartitionId id) {
+  const std::size_t idx = indexOf(id);
+  if (!strips_[idx].busy) throw std::logic_error("releasing an idle strip");
+  strips_[idx].busy = false;
+  if (!fixed_) mergeIdleAround(idx);
+}
+
+void StripAllocator::mergeIdleAround(std::size_t idx) {
+  // Merge with right neighbour first (index stays valid), then left.
+  if (idx + 1 < strips_.size() && !strips_[idx + 1].busy) {
+    strips_[idx].width =
+        static_cast<std::uint16_t>(strips_[idx].width + strips_[idx + 1].width);
+    strips_.erase(strips_.begin() + static_cast<std::ptrdiff_t>(idx) + 1);
+  }
+  if (idx > 0 && !strips_[idx - 1].busy) {
+    strips_[idx - 1].width =
+        static_cast<std::uint16_t>(strips_[idx - 1].width + strips_[idx].width);
+    strips_.erase(strips_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+const Strip& StripAllocator::strip(PartitionId id) const {
+  return strips_[indexOf(id)];
+}
+
+std::vector<Strip> StripAllocator::strips() const { return strips_; }
+
+std::uint16_t StripAllocator::totalFree() const {
+  std::uint16_t n = 0;
+  for (const Strip& s : strips_) {
+    if (!s.busy) n = static_cast<std::uint16_t>(n + s.width);
+  }
+  return n;
+}
+
+std::uint16_t StripAllocator::largestFree() const {
+  std::uint16_t n = 0;
+  for (const Strip& s : strips_) {
+    if (!s.busy) n = std::max(n, s.width);
+  }
+  return n;
+}
+
+bool StripAllocator::wouldFitAfterCompaction(std::uint16_t width) const {
+  return largestFree() < width && totalFree() >= width;
+}
+
+double StripAllocator::externalFragmentation() const {
+  const std::uint16_t total = totalFree();
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(largestFree()) / total;
+}
+
+std::vector<StripAllocator::Move> StripAllocator::compact() {
+  if (fixed_) throw std::logic_error("compact() on fixed partitions");
+  std::vector<Move> moves;
+  std::vector<Strip> packed;
+  std::uint16_t x = 0;
+  for (const Strip& s : strips_) {
+    if (!s.busy) continue;
+    if (s.x0 != x) moves.push_back(Move{s.id, s.x0, x});
+    packed.push_back(Strip{s.id, x, s.width, true});
+    x = static_cast<std::uint16_t>(x + s.width);
+  }
+  if (x < columns_) {
+    packed.push_back(
+        Strip{next_++, x, static_cast<std::uint16_t>(columns_ - x), false});
+  }
+  strips_ = std::move(packed);
+  return moves;
+}
+
+}  // namespace vfpga

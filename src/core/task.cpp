@@ -1,0 +1,33 @@
+#include "core/task.hpp"
+
+namespace vfpga {
+
+const char* taskStateName(TaskState s) {
+  switch (s) {
+    case TaskState::kNew: return "new";
+    case TaskState::kReady: return "ready";
+    case TaskState::kRunningCpu: return "running_cpu";
+    case TaskState::kWaitingFpga: return "waiting_fpga";
+    case TaskState::kRunningFpga: return "running_fpga";
+    case TaskState::kDone: return "done";
+  }
+  return "unknown";
+}
+
+std::uint64_t totalFpgaCycles(const TaskSpec& spec) {
+  std::uint64_t n = 0;
+  for (const TaskOp& op : spec.ops) {
+    if (const auto* fx = std::get_if<FpgaExec>(&op)) n += fx->cycles;
+  }
+  return n;
+}
+
+SimDuration totalCpuTime(const TaskSpec& spec) {
+  SimDuration t = 0;
+  for (const TaskOp& op : spec.ops) {
+    if (const auto* cb = std::get_if<CpuBurst>(&op)) t += cb->duration;
+  }
+  return t;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,87 @@
+// Task model for the multitasking OS simulation.
+//
+// A task is a program of operations: CPU bursts and FPGA executions
+// ("concurrent tasks may need to use the FPGA to perform specific ...
+// algorithms in hardware", §3). FPGA executions name a registered
+// configuration and a cycle count; the kernel translates cycles into
+// simulated time using the configuration's clock period on the target
+// device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/config_registry.hpp"
+#include "core/strip_allocator.hpp"
+#include "sim/types.hpp"
+
+namespace vfpga {
+
+struct CpuBurst {
+  SimDuration duration = 0;
+};
+
+struct FpgaExec {
+  ConfigId config = kNoConfig;
+  std::uint64_t cycles = 0;
+};
+
+using TaskOp = std::variant<CpuBurst, FpgaExec>;
+
+struct TaskSpec {
+  std::string name;
+  SimTime arrival = 0;
+  /// Scheduling priority (higher = more urgent); only consulted when the
+  /// kernel runs with OsOptions::priorityScheduling.
+  int priority = 0;
+  std::vector<TaskOp> ops;
+};
+
+enum class TaskState : std::uint8_t {
+  kNew,
+  kReady,        ///< waiting for the CPU
+  kRunningCpu,
+  kWaitingFpga,  ///< blocked on an FPGA grant
+  kRunningFpga,  ///< circuit computing in the fabric
+  kDone,
+};
+
+const char* taskStateName(TaskState s);
+
+/// Kernel-side task control block.
+struct TaskRuntime {
+  TaskSpec spec;
+  TaskState state = TaskState::kNew;
+  std::size_t opIndex = 0;
+
+  // Progress of the current op.
+  SimDuration cpuRemaining = 0;
+  std::uint64_t cyclesRemaining = 0;
+
+  // FPGA bookkeeping.
+  SimTime fpgaWaitStart = 0;
+  PartitionId partition = kNoPartition;
+  /// Aging rule for the roll-back regime: a task whose execution was
+  /// discarded once runs to completion at its next grant, guaranteeing
+  /// progress (otherwise two sliced tasks can roll each other back
+  /// forever).
+  bool runToCompletionNext = false;
+
+  // Outcome statistics.
+  SimTime finish = 0;
+  SimDuration fpgaWaitTotal = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t rollbacks = 0;
+
+  bool done() const { return state == TaskState::kDone; }
+};
+
+/// Total FPGA cycles a spec requests across all its ops.
+std::uint64_t totalFpgaCycles(const TaskSpec& spec);
+/// Total declared CPU time across all its ops.
+SimDuration totalCpuTime(const TaskSpec& spec);
+
+}  // namespace vfpga

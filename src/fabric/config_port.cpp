@@ -1,0 +1,92 @@
+#include "fabric/config_port.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+SimDuration ConfigPort::downloadCost(const Bitstream& bs) const {
+  if (bs.full) {
+    return spec_.fullOverhead + bs.bitCount() * spec_.bitPeriod;
+  }
+  return bs.frameCount() *
+         (spec_.frameOverhead + bs.frameBits * spec_.bitPeriod);
+}
+
+SimDuration ConfigPort::fullDownloadCost() const {
+  return spec_.fullOverhead +
+         static_cast<SimDuration>(device_->configMap().totalBits()) *
+             spec_.bitPeriod;
+}
+
+SimDuration ConfigPort::stateReadCost(std::size_t ffBits) const {
+  return spec_.stateOverhead + ffBits * spec_.stateBitPeriod;
+}
+
+SimDuration ConfigPort::stateWriteCost(std::size_t ffBits) const {
+  return spec_.stateOverhead + ffBits * spec_.stateBitPeriod;
+}
+
+SimDuration ConfigPort::download(const Bitstream& bs) {
+  if (!bs.full && !spec_.partialReconfig) {
+    throw std::logic_error(
+        "partial bitstream on a serial-full-only configuration port");
+  }
+  device_->applyBitstream(bs);
+  const SimDuration t = downloadCost(bs);
+  if (bs.full) {
+    ++stats_.fullDownloads;
+  } else {
+    ++stats_.partialDownloads;
+  }
+  stats_.bitsWritten += bs.bitCount();
+  stats_.busyTime += t;
+  return t;
+}
+
+SimDuration ConfigPort::readState(std::vector<bool>& out) {
+  if (!spec_.stateAccess) {
+    throw std::logic_error("state readback not supported by this port");
+  }
+  out = device_->ffState();
+  const SimDuration t = stateReadCost(out.size());
+  ++stats_.stateReads;
+  stats_.stateBitsMoved += out.size();
+  stats_.busyTime += t;
+  return t;
+}
+
+SimDuration ConfigPort::chargeStateRead(std::size_t ffBits) {
+  if (!spec_.stateAccess) {
+    throw std::logic_error("state readback not supported by this port");
+  }
+  const SimDuration t = stateReadCost(ffBits);
+  ++stats_.stateReads;
+  stats_.stateBitsMoved += ffBits;
+  stats_.busyTime += t;
+  return t;
+}
+
+SimDuration ConfigPort::chargeStateWrite(std::size_t ffBits) {
+  if (!spec_.stateAccess) {
+    throw std::logic_error("state writeback not supported by this port");
+  }
+  const SimDuration t = stateWriteCost(ffBits);
+  ++stats_.stateWrites;
+  stats_.stateBitsMoved += ffBits;
+  stats_.busyTime += t;
+  return t;
+}
+
+SimDuration ConfigPort::writeState(const std::vector<bool>& state) {
+  if (!spec_.stateAccess) {
+    throw std::logic_error("state writeback not supported by this port");
+  }
+  device_->setFfState(state);
+  const SimDuration t = stateWriteCost(state.size());
+  ++stats_.stateWrites;
+  stats_.stateBitsMoved += state.size();
+  stats_.busyTime += t;
+  return t;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,79 @@
+// Configuration port: the only way configuration data and FF state move
+// between the host and the device, with an explicit time model.
+//
+// Two port generations are modelled, matching §2 of the paper:
+//  * serial-full only (e.g. Xilinx XC4000: "downloaded only serially and
+//    completely in no more than 200 ms") — partialReconfig = false;
+//  * frame-addressable partial reconfiguration ("in some Xilinx FPGA
+//    families the connectivity is partially reconfigurable") —
+//    partialReconfig = true.
+// State readback/writeback (for preemption save/restore) is a separate
+// capability flag with its own per-bit cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/device.hpp"
+#include "sim/types.hpp"
+
+namespace vfpga {
+
+struct ConfigPortSpec {
+  bool partialReconfig = true;
+  bool stateAccess = true;
+  SimDuration bitPeriod = nanos(500);       ///< per config bit written
+  SimDuration frameOverhead = micros(2);    ///< address setup per frame (partial)
+  SimDuration fullOverhead = micros(100);   ///< startup sequence (full config)
+  SimDuration stateBitPeriod = nanos(500);  ///< per FF bit read/written
+  SimDuration stateOverhead = micros(5);    ///< per readback/writeback op
+};
+
+/// Cumulative traffic counters (consumed by the OS metrics layer).
+struct ConfigPortStats {
+  std::uint64_t fullDownloads = 0;
+  std::uint64_t partialDownloads = 0;
+  std::uint64_t bitsWritten = 0;
+  std::uint64_t stateReads = 0;
+  std::uint64_t stateWrites = 0;
+  std::uint64_t stateBitsMoved = 0;
+  SimDuration busyTime = 0;
+};
+
+class ConfigPort {
+ public:
+  ConfigPort(Device& device, ConfigPortSpec spec)
+      : device_(&device), spec_(spec) {}
+
+  const ConfigPortSpec& spec() const { return spec_; }
+  const ConfigPortStats& stats() const { return stats_; }
+
+  /// Pure cost queries (no device mutation).
+  SimDuration downloadCost(const Bitstream& bs) const;
+  SimDuration fullDownloadCost() const;  ///< cost of any full bitstream
+  SimDuration stateReadCost(std::size_t ffBits) const;
+  SimDuration stateWriteCost(std::size_t ffBits) const;
+
+  /// Writes a bitstream into the device and returns the time it took.
+  /// A partial bitstream on a port without partial support throws.
+  SimDuration download(const Bitstream& bs);
+
+  /// Reads all FF state out of the device (readback). Requires stateAccess.
+  SimDuration readState(std::vector<bool>& out);
+  /// Writes FF state into the device. Requires stateAccess.
+  SimDuration writeState(const std::vector<bool>& state);
+
+  /// Accounting-only variants: callers that move state per-circuit through
+  /// Device::ffStateAt (e.g. the partition manager saving one strip's
+  /// registers) charge the port for the readback traffic here. Requires
+  /// stateAccess.
+  SimDuration chargeStateRead(std::size_t ffBits);
+  SimDuration chargeStateWrite(std::size_t ffBits);
+
+ private:
+  Device* device_;
+  ConfigPortSpec spec_;
+  ConfigPortStats stats_;
+};
+
+}  // namespace vfpga

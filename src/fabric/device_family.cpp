@@ -1,0 +1,67 @@
+#include "fabric/device_family.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+DeviceProfile tinyProfile() {
+  DeviceProfile p;
+  p.name = "tiny";
+  p.geometry = FabricGeometry{6, 6, 4, 6, 4};
+  p.port.partialReconfig = true;
+  p.port.bitPeriod = nanos(200);
+  p.frameBits = 64;
+  return p;
+}
+
+DeviceProfile mediumPartialProfile() {
+  DeviceProfile p;
+  p.name = "medium_partial";
+  p.geometry = FabricGeometry{12, 12, 4, 8, 4};
+  p.port.partialReconfig = true;
+  p.port.bitPeriod = nanos(400);
+  p.frameBits = 128;
+  return p;
+}
+
+DeviceProfile mediumSerialProfile() {
+  DeviceProfile p = mediumPartialProfile();
+  p.name = "medium_serial";
+  p.port.partialReconfig = false;
+  return p;
+}
+
+DeviceProfile xc4000SerialProfile() {
+  DeviceProfile p;
+  p.name = "xc4000_serial";
+  p.geometry = FabricGeometry{24, 24, 4, 10, 4};
+  // Serial-full-only, no readback of FF state on the base part; the bit
+  // period is calibrated so a full configuration costs on the order of the
+  // 200 ms the paper quotes for the XC4000 (checked by experiment E1).
+  p.port.partialReconfig = false;
+  p.port.stateAccess = true;  // XC4000 readback mode
+  p.port.bitPeriod = nanos(1400);
+  p.frameBits = 128;
+  return p;
+}
+
+DeviceProfile xc4000PartialProfile() {
+  DeviceProfile p = xc4000SerialProfile();
+  p.name = "xc4000_partial";
+  p.port.partialReconfig = true;
+  return p;
+}
+
+std::vector<DeviceProfile> allProfiles() {
+  return {tinyProfile(), mediumPartialProfile(), mediumSerialProfile(),
+          xc4000SerialProfile(), xc4000PartialProfile()};
+}
+
+DeviceProfile profileByName(const std::string& name) {
+  for (DeviceProfile& p : allProfiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown device profile: " + name);
+}
+
+}  // namespace vfpga

@@ -1,0 +1,50 @@
+// Device family presets: named (geometry, timing, config-port) profiles the
+// experiments sweep over. The constants are calibrated so that the
+// "xc4000_serial" profile reproduces the paper's headline number — a full
+// serial configuration in the neighbourhood of 200 ms (§2) — while the
+// partial-reconfiguration profiles model the frame-addressable families the
+// paper says make frequent reprogramming feasible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/config_port.hpp"
+#include "fabric/device.hpp"
+#include "fabric/geometry.hpp"
+
+namespace vfpga {
+
+struct DeviceProfile {
+  std::string name;
+  FabricGeometry geometry;
+  DeviceTiming timing;
+  ConfigPortSpec port;
+  std::uint32_t frameBits = 128;
+
+  Device makeDevice() const { return Device(geometry, timing, frameBits); }
+};
+
+/// Small research device: fast to place & route in unit tests.
+DeviceProfile tinyProfile();
+
+/// Mid-size device with partial reconfiguration (default for experiments).
+DeviceProfile mediumPartialProfile();
+
+/// Same fabric as mediumPartialProfile but serial-full-only port
+/// (the XC4000-style baseline).
+DeviceProfile mediumSerialProfile();
+
+/// Large device whose full serial configuration lands near 200 ms.
+DeviceProfile xc4000SerialProfile();
+
+/// Same large fabric with a partial-reconfiguration port.
+DeviceProfile xc4000PartialProfile();
+
+/// All presets, for sweep-style benchmarks.
+std::vector<DeviceProfile> allProfiles();
+
+/// Looks a profile up by name (throws std::out_of_range when unknown).
+DeviceProfile profileByName(const std::string& name);
+
+}  // namespace vfpga

@@ -1,0 +1,84 @@
+// Symmetrical-array FPGA geometry (island-style, like the Xilinx XC4000
+// family the paper analyses).
+//
+// Layout convention:
+//  * CLBs form a rows x cols grid; CLB (x, y) with x in [0, cols), y in
+//    [0, rows).
+//  * Horizontal routing channels run along row boundaries: H(x, y, w) spans
+//    CLB column x at boundary y in [0, rows]; w in [0, wiresPerChannel).
+//  * Vertical channels run along column boundaries: V(x, y, w) spans CLB row
+//    y at boundary x in [0, cols].
+//  * Switchboxes live at channel junctions (jx, jy), jx in [0, cols],
+//    jy in [0, rows], and connect same-index wires of the incident channel
+//    segments (disjoint switch pattern).
+//  * I/O pads sit on all four sides: north/south pads per CLB column, east/
+//    west pads per CLB row. Each pad exposes `slotsPerPad` pad slots —
+//    modelling external latch/mux banks (the paper's I/O multiplexing, and
+//    the bus interface of FPGA boards such as the SIGLA): each slot can
+//    carry one logical signal; slots of one pad share the pad's channel
+//    wiring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vfpga {
+
+struct FabricGeometry {
+  std::uint16_t rows = 8;
+  std::uint16_t cols = 8;
+  std::uint8_t lutInputs = 4;         ///< K
+  std::uint16_t wiresPerChannel = 8;  ///< W
+  std::uint8_t slotsPerPad = 4;       ///< external mux depth per pad
+
+  std::size_t clbCount() const {
+    return std::size_t{rows} * cols;
+  }
+  std::size_t lutBits() const { return std::size_t{1} << lutInputs; }
+
+  /// Pads: north + south (one per column) and east + west (one per row).
+  std::size_t padCount() const { return 2u * (std::size_t{rows} + cols); }
+  std::size_t padSlotCount() const { return padCount() * slotsPerPad; }
+
+  bool validClb(int x, int y) const {
+    return x >= 0 && x < cols && y >= 0 && y < rows;
+  }
+};
+
+/// Which side of the die a pad sits on.
+enum class PadSide : std::uint8_t { kNorth, kSouth, kWest, kEast };
+
+/// Dense pad numbering: north pads [0, cols), south [cols, 2cols),
+/// west [2cols, 2cols+rows), east [2cols+rows, 2cols+2rows).
+struct PadLocation {
+  PadSide side;
+  std::uint16_t offset;  ///< column (N/S) or row (W/E)
+};
+
+inline PadLocation padLocation(const FabricGeometry& g, std::size_t pad) {
+  if (pad < g.cols) return {PadSide::kNorth, static_cast<std::uint16_t>(pad)};
+  pad -= g.cols;
+  if (pad < g.cols) return {PadSide::kSouth, static_cast<std::uint16_t>(pad)};
+  pad -= g.cols;
+  if (pad < g.rows) return {PadSide::kWest, static_cast<std::uint16_t>(pad)};
+  pad -= g.rows;
+  return {PadSide::kEast, static_cast<std::uint16_t>(pad)};
+}
+
+/// The CLB column a pad is associated with (for partition ownership:
+/// west pads belong to column 0, east pads to the last column).
+inline std::uint16_t padColumn(const FabricGeometry& g, std::size_t pad) {
+  const PadLocation loc = padLocation(g, pad);
+  switch (loc.side) {
+    case PadSide::kNorth:
+    case PadSide::kSouth:
+      return loc.offset;
+    case PadSide::kWest:
+      return 0;
+    case PadSide::kEast:
+      return static_cast<std::uint16_t>(g.cols - 1);
+  }
+  return 0;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,99 @@
+// Routing resource graph (RRG) of the symmetrical-array fabric.
+//
+// Nodes are routing resources (CLB pins, channel wire segments, pad slots);
+// directed edges are programmable switches, each owning one configuration
+// bit. The router (src/route) searches this graph; the device simulator
+// (src/fabric/device) decodes enabled switches back into signal paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabric/geometry.hpp"
+
+namespace vfpga {
+
+enum class RRKind : std::uint8_t {
+  kClbOut,   ///< CLB output pin; index unused
+  kClbIn,    ///< CLB input pin; index = pin number in [0, K)
+  kWireH,    ///< horizontal wire segment; index = wire number
+  kWireV,    ///< vertical wire segment; index = wire number
+  kPadSlot,  ///< bidirectional pad slot; index = slot number within the pad
+};
+
+const char* rrKindName(RRKind k);
+
+using RRNodeId = std::uint32_t;
+using RREdgeId = std::uint32_t;
+constexpr RRNodeId kNoRRNode = 0xffffffffu;
+
+struct RRNode {
+  RRKind kind;
+  std::int16_t x;        ///< CLB column / channel boundary / pad column
+  std::int16_t y;        ///< CLB row / channel boundary / pad row
+  std::uint16_t index;   ///< pin / wire / slot number
+  std::uint16_t pad;     ///< pad number (kPadSlot only)
+};
+
+struct RREdge {
+  RRNodeId from;
+  RRNodeId to;
+};
+
+class RoutingGraph {
+ public:
+  explicit RoutingGraph(const FabricGeometry& g);
+
+  const FabricGeometry& geometry() const { return geom_; }
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t edgeCount() const { return edges_.size(); }
+  const RRNode& node(RRNodeId id) const { return nodes_[id]; }
+  const RREdge& edge(RREdgeId id) const { return edges_[id]; }
+
+  /// Outgoing switch edges of a node.
+  std::span<const RREdgeId> edgesFrom(RRNodeId id) const;
+  /// Incoming switch edges of a node.
+  std::span<const RREdgeId> edgesInto(RRNodeId id) const;
+
+  // ---- node lookups --------------------------------------------------------
+  RRNodeId clbOut(int x, int y) const;
+  RRNodeId clbIn(int x, int y, int pin) const;
+  RRNodeId wireH(int x, int y, int w) const;  ///< x in [0,cols), y in [0,rows]
+  RRNodeId wireV(int x, int y, int w) const;  ///< x in [0,cols], y in [0,rows)
+  RRNodeId padSlot(std::size_t pad, int slot) const;
+
+  /// The CLB column that "owns" a node for partitioning purposes. Column
+  /// strips own their CLBs, the horizontal wires above/below them, the
+  /// vertical channel on their left boundary (the device's rightmost
+  /// channel belongs to the last column), and their N/S pads.
+  std::uint16_t ownerColumn(RRNodeId id) const;
+
+  /// Human-readable node description for diagnostics.
+  std::string describe(RRNodeId id) const;
+
+ private:
+  FabricGeometry geom_;
+  std::vector<RRNode> nodes_;
+  std::vector<RREdge> edges_;
+  // CSR adjacency, both directions.
+  std::vector<std::uint32_t> outStart_;
+  std::vector<RREdgeId> outEdges_;
+  std::vector<std::uint32_t> inStart_;
+  std::vector<RREdgeId> inEdges_;
+  // Node id bases for O(1) lookup.
+  RRNodeId clbOutBase_;
+  RRNodeId clbInBase_;
+  RRNodeId wireHBase_;
+  RRNodeId wireVBase_;
+  RRNodeId padBase_;
+
+  void addEdge(RRNodeId from, RRNodeId to);
+  void buildNodes();
+  void buildEdges();
+  void buildCsr();
+};
+
+}  // namespace vfpga

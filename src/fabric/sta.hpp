@@ -1,0 +1,28 @@
+// Static timing analysis over a configured device: per-endpoint arrival
+// times and traced critical paths (cell coordinates from source register /
+// input pad to destination register / output pad).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/device.hpp"
+
+namespace vfpga {
+
+struct TimingPath {
+  SimDuration arrival = 0;        ///< data arrival at the endpoint
+  std::string endpoint;           ///< "ff(x,y)" or "pad_slot N"
+  std::string startpoint;         ///< "ff(x,y)" or "pad_slot N"
+  std::vector<std::string> cells; ///< LUTs traversed, source to sink
+};
+
+/// The `topN` slowest register-to-register / pad-to-pad paths of the
+/// currently configured design, slowest first. Empty when the
+/// configuration has faults or contains no logic.
+std::vector<TimingPath> criticalPaths(Device& device, std::size_t topN);
+
+/// Renders a classic timing report.
+std::string renderTimingReport(Device& device, std::size_t topN);
+
+}  // namespace vfpga

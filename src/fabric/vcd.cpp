@@ -1,0 +1,61 @@
+#include "fabric/vcd.hpp"
+
+#include <stdexcept>
+
+namespace vfpga {
+
+VcdWriter::VcdWriter(std::ostream& os, std::string timescale)
+    : os_(&os), timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::idFor(std::size_t index) {
+  // Printable identifier characters per the VCD spec: '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void VcdWriter::addSignal(std::string name, std::function<bool()> probe) {
+  if (headerWritten_) {
+    throw std::logic_error("add signals before the first sample()");
+  }
+  Signal s;
+  s.name = std::move(name);
+  s.id = idFor(signals_.size());
+  s.probe = std::move(probe);
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::writeHeader() {
+  *os_ << "$timescale " << timescale_ << " $end\n";
+  *os_ << "$scope module vfpga $end\n";
+  for (const Signal& s : signals_) {
+    *os_ << "$var wire 1 " << s.id << " " << s.name << " $end\n";
+  }
+  *os_ << "$upscope $end\n$enddefinitions $end\n";
+  headerWritten_ = true;
+}
+
+void VcdWriter::sample(std::uint64_t time) {
+  if (!headerWritten_) writeHeader();
+  if (sampledOnce_ && time < lastTime_) {
+    throw std::logic_error("VCD timestamps must be non-decreasing");
+  }
+  bool stamped = false;
+  for (Signal& s : signals_) {
+    const bool v = s.probe();
+    if (sampledOnce_ && v == s.last) continue;
+    if (!stamped) {
+      *os_ << "#" << time << "\n";
+      stamped = true;
+    }
+    *os_ << (v ? '1' : '0') << s.id << "\n";
+    s.last = v;
+  }
+  lastTime_ = time;
+  sampledOnce_ = true;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,52 @@
+// Minimal VCD (Value Change Dump) waveform writer.
+//
+// Generic over probes: register named boolean signals (e.g. device pad
+// slots, FF states) and call sample(t) after each evaluation; only changed
+// values are emitted, per the VCD format. Output is viewable in GTKWave
+// and friends.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vfpga {
+
+class VcdWriter {
+ public:
+  /// `timescale` is a VCD timescale string; simulated time passed to
+  /// sample() is in those units.
+  explicit VcdWriter(std::ostream& os, std::string timescale = "1ns");
+
+  /// Registers a 1-bit signal. All signals must be added before the first
+  /// sample() call. Dots in names create scopes ("top.alu.carry").
+  void addSignal(std::string name, std::function<bool()> probe);
+
+  /// Emits value changes since the previous sample (the first call dumps
+  /// every signal). Timestamps must be non-decreasing.
+  void sample(std::uint64_t time);
+
+  std::size_t signalCount() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;  // VCD short identifier
+    std::function<bool()> probe;
+    bool last = false;
+  };
+
+  std::ostream* os_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  bool headerWritten_ = false;
+  std::uint64_t lastTime_ = 0;
+  bool sampledOnce_ = false;
+
+  void writeHeader();
+  static std::string idFor(std::size_t index);
+};
+
+}  // namespace vfpga

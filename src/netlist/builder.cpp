@@ -1,0 +1,237 @@
+#include "netlist/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vfpga {
+
+std::string busBitName(const std::string& base, std::size_t i,
+                       std::size_t width) {
+  return width == 1 ? base : base + std::to_string(i);
+}
+
+Bus Builder::inputBus(const std::string& name, std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(nl_->addInput(busBitName(name, i, width)));
+  }
+  return bus;
+}
+
+void Builder::outputBus(const std::string& name,
+                        std::span<const GateId> drivers) {
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    nl_->addOutput(busBitName(name, i, drivers.size()), drivers[i]);
+  }
+}
+
+GateId Builder::tree(GateKind kind, std::span<const GateId> xs) {
+  if (xs.empty()) throw std::invalid_argument("empty reduction tree");
+  std::vector<GateId> level(xs.begin(), xs.end());
+  while (level.size() > 1) {
+    std::vector<GateId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(nl_->addGate(kind, {level[i], level[i + 1]}));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+GateId Builder::andTree(std::span<const GateId> xs) {
+  return tree(GateKind::kAnd, xs);
+}
+GateId Builder::orTree(std::span<const GateId> xs) {
+  return tree(GateKind::kOr, xs);
+}
+GateId Builder::xorTree(std::span<const GateId> xs) {
+  return tree(GateKind::kXor, xs);
+}
+
+Bus Builder::notBus(std::span<const GateId> a) {
+  Bus out;
+  out.reserve(a.size());
+  for (GateId g : a) out.push_back(not_(g));
+  return out;
+}
+
+static void checkSameWidth(std::span<const GateId> a,
+                           std::span<const GateId> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("bus width mismatch");
+}
+
+Bus Builder::andBus(std::span<const GateId> a, std::span<const GateId> b) {
+  checkSameWidth(a, b);
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(and_(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::orBus(std::span<const GateId> a, std::span<const GateId> b) {
+  checkSameWidth(a, b);
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(or_(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::xorBus(std::span<const GateId> a, std::span<const GateId> b) {
+  checkSameWidth(a, b);
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor_(a[i], b[i]));
+  return out;
+}
+
+Bus Builder::muxBus(GateId sel, std::span<const GateId> a,
+                    std::span<const GateId> b) {
+  checkSameWidth(a, b);
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(mux(sel, a[i], b[i]));
+  return out;
+}
+
+Bus Builder::constBus(std::uint64_t value, std::size_t width) {
+  assert(width <= 64);
+  Bus out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(nl_->constant(((value >> i) & 1) != 0));
+  }
+  return out;
+}
+
+Bus Builder::registerBus(std::span<const GateId> d, std::uint64_t init) {
+  Bus out;
+  out.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    out.push_back(dff(d[i], ((init >> i) & 1) != 0));
+  }
+  return out;
+}
+
+Bus Builder::stateBus(std::size_t width, std::uint64_t init) {
+  Bus out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(dff(zero(), ((init >> i) & 1) != 0));
+  }
+  return out;
+}
+
+void Builder::bindState(std::span<const GateId> state,
+                        std::span<const GateId> next) {
+  checkSameWidth(state, next);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    nl_->rebindDff(state[i], next[i]);
+  }
+}
+
+Builder::AddResult Builder::rippleAdd(std::span<const GateId> a,
+                                      std::span<const GateId> b,
+                                      GateId carryIn) {
+  checkSameWidth(a, b);
+  GateId carry = (carryIn == kNoGate) ? zero() : carryIn;
+  Bus sum;
+  sum.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const GateId axb = xor_(a[i], b[i]);
+    sum.push_back(xor_(axb, carry));
+    // carry-out = (a & b) | (carry & (a ^ b))
+    carry = or_(and_(a[i], b[i]), and_(carry, axb));
+  }
+  return {std::move(sum), carry};
+}
+
+Builder::SubResult Builder::rippleSub(std::span<const GateId> a,
+                                      std::span<const GateId> b) {
+  // a - b = a + ~b + 1; borrow = !carryOut.
+  const Bus nb = notBus(b);
+  auto add = rippleAdd(a, nb, one());
+  return {std::move(add.sum), not_(add.carry)};
+}
+
+Bus Builder::increment(std::span<const GateId> a) {
+  GateId carry = one();
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(xor_(a[i], carry));
+    carry = and_(a[i], carry);
+  }
+  return out;
+}
+
+GateId Builder::equal(std::span<const GateId> a, std::span<const GateId> b) {
+  checkSameWidth(a, b);
+  std::vector<GateId> eq;
+  eq.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq.push_back(xnor_(a[i], b[i]));
+  return andTree(eq);
+}
+
+GateId Builder::lessThan(std::span<const GateId> a,
+                         std::span<const GateId> b) {
+  checkSameWidth(a, b);
+  // Iterate from LSB: lt = (!a & b) | (equal & lt_prev)
+  GateId lt = zero();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const GateId bitLt = and_(not_(a[i]), b[i]);
+    const GateId bitEq = xnor_(a[i], b[i]);
+    lt = or_(bitLt, and_(bitEq, lt));
+  }
+  return lt;
+}
+
+Bus Builder::shiftLeftConst(std::span<const GateId> a, std::size_t k) {
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(i < k ? zero() : a[i - k]);
+  }
+  return out;
+}
+
+Bus Builder::shiftRightConst(std::span<const GateId> a, std::size_t k) {
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(i + k < a.size() ? a[i + k] : zero());
+  }
+  return out;
+}
+
+Bus findInputBus(const Netlist& nl, const std::string& name,
+                 std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const GateId id = nl.findInput(busBitName(name, i, width));
+    if (id == kNoGate) {
+      throw std::out_of_range("missing input bus bit: " + name);
+    }
+    bus.push_back(id);
+  }
+  return bus;
+}
+
+Bus findOutputBus(const Netlist& nl, const std::string& name,
+                  std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const GateId id = nl.findOutput(busBitName(name, i, width));
+    if (id == kNoGate) {
+      throw std::out_of_range("missing output bus bit: " + name);
+    }
+    bus.push_back(id);
+  }
+  return bus;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,116 @@
+// Structural construction helpers over a Netlist: multi-bit buses, balanced
+// reduction trees, adders, registers. All library circuits are built with
+// these so every associative gate in the project has exactly two fanins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga {
+
+/// A little-endian bundle of nets: bus[0] is bit 0.
+using Bus = std::vector<GateId>;
+
+class Builder {
+ public:
+  explicit Builder(Netlist& nl) : nl_(&nl) {}
+
+  Netlist& netlist() { return *nl_; }
+
+  // ---- ports --------------------------------------------------------------
+  /// Adds inputs name0..name{w-1} (single bit uses the bare name).
+  Bus inputBus(const std::string& name, std::size_t width);
+  /// Adds outputs driven by `drivers`, named analogously.
+  void outputBus(const std::string& name, std::span<const GateId> drivers);
+
+  // ---- single-bit logic ---------------------------------------------------
+  GateId not_(GateId a) { return nl_->addGate(GateKind::kNot, {a}); }
+  GateId buf(GateId a) { return nl_->addGate(GateKind::kBuf, {a}); }
+  GateId and_(GateId a, GateId b) { return nl_->addGate(GateKind::kAnd, {a, b}); }
+  GateId or_(GateId a, GateId b) { return nl_->addGate(GateKind::kOr, {a, b}); }
+  GateId xor_(GateId a, GateId b) { return nl_->addGate(GateKind::kXor, {a, b}); }
+  GateId nand_(GateId a, GateId b) { return nl_->addGate(GateKind::kNand, {a, b}); }
+  GateId nor_(GateId a, GateId b) { return nl_->addGate(GateKind::kNor, {a, b}); }
+  GateId xnor_(GateId a, GateId b) { return nl_->addGate(GateKind::kXnor, {a, b}); }
+  /// out = sel ? b : a
+  GateId mux(GateId sel, GateId a, GateId b) {
+    return nl_->addGate(GateKind::kMux, {sel, a, b});
+  }
+  GateId dff(GateId d, bool init = false) { return nl_->addDff(d, init); }
+  GateId zero() { return nl_->constant(false); }
+  GateId one() { return nl_->constant(true); }
+
+  // ---- reduction trees (balanced, depth ceil(log2 n)) ----------------------
+  GateId andTree(std::span<const GateId> xs);
+  GateId orTree(std::span<const GateId> xs);
+  GateId xorTree(std::span<const GateId> xs);
+
+  // ---- bus logic ------------------------------------------------------------
+  Bus notBus(std::span<const GateId> a);
+  Bus andBus(std::span<const GateId> a, std::span<const GateId> b);
+  Bus orBus(std::span<const GateId> a, std::span<const GateId> b);
+  Bus xorBus(std::span<const GateId> a, std::span<const GateId> b);
+  /// Per-bit 2:1 mux: out = sel ? b : a.
+  Bus muxBus(GateId sel, std::span<const GateId> a, std::span<const GateId> b);
+  /// A bus of constant bits spelling `value`.
+  Bus constBus(std::uint64_t value, std::size_t width);
+  /// One DFF per bit.
+  Bus registerBus(std::span<const GateId> d, std::uint64_t init = 0);
+
+  /// Declares a register bus whose next-state logic is not built yet: each
+  /// DFF gets a placeholder D (constant 0) to be bound later with
+  /// bindState(). This is how feedback loops (counters, accumulators, FSM
+  /// state) are constructed.
+  Bus stateBus(std::size_t width, std::uint64_t init = 0);
+  /// Binds the D inputs of a stateBus to the computed next-state bus.
+  void bindState(std::span<const GateId> state, std::span<const GateId> next);
+
+  // ---- arithmetic ------------------------------------------------------------
+  struct AddResult {
+    Bus sum;
+    GateId carry;
+  };
+  /// Ripple-carry adder; buses must be the same width.
+  AddResult rippleAdd(std::span<const GateId> a, std::span<const GateId> b,
+                      GateId carryIn = kNoGate);
+  /// a - b via two's complement; `borrow` is the inverted carry.
+  struct SubResult {
+    Bus diff;
+    GateId borrow;
+  };
+  SubResult rippleSub(std::span<const GateId> a, std::span<const GateId> b);
+  /// a + 1 (width preserved, wraps).
+  Bus increment(std::span<const GateId> a);
+
+  // ---- comparison -------------------------------------------------------------
+  GateId equal(std::span<const GateId> a, std::span<const GateId> b);
+  /// Unsigned a < b.
+  GateId lessThan(std::span<const GateId> a, std::span<const GateId> b);
+
+  // ---- shifting ----------------------------------------------------------------
+  /// Logical shift left by a constant (zero fill), width preserved.
+  Bus shiftLeftConst(std::span<const GateId> a, std::size_t k);
+  /// Logical shift right by a constant (zero fill), width preserved.
+  Bus shiftRightConst(std::span<const GateId> a, std::size_t k);
+
+ private:
+  Netlist* nl_;
+  GateId tree(GateKind kind, std::span<const GateId> xs);
+};
+
+/// Names one wire of a bus: "x" stays "x" when width==1, otherwise "x3".
+std::string busBitName(const std::string& base, std::size_t i,
+                       std::size_t width);
+
+/// Collects a named input/output bus back out of a netlist (for tests and
+/// the compiler's port mapping). Throws if any bit is missing.
+Bus findInputBus(const Netlist& nl, const std::string& name,
+                 std::size_t width);
+Bus findOutputBus(const Netlist& nl, const std::string& name,
+                  std::size_t width);
+
+}  // namespace vfpga

@@ -1,0 +1,108 @@
+#include "netlist/library/arith.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace vfpga::lib {
+
+Netlist makeRippleAdder(std::size_t width) {
+  Netlist nl("add" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  const GateId cin = nl.addInput("cin");
+  auto r = b.rippleAdd(a, bb, cin);
+  b.outputBus("sum", r.sum);
+  nl.addOutput("cout", r.carry);
+  nl.check();
+  return nl;
+}
+
+Netlist makeSubtractor(std::size_t width) {
+  Netlist nl("sub" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  auto r = b.rippleSub(a, bb);
+  b.outputBus("diff", r.diff);
+  nl.addOutput("borrow", r.borrow);
+  nl.check();
+  return nl;
+}
+
+Netlist makeComparator(std::size_t width) {
+  Netlist nl("cmp" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  nl.addOutput("eq", b.equal(a, bb));
+  nl.addOutput("lt", b.lessThan(a, bb));
+  nl.check();
+  return nl;
+}
+
+namespace {
+
+/// Shared multiplier core: returns the 2w-bit product bus of a*b.
+Bus multiplyCore(Builder& b, const Bus& a, const Bus& bb) {
+  const std::size_t w = a.size();
+  // Partial products accumulated with ripple adders, one row at a time.
+  Bus acc = b.constBus(0, 2 * w);
+  for (std::size_t i = 0; i < w; ++i) {
+    // row = (a & b[i]) << i, widened to 2w bits
+    Bus row;
+    row.reserve(2 * w);
+    for (std::size_t k = 0; k < i; ++k) row.push_back(b.zero());
+    for (std::size_t k = 0; k < w; ++k) row.push_back(b.and_(a[k], bb[i]));
+    while (row.size() < 2 * w) row.push_back(b.zero());
+    acc = b.rippleAdd(acc, row).sum;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Netlist makeArrayMultiplier(std::size_t width) {
+  Netlist nl("mul" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  b.outputBus("p", multiplyCore(b, a, bb));
+  nl.check();
+  return nl;
+}
+
+Netlist makeMac(std::size_t width) {
+  Netlist nl("mac" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  const GateId clr = nl.addInput("clr");
+  const Bus prod = multiplyCore(b, a, bb);
+  const Bus acc = b.stateBus(2 * width);
+  const Bus sum = b.rippleAdd(acc, prod).sum;
+  const Bus next = b.muxBus(clr, sum, b.constBus(0, 2 * width));
+  b.bindState(acc, next);
+  b.outputBus("acc", acc);
+  nl.check();
+  return nl;
+}
+
+Netlist makeAlu(std::size_t width) {
+  Netlist nl("alu" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  const Bus op = b.inputBus("op", 2);
+  const Bus addr = b.rippleAdd(a, bb).sum;
+  const Bus subr = b.rippleSub(a, bb).diff;
+  const Bus andr = b.andBus(a, bb);
+  const Bus xorr = b.xorBus(a, bb);
+  const Bus lo = b.muxBus(op[0], addr, subr);   // op1=0: add/sub
+  const Bus hi = b.muxBus(op[0], andr, xorr);   // op1=1: and/xor
+  const Bus r = b.muxBus(op[1], lo, hi);
+  b.outputBus("r", r);
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga::lib

@@ -1,0 +1,38 @@
+// Arithmetic circuit generators.
+//
+// Every maker returns a self-contained, checked Netlist with documented port
+// names; use findInputBus / findOutputBus to rebind ports by name.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga::lib {
+
+/// Ripple-carry adder.
+/// Ports: in a[w], b[w], cin; out sum[w], cout.
+Netlist makeRippleAdder(std::size_t width);
+
+/// Two's-complement subtractor (a - b).
+/// Ports: in a[w], b[w]; out diff[w], borrow.
+Netlist makeSubtractor(std::size_t width);
+
+/// Unsigned comparator.
+/// Ports: in a[w], b[w]; out eq, lt.
+Netlist makeComparator(std::size_t width);
+
+/// Combinational array multiplier (unsigned).
+/// Ports: in a[w], b[w]; out p[2w].
+Netlist makeArrayMultiplier(std::size_t width);
+
+/// Sequential multiply-accumulate: acc' = clr ? 0 : acc + a*b.
+/// Ports: in a[w], b[w], clr; out acc[2w]. (2w DFFs — a good stress case
+/// for state save/restore, experiment E6.)
+Netlist makeMac(std::size_t width);
+
+/// Small ALU. op[2]: 0 add, 1 sub, 2 and, 3 xor.
+/// Ports: in a[w], b[w], op[2]; out r[w].
+Netlist makeAlu(std::size_t width);
+
+}  // namespace vfpga::lib

@@ -1,0 +1,139 @@
+#include "netlist/library/coding.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace vfpga::lib {
+
+namespace {
+
+/// One CRC step at the netlist level: given current crc bits and one input
+/// bit, produce the next crc bits. Matches the classic LFSR-with-xor form:
+/// fb = crc[msb] ^ d; next = (crc << 1) ^ (fb ? poly : 0); next[0] ^= fb
+/// folded into the poly convention below (poly bit i taps next[i]).
+Bus crcStep(Builder& b, const Bus& crc, GateId d, std::uint64_t poly) {
+  const std::size_t n = crc.size();
+  const GateId fb = b.xor_(crc[n - 1], d);
+  Bus next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GateId shifted = (i == 0) ? b.zero() : crc[i - 1];
+    if ((poly >> i) & 1) {
+      next[i] = b.xor_(shifted, fb);
+    } else if (i == 0) {
+      next[i] = fb;  // implicit x^0 term of the generator
+    } else {
+      next[i] = shifted;
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+Netlist makeSerialCrc(std::size_t crcBits, std::uint64_t poly) {
+  Netlist nl("crc" + std::to_string(crcBits) + "s");
+  Builder b(nl);
+  const GateId d = nl.addInput("d");
+  const Bus crc = b.stateBus(crcBits);
+  b.bindState(crc, crcStep(b, crc, d, poly));
+  b.outputBus("crc", crc);
+  nl.check();
+  return nl;
+}
+
+Netlist makeParallelCrc(std::size_t crcBits, std::uint64_t poly,
+                        std::size_t dataWidth) {
+  Netlist nl("crc" + std::to_string(crcBits) + "p" +
+             std::to_string(dataWidth));
+  Builder b(nl);
+  const Bus d = b.inputBus("d", dataWidth);
+  const Bus crc = b.stateBus(crcBits);
+  // Unroll the serial step over the data word, MSB first.
+  Bus cur = crc;
+  for (std::size_t i = dataWidth; i-- > 0;) {
+    cur = crcStep(b, cur, d[i], poly);
+  }
+  b.bindState(crc, cur);
+  b.outputBus("crc", crc);
+  nl.check();
+  return nl;
+}
+
+Netlist makeLfsr(std::size_t bits, std::uint64_t taps) {
+  if (bits == 0 || bits > 64) throw std::invalid_argument("lfsr width");
+  Netlist nl("lfsr" + std::to_string(bits));
+  Builder b(nl);
+  const Bus q = b.stateBus(bits, /*init=*/1);
+  // Fibonacci feedback: xor of tapped stages feeds stage 0.
+  std::vector<GateId> tapped;
+  for (std::size_t i = 0; i < bits; ++i) {
+    if ((taps >> i) & 1) tapped.push_back(q[i]);
+  }
+  if (tapped.empty()) throw std::invalid_argument("lfsr needs >=1 tap");
+  const GateId fb = b.xorTree(tapped);
+  Bus next(bits);
+  next[0] = fb;
+  for (std::size_t i = 1; i < bits; ++i) next[i] = q[i - 1];
+  b.bindState(q, next);
+  b.outputBus("q", q);
+  nl.check();
+  return nl;
+}
+
+Netlist makeParityTree(std::size_t width) {
+  Netlist nl("parity" + std::to_string(width));
+  Builder b(nl);
+  const Bus d = b.inputBus("d", width);
+  nl.addOutput("p", b.xorTree(d));
+  nl.check();
+  return nl;
+}
+
+Netlist makeHamming74Encoder() {
+  Netlist nl("hamming74");
+  Builder b(nl);
+  const Bus d = b.inputBus("d", 4);
+  Bus c(7);
+  for (int i = 0; i < 4; ++i) c[i] = b.buf(d[i]);
+  // Standard (7,4) parity equations.
+  c[4] = b.xor_(b.xor_(d[0], d[1]), d[3]);
+  c[5] = b.xor_(b.xor_(d[0], d[2]), d[3]);
+  c[6] = b.xor_(b.xor_(d[1], d[2]), d[3]);
+  b.outputBus("c", c);
+  nl.check();
+  return nl;
+}
+
+Netlist makeConvolutionalEncoder(std::size_t constraintLen,
+                                 const std::vector<std::uint64_t>& polys) {
+  if (constraintLen < 2) throw std::invalid_argument("constraint length");
+  if (polys.empty()) throw std::invalid_argument("need >=1 generator");
+  Netlist nl("conv" + std::to_string(constraintLen) + "r1_" +
+             std::to_string(polys.size()));
+  Builder b(nl);
+  const GateId d = nl.addInput("d");
+  // Shift register holds the previous K-1 input bits.
+  const std::size_t mem = constraintLen - 1;
+  const Bus sr = b.stateBus(mem);
+  Bus next(mem);
+  next[0] = b.buf(d);
+  for (std::size_t i = 1; i < mem; ++i) next[i] = sr[i - 1];
+  b.bindState(sr, next);
+  // Stage 0 is the live input, stage i>0 is sr[i-1].
+  Bus y;
+  for (std::size_t p = 0; p < polys.size(); ++p) {
+    std::vector<GateId> terms;
+    for (std::size_t i = 0; i < constraintLen; ++i) {
+      if ((polys[p] >> i) & 1) terms.push_back(i == 0 ? d : sr[i - 1]);
+    }
+    if (terms.empty()) throw std::invalid_argument("empty generator poly");
+    y.push_back(b.xorTree(terms));
+  }
+  b.outputBus("y", y);
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga::lib

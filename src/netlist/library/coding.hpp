@@ -1,0 +1,45 @@
+// Coding / telecom circuit generators: CRC, LFSR, parity, Hamming,
+// convolutional encoder. These are the "telecommunication: modems, faxes,
+// switching systems ... compression and encoding algorithms" workloads the
+// paper's §5 motivates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga::lib {
+
+/// Serial (bit-at-a-time) CRC register over polynomial `poly` (implicit
+/// leading 1, e.g. 0x07 for CRC-8-CCITT), `crcBits` wide.
+/// Ports: in d (serial data bit); out crc[crcBits].
+/// next = (crc << 1) ^ (poly if msb^d else 0).
+Netlist makeSerialCrc(std::size_t crcBits, std::uint64_t poly);
+
+/// Word-parallel CRC: consumes dataWidth bits per clock.
+/// Ports: in d[dataWidth]; out crc[crcBits].
+Netlist makeParallelCrc(std::size_t crcBits, std::uint64_t poly,
+                        std::size_t dataWidth);
+
+/// Fibonacci LFSR with the given tap mask (bit i set = tap at stage i).
+/// Ports: out q[bits]. Initial state = 1 (bit 0).
+Netlist makeLfsr(std::size_t bits, std::uint64_t taps);
+
+/// Combinational parity tree.
+/// Ports: in d[width]; out p.
+Netlist makeParityTree(std::size_t width);
+
+/// Hamming(7,4) single-error-correcting encoder.
+/// Ports: in d[4]; out c[7] (c0..c3 data, c4..c6 parity).
+Netlist makeHamming74Encoder();
+
+/// Rate-1/n convolutional encoder, constraint length K, generator
+/// polynomials `polys` (one output bit per polynomial, bit i of the
+/// polynomial taps shift stage i; stage 0 is the current input bit).
+/// Ports: in d; out y[polys.size()].
+Netlist makeConvolutionalEncoder(std::size_t constraintLen,
+                                 const std::vector<std::uint64_t>& polys);
+
+}  // namespace vfpga::lib

@@ -1,0 +1,213 @@
+#include "netlist/library/control.hpp"
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace vfpga::lib {
+
+Netlist makeCounter(std::size_t bits) {
+  Netlist nl("ctr" + std::to_string(bits));
+  Builder b(nl);
+  const GateId en = nl.addInput("en");
+  const GateId clr = nl.addInput("clr");
+  const Bus q = b.stateBus(bits);
+  const Bus inc = b.increment(q);
+  const Bus held = b.muxBus(en, q, inc);
+  const Bus next = b.muxBus(clr, held, b.constBus(0, bits));
+  b.bindState(q, next);
+  b.outputBus("q", q);
+  // wrap = en & all-ones(q)
+  nl.addOutput("wrap", b.and_(en, b.andTree(q)));
+  nl.check();
+  return nl;
+}
+
+Netlist makeShiftRegister(std::size_t bits) {
+  Netlist nl("shr" + std::to_string(bits));
+  Builder b(nl);
+  const GateId d = nl.addInput("d");
+  const Bus q = b.stateBus(bits);
+  Bus next(bits);
+  next[0] = b.buf(d);
+  for (std::size_t i = 1; i < bits; ++i) next[i] = q[i - 1];
+  b.bindState(q, next);
+  b.outputBus("q", q);
+  nl.check();
+  return nl;
+}
+
+std::size_t FsmSpec::stateBits() const {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < numStates) ++bits;
+  return bits;
+}
+
+void FsmSpec::validate() const {
+  if (numStates == 0) throw std::invalid_argument("fsm: no states");
+  if (inputBits > 8) throw std::invalid_argument("fsm: too many input bits");
+  const std::size_t inVals = std::size_t{1} << inputBits;
+  if (next.size() != numStates) throw std::invalid_argument("fsm: next rows");
+  for (const auto& row : next) {
+    if (row.size() != inVals) throw std::invalid_argument("fsm: next cols");
+    for (std::size_t s : row) {
+      if (s >= numStates) throw std::invalid_argument("fsm: bad next state");
+    }
+  }
+  if (moore.size() != numStates) throw std::invalid_argument("fsm: outputs");
+  if (resetState >= numStates) throw std::invalid_argument("fsm: reset state");
+}
+
+Netlist makeFsm(const FsmSpec& spec) {
+  spec.validate();
+  Netlist nl("fsm" + std::to_string(spec.numStates));
+  Builder b(nl);
+  const std::size_t sb = spec.stateBits();
+  const std::size_t inVals = std::size_t{1} << spec.inputBits;
+  const Bus in =
+      spec.inputBits ? b.inputBus("in", spec.inputBits) : Bus{};
+  const Bus state = b.stateBus(sb, spec.resetState);
+
+  // Decode current state and input value (one-hot).
+  std::vector<GateId> isState(spec.numStates);
+  for (std::size_t s = 0; s < spec.numStates; ++s) {
+    isState[s] = b.equal(state, b.constBus(s, sb));
+  }
+  std::vector<GateId> isIn(inVals);
+  for (std::size_t i = 0; i < inVals; ++i) {
+    isIn[i] = spec.inputBits ? b.equal(in, b.constBus(i, spec.inputBits))
+                             : b.one();
+  }
+
+  // next-state bit k = OR over all (s, i) transitions landing in a state
+  // with bit k set.
+  Bus nextState(sb);
+  for (std::size_t k = 0; k < sb; ++k) {
+    std::vector<GateId> terms;
+    for (std::size_t s = 0; s < spec.numStates; ++s) {
+      for (std::size_t i = 0; i < inVals; ++i) {
+        if ((spec.next[s][i] >> k) & 1) {
+          terms.push_back(b.and_(isState[s], isIn[i]));
+        }
+      }
+    }
+    nextState[k] = terms.empty() ? b.zero() : b.orTree(terms);
+  }
+  b.bindState(state, nextState);
+
+  // Moore outputs decoded from the current state.
+  if (spec.outputBits > 0) {
+    Bus out(spec.outputBits);
+    for (std::size_t k = 0; k < spec.outputBits; ++k) {
+      std::vector<GateId> terms;
+      for (std::size_t s = 0; s < spec.numStates; ++s) {
+        if ((spec.moore[s] >> k) & 1) terms.push_back(isState[s]);
+      }
+      out[k] = terms.empty() ? b.zero() : b.orTree(terms);
+    }
+    b.outputBus("out", out);
+  }
+  b.outputBus("state", state);
+  nl.check();
+  return nl;
+}
+
+Netlist makePiController(std::size_t width, std::size_t kpShift,
+                         std::size_t kiShift) {
+  Netlist nl("pi" + std::to_string(width));
+  Builder b(nl);
+  const Bus sp = b.inputBus("sp", width);
+  const Bus y = b.inputBus("y", width);
+  const Bus e = b.rippleSub(sp, y).diff;
+  const Bus acc = b.stateBus(width);
+  const Bus accNext = b.rippleAdd(acc, b.shiftRightConst(e, kiShift)).sum;
+  b.bindState(acc, accNext);
+  const Bus u = b.rippleAdd(b.shiftRightConst(e, kpShift), acc).sum;
+  b.outputBus("u", u);
+  nl.check();
+  return nl;
+}
+
+Netlist makeMisr(std::size_t width, std::uint64_t poly) {
+  Netlist nl("misr" + std::to_string(width));
+  Builder b(nl);
+  const Bus d = b.inputBus("d", width);
+  const Bus sig = b.stateBus(width);
+  // Galois-style step: fb = sig[msb]; shifted = sig << 1 with poly taps on
+  // fb; then xor the input word in.
+  const GateId fb = sig[width - 1];
+  Bus next(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    GateId shifted = (i == 0) ? fb : sig[i - 1];
+    if (i != 0 && ((poly >> i) & 1)) shifted = b.xor_(shifted, fb);
+    next[i] = b.xor_(shifted, d[i]);
+  }
+  b.bindState(sig, next);
+  b.outputBus("sig", sig);
+  nl.check();
+  return nl;
+}
+
+Netlist makeGrayCounter(std::size_t bits) {
+  Netlist nl("gray" + std::to_string(bits));
+  Builder b(nl);
+  const GateId en = nl.addInput("en");
+  const Bus bin = b.stateBus(bits);
+  const Bus inc = b.increment(bin);
+  b.bindState(bin, b.muxBus(en, bin, inc));
+  b.outputBus("g", b.xorBus(bin, b.shiftRightConst(bin, 1)));
+  nl.check();
+  return nl;
+}
+
+Netlist makeDebouncer(std::size_t counterBits) {
+  if (counterBits == 0) throw std::invalid_argument("debouncer width");
+  Netlist nl("debounce" + std::to_string(counterBits));
+  Builder b(nl);
+  const GateId d = nl.addInput("d");
+  const Bus out = b.stateBus(1);
+  const Bus count = b.stateBus(counterBits);
+  const GateId differs = b.xor_(d, out[0]);
+  const GateId full = b.andTree(count);
+  // Count up while the input disagrees with the output; reset otherwise.
+  const Bus countNext = b.muxBus(differs, b.constBus(0, counterBits),
+                                 b.increment(count));
+  b.bindState(count, countNext);
+  // Flip the output once the disagreement persisted 2^counterBits cycles.
+  const GateId flip = b.and_(differs, full);
+  b.bindState(out, std::vector<GateId>{b.mux(flip, out[0], d)});
+  nl.addOutput("q", out[0]);
+  nl.check();
+  return nl;
+}
+
+Netlist makeSerializer(std::size_t width) {
+  if (width < 2) throw std::invalid_argument("serializer width");
+  Netlist nl("ser" + std::to_string(width));
+  Builder b(nl);
+  const Bus d = b.inputBus("d", width);
+  const GateId load = nl.addInput("load");
+  std::size_t cntBits = 1;
+  while ((std::size_t{1} << cntBits) < width + 1) ++cntBits;
+
+  const Bus shreg = b.stateBus(width);
+  const Bus remaining = b.stateBus(cntBits);
+  const GateId busy = b.orTree(remaining);
+
+  // Shift right (LSB out first); on load, capture d and set the counter.
+  Bus shifted = b.shiftRightConst(shreg, 1);
+  const Bus shregNext =
+      b.muxBus(load, b.muxBus(busy, shreg, shifted), d);
+  b.bindState(shreg, shregNext);
+  const Bus decremented = b.rippleSub(remaining, b.constBus(1, cntBits)).diff;
+  const Bus remNext = b.muxBus(
+      load, b.muxBus(busy, remaining, decremented), b.constBus(width, cntBits));
+  b.bindState(remaining, remNext);
+
+  nl.addOutput("tx", b.and_(busy, shreg[0]));
+  nl.addOutput("busy", busy);
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga::lib

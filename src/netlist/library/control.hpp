@@ -1,0 +1,67 @@
+// Control-oriented sequential circuits: counters, shift registers, generic
+// table-driven FSMs, a PI controller datapath and a BIST signature register.
+// These model the "embedded control systems ... periodic system testing and
+// diagnosis" workloads from the paper's §5.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga::lib {
+
+/// Up counter with enable and synchronous clear.
+/// Ports: in en, clr; out q[bits], wrap (carry out of the increment).
+Netlist makeCounter(std::size_t bits);
+
+/// Serial-in shift register with parallel output.
+/// Ports: in d; out q[bits] (q0 is the most recent bit).
+Netlist makeShiftRegister(std::size_t bits);
+
+/// Moore FSM specification: next[s][i] is the next state from state s on
+/// input value i (i ranges over 2^inputBits); moore[s] is the output word.
+struct FsmSpec {
+  std::size_t numStates = 0;
+  std::size_t inputBits = 0;
+  std::size_t outputBits = 0;
+  std::vector<std::vector<std::size_t>> next;  ///< [numStates][2^inputBits]
+  std::vector<std::uint64_t> moore;            ///< [numStates]
+  std::size_t resetState = 0;
+
+  std::size_t stateBits() const;
+  void validate() const;  ///< throws std::invalid_argument on malformed spec
+};
+
+/// Generic one-hot-decoded Moore FSM from a transition table.
+/// Ports: in in[inputBits]; out out[outputBits], state[stateBits].
+Netlist makeFsm(const FsmSpec& spec);
+
+/// PI controller with power-of-two gains: u = (e >> kp) + acc,
+/// acc' = acc + (e >> ki); e = sp - y (unsigned wraparound arithmetic).
+/// Ports: in sp[w], y[w]; out u[w].
+Netlist makePiController(std::size_t width, std::size_t kpShift,
+                         std::size_t kiShift);
+
+/// Multiple-input signature register (MISR) for built-in self test: state'
+/// = crcStep(state) xor input word.
+/// Ports: in d[width]; out sig[width].
+Netlist makeMisr(std::size_t width, std::uint64_t poly);
+
+/// Gray-code counter: a binary counter whose output is bin ^ (bin >> 1),
+/// so exactly one output bit changes per step.
+/// Ports: in en; out g[bits].
+Netlist makeGrayCounter(std::size_t bits);
+
+/// Debouncer: the output follows the input only after it has been stable
+/// for 2^counterBits consecutive cycles.
+/// Ports: in d; out q.
+Netlist makeDebouncer(std::size_t counterBits);
+
+/// Parallel-to-serial transmitter: `load` captures d and starts shifting
+/// LSB-first; `busy` stays high for width cycles.
+/// Ports: in d[width], load; out tx, busy.
+Netlist makeSerializer(std::size_t width);
+
+}  // namespace vfpga::lib

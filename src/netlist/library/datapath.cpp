@@ -1,0 +1,125 @@
+#include "netlist/library/datapath.hpp"
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace vfpga::lib {
+
+namespace {
+
+std::size_t log2Ceil(std::size_t n) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Netlist makeBarrelShifter(std::size_t width) {
+  if (width < 2) throw std::invalid_argument("barrel width");
+  Netlist nl("bshl" + std::to_string(width));
+  Builder b(nl);
+  const std::size_t shBits = log2Ceil(width);
+  const Bus d = b.inputBus("d", width);
+  const Bus sh = b.inputBus("sh", shBits);
+  Bus cur = d;
+  for (std::size_t s = 0; s < shBits; ++s) {
+    cur = b.muxBus(sh[s], cur, b.shiftLeftConst(cur, std::size_t{1} << s));
+  }
+  b.outputBus("q", cur);
+  nl.check();
+  return nl;
+}
+
+Netlist makePopcount(std::size_t width) {
+  Netlist nl("popcnt" + std::to_string(width));
+  Builder b(nl);
+  const std::size_t outBits = log2Ceil(width + 1);
+  const Bus d = b.inputBus("d", width);
+  // Widen each bit to outBits and sum with a balanced adder tree.
+  std::vector<Bus> terms;
+  terms.reserve(width);
+  for (GateId g : d) {
+    Bus t(outBits, b.zero());
+    t[0] = g;
+    terms.push_back(std::move(t));
+  }
+  while (terms.size() > 1) {
+    std::vector<Bus> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(b.rippleAdd(terms[i], terms[i + 1]).sum);
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  b.outputBus("n", terms[0]);
+  nl.check();
+  return nl;
+}
+
+Netlist makePriorityEncoder(std::size_t width) {
+  if (width < 2) throw std::invalid_argument("prio width");
+  Netlist nl("prio" + std::to_string(width));
+  Builder b(nl);
+  const std::size_t idxBits = log2Ceil(width);
+  const Bus d = b.inputBus("d", width);
+  // found_i = d[i] & !d[i-1] & ... & !d[0], built incrementally.
+  Bus idx = b.constBus(0, idxBits);
+  GateId noneBefore = b.one();
+  GateId valid = b.zero();
+  for (std::size_t i = 0; i < width; ++i) {
+    const GateId firstHere = b.and_(d[i], noneBefore);
+    idx = b.muxBus(firstHere, idx, b.constBus(i, idxBits));
+    valid = b.or_(valid, d[i]);
+    noneBefore = b.and_(noneBefore, b.not_(d[i]));
+  }
+  b.outputBus("idx", idx);
+  nl.addOutput("valid", valid);
+  nl.check();
+  return nl;
+}
+
+Netlist makeChecksum(std::size_t width) {
+  Netlist nl("cksum" + std::to_string(width));
+  Builder b(nl);
+  const Bus d = b.inputBus("d", width);
+  const Bus acc = b.stateBus(width);
+  b.bindState(acc, b.rippleAdd(acc, d).sum);
+  b.outputBus("acc", acc);
+  nl.check();
+  return nl;
+}
+
+Netlist makeRunLengthDetector(std::size_t width, std::size_t counterWidth) {
+  Netlist nl("rle" + std::to_string(width));
+  Builder b(nl);
+  const Bus d = b.inputBus("d", width);
+  const Bus prev = b.stateBus(width);
+  const Bus run = b.stateBus(counterWidth);
+  const GateId match = b.equal(d, prev);
+  const Bus runInc = b.increment(run);
+  // On match extend the run, otherwise restart at 1.
+  const Bus runNext =
+      b.muxBus(match, b.constBus(1, counterWidth), runInc);
+  b.bindState(prev, d);
+  b.bindState(run, runNext);
+  b.outputBus("run", run);
+  nl.addOutput("match", match);
+  nl.check();
+  return nl;
+}
+
+Netlist makeMinMax(std::size_t width) {
+  Netlist nl("minmax" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  const GateId aLtB = b.lessThan(a, bb);
+  b.outputBus("mn", b.muxBus(aLtB, bb, a));
+  b.outputBus("mx", b.muxBus(aLtB, a, bb));
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga::lib

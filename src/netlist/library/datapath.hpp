@@ -1,0 +1,38 @@
+// Datapath circuits for the multimedia / networking workloads of §5:
+// barrel shifter, population count, priority encoder, running checksum,
+// run-length detector (compression front-end), min/max.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga::lib {
+
+/// Logarithmic barrel shifter (left, zero fill).
+/// Ports: in d[w], sh[ceil(log2 w)]; out q[w].
+Netlist makeBarrelShifter(std::size_t width);
+
+/// Population count via an adder tree.
+/// Ports: in d[w]; out n[ceil(log2(w+1))].
+Netlist makePopcount(std::size_t width);
+
+/// Priority encoder (lowest set bit wins).
+/// Ports: in d[w]; out idx[ceil(log2 w)], valid.
+Netlist makePriorityEncoder(std::size_t width);
+
+/// Running checksum accumulator: acc' = acc + d (wraps, like an internet
+/// checksum fragment).
+/// Ports: in d[w]; out acc[w].
+Netlist makeChecksum(std::size_t width);
+
+/// Run-length detector: compares the incoming word with the previous one
+/// and counts the current run length (a compression front end).
+/// Ports: in d[w]; out run[cw], match. cw = counter width.
+Netlist makeRunLengthDetector(std::size_t width, std::size_t counterWidth);
+
+/// Min/max of two unsigned words.
+/// Ports: in a[w], b[w]; out mn[w], mx[w].
+Netlist makeMinMax(std::size_t width);
+
+}  // namespace vfpga::lib

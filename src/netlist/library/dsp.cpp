@@ -1,0 +1,96 @@
+#include "netlist/library/dsp.hpp"
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace vfpga::lib {
+
+Netlist makeSortingNetwork4(std::size_t width) {
+  Netlist nl("sort4x" + std::to_string(width));
+  Builder b(nl);
+  std::vector<Bus> e;
+  for (int i = 0; i < 4; ++i) {
+    e.push_back(b.inputBus("e" + std::to_string(i), width));
+  }
+  // Compare-exchange: (lo, hi) = (min, max).
+  auto cex = [&](Bus& x, Bus& y) {
+    const GateId xLtY = b.lessThan(x, y);
+    Bus lo = b.muxBus(xLtY, y, x);
+    Bus hi = b.muxBus(xLtY, x, y);
+    x = std::move(lo);
+    y = std::move(hi);
+  };
+  // Batcher odd-even merge for n = 4: (0,1)(2,3)(0,2)(1,3)(1,2).
+  cex(e[0], e[1]);
+  cex(e[2], e[3]);
+  cex(e[0], e[2]);
+  cex(e[1], e[3]);
+  cex(e[1], e[2]);
+  for (int i = 0; i < 4; ++i) {
+    b.outputBus("s" + std::to_string(i), e[static_cast<std::size_t>(i)]);
+  }
+  nl.check();
+  return nl;
+}
+
+Netlist makeFirFilter(std::size_t width,
+                      const std::vector<std::size_t>& tapShifts) {
+  if (tapShifts.empty()) throw std::invalid_argument("FIR needs taps");
+  Netlist nl("fir" + std::to_string(tapShifts.size()) + "x" +
+             std::to_string(width));
+  Builder b(nl);
+  const Bus x = b.inputBus("x", width);
+  // Delay line: stage k holds x delayed k cycles (stage 0 = live input).
+  std::vector<Bus> delayed{x};
+  for (std::size_t k = 1; k < tapShifts.size(); ++k) {
+    delayed.push_back(b.registerBus(delayed.back()));
+  }
+  Bus acc = b.shiftRightConst(delayed[0], tapShifts[0]);
+  for (std::size_t k = 1; k < tapShifts.size(); ++k) {
+    acc = b.rippleAdd(acc, b.shiftRightConst(delayed[k], tapShifts[k])).sum;
+  }
+  b.outputBus("y", acc);
+  nl.check();
+  return nl;
+}
+
+Netlist makeMajorityVoter(std::size_t width) {
+  Netlist nl("tmr" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  const Bus c = b.inputBus("c", width);
+  Bus v(width);
+  std::vector<GateId> mismatch;
+  for (std::size_t i = 0; i < width; ++i) {
+    // majority(a, b, c) = ab | ac | bc
+    const GateId ab = b.and_(a[i], bb[i]);
+    const GateId ac = b.and_(a[i], c[i]);
+    const GateId bc = b.and_(bb[i], c[i]);
+    v[i] = b.or_(b.or_(ab, ac), bc);
+    // disagreement on bit i: not all three equal
+    const GateId aneb = b.xor_(a[i], bb[i]);
+    const GateId anec = b.xor_(a[i], c[i]);
+    mismatch.push_back(b.or_(aneb, anec));
+  }
+  b.outputBus("v", v);
+  nl.addOutput("disagree", b.orTree(mismatch));
+  nl.check();
+  return nl;
+}
+
+Netlist makeSaturatingAdder(std::size_t width) {
+  Netlist nl("satadd" + std::to_string(width));
+  Builder b(nl);
+  const Bus a = b.inputBus("a", width);
+  const Bus bb = b.inputBus("b", width);
+  auto r = b.rippleAdd(a, bb);
+  const Bus ones = b.constBus(~std::uint64_t{0}, width);
+  b.outputBus("s", b.muxBus(r.carry, r.sum, ones));
+  nl.addOutput("sat", r.carry);
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga::lib

@@ -1,0 +1,31 @@
+// DSP and reliability-oriented circuits rounding out the application
+// library: sorting networks, a multiplierless FIR filter, TMR majority
+// voting, saturating arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga::lib {
+
+/// 4-element Batcher odd-even sorting network over unsigned words.
+/// Ports: in e0[w]..e3[w]; out s0[w]..s3[w] (ascending).
+Netlist makeSortingNetwork4(std::size_t width);
+
+/// Multiplierless transposed FIR filter: y = sum_k (x >> shifts[k]) with a
+/// registered delay line (x delayed k cycles feeds tap k).
+/// Ports: in x[w]; out y[w]. Wraps modulo 2^w like the other datapaths.
+Netlist makeFirFilter(std::size_t width,
+                      const std::vector<std::size_t>& tapShifts);
+
+/// Triple-modular-redundancy bitwise majority voter.
+/// Ports: in a[w], b[w], c[w]; out v[w], disagree (any bit mismatched).
+Netlist makeMajorityVoter(std::size_t width);
+
+/// Unsigned saturating adder: clamps to all-ones instead of wrapping.
+/// Ports: in a[w], b[w]; out s[w], sat (saturation happened).
+Netlist makeSaturatingAdder(std::size_t width);
+
+}  // namespace vfpga::lib

@@ -1,0 +1,238 @@
+#include "netlist/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace vfpga {
+
+namespace {
+
+/// A resolved signal in the output netlist: either a constant or a gate.
+struct Value {
+  bool isConst = false;
+  bool constVal = false;
+  GateId gate = kNoGate;
+
+  static Value constant(bool v) { return Value{true, v, kNoGate}; }
+  static Value of(GateId g) { return Value{false, false, g}; }
+  bool operator==(const Value&) const = default;
+  bool operator<(const Value& o) const {
+    return std::tie(isConst, constVal, gate) <
+           std::tie(o.isConst, o.constVal, o.gate);
+  }
+};
+
+bool isCommutative(GateKind k) {
+  switch (k) {
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Attempts to fold a gate whose fanins are (partially) constant or equal.
+/// Returns the simplified value, or nullopt when a real gate is needed.
+std::optional<Value> trySimplify(GateKind kind,
+                                 const std::vector<Value>& f) {
+  auto c = [](const Value& v) { return v.isConst; };
+  switch (kind) {
+    case GateKind::kBuf:
+      return f[0];
+    case GateKind::kNot:
+      if (c(f[0])) return Value::constant(!f[0].constVal);
+      return std::nullopt;
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      const bool inv = kind == GateKind::kNand;
+      if (c(f[0]) && c(f[1])) {
+        return Value::constant((f[0].constVal && f[1].constVal) != inv);
+      }
+      for (int i = 0; i < 2; ++i) {
+        if (c(f[i]) && !f[i].constVal) return Value::constant(inv);
+        if (c(f[i]) && f[i].constVal && !inv) return f[1 - i];
+      }
+      if (f[0] == f[1] && !inv) return f[0];  // x & x = x
+      return std::nullopt;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      const bool inv = kind == GateKind::kNor;
+      if (c(f[0]) && c(f[1])) {
+        return Value::constant((f[0].constVal || f[1].constVal) != inv);
+      }
+      for (int i = 0; i < 2; ++i) {
+        if (c(f[i]) && f[i].constVal) return Value::constant(!inv);
+        if (c(f[i]) && !f[i].constVal && !inv) return f[1 - i];
+      }
+      if (f[0] == f[1] && !inv) return f[0];  // x | x = x
+      return std::nullopt;
+    }
+    case GateKind::kXor:
+    case GateKind::kXnor: {
+      const bool inv = kind == GateKind::kXnor;
+      if (c(f[0]) && c(f[1])) {
+        return Value::constant((f[0].constVal != f[1].constVal) != inv);
+      }
+      for (int i = 0; i < 2; ++i) {
+        // x ^ 0 = x (xnor: needs a NOT, handled by the caller as a gate)
+        if (c(f[i]) && !f[i].constVal && !inv) return f[1 - i];
+      }
+      if (f[0] == f[1]) return Value::constant(inv);  // x ^ x = 0
+      return std::nullopt;
+    }
+    case GateKind::kMux: {
+      if (c(f[0])) return f[0].constVal ? f[2] : f[1];
+      if (f[1] == f[2]) return f[1];  // both branches identical
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+Netlist optimizeOnce(const Netlist& nl, OptimizeStats& stats) {
+
+  // 1. Liveness: gates reachable backwards from output ports (through DFF
+  //    D inputs as well). Everything else is dead.
+  std::vector<char> live(nl.size(), 0);
+  std::vector<GateId> work;
+  for (GateId out : nl.outputs()) {
+    live[out] = 1;
+    work.push_back(out);
+  }
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    for (GateId f : nl.gate(g).fanins) {
+      if (!live[f]) {
+        live[f] = 1;
+        work.push_back(f);
+      }
+    }
+  }
+  // Inputs always survive (ports are the contract).
+  for (GateId in : nl.inputs()) live[in] = 1;
+
+  Netlist out(nl.name());
+  std::vector<Value> valueOf(nl.size());
+
+  // 2. Live DFFs get their output gates up front (placeholder D) so
+  //    feedback resolves; their D is bound at the end.
+  std::vector<std::pair<GateId, GateId>> dffFixups;  // (old dff, new dff)
+  // CSE table over (kind, resolved fanin values).
+  std::map<std::tuple<GateKind, std::vector<Value>>, GateId> cse;
+
+  auto materialize = [&](const Value& v) -> GateId {
+    return v.isConst ? out.constant(v.constVal) : v.gate;
+  };
+
+  // Process in topological order; DFFs and inputs first is guaranteed by
+  // topoOrder (DFFs are sources).
+  for (GateId g : nl.topoOrder()) {
+    if (!live[g]) {
+      ++stats.deadRemoved;
+      continue;
+    }
+    const Gate& gate = nl.gate(g);
+    switch (gate.kind) {
+      case GateKind::kInput:
+        valueOf[g] = Value::of(out.addInput(gate.name));
+        continue;
+      case GateKind::kConst0:
+        valueOf[g] = Value::constant(false);
+        continue;
+      case GateKind::kConst1:
+        valueOf[g] = Value::constant(true);
+        continue;
+      case GateKind::kDff: {
+        const GateId nd = out.addDff(out.constant(false), gate.dffInit,
+                                     gate.name);
+        valueOf[g] = Value::of(nd);
+        dffFixups.emplace_back(g, nd);
+        continue;
+      }
+      case GateKind::kOutput:
+        // Outputs are emitted after all logic so drivers resolve; handled
+        // below in port order.
+        continue;
+      default:
+        break;
+    }
+    // Combinational gate: resolve fanins, simplify, CSE, or emit.
+    std::vector<Value> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (GateId f : gate.fanins) fanins.push_back(valueOf[f]);
+
+    if (auto simplified = trySimplify(gate.kind, fanins)) {
+      valueOf[g] = *simplified;
+      if (simplified->isConst) {
+        ++stats.constantsFolded;
+      } else {
+        ++stats.aliased;
+      }
+      continue;
+    }
+    std::vector<Value> key = fanins;
+    if (isCommutative(gate.kind)) std::sort(key.begin(), key.end());
+    auto [it, inserted] =
+        cse.try_emplace(std::make_tuple(gate.kind, std::move(key)), kNoGate);
+    if (!inserted) {
+      valueOf[g] = Value::of(it->second);
+      ++stats.deduplicated;
+      continue;
+    }
+    std::vector<GateId> newFanins;
+    newFanins.reserve(fanins.size());
+    for (const Value& v : fanins) newFanins.push_back(materialize(v));
+    const GateId ng = out.addGate(gate.kind, std::move(newFanins), gate.name);
+    it->second = ng;
+    valueOf[g] = Value::of(ng);
+  }
+
+  // 3. Bind DFF D inputs now that every live signal has a value.
+  for (auto [oldDff, newDff] : dffFixups) {
+    out.rebindDff(newDff, materialize(valueOf[nl.gate(oldDff).fanins[0]]));
+  }
+
+  // 4. Outputs in original declaration order.
+  for (GateId o : nl.outputs()) {
+    out.addOutput(nl.gate(o).name, materialize(valueOf[nl.gate(o).fanins[0]]));
+  }
+
+  out.check();
+  return out;
+}
+
+}  // namespace
+
+Netlist optimize(const Netlist& nl, OptimizeStats* statsOut) {
+  nl.check();
+  OptimizeStats stats;
+  stats.gatesIn = nl.size();
+  // Iterate to a fixpoint: folding can orphan gates that only the next
+  // liveness pass removes. Converges in a handful of rounds.
+  Netlist current = optimizeOnce(nl, stats);
+  for (int round = 0; round < 16; ++round) {
+    Netlist next = optimizeOnce(current, stats);
+    if (next.size() == current.size()) break;
+    current = std::move(next);
+  }
+  stats.gatesOut = current.size();
+  if (statsOut) *statsOut = stats;
+  return current;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,29 @@
+// Technology-independent netlist optimization: constant folding, identity
+// simplification, buffer sweeping, common-subexpression elimination and
+// dead-gate removal. Runs before technology mapping (enabled by default in
+// the compiler) and is strictly equivalence-preserving — the property
+// suite checks optimize(nl) against nl cycle by cycle.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga {
+
+struct OptimizeStats {
+  std::size_t gatesIn = 0;
+  std::size_t gatesOut = 0;
+  std::size_t constantsFolded = 0;  ///< gates that became constants
+  std::size_t aliased = 0;          ///< gates collapsed to an existing signal
+  std::size_t deduplicated = 0;     ///< structural CSE hits
+  std::size_t deadRemoved = 0;      ///< unreachable gates dropped
+
+  std::size_t removed() const { return gatesIn - gatesOut; }
+};
+
+/// Returns an optimized, functionally identical netlist. Port names and
+/// order are preserved exactly; DFF init values are preserved.
+Netlist optimize(const Netlist& nl, OptimizeStats* stats = nullptr);
+
+}  // namespace vfpga

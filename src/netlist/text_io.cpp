@@ -1,0 +1,215 @@
+#include "netlist/text_io.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace vfpga {
+
+namespace {
+
+const char* kindKeyword(GateKind k) {
+  switch (k) {
+    case GateKind::kInput: return "input";
+    case GateKind::kOutput: return "output";
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kBuf: return "buf";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+    case GateKind::kXor: return "xor";
+    case GateKind::kNand: return "nand";
+    case GateKind::kNor: return "nor";
+    case GateKind::kXnor: return "xnor";
+    case GateKind::kMux: return "mux";
+    case GateKind::kDff: return "dff";
+  }
+  return "?";
+}
+
+std::map<std::string, GateKind, std::less<>> keywordKinds() {
+  std::map<std::string, GateKind, std::less<>> m;
+  for (GateKind k :
+       {GateKind::kInput, GateKind::kOutput, GateKind::kConst0,
+        GateKind::kConst1, GateKind::kBuf, GateKind::kNot, GateKind::kAnd,
+        GateKind::kOr, GateKind::kXor, GateKind::kNand, GateKind::kNor,
+        GateKind::kXnor, GateKind::kMux, GateKind::kDff}) {
+    m.emplace(kindKeyword(k), k);
+  }
+  return m;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("netlist text, line " + std::to_string(line) +
+                           ": " + what);
+}
+
+}  // namespace
+
+std::string writeNetlistText(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# vfpga netlist v1\n";
+  if (!nl.name().empty()) os << "name " << nl.name() << "\n";
+  // Signal name per gate: ports keep their names; everything else g<id>.
+  std::vector<std::string> sig(nl.size());
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    // Generated names use a '$' prefix, which user port names never carry,
+    // so round trips cannot collide.
+    sig[g] = (gate.kind == GateKind::kInput) ? gate.name
+                                             : "$" + std::to_string(g);
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kOutput) {
+      os << "output " << gate.name << " " << sig[gate.fanins[0]] << "\n";
+      continue;
+    }
+    os << kindKeyword(gate.kind) << " " << sig[g];
+    for (GateId f : gate.fanins) os << " " << sig[f];
+    if (gate.kind == GateKind::kDff && gate.dffInit) os << " init=1";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Netlist parseNetlistText(std::string_view text) {
+  static const auto kinds = keywordKinds();
+
+  struct Line {
+    std::size_t number;
+    GateKind kind;
+    std::string name;
+    std::vector<std::string> operands;
+    bool dffInit = false;
+  };
+  std::vector<Line> lines;
+  std::string netlistName;
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+    if (keyword == "name") {
+      if (!(ls >> netlistName)) fail(number, "missing netlist name");
+      continue;
+    }
+    const auto kindIt = kinds.find(keyword);
+    if (kindIt == kinds.end()) fail(number, "unknown kind '" + keyword + "'");
+    Line line;
+    line.number = number;
+    line.kind = kindIt->second;
+    if (!(ls >> line.name)) fail(number, "missing signal name");
+    std::string tok;
+    while (ls >> tok) {
+      if (tok == "init=1") {
+        line.dffInit = true;
+      } else if (tok == "init=0") {
+        line.dffInit = false;
+      } else {
+        line.operands.push_back(tok);
+      }
+    }
+    const int arity = line.kind == GateKind::kOutput
+                          ? 1
+                          : gateArity(line.kind);
+    if (static_cast<int>(line.operands.size()) != arity) {
+      fail(number, std::string("'") + keyword + "' needs " +
+                       std::to_string(arity) + " operand(s), got " +
+                       std::to_string(line.operands.size()));
+    }
+    if (line.dffInit && line.kind != GateKind::kDff) {
+      fail(number, "init= only valid on dff");
+    }
+    lines.push_back(std::move(line));
+  }
+
+  // Pass 1: declare every signal (outputs are not signals; they read one).
+  Netlist nl(netlistName);
+  std::map<std::string, GateId, std::less<>> signal;
+  auto declare = [&](const Line& l, GateId id) {
+    if (!signal.emplace(l.name, id).second) {
+      fail(l.number, "duplicate signal '" + l.name + "'");
+    }
+  };
+  // Pre-check duplicates so Netlist's own (line-less) exceptions never fire.
+  auto checkFresh = [&](const Line& l) {
+    if (signal.count(l.name) != 0) {
+      fail(l.number, "duplicate signal '" + l.name + "'");
+    }
+  };
+  for (const Line& l : lines) {
+    switch (l.kind) {
+      case GateKind::kInput:
+        checkFresh(l);
+        declare(l, nl.addInput(l.name));
+        break;
+      case GateKind::kConst0:
+        declare(l, nl.constant(false));
+        break;
+      case GateKind::kConst1:
+        declare(l, nl.constant(true));
+        break;
+      case GateKind::kDff:
+        declare(l, nl.addDff(nl.constant(false), l.dffInit, l.name));
+        break;
+      case GateKind::kOutput:
+        break;  // pass 2
+      default: {
+        // Placeholder fanins (constant 0), rewired in pass 2 via a fresh
+        // gate is impossible — combinational gates are immutable. Instead
+        // defer creation: record and create in pass 2 once operands exist.
+        break;
+      }
+    }
+  }
+  // Pass 2: combinational gates in file order — operands must resolve to
+  // already-created signals OR DFF/input/const signals declared above.
+  // Forward references among *combinational* gates are rejected (they
+  // would be combinational cycles anyway).
+  for (const Line& l : lines) {
+    if (l.kind == GateKind::kInput || l.kind == GateKind::kConst0 ||
+        l.kind == GateKind::kConst1 || l.kind == GateKind::kDff ||
+        l.kind == GateKind::kOutput) {
+      continue;
+    }
+    std::vector<GateId> fanins;
+    for (const std::string& op : l.operands) {
+      auto it = signal.find(op);
+      if (it == signal.end()) {
+        fail(l.number, "unknown (or combinationally forward) signal '" + op +
+                           "'");
+      }
+      fanins.push_back(it->second);
+    }
+    declare(l, nl.addGate(l.kind, std::move(fanins), l.name));
+  }
+  // Pass 3: bind DFF D inputs and emit outputs.
+  for (const Line& l : lines) {
+    if (l.kind == GateKind::kDff) {
+      auto it = signal.find(l.operands[0]);
+      if (it == signal.end()) {
+        fail(l.number, "unknown signal '" + l.operands[0] + "'");
+      }
+      nl.rebindDff(signal.at(l.name), it->second);
+    } else if (l.kind == GateKind::kOutput) {
+      auto it = signal.find(l.operands[0]);
+      if (it == signal.end()) {
+        fail(l.number, "unknown signal '" + l.operands[0] + "'");
+      }
+      nl.addOutput(l.name, it->second);
+    }
+  }
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga

@@ -1,0 +1,37 @@
+// Plain-text netlist interchange format (".vnl"), one signal per line:
+//
+//   # vfpga netlist v1
+//   name     adder1
+//   input    a
+//   input    b
+//   input    cin
+//   xor      t1 a b
+//   xor      sum t1 cin
+//   and      c1 a b
+//   and      c2 t1 cin
+//   or       cout_n c1 c2
+//   dff      q sum init=1
+//   output   sum_o sum
+//   output   cout cout_n
+//
+// Kinds: input, output, const0, const1, buf, not, and, or, xor, nand, nor,
+// xnor, mux (operands: sel a b), dff (operand: d, optional init=0|1).
+// Signals may be referenced before their defining line (two-pass parse),
+// which is how register feedback loops are written.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga {
+
+/// Serializes a netlist; unnamed internal gates get generated g<N> names.
+std::string writeNetlistText(const Netlist& nl);
+
+/// Parses the text format. Throws std::runtime_error with a line number on
+/// any malformed input.
+Netlist parseNetlistText(std::string_view text);
+
+}  // namespace vfpga

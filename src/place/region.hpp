@@ -1,0 +1,41 @@
+// Rectangular placement region: a sub-rectangle of the CLB grid a circuit
+// is confined to. Full-height column strips (y0 = 0, h = rows) are the
+// partition unit used by the OS layer; the compiler accepts any rectangle.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/geometry.hpp"
+
+namespace vfpga {
+
+struct Region {
+  std::uint16_t x0 = 0;
+  std::uint16_t y0 = 0;
+  std::uint16_t w = 0;
+  std::uint16_t h = 0;
+
+  std::uint32_t clbCount() const { return std::uint32_t{w} * h; }
+  std::uint16_t x1() const { return static_cast<std::uint16_t>(x0 + w - 1); }
+  std::uint16_t y1() const { return static_cast<std::uint16_t>(y0 + h - 1); }
+
+  bool contains(int x, int y) const {
+    return x >= x0 && x <= x1() && y >= y0 && y <= y1();
+  }
+  bool fitsIn(const FabricGeometry& g) const {
+    return w > 0 && h > 0 && x0 + w <= g.cols && y0 + h <= g.rows;
+  }
+  /// Full device rectangle.
+  static Region full(const FabricGeometry& g) {
+    return Region{0, 0, g.cols, g.rows};
+  }
+  /// Full-height column strip [c0, c0 + w).
+  static Region columns(const FabricGeometry& g, std::uint16_t c0,
+                        std::uint16_t width) {
+    return Region{c0, 0, width, g.rows};
+  }
+
+  bool operator==(const Region&) const = default;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,75 @@
+// Negotiated-congestion router (PathFinder-style) over the routing
+// resource graph.
+//
+// Every routing node has capacity 1. Each iteration rips up and re-routes
+// every net with costs that penalize present congestion (growing each
+// iteration) and accumulate history on chronically overused nodes; the
+// result is legal when no node is shared by two nets. A `greedy` mode
+// (single iteration, first-fit, fails on any conflict) exists as the
+// ablation baseline for experiment K-ablation in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fabric/routing_graph.hpp"
+
+namespace vfpga {
+
+struct RouteRequest {
+  RRNodeId source = kNoRRNode;
+  std::vector<RRNodeId> sinks;
+};
+
+struct RoutedNet {
+  /// Switch edges enabled for this net (the union of all source->sink
+  /// paths; shared tree segments appear once).
+  std::vector<RREdgeId> edges;
+  /// All routing nodes occupied by the net, source and sinks included.
+  std::vector<RRNodeId> nodes;
+  /// Routing hops from the source to each sink (for timing estimates).
+  std::vector<std::uint32_t> sinkHops;
+};
+
+struct RouteOptions {
+  int maxIterations = 40;
+  double presentFactorInitial = 0.8;
+  double presentFactorGrowth = 1.6;
+  double historyIncrement = 0.4;
+  bool greedy = false;  ///< single first-fit pass (ablation baseline)
+  double astarWeight = 1.0;  ///< admissible distance heuristic scale
+};
+
+struct RouteResult {
+  std::vector<RoutedNet> nets;
+  int iterations = 0;
+  std::uint64_t nodesExpanded = 0;
+};
+
+class Router {
+ public:
+  /// `allowed[n]` restricts the search to a node subset (a partition
+  /// region); an empty vector allows the whole graph.
+  Router(const RoutingGraph& rrg, std::vector<char> allowed = {});
+
+  /// Routes all requests; nullopt when the negotiation fails to converge.
+  std::optional<RouteResult> routeAll(
+      const std::vector<RouteRequest>& requests,
+      const RouteOptions& options = {});
+
+ private:
+  const RoutingGraph* rrg_;
+  std::vector<char> allowed_;
+
+  bool nodeAllowed(RRNodeId n) const {
+    return allowed_.empty() || allowed_[n] != 0;
+  }
+};
+
+/// Builds the allowed-node mask for a column range [c0, c1] (the partition
+/// unit): nodes whose ownerColumn lies in the range.
+std::vector<char> columnRangeMask(const RoutingGraph& rrg, std::uint16_t c0,
+                                  std::uint16_t c1);
+
+}  // namespace vfpga

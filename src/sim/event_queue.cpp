@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vfpga {
+
+EventId Simulation::scheduleAt(SimTime at, Action action) {
+  assert(at >= now_ && "cannot schedule into the past");
+  const EventId id = nextId_++;
+  queue_.push(Event{at, id});
+  actions_.emplace(id, std::move(action));
+  ++liveCount_;
+  return id;
+}
+
+void Simulation::cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) return;
+  actions_.erase(it);
+  --liveCount_;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = actions_.find(ev.id);
+    if (it == actions_.end()) continue;  // cancelled
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    --liveCount_;
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().at > until) break;
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vfpga

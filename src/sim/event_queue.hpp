@@ -1,0 +1,75 @@
+// Discrete-event simulation kernel.
+//
+// A Simulation owns a priority queue of (time, sequence, action) events.
+// Events scheduled at the same timestamp fire in schedule order (the
+// sequence number breaks ties), which makes runs fully deterministic.
+//
+// The OS layer (src/core) and the I/O multiplexer are built on this kernel;
+// the FPGA functional simulator (src/fabric) is cycle-driven and does not
+// need it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace vfpga {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `at` (>= now). Returns an id
+  /// usable with cancel().
+  EventId scheduleAt(SimTime at, Action action);
+
+  /// Schedules `action` to run `delay` after the current time.
+  EventId scheduleAfter(SimDuration delay, Action action) {
+    return scheduleAt(now_ + delay, std::move(action));
+  }
+
+  /// Cancels a pending event; a no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs until the queue is empty or `until` is reached (events at exactly
+  /// `until` still fire). Returns the number of events executed.
+  std::uint64_t run(SimTime until = UINT64_MAX);
+
+  /// Executes exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  bool empty() const { return liveCount_ == 0; }
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    // min-heap ordering: earliest time first, then earliest id.
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId nextId_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t liveCount_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Actions stored out-of-line, keyed by id. cancel() erases the entry; the
+  // heap node for a cancelled event is skipped lazily when popped.
+  std::unordered_map<EventId, Action> actions_;
+};
+
+}  // namespace vfpga

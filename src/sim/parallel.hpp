@@ -1,0 +1,72 @@
+// Minimal data-parallel helpers for the experiment harnesses.
+//
+// Simulations in this project are deterministic and single-threaded by
+// design, but *sweeps* over independent simulations (different policies,
+// seeds, parameter points) are embarrassingly parallel. parallelFor runs a
+// loop body over [0, n) on up to hardware_concurrency() worker threads;
+// each index is processed exactly once, results are written to
+// caller-owned, per-index storage, so no synchronization is needed in the
+// body beyond that discipline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vfpga {
+
+/// Runs fn(i) for every i in [0, n), using at most maxThreads workers
+/// (0 = hardware concurrency). The first exception thrown by any body is
+/// rethrown on the caller's thread after all workers join. fn must not
+/// touch shared mutable state except its own per-index slots.
+inline void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                        unsigned maxThreads = 0) {
+  if (n == 0) return;
+  unsigned workers = maxThreads ? maxThreads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+/// Maps fn over [0, n) in parallel, collecting the results in order.
+template <typename T>
+std::vector<T> parallelMap(std::size_t n,
+                           const std::function<T(std::size_t)>& fn,
+                           unsigned maxThreads = 0) {
+  std::vector<T> out(n);
+  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); }, maxThreads);
+  return out;
+}
+
+}  // namespace vfpga

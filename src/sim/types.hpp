@@ -1,0 +1,44 @@
+// Basic simulated-time types shared by every subsystem.
+//
+// All times in the project are *simulated* nanoseconds carried in a 64-bit
+// unsigned integer. 2^64 ns is ~584 years of simulated time, so overflow is
+// not a practical concern; integer time keeps every run bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace vfpga {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in simulated nanoseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Convenience literals-like helpers: nanos(5), micros(3), millis(200).
+constexpr SimDuration nanos(std::uint64_t n) { return n * kNanosecond; }
+constexpr SimDuration micros(std::uint64_t n) { return n * kMicrosecond; }
+constexpr SimDuration millis(std::uint64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::uint64_t n) { return n * kSecond; }
+
+/// Converts a simulated duration to fractional milliseconds for reporting.
+constexpr double toMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts a simulated duration to fractional microseconds for reporting.
+constexpr double toMicroseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts a simulated duration to fractional seconds for reporting.
+constexpr double toSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace vfpga

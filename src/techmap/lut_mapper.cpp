@@ -1,0 +1,262 @@
+#include "techmap/lut_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace vfpga {
+
+namespace {
+
+bool isConeLeafKind(GateKind k) {
+  return k == GateKind::kInput || k == GateKind::kDff;
+}
+
+bool isConstKind(GateKind k) {
+  return k == GateKind::kConst0 || k == GateKind::kConst1;
+}
+
+/// Evaluates gate `g` under a fixed assignment of leaf values, folding
+/// constants; leaves are gates listed in `leafPos` (gate id -> bit index).
+class ConeEvaluator {
+ public:
+  ConeEvaluator(const Netlist& nl,
+                const std::unordered_map<GateId, std::uint32_t>& leafPos)
+      : nl_(&nl), leafPos_(&leafPos) {}
+
+  bool eval(GateId g, std::uint32_t assignment) {
+    memo_.clear();
+    assignment_ = assignment;
+    return evalRec(g);
+  }
+
+ private:
+  bool evalRec(GateId g) {
+    auto leaf = leafPos_->find(g);
+    if (leaf != leafPos_->end()) {
+      return ((assignment_ >> leaf->second) & 1) != 0;
+    }
+    auto it = memo_.find(g);
+    if (it != memo_.end()) return it->second;
+    const Gate& gate = nl_->gate(g);
+    bool v = false;
+    switch (gate.kind) {
+      case GateKind::kConst0: v = false; break;
+      case GateKind::kConst1: v = true; break;
+      case GateKind::kBuf: v = evalRec(gate.fanins[0]); break;
+      case GateKind::kNot: v = !evalRec(gate.fanins[0]); break;
+      case GateKind::kAnd:
+        v = evalRec(gate.fanins[0]) && evalRec(gate.fanins[1]);
+        break;
+      case GateKind::kOr:
+        v = evalRec(gate.fanins[0]) || evalRec(gate.fanins[1]);
+        break;
+      case GateKind::kXor:
+        v = evalRec(gate.fanins[0]) != evalRec(gate.fanins[1]);
+        break;
+      case GateKind::kNand:
+        v = !(evalRec(gate.fanins[0]) && evalRec(gate.fanins[1]));
+        break;
+      case GateKind::kNor:
+        v = !(evalRec(gate.fanins[0]) || evalRec(gate.fanins[1]));
+        break;
+      case GateKind::kXnor:
+        v = evalRec(gate.fanins[0]) == evalRec(gate.fanins[1]);
+        break;
+      case GateKind::kMux:
+        v = evalRec(gate.fanins[0]) ? evalRec(gate.fanins[2])
+                                    : evalRec(gate.fanins[1]);
+        break;
+      case GateKind::kInput:
+      case GateKind::kDff:
+      case GateKind::kOutput:
+        // Inputs/DFFs are always leaves; outputs never appear inside cones.
+        throw std::logic_error("non-leaf boundary inside cone evaluation");
+    }
+    memo_.emplace(g, v);
+    return v;
+  }
+
+  const Netlist* nl_;
+  const std::unordered_map<GateId, std::uint32_t>* leafPos_;
+  std::unordered_map<GateId, bool> memo_;
+  std::uint32_t assignment_ = 0;
+};
+
+}  // namespace
+
+MappedNetlist mapToLuts(const Netlist& nl, const MapOptions& options) {
+  if (options.k < 3 || options.k > 6) {
+    throw std::invalid_argument("LUT K must be in [3, 6]");
+  }
+  nl.check();
+  const std::uint8_t K = options.k;
+  const auto fanout = nl.fanoutCounts();
+  const auto topo = nl.topoOrder();
+
+  // Cones per comb gate; `hardened` marks comb gates that must become cells
+  // (heavy fanout or forced by a K overflow downstream).
+  std::vector<std::vector<GateId>> cone(nl.size());
+  std::vector<char> hardened(nl.size(), 0);
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const GateKind kind = nl.gate(g).kind;
+    if (isCombinational(kind) && kind != GateKind::kOutput &&
+        fanout[g] > 1) {
+      hardened[g] = 1;
+    }
+  }
+
+  // Leaf set of a fanin as seen from a reader.
+  auto leavesOf = [&](GateId f) -> std::vector<GateId> {
+    const GateKind kind = nl.gate(f).kind;
+    if (isConstKind(kind)) return {};
+    if (isConeLeafKind(kind) || hardened[f]) return {f};
+    return cone[f];
+  };
+
+  for (GateId g : topo) {
+    const Gate& gate = nl.gate(g);
+    if (!isCombinational(gate.kind) || gate.kind == GateKind::kOutput) {
+      continue;
+    }
+    std::vector<GateId> merged;
+    for (GateId f : gate.fanins) {
+      for (GateId leaf : leavesOf(f)) merged.push_back(leaf);
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    if (merged.size() > K) {
+      // Too wide: harden every absorbable comb fanin and use fanins as
+      // leaves directly (arity <= 3 <= K always fits).
+      merged.clear();
+      for (GateId f : gate.fanins) {
+        const GateKind kind = nl.gate(f).kind;
+        if (isConstKind(kind)) continue;
+        if (!isConeLeafKind(kind) && !hardened[f]) hardened[f] = 1;
+        merged.push_back(f);
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      assert(merged.size() <= K);
+    }
+    cone[g] = std::move(merged);
+  }
+
+  // Which materialized gates are actually needed: flood from output-port
+  // drivers and all DFFs, through cone leaves.
+  std::vector<char> needed(nl.size(), 0);
+  std::vector<GateId> work;
+  auto require = [&](GateId g) {
+    const GateKind kind = nl.gate(g).kind;
+    if (kind == GateKind::kInput || isConstKind(kind)) return;
+    if (!needed[g]) {
+      needed[g] = 1;
+      work.push_back(g);
+    }
+  };
+  for (GateId out : nl.outputs()) require(nl.gate(out).fanins[0]);
+  for (GateId d : nl.dffs()) require(d);
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kDff) {
+      for (GateId leaf : leavesOf(gate.fanins[0])) require(leaf);
+    } else {
+      for (GateId leaf : cone[g]) require(leaf);
+    }
+  }
+
+  // Build the mapped netlist: ports first, then cells in gate-id order.
+  MappedNetlist m;
+  m.k = K;
+  std::unordered_map<GateId, NetId> netOf;  // PI / DFF / hardened comb -> net
+  for (GateId in : nl.inputs()) {
+    netOf.emplace(in, m.inputNet(m.inputs.size()));
+    m.inputs.push_back(MappedPort{nl.gate(in).name, kNoNet});
+  }
+  // Reserve cell slots (and thus net ids) in deterministic gate order.
+  std::vector<GateId> cellGates;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (!needed[g]) continue;
+    const GateKind kind = nl.gate(g).kind;
+    const bool isCellGate =
+        kind == GateKind::kDff ||
+        (isCombinational(kind) && kind != GateKind::kOutput && hardened[g]);
+    if (isCellGate) {
+      netOf.emplace(g, m.cellNet(cellGates.size()));
+      cellGates.push_back(g);
+    }
+  }
+
+  auto buildCell = [&](GateId root, const std::vector<GateId>& leaves,
+                       bool hasFf, bool ffInit, std::string name) {
+    MappedCell cell;
+    cell.hasFf = hasFf;
+    cell.ffInit = ffInit;
+    cell.name = std::move(name);
+    std::unordered_map<GateId, std::uint32_t> leafPos;
+    for (std::uint32_t i = 0; i < leaves.size(); ++i) {
+      leafPos.emplace(leaves[i], i);
+      cell.inputs.push_back(netOf.at(leaves[i]));
+    }
+    ConeEvaluator ev(nl, leafPos);
+    const std::uint32_t entries = 1u << leaves.size();
+    for (std::uint32_t a = 0; a < entries; ++a) {
+      if (ev.eval(root, a)) cell.lutTable |= std::uint64_t{1} << a;
+    }
+    return cell;
+  };
+
+  for (GateId g : cellGates) {
+    const Gate& gate = nl.gate(g);
+    if (gate.kind == GateKind::kDff) {
+      const GateId d = gate.fanins[0];
+      // The D cone folds into the registered cell. When D is itself a leaf
+      // (another DFF, a PI, a hardened gate) the cell is an identity LUT.
+      std::vector<GateId> leaves = leavesOf(d);
+      // `leavesOf` on a hardened D gate returns {d}; constants return {}.
+      const GateId root = d;
+      m.cells.push_back(buildCell(root, leaves, true, gate.dffInit,
+                                  gate.name.empty() ? "ff" + std::to_string(g)
+                                                    : gate.name));
+    } else {
+      m.cells.push_back(buildCell(g, cone[g], false, false,
+                                  gate.name.empty() ? "lut" + std::to_string(g)
+                                                    : gate.name));
+    }
+  }
+
+  // Primary outputs bind to the net of their driver; drivers that are
+  // non-hardened comb gates get a dedicated cell for their cone, and
+  // constant drivers get a 0-input constant cell.
+  for (GateId out : nl.outputs()) {
+    const Gate& port = nl.gate(out);
+    const GateId d = port.fanins[0];
+    const GateKind dk = nl.gate(d).kind;
+    NetId net;
+    if (auto it = netOf.find(d); it != netOf.end()) {
+      net = it->second;
+    } else if (isConstKind(dk)) {
+      MappedCell cell;
+      cell.lutTable = (dk == GateKind::kConst1) ? 1 : 0;
+      cell.name = "const_" + port.name;
+      net = m.cellNet(m.cells.size());
+      m.cells.push_back(std::move(cell));
+    } else {
+      // Non-hardened comb driver: materialize its cone now.
+      net = m.cellNet(m.cells.size());
+      m.cells.push_back(
+          buildCell(d, cone[d], false, false, "po_" + port.name));
+      netOf.emplace(d, net);
+    }
+    m.outputs.push_back(MappedPort{port.name, net});
+  }
+
+  m.check();
+  return m;
+}
+
+}  // namespace vfpga

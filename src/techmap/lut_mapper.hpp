@@ -1,0 +1,30 @@
+// Greedy cone-based technology mapping of a gate netlist into K-input LUTs.
+//
+// Strategy (a simplified FlowMap-style covering, correctness first):
+//  * walk gates in topological order, growing for each combinational gate a
+//    "cone" — the set of leaf signals (primary inputs, FF outputs, or
+//    already-materialized LUT outputs) its function depends on;
+//  * a gate whose merged cone would exceed K inputs forces its fanins to
+//    materialize as LUT cells and restarts from their outputs;
+//  * gates with fanout > 1 always materialize (no logic duplication across
+//    heavy fanout);
+//  * each DFF becomes a registered LUT cell computing its D cone; each
+//    primary output materializes its driver cone;
+//  * constants fold into truth tables, so no LUT is spent on them unless a
+//    port is driven directly by a constant.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "techmap/mapped_netlist.hpp"
+
+namespace vfpga {
+
+struct MapOptions {
+  std::uint8_t k = 4;  ///< target LUT input count (3..6)
+};
+
+/// Maps `nl` (which must pass Netlist::check()) into K-LUT cells.
+/// Throws std::invalid_argument for unsupported K.
+MappedNetlist mapToLuts(const Netlist& nl, const MapOptions& options = {});
+
+}  // namespace vfpga

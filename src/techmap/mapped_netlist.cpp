@@ -1,0 +1,168 @@
+#include "techmap/mapped_netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vfpga {
+
+std::size_t MappedNetlist::ffCount() const {
+  std::size_t n = 0;
+  for (const MappedCell& c : cells) {
+    if (c.hasFf) ++n;
+  }
+  return n;
+}
+
+std::vector<MappedNetlist::NetSinks> MappedNetlist::computeSinks() const {
+  std::vector<NetSinks> sinks(netCount());
+  for (std::uint32_t c = 0; c < cells.size(); ++c) {
+    for (std::uint32_t p = 0; p < cells[c].inputs.size(); ++p) {
+      sinks[cells[c].inputs[p]].cellPins.emplace_back(c, p);
+    }
+  }
+  for (std::uint32_t o = 0; o < outputs.size(); ++o) {
+    sinks[outputs[o].net].outputPorts.push_back(o);
+  }
+  return sinks;
+}
+
+void MappedNetlist::check() const {
+  for (const MappedCell& c : cells) {
+    if (c.inputs.size() > k) {
+      throw std::logic_error("cell " + c.name + " exceeds K inputs");
+    }
+    for (NetId n : c.inputs) {
+      if (n >= netCount()) throw std::logic_error("cell input net range");
+    }
+    const std::uint64_t entries = std::uint64_t{1} << c.inputs.size();
+    if (entries < 64 && (c.lutTable >> entries) != 0) {
+      throw std::logic_error("cell " + c.name + " truth table overflows");
+    }
+  }
+  for (const MappedPort& p : outputs) {
+    if (p.net >= netCount()) throw std::logic_error("output net range");
+  }
+  (void)evalOrder();  // throws on comb cycle
+}
+
+std::vector<std::uint32_t> MappedNetlist::evalOrder() const {
+  const std::size_t nc = cells.size();
+  std::vector<std::uint32_t> indeg(nc, 0);
+  std::vector<std::vector<std::uint32_t>> fanout(nc);
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    for (NetId n : cells[c].inputs) {
+      if (!netIsInput(n)) {
+        const std::size_t src = cellOfNet(n);
+        if (!cells[src].hasFf) {
+          ++indeg[c];
+          fanout[src].push_back(c);
+        }
+      }
+    }
+  }
+  std::vector<std::uint32_t> order, ready;
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    if (indeg[c] == 0) ready.push_back(c);
+  }
+  while (!ready.empty()) {
+    const std::uint32_t c = ready.back();
+    ready.pop_back();
+    order.push_back(c);
+    for (std::uint32_t o : fanout[c]) {
+      if (--indeg[o] == 0) ready.push_back(o);
+    }
+  }
+  if (order.size() != nc) {
+    throw std::logic_error("combinational cycle in mapped netlist");
+  }
+  return order;
+}
+
+std::size_t MappedNetlist::depth() const {
+  std::vector<std::size_t> d(cells.size(), 0);
+  std::size_t best = 0;
+  for (std::uint32_t c : evalOrder()) {
+    std::size_t in = 0;
+    for (NetId n : cells[c].inputs) {
+      if (!netIsInput(n)) {
+        const std::size_t src = cellOfNet(n);
+        if (!cells[src].hasFf) in = std::max(in, d[src]);
+      }
+    }
+    d[c] = in + 1;
+    best = std::max(best, d[c]);
+  }
+  return best;
+}
+
+MappedEvaluator::MappedEvaluator(const MappedNetlist& m)
+    : m_(&m), order_(m.evalOrder()), netValue_(m.netCount(), 0),
+      lutOut_(m.cells.size(), 0), ffIndexOfCell_(m.cells.size(), 0) {
+  std::uint32_t nf = 0;
+  for (std::uint32_t c = 0; c < m.cells.size(); ++c) {
+    if (m.cells[c].hasFf) ffIndexOfCell_[c] = nf++;
+  }
+  ffState_.assign(nf, 0);
+  reset();
+}
+
+void MappedEvaluator::setInput(std::size_t inputIndex, bool v) {
+  netValue_.at(m_->inputNet(inputIndex)) = v ? 1 : 0;
+}
+
+bool MappedEvaluator::cellLut(std::uint32_t c) const {
+  const MappedCell& cell = m_->cells[c];
+  std::uint32_t idx = 0;
+  for (std::size_t p = 0; p < cell.inputs.size(); ++p) {
+    if (netValue_[cell.inputs[p]]) idx |= 1u << p;
+  }
+  return ((cell.lutTable >> idx) & 1) != 0;
+}
+
+void MappedEvaluator::eval() {
+  for (std::uint32_t c = 0; c < m_->cells.size(); ++c) {
+    if (m_->cells[c].hasFf) {
+      netValue_[m_->cellNet(c)] = ffState_[ffIndexOfCell_[c]];
+    }
+  }
+  for (std::uint32_t c : order_) {
+    const bool v = cellLut(c);
+    lutOut_[c] = v ? 1 : 0;
+    if (!m_->cells[c].hasFf) netValue_[m_->cellNet(c)] = v ? 1 : 0;
+  }
+  // FF cells' D values once every comb net is final.
+  for (std::uint32_t c = 0; c < m_->cells.size(); ++c) {
+    if (m_->cells[c].hasFf) lutOut_[c] = cellLut(c) ? 1 : 0;
+  }
+}
+
+void MappedEvaluator::tick() {
+  for (std::uint32_t c = 0; c < m_->cells.size(); ++c) {
+    if (m_->cells[c].hasFf) ffState_[ffIndexOfCell_[c]] = lutOut_[c];
+  }
+}
+
+bool MappedEvaluator::output(std::size_t outputIndex) const {
+  return netValue_.at(m_->outputs.at(outputIndex).net) != 0;
+}
+
+std::vector<bool> MappedEvaluator::ffState() const {
+  return {ffState_.begin(), ffState_.end()};
+}
+
+void MappedEvaluator::setFfState(const std::vector<bool>& s) {
+  if (s.size() != ffState_.size()) {
+    throw std::invalid_argument("FF state size mismatch");
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) ffState_[i] = s[i] ? 1 : 0;
+}
+
+void MappedEvaluator::reset() {
+  for (std::uint32_t c = 0; c < m_->cells.size(); ++c) {
+    if (m_->cells[c].hasFf) {
+      ffState_[ffIndexOfCell_[c]] = m_->cells[c].ffInit ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace vfpga

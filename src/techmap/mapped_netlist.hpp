@@ -1,0 +1,94 @@
+// Technology-mapped netlist: K-LUT cells with optional output registers,
+// connected by nets. This is the representation the placer and router
+// consume; it is produced from a gate-level Netlist by the LUT mapper.
+//
+// Net numbering: net i for i < inputs.size() is primary input i; net
+// inputs.size() + c is the output of cell c.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vfpga {
+
+using NetId = std::uint32_t;
+constexpr NetId kNoNet = 0xffffffffu;
+
+struct MappedCell {
+  /// Truth table over the cell's inputs: bit j is the output value when
+  /// input pin p carries bit p of j. Inputs beyond inputs.size() are
+  /// don't-care (the compiler expands the table to the device's K).
+  std::uint64_t lutTable = 0;
+  std::vector<NetId> inputs;
+  bool hasFf = false;   ///< output is registered
+  bool ffInit = false;  ///< initial register value
+  std::string name;
+};
+
+struct MappedPort {
+  std::string name;
+  NetId net = kNoNet;
+};
+
+class MappedNetlist {
+ public:
+  std::uint8_t k = 4;  ///< max LUT inputs
+  std::vector<MappedPort> inputs;
+  std::vector<MappedPort> outputs;
+  std::vector<MappedCell> cells;
+
+  std::size_t netCount() const { return inputs.size() + cells.size(); }
+  NetId inputNet(std::size_t i) const { return static_cast<NetId>(i); }
+  NetId cellNet(std::size_t c) const {
+    return static_cast<NetId>(inputs.size() + c);
+  }
+  bool netIsInput(NetId n) const { return n < inputs.size(); }
+  /// Cell index driving a net (net must not be a primary input).
+  std::size_t cellOfNet(NetId n) const { return n - inputs.size(); }
+
+  std::size_t ffCount() const;
+  /// Sinks (cell pin and port references) per net.
+  struct NetSinks {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> cellPins;  // (cell, pin)
+    std::vector<std::uint32_t> outputPorts;  // index into outputs
+  };
+  std::vector<NetSinks> computeSinks() const;
+
+  /// Structural validation: pin counts vs k, net ranges, no comb cycle
+  /// (FF cells break cycles). Throws std::logic_error on violation.
+  void check() const;
+
+  /// Comb-safe evaluation order of cells (FF outputs are sources).
+  std::vector<std::uint32_t> evalOrder() const;
+
+  /// LUT depth of the mapping (registered outputs are depth 0 sources).
+  std::size_t depth() const;
+};
+
+/// Reference evaluator for mapped netlists; used by the equivalence tests
+/// (original Netlist vs mapped vs configured device must all agree).
+class MappedEvaluator {
+ public:
+  explicit MappedEvaluator(const MappedNetlist& m);
+
+  void setInput(std::size_t inputIndex, bool v);
+  void eval();
+  void tick();
+  bool output(std::size_t outputIndex) const;
+  std::vector<bool> ffState() const;
+  void setFfState(const std::vector<bool>& s);
+  void reset();  ///< FFs to their declared init values
+
+ private:
+  const MappedNetlist* m_;
+  std::vector<std::uint32_t> order_;
+  std::vector<char> netValue_;
+  std::vector<char> ffState_;   // dense over FF cells in cell order
+  std::vector<char> lutOut_;    // per cell
+  std::vector<std::uint32_t> ffIndexOfCell_;
+
+  bool cellLut(std::uint32_t c) const;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,102 @@
+#include "workloads/app_circuits.hpp"
+
+#include <stdexcept>
+
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "netlist/library/dsp.hpp"
+
+namespace vfpga::workloads {
+
+namespace {
+
+AppCircuit make(std::string name, std::string domain, Netlist nl) {
+  nl.setName(name);
+  return AppCircuit{std::move(name), std::move(domain), std::move(nl)};
+}
+
+lib::FsmSpec protocolFsmSpec() {
+  // A 5-state link-supervision FSM: idle/sync/data/error/flush, input =
+  // 2 bits (sync seen, error seen).
+  lib::FsmSpec s;
+  s.numStates = 5;
+  s.inputBits = 2;
+  s.outputBits = 3;
+  s.next = {
+      {0, 1, 3, 3},  // idle: sync -> sync state, error -> error
+      {1, 2, 3, 3},  // sync: sync again -> data
+      {2, 2, 3, 3},  // data: stay until error
+      {4, 4, 4, 4},  // error: always flush
+      {0, 0, 0, 0},  // flush: back to idle
+  };
+  s.moore = {0b000, 0b001, 0b011, 0b100, 0b110};
+  s.resetState = 0;
+  return s;
+}
+
+}  // namespace
+
+std::vector<AppCircuit> multimediaSuite() {
+  std::vector<AppCircuit> v;
+  v.push_back(make("mm_rle", "multimedia", lib::makeRunLengthDetector(4, 6)));
+  v.push_back(make("mm_mac", "multimedia", lib::makeMac(4)));
+  v.push_back(make("mm_barrel", "multimedia", lib::makeBarrelShifter(8)));
+  v.push_back(make("mm_popcount", "multimedia", lib::makePopcount(8)));
+  v.push_back(make("mm_minmax", "multimedia", lib::makeMinMax(6)));
+  v.push_back(make("mm_fir", "multimedia", lib::makeFirFilter(6, {0, 1, 3})));
+  return v;
+}
+
+std::vector<AppCircuit> telecomSuite() {
+  std::vector<AppCircuit> v;
+  v.push_back(make("tc_crc8", "telecom", lib::makeSerialCrc(8, 0x07)));
+  v.push_back(make("tc_crc16w8", "telecom",
+                   lib::makeParallelCrc(16, 0x1021, 8)));
+  v.push_back(make("tc_conv_k7", "telecom",
+                   lib::makeConvolutionalEncoder(7, {0171, 0133})));
+  v.push_back(make("tc_hamming", "telecom", lib::makeHamming74Encoder()));
+  v.push_back(make("tc_scrambler", "telecom", lib::makeLfsr(12, 0b100000101001)));
+  return v;
+}
+
+std::vector<AppCircuit> networkingSuite() {
+  std::vector<AppCircuit> v;
+  v.push_back(make("nw_checksum", "networking", lib::makeChecksum(8)));
+  v.push_back(make("nw_parity", "networking", lib::makeParityTree(8)));
+  v.push_back(make("nw_prio", "networking", lib::makePriorityEncoder(8)));
+  v.push_back(make("nw_cmp", "networking", lib::makeComparator(8)));
+  v.push_back(make("nw_sort4", "networking", lib::makeSortingNetwork4(4)));
+  return v;
+}
+
+std::vector<AppCircuit> controlSuite() {
+  std::vector<AppCircuit> v;
+  v.push_back(make("ct_pi", "control", lib::makePiController(8, 1, 3)));
+  v.push_back(make("ct_fsm", "control", lib::makeFsm(protocolFsmSpec())));
+  v.push_back(make("ct_counter", "control", lib::makeCounter(8)));
+  v.push_back(make("ct_bist", "control", lib::makeMisr(8, 0x1D)));
+  v.push_back(make("ct_gray", "control", lib::makeGrayCounter(6)));
+  v.push_back(make("ct_debounce", "control", lib::makeDebouncer(3)));
+  v.push_back(make("ct_tmr", "control", lib::makeMajorityVoter(4)));
+  return v;
+}
+
+std::vector<AppCircuit> allSuites() {
+  std::vector<AppCircuit> all;
+  for (auto* suite : {&multimediaSuite, &telecomSuite, &networkingSuite,
+                      &controlSuite}) {
+    for (AppCircuit& c : (*suite)()) all.push_back(std::move(c));
+  }
+  return all;
+}
+
+AppCircuit appCircuitByName(const std::string& name) {
+  for (AppCircuit& c : allSuites()) {
+    if (c.name == name) return std::move(c);
+  }
+  throw std::out_of_range("unknown application circuit: " + name);
+}
+
+}  // namespace vfpga::workloads

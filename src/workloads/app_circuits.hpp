@@ -1,0 +1,41 @@
+// Application circuit suites for the domains the paper's §5 motivates:
+// multimedia (compression front-ends), telecommunication (encoders and
+// scramblers), networking (checksums and classification), and embedded
+// control (controllers, supervision FSMs and built-in self test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vfpga::workloads {
+
+struct AppCircuit {
+  std::string name;
+  std::string domain;
+  Netlist netlist;
+};
+
+/// Compression / coding front-ends ("voice and image compression/
+/// decompression algorithms ... different standards", §5).
+std::vector<AppCircuit> multimediaSuite();
+
+/// Channel coding for "modems, faxes, switching systems, satellites, and
+/// cellular phones" (§5).
+std::vector<AppCircuit> telecomSuite();
+
+/// "High-performance programmable interfaces for networking" (§5).
+std::vector<AppCircuit> networkingSuite();
+
+/// "Embedded control systems ... periodic system testing and diagnosis as
+/// well as tuning of the operating parameters" (§5).
+std::vector<AppCircuit> controlSuite();
+
+/// All four suites concatenated.
+std::vector<AppCircuit> allSuites();
+
+/// Lookup by name across all suites (throws std::out_of_range).
+AppCircuit appCircuitByName(const std::string& name);
+
+}  // namespace vfpga::workloads

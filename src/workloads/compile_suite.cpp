@@ -1,0 +1,43 @@
+#include "workloads/compile_suite.hpp"
+
+namespace vfpga::workloads {
+
+std::uint16_t minimalStripWidth(Compiler& compiler, const Netlist& nl,
+                                std::uint64_t seed) {
+  const FabricGeometry& g = compiler.geometry();
+  CompileOptions probe;
+  probe.seed = seed;
+  probe.attempts = 2;
+  CompileError last("uncompilable");
+  for (std::uint16_t w = 1; w <= g.cols; ++w) {
+    try {
+      (void)compiler.compile(nl, Region::columns(g, 0, w), probe);
+      return w;
+    } catch (const CompileError& e) {
+      last = e;
+    }
+  }
+  throw last;
+}
+
+CompiledCircuit compileMinimal(Compiler& compiler, const Netlist& nl,
+                               std::uint64_t seed) {
+  const FabricGeometry& g = compiler.geometry();
+  const std::uint16_t w = minimalStripWidth(compiler, nl, seed);
+  CompileOptions opt;
+  opt.seed = seed;
+  return compiler.compile(nl, Region::columns(g, 0, w), opt);
+}
+
+std::vector<CompiledCircuit> compileSuite(Compiler& compiler,
+                                          const std::vector<AppCircuit>& suite,
+                                          std::uint64_t seed) {
+  std::vector<CompiledCircuit> out;
+  out.reserve(suite.size());
+  for (const AppCircuit& c : suite) {
+    out.push_back(compileMinimal(compiler, c.netlist, seed));
+  }
+  return out;
+}
+
+}  // namespace vfpga::workloads

@@ -1,0 +1,29 @@
+// Helpers for compiling circuit suites against a device: minimal-width
+// fitting (how narrow a relocatable strip a circuit can live in) and batch
+// compilation, shared by examples, tests and every experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "workloads/app_circuits.hpp"
+
+namespace vfpga::workloads {
+
+/// Narrowest strip width (in columns) at which `nl` compiles relocatably on
+/// the compiler's device, found by increasing width until place-and-route
+/// succeeds. Throws CompileError when even the full width fails.
+std::uint16_t minimalStripWidth(Compiler& compiler, const Netlist& nl,
+                                std::uint64_t seed = 1);
+
+/// Compiles `nl` into the narrowest strip that fits (anchored at column 0).
+CompiledCircuit compileMinimal(Compiler& compiler, const Netlist& nl,
+                               std::uint64_t seed = 1);
+
+/// Compiles a whole suite minimally; order preserved.
+std::vector<CompiledCircuit> compileSuite(Compiler& compiler,
+                                          const std::vector<AppCircuit>& suite,
+                                          std::uint64_t seed = 1);
+
+}  // namespace vfpga::workloads

@@ -1,0 +1,74 @@
+#include "workloads/random_netlist.hpp"
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+
+namespace vfpga::workloads {
+
+Netlist randomNetlist(const RandomNetlistParams& params, Rng& rng) {
+  if (params.inputs == 0 || params.outputs == 0) {
+    throw std::invalid_argument("random netlist needs ports");
+  }
+  Netlist nl("rand");
+  Builder b(nl);
+
+  std::vector<GateId> signals;
+  for (std::size_t i = 0; i < params.inputs; ++i) {
+    signals.push_back(nl.addInput("in" + std::to_string(i)));
+  }
+  // Feedback registers appear as signals immediately; their D inputs are
+  // bound after the DAG is built, closing loops through the registers.
+  std::vector<GateId> feedback;
+  for (std::size_t i = 0; i < params.feedbackRegs; ++i) {
+    const GateId q = b.dff(b.zero(), rng.bernoulli(0.3));
+    feedback.push_back(q);
+    signals.push_back(q);
+  }
+
+  auto pick = [&]() -> GateId {
+    if (rng.bernoulli(params.constFraction)) {
+      return nl.constant(rng.bernoulli(0.5));
+    }
+    return signals[rng.below(signals.size())];
+  };
+
+  std::size_t flopsLeft = params.flops;
+  for (std::size_t g = 0; g < params.gates; ++g) {
+    GateId out;
+    if (rng.bernoulli(params.muxFraction)) {
+      out = b.mux(pick(), pick(), pick());
+    } else {
+      static constexpr GateKind kinds[] = {
+          GateKind::kAnd,  GateKind::kOr,  GateKind::kXor, GateKind::kNand,
+          GateKind::kNor,  GateKind::kXnor};
+      const GateKind kind = kinds[rng.below(6)];
+      out = nl.addGate(kind, {pick(), pick()});
+    }
+    // Occasionally register the new signal (a pipeline stage).
+    if (flopsLeft > 0 && rng.bernoulli(0.15)) {
+      out = b.dff(out, rng.bernoulli(0.3));
+      --flopsLeft;
+    }
+    signals.push_back(out);
+  }
+
+  // Close the feedback loops on arbitrary signals.
+  for (GateId q : feedback) {
+    nl.rebindDff(q, signals[rng.below(signals.size())]);
+  }
+
+  // Outputs sample distinct-ish late signals (biased to the deep end so
+  // most of the DAG stays live).
+  for (std::size_t o = 0; o < params.outputs; ++o) {
+    const std::size_t lo = signals.size() / 2;
+    const GateId driver =
+        signals[lo + rng.below(signals.size() - lo)];
+    nl.addOutput("out" + std::to_string(o), driver);
+  }
+
+  nl.check();
+  return nl;
+}
+
+}  // namespace vfpga::workloads

@@ -1,0 +1,26 @@
+// Random netlist generation for property-based testing: arbitrary gate
+// DAGs with optional register feedback, exercising the mapper, placer,
+// router, bitstream generator and device simulator on shapes no
+// hand-written circuit would cover.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "sim/rng.hpp"
+
+namespace vfpga::workloads {
+
+struct RandomNetlistParams {
+  std::size_t inputs = 6;
+  std::size_t outputs = 6;
+  std::size_t gates = 40;      ///< combinational gates
+  std::size_t flops = 4;       ///< feed-forward DFFs sprinkled into the DAG
+  std::size_t feedbackRegs = 2;  ///< registers closing feedback loops
+  double muxFraction = 0.2;    ///< chance a gate is a MUX (3 fanins)
+  double constFraction = 0.05; ///< chance a fanin is a constant
+};
+
+/// Generates a checked random netlist; the same (params, seed) pair always
+/// produces the same circuit.
+Netlist randomNetlist(const RandomNetlistParams& params, Rng& rng);
+
+}  // namespace vfpga::workloads

@@ -1,0 +1,43 @@
+#include "workloads/taskset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vfpga::workloads {
+
+std::vector<TaskSpec> makeTaskSet(const TaskSetParams& params, Rng& rng) {
+  if (params.numConfigs == 0 || params.numTasks == 0) {
+    throw std::invalid_argument("empty task set parameters");
+  }
+  if (params.minCycles == 0 || params.maxCycles < params.minCycles) {
+    throw std::invalid_argument("bad cycle bounds");
+  }
+  std::vector<TaskSpec> specs;
+  SimTime arrival = 0;
+  for (std::size_t t = 0; t < params.numTasks; ++t) {
+    TaskSpec spec;
+    spec.name = "task" + std::to_string(t);
+    arrival += static_cast<SimTime>(std::llround(
+        rng.exponential(params.meanArrivalGapMs) * double(kMillisecond)));
+    spec.arrival = arrival;
+    const ConfigId sticky = static_cast<ConfigId>(
+        rng.zipf(params.numConfigs, params.configZipf));
+    for (std::size_t e = 0; e < params.execsPerTask; ++e) {
+      spec.ops.push_back(CpuBurst{static_cast<SimDuration>(std::llround(
+          rng.exponential(params.meanCpuBurstMs) * double(kMillisecond)))});
+      const ConfigId cfg =
+          params.oneConfigPerTask
+              ? sticky
+              : static_cast<ConfigId>(
+                    rng.zipf(params.numConfigs, params.configZipf));
+      const std::uint64_t cycles =
+          params.minCycles +
+          rng.below(params.maxCycles - params.minCycles + 1);
+      spec.ops.push_back(FpgaExec{cfg, cycles});
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace vfpga::workloads

@@ -1,0 +1,31 @@
+// Stochastic task-set generation for the OS experiments: tasks alternate
+// CPU bursts with FPGA executions, drawing configurations from a Zipf
+// distribution (locality of reuse), with exponential inter-arrival gaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "sim/rng.hpp"
+
+namespace vfpga::workloads {
+
+struct TaskSetParams {
+  std::size_t numTasks = 8;
+  std::size_t numConfigs = 4;       ///< configs drawn are in [0, numConfigs)
+  std::size_t execsPerTask = 3;     ///< FPGA ops per task
+  double meanArrivalGapMs = 1.0;    ///< exponential inter-arrival gap
+  double meanCpuBurstMs = 0.5;      ///< CPU burst between FPGA ops
+  std::uint64_t minCycles = 1000;   ///< per FPGA execution
+  std::uint64_t maxCycles = 100000;
+  double configZipf = 0.8;          ///< 0 = uniform config choice
+  /// When true every task sticks to one configuration (the common §3 case
+  /// of one hardware algorithm per task); otherwise each exec re-draws.
+  bool oneConfigPerTask = false;
+};
+
+/// Generates a deterministic task set (same params + seed -> same set).
+std::vector<TaskSpec> makeTaskSet(const TaskSetParams& params, Rng& rng);
+
+}  // namespace vfpga::workloads

@@ -1,0 +1,145 @@
+// Parameterized structural invariants of the fabric across geometries:
+// the routing graph, configuration map and relocation congruence must hold
+// for every device shape, not just the presets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compile/compiler.hpp"
+#include "fabric/config_map.hpp"
+#include "fabric/device_family.hpp"
+#include "fabric/routing_graph.hpp"
+#include "netlist/library/coding.hpp"
+
+namespace vfpga {
+namespace {
+
+struct GeomParam {
+  std::uint16_t rows, cols, wires;
+  std::uint8_t k, slots;
+};
+
+class FabricGeometrySweep : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(FabricGeometrySweep, RoutingGraphInvariants) {
+  const GeomParam p = GetParam();
+  FabricGeometry g{p.rows, p.cols, p.k, p.wires, p.slots};
+  RoutingGraph rrg(g);
+
+  // Node count matches the closed-form census.
+  const std::size_t expectNodes =
+      g.clbCount() * (1 + g.lutInputs) +
+      std::size_t(g.rows + 1) * g.cols * g.wiresPerChannel +
+      std::size_t(g.cols + 1) * g.rows * g.wiresPerChannel +
+      g.padSlotCount();
+  EXPECT_EQ(rrg.nodeCount(), expectNodes);
+
+  std::size_t outTotal = 0;
+  for (RRNodeId n = 0; n < rrg.nodeCount(); ++n) {
+    const RRNode& node = rrg.node(n);
+    // No self loops; endpoints valid; pin direction rules.
+    for (RREdgeId e : rrg.edgesFrom(n)) {
+      ASSERT_EQ(rrg.edge(e).from, n);
+      ASSERT_NE(rrg.edge(e).to, n);
+      ASSERT_LT(rrg.edge(e).to, rrg.nodeCount());
+    }
+    outTotal += rrg.edgesFrom(n).size();
+    if (node.kind == RRKind::kClbIn) {
+      EXPECT_TRUE(rrg.edgesFrom(n).empty());
+      EXPECT_EQ(rrg.edgesInto(n).size(), g.wiresPerChannel);
+    }
+    if (node.kind == RRKind::kClbOut) {
+      EXPECT_TRUE(rrg.edgesInto(n).empty());
+      EXPECT_EQ(rrg.edgesFrom(n).size(), 4u * g.wiresPerChannel);
+    }
+    if (node.kind == RRKind::kPadSlot) {
+      // Bidirectional pad connectivity: same fan-in and fan-out.
+      EXPECT_EQ(rrg.edgesFrom(n).size(), rrg.edgesInto(n).size());
+      EXPECT_EQ(rrg.edgesFrom(n).size(), g.wiresPerChannel);
+    }
+  }
+  EXPECT_EQ(outTotal, rrg.edgeCount());
+
+  // Ownership is a partition of nodes onto [0, cols).
+  std::vector<std::size_t> perCol(g.cols, 0);
+  for (RRNodeId n = 0; n < rrg.nodeCount(); ++n) {
+    ++perCol[rrg.ownerColumn(n)];
+  }
+  for (std::size_t c = 0; c < g.cols; ++c) EXPECT_GT(perCol[c], 0u);
+}
+
+TEST_P(FabricGeometrySweep, ConfigMapFramesTileColumns) {
+  const GeomParam p = GetParam();
+  FabricGeometry g{p.rows, p.cols, p.k, p.wires, p.slots};
+  RoutingGraph rrg(g);
+  ConfigMap map(rrg, 96);
+  std::uint32_t prev = 0;
+  for (std::uint16_t c = 0; c < g.cols; ++c) {
+    auto [f0, f1] = map.framesOfColumn(c);
+    EXPECT_EQ(f0, prev);
+    EXPECT_GT(f1, f0);
+    prev = f1;
+  }
+  EXPECT_EQ(prev, map.frameCount());
+  EXPECT_LE(map.usedBits(), map.totalBits());
+  // Every edge bit lands in its sink's owner column frames.
+  for (RREdgeId e = 0; e < rrg.edgeCount(); e += 7) {  // sampled
+    const std::uint16_t col = rrg.ownerColumn(rrg.edge(e).to);
+    auto [f0, f1] = map.framesOfColumn(col);
+    const std::uint32_t f = map.frameOfBit(map.edgeBit(e));
+    EXPECT_GE(f, f0);
+    EXPECT_LT(f, f1);
+  }
+}
+
+TEST_P(FabricGeometrySweep, InteriorColumnsAreCongruent) {
+  // The per-column used-bit count must be identical for interior columns —
+  // the property that makes strip relocation meaningful.
+  const GeomParam p = GetParam();
+  if (p.cols < 4) GTEST_SKIP();
+  FabricGeometry g{p.rows, p.cols, p.k, p.wires, p.slots};
+  RoutingGraph rrg(g);
+  ConfigMap map(rrg, 96);
+  std::set<std::uint32_t> interiorFrameCounts;
+  for (std::uint16_t c = 1; c + 2 < g.cols; ++c) {
+    auto [f0, f1] = map.framesOfColumn(c);
+    interiorFrameCounts.insert(f1 - f0);
+  }
+  EXPECT_EQ(interiorFrameCounts.size(), 1u)
+      << "interior columns differ in frame count";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FabricGeometrySweep,
+    ::testing::Values(GeomParam{4, 4, 4, 4, 2}, GeomParam{6, 6, 6, 4, 4},
+                      GeomParam{8, 12, 8, 4, 4}, GeomParam{12, 8, 8, 5, 3},
+                      GeomParam{3, 16, 6, 4, 2}),
+    [](const auto& info) {
+      return std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols) + "w" +
+             std::to_string(info.param.wires) + "k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(RelocationProperty, EveryInteriorTargetWorks) {
+  // One compiled circuit, relocated to every legal strip start: all must
+  // decode and keep the same structure.
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeSerialCrc(8, 0x07);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 4));
+  for (std::uint16_t x0 = 0; x0 + 4 <= dev.geometry().cols; ++x0) {
+    CompiledCircuit moved = compiler.relocate(c, x0);
+    dev.clearConfig();
+    dev.applyBitstream(moved.fullBitstream());
+    ASSERT_TRUE(dev.configOk())
+        << "x0=" << x0 << ": " << dev.elaboration().faults.front();
+    EXPECT_EQ(dev.elaboration().cells.size(), c.cellCount());
+    EXPECT_EQ(dev.elaboration().ffCount, c.ffCount());
+  }
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,133 @@
+// Property-based OS-kernel tests: randomly generated task sets must run to
+// completion under every policy, with accounting invariants intact, and
+// every run must be bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "core/os_kernel.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "workloads/taskset.hpp"
+
+namespace vfpga {
+namespace {
+
+struct KernelRun {
+  OsMetrics metrics;
+  std::vector<SimTime> finishTimes;
+};
+
+KernelRun runRandomWorkload(FpgaPolicy policy, std::uint64_t seed) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  ConfigPort port(dev, prof.port);
+  Compiler compiler(dev);
+  Simulation sim;
+  OsOptions opt;
+  opt.policy = policy;
+  if (policy == FpgaPolicy::kPartitionedFixed) opt.fixedWidths = {4, 4, 4};
+  if (policy == FpgaPolicy::kDynamicLoading) {
+    opt.fpgaSlice = (seed % 2) ? millis(1) : SimDuration{0};
+    opt.saveStateOnPreempt = (seed % 3) != 0;
+  }
+  OsKernel kernel(sim, dev, port, compiler, opt);
+
+  std::vector<ConfigId> cfgs;
+  for (int i = 0; i < 3; ++i) {
+    Netlist nl = (i == 0)   ? lib::makeCounter(6)
+                 : (i == 1) ? lib::makeChecksum(6)
+                            : lib::makeLfsr(8, 0b10111000);
+    nl.setName("c" + std::to_string(i));
+    cfgs.push_back(kernel.registerConfig(compiler.compile(
+        nl, Region::columns(dev.geometry(), 0, 4))));
+  }
+
+  Rng rng(seed);
+  workloads::TaskSetParams params;
+  params.numTasks = 4 + rng.below(8);
+  params.numConfigs = 3;
+  params.execsPerTask = 1 + rng.below(3);
+  params.minCycles = 1000;
+  params.maxCycles = 200000;
+  params.meanArrivalGapMs = 0.2 + rng.uniform();
+  params.meanCpuBurstMs = 0.05 + rng.uniform() * 0.3;
+  params.configZipf = rng.uniform() * 1.5;
+  params.oneConfigPerTask = rng.bernoulli(0.5);
+  for (auto& spec : workloads::makeTaskSet(params, rng)) {
+    kernel.addTask(spec);
+  }
+  kernel.run();
+
+  KernelRun result;
+  result.metrics = kernel.metrics();
+  for (const TaskRuntime& t : kernel.tasks()) {
+    result.finishTimes.push_back(t.finish);
+  }
+  // Device must be left in a decodable state under every policy.
+  EXPECT_TRUE(dev.configOk()) << dev.elaboration().faults.front();
+  return result;
+}
+
+class KernelFuzz
+    : public ::testing::TestWithParam<std::tuple<FpgaPolicy, std::uint64_t>> {
+};
+
+TEST_P(KernelFuzz, InvariantsHoldOnRandomWorkloads) {
+  const auto [policy, seed] = GetParam();
+  const KernelRun run = runRandomWorkload(policy, seed);
+  const OsMetrics& m = run.metrics;
+
+  // Every task finished; makespan is the latest finish.
+  EXPECT_EQ(m.tasksFinished, run.finishTimes.size());
+  SimTime latest = 0;
+  for (SimTime f : run.finishTimes) latest = std::max(latest, f);
+  EXPECT_EQ(m.makespan, latest);
+
+  // Accounting identities.
+  EXPECT_EQ(m.waitTime.count(), m.tasksFinished);
+  EXPECT_EQ(m.turnaround.count(), m.tasksFinished);
+  EXPECT_GE(m.turnaround.max(), m.waitTime.min());
+  if (policy == FpgaPolicy::kSoftwareOnly) {
+    EXPECT_EQ(m.downloads, 0u);
+    EXPECT_EQ(m.fpgaComputeTime, 0u);
+  } else {
+    EXPECT_GT(m.fpgaGrants, 0u);
+    // Compute cannot exceed makespan times the concurrency bound.
+    const std::uint64_t maxConcurrent =
+        (policy == FpgaPolicy::kPartitionedFixed ||
+         policy == FpgaPolicy::kPartitionedVariable)
+            ? 3u  // 12 columns / 4-wide circuits
+            : 1u;
+    EXPECT_LE(m.fpgaComputeTime, m.makespan * maxConcurrent);
+    EXPECT_LE(m.configTime, m.makespan);
+  }
+  // Roll-backs only exist in the no-save dynamic regime.
+  if (policy != FpgaPolicy::kDynamicLoading) EXPECT_EQ(m.rollbacks, 0u);
+}
+
+TEST_P(KernelFuzz, RunsAreBitDeterministic) {
+  const auto [policy, seed] = GetParam();
+  const KernelRun a = runRandomWorkload(policy, seed);
+  const KernelRun b = runRandomWorkload(policy, seed);
+  EXPECT_EQ(a.finishTimes, b.finishTimes);
+  EXPECT_EQ(a.metrics.makespan, b.metrics.makespan);
+  EXPECT_EQ(a.metrics.downloads, b.metrics.downloads);
+  EXPECT_EQ(a.metrics.bitsDownloaded, b.metrics.bitsDownloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, KernelFuzz,
+    ::testing::Combine(
+        ::testing::Values(FpgaPolicy::kSoftwareOnly, FpgaPolicy::kExclusive,
+                          FpgaPolicy::kDynamicLoading,
+                          FpgaPolicy::kPartitionedFixed,
+                          FpgaPolicy::kPartitionedVariable),
+        ::testing::Values(1, 2, 3, 4)),
+    [](const auto& info) {
+      return std::string(fpgaPolicyName(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,282 @@
+// Tests for the DSP / reliability / control extensions of the circuit
+// library, against plain-integer reference models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "netlist/builder.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/dsp.hpp"
+#include "sim/rng.hpp"
+#include "techmap/lut_mapper.hpp"
+
+namespace vfpga {
+namespace {
+
+std::uint64_t mask(std::size_t bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+TEST(SortingNetwork4, SortsAllRandomQuadruples) {
+  const std::size_t w = 5;
+  Netlist nl = lib::makeSortingNetwork4(w);
+  Evaluator ev(nl);
+  std::array<Bus, 4> in, out;
+  for (int i = 0; i < 4; ++i) {
+    in[static_cast<std::size_t>(i)] =
+        findInputBus(nl, "e" + std::to_string(i), w);
+    out[static_cast<std::size_t>(i)] =
+        findOutputBus(nl, "s" + std::to_string(i), w);
+  }
+  Rng rng(12);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::array<std::uint64_t, 4> vals;
+    for (auto& v : vals) v = rng.next() & mask(w);
+    if (rng.bernoulli(0.3)) vals[1] = vals[2];  // exercise equal keys
+    for (int i = 0; i < 4; ++i) {
+      ev.writeBus(in[static_cast<std::size_t>(i)],
+                  vals[static_cast<std::size_t>(i)]);
+    }
+    ev.eval();
+    std::array<std::uint64_t, 4> expect = vals;
+    std::sort(expect.begin(), expect.end());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(ev.readBus(out[static_cast<std::size_t>(i)]),
+                expect[static_cast<std::size_t>(i)])
+          << "lane " << i;
+    }
+  }
+}
+
+TEST(FirFilter, MatchesShiftAddModel) {
+  const std::size_t w = 8;
+  const std::vector<std::size_t> shifts{0, 1, 3};  // taps 1, 1/2, 1/8
+  Netlist nl = lib::makeFirFilter(w, shifts);
+  Evaluator ev(nl);
+  const Bus x = findInputBus(nl, "x", w);
+  const Bus y = findOutputBus(nl, "y", w);
+  Rng rng(9);
+  std::vector<std::uint64_t> history;  // history[0] = current input
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const std::uint64_t v = rng.next() & mask(w);
+    history.insert(history.begin(), v);
+    ev.writeBus(x, v);
+    ev.eval();
+    std::uint64_t expect = 0;
+    for (std::size_t k = 0; k < shifts.size(); ++k) {
+      const std::uint64_t xk = k < history.size() ? history[k] : 0;
+      expect = (expect + (xk >> shifts[k])) & mask(w);
+    }
+    ASSERT_EQ(ev.readBus(y), expect) << "cycle " << cycle;
+    ev.tick();
+  }
+}
+
+TEST(FirFilter, RejectsEmptyTapList) {
+  EXPECT_THROW(lib::makeFirFilter(8, {}), std::invalid_argument);
+}
+
+TEST(MajorityVoter, OutvotesSingleFaults) {
+  const std::size_t w = 6;
+  Netlist nl = lib::makeMajorityVoter(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus c = findInputBus(nl, "c", w);
+  const Bus v = findOutputBus(nl, "v", w);
+  Rng rng(33);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t good = rng.next() & mask(w);
+    std::uint64_t lanes[3] = {good, good, good};
+    const bool faulty = rng.bernoulli(0.7);
+    if (faulty) {
+      lanes[rng.below(3)] ^= 1ULL << rng.below(w);  // single-lane bit flip
+    }
+    ev.writeBus(a, lanes[0]);
+    ev.writeBus(b, lanes[1]);
+    ev.writeBus(c, lanes[2]);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(v), good);
+    ASSERT_EQ(ev.output("disagree"), faulty);
+  }
+}
+
+TEST(MajorityVoter, DoubleFaultWins) {
+  // TMR only masks single faults: two agreeing wrong lanes outvote truth.
+  Netlist nl = lib::makeMajorityVoter(4);
+  Evaluator ev(nl);
+  ev.writeBus(findInputBus(nl, "a", 4), 0x3);
+  ev.writeBus(findInputBus(nl, "b", 4), 0xC);
+  ev.writeBus(findInputBus(nl, "c", 4), 0xC);
+  ev.eval();
+  EXPECT_EQ(ev.readBus(findOutputBus(nl, "v", 4)), 0xCu);
+  EXPECT_TRUE(ev.output("disagree"));
+}
+
+TEST(SaturatingAdder, ClampsInsteadOfWrapping) {
+  const std::size_t w = 6;
+  Netlist nl = lib::makeSaturatingAdder(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus s = findOutputBus(nl, "s", w);
+  Rng rng(44);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::uint64_t av = rng.next() & mask(w);
+    const std::uint64_t bv = rng.next() & mask(w);
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.eval();
+    const std::uint64_t expect = std::min(av + bv, mask(w));
+    ASSERT_EQ(ev.readBus(s), expect);
+    ASSERT_EQ(ev.output("sat"), av + bv > mask(w));
+  }
+}
+
+TEST(GrayCounter, OneBitFlipsPerStep) {
+  const std::size_t bits = 5;
+  Netlist nl = lib::makeGrayCounter(bits);
+  Evaluator ev(nl);
+  const Bus g = findOutputBus(nl, "g", bits);
+  ev.setInput("en", true);
+  std::uint64_t prev = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < (1 << bits); ++i) {
+    ev.eval();
+    const std::uint64_t cur = ev.readBus(g);
+    if (i > 0) {
+      EXPECT_EQ(__builtin_popcountll(cur ^ prev), 1) << "step " << i;
+    }
+    EXPECT_TRUE(seen.insert(cur).second) << "repeat at step " << i;
+    prev = cur;
+    ev.tick();
+  }
+  ev.eval();
+  EXPECT_EQ(ev.readBus(g), 0u);  // full period
+}
+
+TEST(GrayCounter, HoldsWhenDisabled) {
+  Netlist nl = lib::makeGrayCounter(4);
+  Evaluator ev(nl);
+  const Bus g = findOutputBus(nl, "g", 4);
+  ev.setInput("en", true);
+  for (int i = 0; i < 5; ++i) {
+    ev.eval();
+    ev.tick();
+  }
+  ev.setInput("en", false);
+  ev.eval();
+  const std::uint64_t held = ev.readBus(g);
+  for (int i = 0; i < 5; ++i) {
+    ev.eval();
+    ev.tick();
+  }
+  ev.eval();
+  EXPECT_EQ(ev.readBus(g), held);
+}
+
+TEST(Debouncer, IgnoresGlitchesFollowsStableInput) {
+  const std::size_t cb = 3;  // needs 8 stable cycles
+  Netlist nl = lib::makeDebouncer(cb);
+  Evaluator ev(nl);
+  auto step = [&](bool d) {
+    ev.setInput("d", d);
+    ev.eval();
+    const bool q = ev.output("q");
+    ev.tick();
+    return q;
+  };
+  // Short glitches never propagate.
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(step(true));
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(step(false));
+  }
+  // A long-stable high eventually flips the output exactly once.
+  int flips = 0;
+  bool last = false;
+  for (int i = 0; i < 20; ++i) {
+    const bool q = step(true);
+    if (q != last) ++flips;
+    last = q;
+  }
+  EXPECT_TRUE(last);
+  EXPECT_EQ(flips, 1);
+}
+
+TEST(Serializer, ShiftsWordLsbFirst) {
+  const std::size_t w = 6;
+  Netlist nl = lib::makeSerializer(w);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  Rng rng(21);
+  for (int word = 0; word < 20; ++word) {
+    const std::uint64_t v = rng.next() & mask(w);
+    ev.writeBus(d, v);
+    ev.setInput("load", true);
+    ev.eval();
+    ev.tick();
+    ev.setInput("load", false);
+    std::uint64_t received = 0;
+    int bits = 0;
+    for (int i = 0; i < 20; ++i) {
+      ev.eval();
+      if (!ev.output("busy")) break;
+      received |= static_cast<std::uint64_t>(ev.output("tx")) << bits;
+      ++bits;
+      ev.tick();
+    }
+    EXPECT_EQ(bits, static_cast<int>(w));
+    EXPECT_EQ(received, v) << "word " << word;
+  }
+}
+
+TEST(Serializer, IdleLineIsLow) {
+  Netlist nl = lib::makeSerializer(4);
+  Evaluator ev(nl);
+  ev.setInput("load", false);
+  ev.writeBus(findInputBus(nl, "d", 4), 0xF);
+  for (int i = 0; i < 8; ++i) {
+    ev.eval();
+    EXPECT_FALSE(ev.output("busy"));
+    EXPECT_FALSE(ev.output("tx"));
+    ev.tick();
+  }
+}
+
+// New circuits also pass the mapper (the property suite covers random
+// DAGs; this covers the specific new structures).
+TEST(DspLibrary, AllNewCircuitsMapEquivalently) {
+  std::vector<Netlist> all;
+  all.push_back(lib::makeSortingNetwork4(4));
+  all.push_back(lib::makeFirFilter(6, {0, 2}));
+  all.push_back(lib::makeMajorityVoter(5));
+  all.push_back(lib::makeSaturatingAdder(5));
+  all.push_back(lib::makeGrayCounter(4));
+  all.push_back(lib::makeDebouncer(2));
+  all.push_back(lib::makeSerializer(4));
+  Rng rng(77);
+  for (Netlist& nl : all) {
+    MappedNetlist m = mapToLuts(nl);
+    Evaluator ref(nl);
+    MappedEvaluator dut(m);
+    for (int cycle = 0; cycle < 48; ++cycle) {
+      std::vector<bool> in(nl.inputs().size());
+      for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bernoulli(0.5);
+      ref.setInputs(in);
+      for (std::size_t i = 0; i < in.size(); ++i) dut.setInput(i, in[i]);
+      ref.eval();
+      dut.eval();
+      for (std::size_t o = 0; o < m.outputs.size(); ++o) {
+        ASSERT_EQ(dut.output(o), ref.value(nl.outputs()[o]))
+            << nl.name() << " output " << m.outputs[o].name;
+      }
+      ref.tick();
+      dut.tick();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,625 @@
+// Library circuits are validated against plain-integer software reference
+// models, exhaustively for small widths and with random vectors for larger
+// ones. These same circuits later serve as the application workloads, so
+// their correctness underpins every end-to-end experiment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "sim/rng.hpp"
+
+namespace vfpga {
+namespace {
+
+using lib::FsmSpec;
+
+std::uint64_t mask(std::size_t bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+// ---------------------------------------------------------------- arithmetic
+
+class AdderWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderWidth, MatchesIntegerAddition) {
+  const std::size_t w = GetParam();
+  Netlist nl = lib::makeRippleAdder(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus sum = findOutputBus(nl, "sum", w);
+  Rng rng(100 + w);
+  const int iters = w <= 4 ? -1 : 300;  // -1 => exhaustive
+  auto checkOne = [&](std::uint64_t av, std::uint64_t bv, bool cin) {
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.setInput("cin", cin);
+    ev.eval();
+    const std::uint64_t expect = av + bv + (cin ? 1 : 0);
+    ASSERT_EQ(ev.readBus(sum), expect & mask(w));
+    ASSERT_EQ(ev.output("cout"), (expect >> w) != 0);
+  };
+  if (iters < 0) {
+    for (std::uint64_t av = 0; av <= mask(w); ++av) {
+      for (std::uint64_t bv = 0; bv <= mask(w); ++bv) {
+        checkOne(av, bv, false);
+        checkOne(av, bv, true);
+      }
+    }
+  } else {
+    for (int i = 0; i < iters; ++i) {
+      checkOne(rng.next() & mask(w), rng.next() & mask(w), rng.bernoulli(0.5));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidth,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+class SubWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SubWidth, MatchesIntegerSubtraction) {
+  const std::size_t w = GetParam();
+  Netlist nl = lib::makeSubtractor(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus diff = findOutputBus(nl, "diff", w);
+  Rng rng(200 + w);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t av = rng.next() & mask(w);
+    const std::uint64_t bv = rng.next() & mask(w);
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(diff), (av - bv) & mask(w));
+    ASSERT_EQ(ev.output("borrow"), av < bv);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SubWidth, ::testing::Values(2, 4, 8, 16));
+
+class CmpWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmpWidth, MatchesIntegerComparison) {
+  const std::size_t w = GetParam();
+  Netlist nl = lib::makeComparator(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  Rng rng(300 + w);
+  for (int i = 0; i < 500; ++i) {
+    // Mix random pairs with near-equal pairs to exercise the equality path.
+    std::uint64_t av = rng.next() & mask(w);
+    std::uint64_t bv = rng.bernoulli(0.3) ? av : (rng.next() & mask(w));
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.eval();
+    ASSERT_EQ(ev.output("eq"), av == bv);
+    ASSERT_EQ(ev.output("lt"), av < bv);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CmpWidth, ::testing::Values(1, 4, 8, 12));
+
+class MulWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MulWidth, MatchesIntegerMultiplication) {
+  const std::size_t w = GetParam();
+  Netlist nl = lib::makeArrayMultiplier(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus p = findOutputBus(nl, "p", 2 * w);
+  Rng rng(400 + w);
+  const bool exhaustive = w <= 4;
+  if (exhaustive) {
+    for (std::uint64_t av = 0; av <= mask(w); ++av) {
+      for (std::uint64_t bv = 0; bv <= mask(w); ++bv) {
+        ev.writeBus(a, av);
+        ev.writeBus(b, bv);
+        ev.eval();
+        ASSERT_EQ(ev.readBus(p), av * bv);
+      }
+    }
+  } else {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t av = rng.next() & mask(w);
+      const std::uint64_t bv = rng.next() & mask(w);
+      ev.writeBus(a, av);
+      ev.writeBus(b, bv);
+      ev.eval();
+      ASSERT_EQ(ev.readBus(p), av * bv);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MulWidth, ::testing::Values(2, 3, 4, 8));
+
+TEST(Mac, AccumulatesProductsAndClears) {
+  const std::size_t w = 4;
+  Netlist nl = lib::makeMac(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus acc = findOutputBus(nl, "acc", 2 * w);
+  Rng rng(77);
+  std::uint64_t model = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t av = rng.next() & mask(w);
+    const std::uint64_t bv = rng.next() & mask(w);
+    const bool clr = rng.bernoulli(0.1);
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.setInput("clr", clr);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(acc), model);  // Moore: output is pre-tick state
+    ev.tick();
+    model = clr ? 0 : (model + av * bv) & mask(2 * w);
+  }
+}
+
+TEST(Alu, AllFourOps) {
+  const std::size_t w = 8;
+  Netlist nl = lib::makeAlu(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus op = findInputBus(nl, "op", 2);
+  const Bus r = findOutputBus(nl, "r", w);
+  Rng rng(55);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t av = rng.next() & mask(w);
+    const std::uint64_t bv = rng.next() & mask(w);
+    const std::uint64_t opv = rng.below(4);
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.writeBus(op, opv);
+    ev.eval();
+    std::uint64_t expect = 0;
+    switch (opv) {
+      case 0: expect = av + bv; break;
+      case 1: expect = av - bv; break;
+      case 2: expect = av & bv; break;
+      case 3: expect = av ^ bv; break;
+    }
+    ASSERT_EQ(ev.readBus(r), expect & mask(w)) << "op " << opv;
+  }
+}
+
+// -------------------------------------------------------------------- coding
+
+std::uint64_t softCrcStep(std::uint64_t crc, int d, std::size_t n,
+                          std::uint64_t poly) {
+  const int fb = static_cast<int>((crc >> (n - 1)) & 1) ^ d;
+  std::uint64_t next = (crc << 1) & mask(n);
+  if (fb) next ^= (poly | 1) & mask(n);
+  return next;
+}
+
+TEST(SerialCrc, MatchesSoftwareModel) {
+  const std::size_t n = 8;
+  const std::uint64_t poly = 0x07;  // CRC-8-CCITT
+  Netlist nl = lib::makeSerialCrc(n, poly);
+  Evaluator ev(nl);
+  const Bus crc = findOutputBus(nl, "crc", n);
+  Rng rng(11);
+  std::uint64_t model = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int bit = rng.bernoulli(0.5) ? 1 : 0;
+    ev.setInput("d", bit != 0);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(crc), model);
+    ev.tick();
+    model = softCrcStep(model, bit, n, poly);
+  }
+}
+
+class ParallelCrcWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelCrcWidth, MatchesUnrolledSerialModel) {
+  const std::size_t n = 16;
+  const std::uint64_t poly = 0x1021;  // CRC-16-CCITT
+  const std::size_t dw = GetParam();
+  Netlist nl = lib::makeParallelCrc(n, poly, dw);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", dw);
+  const Bus crc = findOutputBus(nl, "crc", n);
+  Rng rng(n + dw);
+  std::uint64_t model = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t word = rng.next() & mask(dw);
+    ev.writeBus(d, word);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(crc), model);
+    ev.tick();
+    for (std::size_t k = dw; k-- > 0;) {
+      model = softCrcStep(model, static_cast<int>((word >> k) & 1), n, poly);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DataWidths, ParallelCrcWidth,
+                         ::testing::Values(1, 4, 8, 16));
+
+TEST(Lfsr, MaximalLengthPeriod) {
+  // x^4 + x^3 + 1 taps (bits 3 and 2 in Fibonacci stage numbering below)
+  // give a maximal 15-step period for a 4-bit register.
+  Netlist nl = lib::makeLfsr(4, 0b1100);
+  Evaluator ev(nl);
+  const Bus q = findOutputBus(nl, "q", 4);
+  ev.eval();
+  const std::uint64_t start = ev.readBus(q);
+  EXPECT_EQ(start, 1u);
+  std::vector<std::uint64_t> seen;
+  for (int i = 0; i < 15; ++i) {
+    seen.push_back(ev.readBus(q));
+    EXPECT_NE(ev.readBus(q), 0u);  // never reaches the absorbing state
+    ev.tick();
+    ev.eval();
+  }
+  EXPECT_EQ(ev.readBus(q), start);  // period exactly 15
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(ParityTree, MatchesPopcountParity) {
+  const std::size_t w = 9;
+  Netlist nl = lib::makeParityTree(w);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  for (std::uint64_t v = 0; v <= mask(w); ++v) {
+    ev.writeBus(d, v);
+    ev.eval();
+    ASSERT_EQ(ev.output("p"), (__builtin_popcountll(v) & 1) != 0);
+  }
+}
+
+TEST(Hamming74, CodewordsHaveDistanceThree) {
+  Netlist nl = lib::makeHamming74Encoder();
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", 4);
+  const Bus c = findOutputBus(nl, "c", 7);
+  std::vector<std::uint64_t> codewords;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    ev.writeBus(d, v);
+    ev.eval();
+    codewords.push_back(ev.readBus(c));
+    EXPECT_EQ(codewords.back() & 0xF, v);  // systematic
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = i + 1; j < 16; ++j) {
+      EXPECT_GE(__builtin_popcountll(codewords[i] ^ codewords[j]), 3);
+    }
+  }
+}
+
+TEST(ConvolutionalEncoder, MatchesShiftRegisterModel) {
+  // Industry-standard K=7 rate-1/2 code (Voyager), generators 171/133 octal.
+  const std::size_t K = 7;
+  const std::vector<std::uint64_t> polys{0171, 0133};
+  Netlist nl = lib::makeConvolutionalEncoder(K, polys);
+  Evaluator ev(nl);
+  const Bus y = findOutputBus(nl, "y", 2);
+  Rng rng(3);
+  std::uint64_t sr = 0;  // bit j = input from j+1 cycles ago
+  for (int i = 0; i < 300; ++i) {
+    const int bit = rng.bernoulli(0.5) ? 1 : 0;
+    ev.setInput("d", bit != 0);
+    ev.eval();
+    for (std::size_t p = 0; p < polys.size(); ++p) {
+      int expect = (polys[p] & 1) ? bit : 0;
+      for (std::size_t s = 1; s < K; ++s) {
+        if ((polys[p] >> s) & 1) expect ^= static_cast<int>((sr >> (s - 1)) & 1);
+      }
+      ASSERT_EQ((ev.readBus(y) >> p) & 1, static_cast<std::uint64_t>(expect));
+    }
+    ev.tick();
+    sr = ((sr << 1) | static_cast<std::uint64_t>(bit)) & mask(K - 1);
+  }
+}
+
+// ------------------------------------------------------------------- control
+
+TEST(Counter, CountsEnablesClearsAndWraps) {
+  const std::size_t w = 4;
+  Netlist nl = lib::makeCounter(w);
+  Evaluator ev(nl);
+  const Bus q = findOutputBus(nl, "q", w);
+  Rng rng(8);
+  std::uint64_t model = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool en = rng.bernoulli(0.7);
+    const bool clr = rng.bernoulli(0.1);
+    ev.setInput("en", en);
+    ev.setInput("clr", clr);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(q), model);
+    ASSERT_EQ(ev.output("wrap"), en && model == mask(w));
+    ev.tick();
+    model = clr ? 0 : (en ? (model + 1) & mask(w) : model);
+  }
+}
+
+TEST(ShiftRegister, TracksRecentBits) {
+  Netlist nl = lib::makeShiftRegister(5);
+  Evaluator ev(nl);
+  const Bus q = findOutputBus(nl, "q", 5);
+  std::uint64_t model = 0;
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const int bit = rng.bernoulli(0.5) ? 1 : 0;
+    ev.setInput("d", bit != 0);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(q), model);
+    ev.tick();
+    model = ((model << 1) | static_cast<std::uint64_t>(bit)) & mask(5);
+  }
+}
+
+FsmSpec trafficLightSpec() {
+  // 3 states (green/yellow/red), 1 input (car sensor), Moore output = state
+  // color one-hot.
+  FsmSpec s;
+  s.numStates = 3;
+  s.inputBits = 1;
+  s.outputBits = 3;
+  s.next = {{0, 1}, {2, 2}, {0, 0}};  // green stays green until a car comes
+  s.moore = {0b001, 0b010, 0b100};
+  s.resetState = 0;
+  return s;
+}
+
+TEST(Fsm, FollowsTransitionTable) {
+  FsmSpec spec = trafficLightSpec();
+  Netlist nl = lib::makeFsm(spec);
+  Evaluator ev(nl);
+  const Bus out = findOutputBus(nl, "out", 3);
+  const Bus state = findOutputBus(nl, "state", spec.stateBits());
+  Rng rng(4);
+  std::size_t model = 0;
+  for (int i = 0; i < 100; ++i) {
+    const bool car = rng.bernoulli(0.4);
+    ev.setInput("in", car);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(state), model);
+    ASSERT_EQ(ev.readBus(out), spec.moore[model]);
+    ev.tick();
+    model = spec.next[model][car ? 1 : 0];
+  }
+}
+
+TEST(Fsm, ValidateRejectsMalformedSpecs) {
+  FsmSpec s = trafficLightSpec();
+  s.next[0][0] = 7;  // out-of-range state
+  EXPECT_THROW(lib::makeFsm(s), std::invalid_argument);
+  s = trafficLightSpec();
+  s.moore.pop_back();
+  EXPECT_THROW(lib::makeFsm(s), std::invalid_argument);
+  s = trafficLightSpec();
+  s.resetState = 5;
+  EXPECT_THROW(lib::makeFsm(s), std::invalid_argument);
+}
+
+TEST(PiController, MatchesFixedPointModel) {
+  const std::size_t w = 8, kp = 1, ki = 3;
+  Netlist nl = lib::makePiController(w, kp, ki);
+  Evaluator ev(nl);
+  const Bus sp = findInputBus(nl, "sp", w);
+  const Bus y = findInputBus(nl, "y", w);
+  const Bus u = findOutputBus(nl, "u", w);
+  Rng rng(31);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t spv = rng.next() & mask(w);
+    const std::uint64_t yv = rng.next() & mask(w);
+    ev.writeBus(sp, spv);
+    ev.writeBus(y, yv);
+    ev.eval();
+    const std::uint64_t e = (spv - yv) & mask(w);
+    ASSERT_EQ(ev.readBus(u), ((e >> kp) + acc) & mask(w));
+    ev.tick();
+    acc = (acc + (e >> ki)) & mask(w);
+  }
+}
+
+TEST(Misr, MatchesSignatureModel) {
+  const std::size_t w = 8;
+  const std::uint64_t poly = 0x1D;
+  Netlist nl = lib::makeMisr(w, poly);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  const Bus sig = findOutputBus(nl, "sig", w);
+  Rng rng(62);
+  std::uint64_t model = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t word = rng.next() & mask(w);
+    ev.writeBus(d, word);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(sig), model);
+    ev.tick();
+    const std::uint64_t fb = (model >> (w - 1)) & 1;
+    std::uint64_t next = 0;
+    for (std::size_t k = 0; k < w; ++k) {
+      std::uint64_t bit = (k == 0) ? fb : (model >> (k - 1)) & 1;
+      if (k != 0 && ((poly >> k) & 1)) bit ^= fb;
+      next |= (bit ^ ((word >> k) & 1)) << k;
+    }
+    model = next;
+  }
+}
+
+TEST(Misr, DistinguishesCorruptedStreams) {
+  const std::size_t w = 16;
+  Netlist nl = lib::makeMisr(w, 0x1021);
+  const Bus d = findInputBus(nl, "d", w);
+  const Bus sig = findOutputBus(nl, "sig", w);
+  auto signatureOf = [&](std::uint64_t corruptAt) {
+    Evaluator ev(nl);
+    Rng rng(99);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      std::uint64_t word = rng.next() & mask(w);
+      if (i == corruptAt) word ^= 1;  // single bit flip
+      ev.writeBus(d, word);
+      ev.eval();
+      ev.tick();
+    }
+    ev.eval();
+    return ev.readBus(sig);
+  };
+  const std::uint64_t good = signatureOf(UINT64_MAX);
+  for (std::uint64_t at : {0u, 13u, 63u}) {
+    EXPECT_NE(signatureOf(at), good) << "flip at " << at;
+  }
+}
+
+// ------------------------------------------------------------------ datapath
+
+TEST(BarrelShifter, AllShiftAmounts) {
+  const std::size_t w = 8;
+  Netlist nl = lib::makeBarrelShifter(w);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  const Bus sh = findInputBus(nl, "sh", 3);
+  const Bus q = findOutputBus(nl, "q", w);
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.next() & mask(w);
+    const std::uint64_t s = rng.below(8);
+    ev.writeBus(d, v);
+    ev.writeBus(sh, s);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(q), (v << s) & mask(w));
+  }
+}
+
+TEST(Popcount, Exhaustive8Bit) {
+  Netlist nl = lib::makePopcount(8);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", 8);
+  const Bus n = findOutputBus(nl, "n", 4);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    ev.writeBus(d, v);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(n),
+              static_cast<std::uint64_t>(__builtin_popcountll(v)));
+  }
+}
+
+TEST(PriorityEncoder, LowestSetBitWins) {
+  const std::size_t w = 8;
+  Netlist nl = lib::makePriorityEncoder(w);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  const Bus idx = findOutputBus(nl, "idx", 3);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    ev.writeBus(d, v);
+    ev.eval();
+    ASSERT_EQ(ev.output("valid"), v != 0);
+    if (v != 0) {
+      ASSERT_EQ(ev.readBus(idx),
+                static_cast<std::uint64_t>(__builtin_ctzll(v)));
+    }
+  }
+}
+
+TEST(Checksum, AccumulatesModuloWidth) {
+  const std::size_t w = 8;
+  Netlist nl = lib::makeChecksum(w);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  const Bus acc = findOutputBus(nl, "acc", w);
+  Rng rng(51);
+  std::uint64_t model = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.next() & mask(w);
+    ev.writeBus(d, v);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(acc), model);
+    ev.tick();
+    model = (model + v) & mask(w);
+  }
+}
+
+TEST(RunLengthDetector, CountsRuns) {
+  const std::size_t w = 4, cw = 4;
+  Netlist nl = lib::makeRunLengthDetector(w, cw);
+  Evaluator ev(nl);
+  const Bus d = findInputBus(nl, "d", w);
+  const Bus run = findOutputBus(nl, "run", cw);
+  const std::vector<std::uint64_t> stream{5, 5, 5, 2, 2, 9, 9, 9, 9, 1};
+  std::uint64_t prev = 0, modelRun = 0;
+  for (std::uint64_t v : stream) {
+    ev.writeBus(d, v);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(run), modelRun);
+    ASSERT_EQ(ev.output("match"), v == prev);
+    ev.tick();
+    modelRun = (v == prev) ? (modelRun + 1) & mask(cw) : 1;
+    prev = v;
+  }
+}
+
+TEST(MinMax, OrdersPairs) {
+  const std::size_t w = 6;
+  Netlist nl = lib::makeMinMax(w);
+  Evaluator ev(nl);
+  const Bus a = findInputBus(nl, "a", w);
+  const Bus b = findInputBus(nl, "b", w);
+  const Bus mn = findOutputBus(nl, "mn", w);
+  const Bus mx = findOutputBus(nl, "mx", w);
+  Rng rng(71);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t av = rng.next() & mask(w);
+    const std::uint64_t bv = rng.bernoulli(0.2) ? av : rng.next() & mask(w);
+    ev.writeBus(a, av);
+    ev.writeBus(b, bv);
+    ev.eval();
+    ASSERT_EQ(ev.readBus(mn), std::min(av, bv));
+    ASSERT_EQ(ev.readBus(mx), std::max(av, bv));
+  }
+}
+
+// Every library circuit passes Netlist::check() and has no comb cycle; this
+// guards the stateBus/bindState pattern used throughout.
+TEST(Library, AllGeneratorsProduceCheckedNetlists) {
+  std::vector<Netlist> all;
+  all.push_back(lib::makeRippleAdder(8));
+  all.push_back(lib::makeSubtractor(8));
+  all.push_back(lib::makeComparator(8));
+  all.push_back(lib::makeArrayMultiplier(4));
+  all.push_back(lib::makeMac(4));
+  all.push_back(lib::makeAlu(8));
+  all.push_back(lib::makeSerialCrc(8, 0x07));
+  all.push_back(lib::makeParallelCrc(16, 0x1021, 8));
+  all.push_back(lib::makeLfsr(8, 0b10111000));
+  all.push_back(lib::makeParityTree(8));
+  all.push_back(lib::makeHamming74Encoder());
+  all.push_back(lib::makeConvolutionalEncoder(3, {0b111, 0b101}));
+  all.push_back(lib::makeCounter(8));
+  all.push_back(lib::makeShiftRegister(8));
+  all.push_back(lib::makeFsm(trafficLightSpec()));
+  all.push_back(lib::makePiController(8, 1, 2));
+  all.push_back(lib::makeMisr(8, 0x1D));
+  all.push_back(lib::makeBarrelShifter(8));
+  all.push_back(lib::makePopcount(8));
+  all.push_back(lib::makePriorityEncoder(8));
+  all.push_back(lib::makeChecksum(8));
+  all.push_back(lib::makeRunLengthDetector(4, 4));
+  all.push_back(lib::makeMinMax(8));
+  for (const Netlist& nl : all) {
+    EXPECT_NO_THROW(nl.check()) << nl.name();
+    EXPECT_FALSE(nl.hasCombinationalCycle()) << nl.name();
+    EXPECT_GT(nl.size(), 0u) << nl.name();
+  }
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,206 @@
+// Netlist optimizer: simplification identities, CSE, dead-code removal,
+// and — above all — strict functional equivalence on every circuit shape.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "netlist/library/dsp.hpp"
+#include "netlist/optimize.hpp"
+#include "sim/rng.hpp"
+#include "workloads/random_netlist.hpp"
+
+namespace vfpga {
+namespace {
+
+void expectEquivalent(const Netlist& a, const Netlist& b, std::uint64_t seed,
+                      int cycles) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    ASSERT_EQ(a.gate(a.inputs()[i]).name, b.gate(b.inputs()[i]).name);
+  }
+  for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+    ASSERT_EQ(a.gate(a.outputs()[o]).name, b.gate(b.outputs()[o]).name);
+  }
+  Evaluator ea(a), eb(b);
+  Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<bool> in(a.inputs().size());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bernoulli(0.5);
+    ea.setInputs(in);
+    eb.setInputs(in);
+    ea.eval();
+    eb.eval();
+    for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+      ASSERT_EQ(eb.value(b.outputs()[o]), ea.value(a.outputs()[o]))
+          << "output " << a.gate(a.outputs()[o]).name << " cycle " << c;
+    }
+    ea.tick();
+    eb.tick();
+  }
+}
+
+TEST(Optimize, FoldsConstantIdentities) {
+  Netlist nl;
+  Builder b(nl);
+  GateId x = nl.addInput("x");
+  nl.addOutput("and0", b.and_(x, b.zero()));   // -> 0
+  nl.addOutput("and1", b.and_(x, b.one()));    // -> x
+  nl.addOutput("or1", b.or_(x, b.one()));      // -> 1
+  nl.addOutput("or0", b.or_(x, b.zero()));     // -> x
+  nl.addOutput("xorx", b.xor_(x, x));          // -> 0
+  nl.addOutput("xnorx", b.xnor_(x, x));        // -> 1
+  nl.addOutput("nand0", b.nand_(x, b.zero())); // -> 1
+  nl.addOutput("nor1", b.nor_(x, b.one()));    // -> 0
+  OptimizeStats stats;
+  Netlist opt = optimize(nl, &stats);
+  expectEquivalent(nl, opt, 3, 8);
+  EXPECT_EQ(opt.counts().combinational, 0u);  // everything folded
+  EXPECT_GT(stats.constantsFolded, 0u);
+}
+
+TEST(Optimize, MuxSimplifications) {
+  Netlist nl;
+  Builder b(nl);
+  GateId s = nl.addInput("s");
+  GateId p = nl.addInput("p");
+  GateId q = nl.addInput("q");
+  nl.addOutput("sel0", b.mux(b.zero(), p, q));  // -> p
+  nl.addOutput("sel1", b.mux(b.one(), p, q));   // -> q
+  nl.addOutput("same", b.mux(s, p, p));         // -> p
+  Netlist opt = optimize(nl);
+  expectEquivalent(nl, opt, 4, 8);
+  EXPECT_EQ(opt.counts().combinational, 0u);
+}
+
+TEST(Optimize, SweepsBuffersAndDeduplicates) {
+  Netlist nl;
+  Builder b(nl);
+  GateId x = nl.addInput("x");
+  GateId y = nl.addInput("y");
+  GateId a1 = b.and_(x, y);
+  GateId a2 = b.and_(y, x);  // commutative duplicate
+  GateId buf = b.buf(a1);
+  nl.addOutput("o1", b.xor_(buf, a2));  // xor(a, a) -> 0
+  OptimizeStats stats;
+  Netlist opt = optimize(nl, &stats);
+  expectEquivalent(nl, opt, 5, 8);
+  EXPECT_GE(stats.deduplicated + stats.aliased, 2u);
+  EXPECT_EQ(opt.counts().combinational, 0u);  // collapses to constant 0
+}
+
+TEST(Optimize, RemovesDeadLogicKeepsPorts) {
+  Netlist nl;
+  Builder b(nl);
+  Bus in = b.inputBus("x", 4);
+  // A big dead cone: never reaches any output.
+  GateId dead = b.andTree(in);
+  dead = b.xor_(dead, in[0]);
+  (void)dead;
+  nl.addOutput("o", in[1]);
+  OptimizeStats stats;
+  Netlist opt = optimize(nl, &stats);
+  EXPECT_GT(stats.deadRemoved, 0u);
+  EXPECT_EQ(opt.inputs().size(), 4u);  // unused input ports stay (contract)
+  expectEquivalent(nl, opt, 6, 8);
+}
+
+TEST(Optimize, PreservesDffInitAndFeedback) {
+  Netlist nl;
+  Builder b(nl);
+  Bus q = b.stateBus(1, /*init=*/1);
+  b.bindState(q, std::vector<GateId>{b.not_(q[0])});  // toggle FF
+  nl.addOutput("q", q[0]);
+  Netlist opt = optimize(nl);
+  expectEquivalent(nl, opt, 7, 16);
+  ASSERT_EQ(opt.dffs().size(), 1u);
+  EXPECT_TRUE(opt.gate(opt.dffs()[0]).dffInit);
+}
+
+TEST(Optimize, DropsUnobservableRegisters) {
+  Netlist nl;
+  Builder b(nl);
+  GateId d = nl.addInput("d");
+  b.dff(d);  // never read
+  nl.addOutput("o", d);
+  Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.dffs().size(), 0u);
+  expectEquivalent(nl, opt, 8, 8);
+}
+
+TEST(Optimize, ShrinksGateCountOnRealCircuits) {
+  // Ripple adders built with explicit zero carry-in contain foldable
+  // gates in the first stage.
+  Netlist nl = lib::makeSubtractor(8);
+  OptimizeStats stats;
+  Netlist opt = optimize(nl, &stats);
+  EXPECT_LT(stats.gatesOut, stats.gatesIn);
+  expectEquivalent(nl, opt, 9, 64);
+}
+
+TEST(Optimize, IdempotentOnSecondPass) {
+  Netlist nl = lib::makePriorityEncoder(8);
+  OptimizeStats first, second;
+  Netlist once = optimize(nl, &first);
+  Netlist twice = optimize(once, &second);
+  EXPECT_EQ(once.size(), twice.size());
+  EXPECT_EQ(second.constantsFolded + second.aliased + second.deduplicated +
+                second.deadRemoved,
+            0u);
+}
+
+TEST(Optimize, EquivalentOnWholeLibrary) {
+  std::vector<Netlist> all;
+  all.push_back(lib::makeRippleAdder(6));
+  all.push_back(lib::makeComparator(6));
+  all.push_back(lib::makeArrayMultiplier(4));
+  all.push_back(lib::makeMac(3));
+  all.push_back(lib::makeSerialCrc(8, 0x07));
+  all.push_back(lib::makeParallelCrc(16, 0x1021, 4));
+  all.push_back(lib::makeLfsr(8, 0b10111000));
+  all.push_back(lib::makeCounter(6));
+  all.push_back(lib::makePiController(6, 1, 2));
+  all.push_back(lib::makeMisr(8, 0x1D));
+  all.push_back(lib::makeBarrelShifter(8));
+  all.push_back(lib::makePopcount(8));
+  all.push_back(lib::makePriorityEncoder(8));
+  all.push_back(lib::makeRunLengthDetector(4, 4));
+  all.push_back(lib::makeSortingNetwork4(4));
+  all.push_back(lib::makeFirFilter(6, {0, 2}));
+  all.push_back(lib::makeMajorityVoter(5));
+  all.push_back(lib::makeSaturatingAdder(5));
+  all.push_back(lib::makeGrayCounter(5));
+  all.push_back(lib::makeDebouncer(3));
+  all.push_back(lib::makeSerializer(5));
+  std::uint64_t seed = 100;
+  for (const Netlist& nl : all) {
+    Netlist opt = optimize(nl);
+    expectEquivalent(nl, opt, seed++, 48);
+  }
+}
+
+class OptimizeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeFuzz, EquivalentOnRandomDags) {
+  Rng rng(GetParam() * 7919);
+  workloads::RandomNetlistParams p;
+  p.gates = 30 + rng.below(80);
+  p.flops = rng.below(6);
+  p.feedbackRegs = rng.below(3);
+  p.constFraction = 0.15;  // plenty of folding opportunities
+  Netlist nl = workloads::randomNetlist(p, rng);
+  OptimizeStats stats;
+  Netlist opt = optimize(nl, &stats);
+  EXPECT_LE(stats.gatesOut, stats.gatesIn);
+  expectEquivalent(nl, opt, GetParam(), 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeFuzz,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,496 @@
+// OS-kernel policy tests: the discrete-event multitasking model, all five
+// FPGA policies, preemption vs roll-back, and garbage collection under
+// churn. Each test asserts the qualitative relationships the paper argues
+// for (E2-E5 quantify them in bench/).
+#include <gtest/gtest.h>
+
+#include "core/os_kernel.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "workloads/taskset.hpp"
+
+namespace vfpga {
+namespace {
+
+/// Builds a kernel with its own device/port/sim, registers `n` small
+/// circuits (width 4 strips on the 12-column medium device) and returns
+/// everything bundled.
+struct Bench {
+  DeviceProfile profile;
+  Device dev;
+  ConfigPort port;
+  Compiler compiler;
+  Simulation sim;
+  OsKernel kernel;
+  std::vector<ConfigId> configs;
+
+  Bench(OsOptions options, std::size_t numConfigs,
+        DeviceProfile prof = mediumPartialProfile())
+      : profile(prof), dev(profile.makeDevice()), port(dev, profile.port),
+        compiler(dev), kernel(sim, dev, port, compiler, options) {
+    for (std::size_t i = 0; i < numConfigs; ++i) {
+      Netlist nl = (i % 2 == 0)
+                       ? lib::makeCounter(6)
+                       : lib::makeChecksum(6);
+      nl.setName("cfg" + std::to_string(i));
+      CompileOptions opt;
+      opt.seed = 11 + i;
+      configs.push_back(kernel.registerConfig(compiler.compile(
+          nl, Region::columns(dev.geometry(), 0, 4), opt)));
+    }
+  }
+};
+
+TaskSpec simpleTask(const std::string& name, SimTime arrival, ConfigId cfg,
+                    std::uint64_t cycles,
+                    SimDuration cpu = micros(50)) {
+  TaskSpec t;
+  t.name = name;
+  t.arrival = arrival;
+  t.ops = {CpuBurst{cpu}, FpgaExec{cfg, cycles}, CpuBurst{cpu}};
+  return t;
+}
+
+TEST(OsKernel, SingleTaskRunsToCompletion) {
+  Bench b(OsOptions{}, 1);
+  b.kernel.addTask(simpleTask("t0", 0, b.configs[0], 10000));
+  b.kernel.run();
+  const auto& m = b.kernel.metrics();
+  EXPECT_EQ(m.tasksFinished, 1u);
+  EXPECT_EQ(m.fpgaGrants, 1u);
+  EXPECT_EQ(m.downloads, 1u);
+  EXPECT_GT(m.configTime, 0u);
+  EXPECT_EQ(b.kernel.tasks()[0].state, TaskState::kDone);
+  // Turnaround >= cpu + exec + config time.
+  const SimDuration exec = 10000 * b.kernel.clockPeriod(b.configs[0]);
+  EXPECT_GE(b.kernel.tasks()[0].finish, 2 * micros(50) + exec);
+}
+
+TEST(OsKernel, CpuRoundRobinInterleavesTasks) {
+  OsOptions opt;
+  opt.cpuTimeSlice = micros(10);
+  Bench b(opt, 1);
+  TaskSpec t0;
+  t0.name = "cpu0";
+  t0.ops = {CpuBurst{micros(100)}};
+  TaskSpec t1 = t0;
+  t1.name = "cpu1";
+  b.kernel.addTask(t0);
+  b.kernel.addTask(t1);
+  b.kernel.run();
+  // With a 10 us slice both 100 us tasks finish within ~200 us of each
+  // other (interleaved), not sequentially.
+  const auto& tasks = b.kernel.tasks();
+  EXPECT_EQ(tasks[0].finish, micros(190));
+  EXPECT_EQ(tasks[1].finish, micros(200));
+}
+
+TEST(OsKernel, ResidentConfigIsNotRedownloaded) {
+  Bench b(OsOptions{}, 1);
+  // Two tasks using the same configuration back to back: one download.
+  b.kernel.addTask(simpleTask("a", 0, b.configs[0], 5000));
+  b.kernel.addTask(simpleTask("b", 0, b.configs[0], 5000));
+  b.kernel.run();
+  EXPECT_EQ(b.kernel.metrics().downloads, 1u);
+}
+
+TEST(OsKernel, AlternatingConfigsThrashTheDevice) {
+  Bench b(OsOptions{}, 2);
+  for (int i = 0; i < 3; ++i) {
+    b.kernel.addTask(simpleTask("a" + std::to_string(i), 0, b.configs[0], 2000));
+    b.kernel.addTask(simpleTask("b" + std::to_string(i), 0, b.configs[1], 2000));
+  }
+  b.kernel.run();
+  // FIFO order alternates configs -> every grant needs a download.
+  EXPECT_EQ(b.kernel.metrics().downloads, 6u);
+}
+
+TEST(OsKernel, ExclusivePolicyNeverPreempts) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kExclusive;
+  opt.fpgaSlice = micros(10);  // ignored by exclusive
+  Bench b(opt, 2);
+  b.kernel.addTask(simpleTask("a", 0, b.configs[0], 200000));
+  b.kernel.addTask(simpleTask("b", 0, b.configs[1], 200000));
+  b.kernel.run();
+  EXPECT_EQ(b.kernel.metrics().fpgaPreemptions, 0u);
+  EXPECT_EQ(b.kernel.metrics().tasksFinished, 2u);
+}
+
+TEST(OsKernel, DynamicSlicingPreemptsAndFinishesFairly) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kDynamicLoading;
+  opt.fpgaSlice = millis(1);
+  Bench b(opt, 2);
+  // Two long executions (~8 ms each at the measured clock).
+  const std::uint64_t cycles =
+      millis(8) / 30;  // rough; exact period measured at registration
+  b.kernel.addTask(simpleTask("a", 0, b.configs[0], cycles));
+  b.kernel.addTask(simpleTask("b", 0, b.configs[1], cycles));
+  b.kernel.run();
+  const auto& m = b.kernel.metrics();
+  EXPECT_GT(m.fpgaPreemptions, 0u);
+  EXPECT_EQ(m.rollbacks, 0u);  // state save/restore regime
+  EXPECT_GT(m.stateMoveTime, 0u);
+  // Preemption interleaves: the second task finishes well before twice the
+  // first task's span (they share the device).
+  const auto& tasks = b.kernel.tasks();
+  EXPECT_LT(tasks[0].finish,
+            tasks[1].finish);  // FIFO grant order preserved per slice
+}
+
+TEST(OsKernel, RollbackRegimeRestartsExecutions) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kDynamicLoading;
+  opt.fpgaSlice = millis(1);
+  opt.saveStateOnPreempt = false;
+  Bench b(opt, 2);
+  const std::uint64_t cycles = millis(3) / 30;
+  b.kernel.addTask(simpleTask("a", 0, b.configs[0], cycles));
+  b.kernel.addTask(simpleTask("b", 0, b.configs[1], cycles));
+  b.kernel.run();
+  const auto& m = b.kernel.metrics();
+  EXPECT_GT(m.rollbacks, 0u);
+  EXPECT_EQ(m.stateMoveTime, 0u);
+  // Roll-back wastes compute: total FPGA compute exceeds the useful work.
+  const SimDuration useful =
+      cycles * (b.kernel.clockPeriod(b.configs[0]) +
+                b.kernel.clockPeriod(b.configs[1]));
+  EXPECT_GT(m.fpgaComputeTime, useful);
+  EXPECT_EQ(m.tasksFinished, 2u);
+}
+
+TEST(OsKernel, PartitionsRunTasksConcurrently) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  Bench b(opt, 2);
+  // Compute-dominated executions: downloads serialize on the single
+  // configuration port, so only long execs expose the concurrency win.
+  const std::uint64_t cycles = millis(40) / 30;
+  b.kernel.addTask(simpleTask("a", 0, b.configs[0], cycles, micros(1)));
+  b.kernel.addTask(simpleTask("b", 0, b.configs[1], cycles, micros(1)));
+  b.kernel.run();
+
+  // Same workload, exclusive FIFO.
+  OsOptions ex;
+  ex.policy = FpgaPolicy::kExclusive;
+  Bench b2(ex, 2);
+  b2.kernel.addTask(simpleTask("a", 0, b2.configs[0], cycles, micros(1)));
+  b2.kernel.addTask(simpleTask("b", 0, b2.configs[1], cycles, micros(1)));
+  b2.kernel.run();
+
+  // Two 4-wide circuits fit the 12-column device side by side: the
+  // partitioned makespan must be well below the serialized one.
+  EXPECT_LT(b.kernel.metrics().makespan,
+            b2.kernel.metrics().makespan * 3 / 4);
+}
+
+TEST(OsKernel, FixedPartitionsRequireWidths) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedFixed;
+  Simulation sim;
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  ConfigPort port(dev, prof.port);
+  Compiler compiler(dev);
+  EXPECT_THROW(OsKernel(sim, dev, port, compiler, opt),
+               std::invalid_argument);
+}
+
+TEST(OsKernel, FixedPartitionsServeMatchingWidths) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedFixed;
+  opt.fixedWidths = {4, 4, 4};
+  Bench b(opt, 3);
+  for (int i = 0; i < 3; ++i) {
+    b.kernel.addTask(simpleTask("t" + std::to_string(i), 0,
+                                b.configs[static_cast<std::size_t>(i)],
+                                20000, micros(1)));
+  }
+  b.kernel.run();
+  EXPECT_EQ(b.kernel.metrics().tasksFinished, 3u);
+  EXPECT_EQ(b.kernel.metrics().garbageCollections, 0u);  // fixed: never
+}
+
+TEST(OsKernel, OversizedConfigRejectedUpFront) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedFixed;
+  // Cover all 12 columns so no wider remainder partition appears.
+  opt.fixedWidths = {2, 2, 2, 2, 2, 2};
+  Bench b(opt, 0);
+  Netlist nl = lib::makeCounter(6);
+  nl.setName("wide");
+  ConfigId cfg = b.kernel.registerConfig(b.compiler.compile(
+      nl, Region::columns(b.dev.geometry(), 0, 5)));
+  EXPECT_THROW(b.kernel.addTask(simpleTask("t", 0, cfg, 100)),
+               std::logic_error);
+}
+
+TEST(OsKernel, SoftwareOnlyUsesNoFpga) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kSoftwareOnly;
+  opt.softwareSlowdown = 25.0;
+  Bench b(opt, 1);
+  b.kernel.addTask(simpleTask("t", 0, b.configs[0], 10000));
+  b.kernel.run();
+  const auto& m = b.kernel.metrics();
+  EXPECT_EQ(m.downloads, 0u);
+  EXPECT_EQ(m.fpgaGrants, 0u);
+  EXPECT_EQ(m.fpgaComputeTime, 0u);
+  // Turnaround reflects the slowdown factor.
+  const SimDuration hw = 10000 * b.kernel.clockPeriod(b.configs[0]);
+  EXPECT_GE(b.kernel.tasks()[0].finish, 25 * hw);
+}
+
+TEST(OsKernel, GarbageCollectionTriggersUnderChurn) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  Bench b(opt, 0);
+  // Configs of widths 4, 4, 6 on a 12-column device.
+  auto makeCfg = [&](const std::string& name, std::uint16_t w) {
+    Netlist nl = lib::makeChecksum(4);
+    nl.setName(name);
+    return b.kernel.registerConfig(b.compiler.compile(
+        nl, Region::columns(b.dev.geometry(), 0, w)));
+  };
+  ConfigId c4a = makeCfg("w4a", 4);
+  ConfigId c4b = makeCfg("w4b", 4);
+  ConfigId c6 = makeCfg("w6", 6);
+  // t0 holds [0,4) briefly, t1 holds [4,8) for long; t2 (width 6) arrives
+  // after t0 finished: free = [0,4)+[8,12) fragmented -> GC must move t1.
+  TaskSpec t0;
+  t0.name = "short";
+  t0.ops = {FpgaExec{c4a, 1000}};
+  TaskSpec t1;
+  t1.name = "long";
+  t1.ops = {FpgaExec{c4b, 2000000}};
+  TaskSpec t2;
+  t2.name = "wide";
+  t2.arrival = millis(2);
+  t2.ops = {FpgaExec{c6, 1000}};
+  b.kernel.addTask(t0);
+  b.kernel.addTask(t1);
+  b.kernel.addTask(t2);
+  b.kernel.run();
+  const auto& m = b.kernel.metrics();
+  EXPECT_EQ(m.tasksFinished, 3u);
+  EXPECT_GE(m.garbageCollections, 1u);
+  EXPECT_GE(m.relocations, 1u);
+}
+
+TEST(OsKernel, GcDisabledStarvesWideTask) {
+  // Same scenario but garbage collection off: the wide task can only run
+  // after the long task releases its strip (no starvation forever, but a
+  // much longer wait).
+  auto makespanWith = [&](bool gc) {
+    OsOptions opt;
+    opt.policy = FpgaPolicy::kPartitionedVariable;
+    opt.garbageCollect = gc;
+    Bench b(opt, 0);
+    auto makeCfg = [&](const std::string& name, std::uint16_t w) {
+      Netlist nl = lib::makeChecksum(4);
+      nl.setName(name);
+      return b.kernel.registerConfig(b.compiler.compile(
+          nl, Region::columns(b.dev.geometry(), 0, w)));
+    };
+    ConfigId c4a = makeCfg("w4a", 4);
+    ConfigId c4b = makeCfg("w4b", 4);
+    ConfigId c6 = makeCfg("w6", 6);
+    TaskSpec t0{"short", 0, 0, {FpgaExec{c4a, 1000}}};
+    TaskSpec t1{"long", 0, 0, {FpgaExec{c4b, 2000000}}};
+    TaskSpec t2{"wide", millis(2), 0, {FpgaExec{c6, 1000}}};
+    b.kernel.addTask(t0);
+    b.kernel.addTask(t1);
+    b.kernel.addTask(t2);
+    b.kernel.run();
+    // Wide task's wait is the discriminator.
+    return b.kernel.tasks()[2].fpgaWaitTotal;
+  };
+  EXPECT_LT(makespanWith(true), makespanWith(false));
+}
+
+TEST(OsKernel, TaskSetGeneratorIsDeterministicAndRunnable) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kDynamicLoading;
+  opt.fpgaSlice = millis(1);
+  Bench b(opt, 3);
+  workloads::TaskSetParams params;
+  params.numTasks = 6;
+  params.numConfigs = 3;
+  params.execsPerTask = 2;
+  Rng rngA(42), rngB(42);
+  auto setA = workloads::makeTaskSet(params, rngA);
+  auto setB = workloads::makeTaskSet(params, rngB);
+  ASSERT_EQ(setA.size(), setB.size());
+  for (std::size_t i = 0; i < setA.size(); ++i) {
+    EXPECT_EQ(setA[i].arrival, setB[i].arrival);
+    EXPECT_EQ(setA[i].ops.size(), setB[i].ops.size());
+  }
+  for (auto& t : setA) b.kernel.addTask(t);
+  b.kernel.run();
+  EXPECT_EQ(b.kernel.metrics().tasksFinished, 6u);
+  EXPECT_GT(b.kernel.metrics().fpgaUtilization(), 0.0);
+  EXPECT_LE(b.kernel.metrics().fpgaUtilization(), 1.0);
+}
+
+TEST(OsKernel, WaitTimeAccountingIsConsistent) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kExclusive;
+  Bench b(opt, 1);
+  // Three identical tasks contending for one device: later tasks wait
+  // longer, and waits are monotone in queue position.
+  for (int i = 0; i < 3; ++i) {
+    b.kernel.addTask(
+        simpleTask("t" + std::to_string(i), 0, b.configs[0], 100000,
+                   micros(1)));
+  }
+  b.kernel.run();
+  const auto& tasks = b.kernel.tasks();
+  EXPECT_LE(tasks[0].fpgaWaitTotal, tasks[1].fpgaWaitTotal);
+  EXPECT_LE(tasks[1].fpgaWaitTotal, tasks[2].fpgaWaitTotal);
+  EXPECT_EQ(b.kernel.metrics().waitTime.count(), 3u);
+}
+
+TEST(OsKernel, ServiceConfigRunsWithoutDownloads) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  Bench b(opt, 1);
+  // Install a shared "device driver" circuit (the paper's §3 case of one
+  // algorithm serving every task).
+  Netlist nl = lib::makeChecksum(6);
+  nl.setName("driver");
+  ConfigId svc = b.kernel.registerConfig(b.compiler.compile(
+      nl, Region::columns(b.dev.geometry(), 0, 4)));
+  const SimDuration install = b.kernel.installService(svc);
+  EXPECT_GT(install, 0u);
+  const auto downloadsAfterInstall = b.kernel.metrics().downloads;
+
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec;
+    spec.name = "drv" + std::to_string(i);
+    spec.ops = {FpgaExec{svc, 10000}};
+    b.kernel.addTask(spec);
+  }
+  b.kernel.run();
+  const auto& m = b.kernel.metrics();
+  EXPECT_EQ(m.tasksFinished, 4u);
+  // Not one extra download: the driver stayed resident.
+  EXPECT_EQ(m.downloads, downloadsAfterInstall);
+  EXPECT_EQ(m.fpgaGrants, 4u);
+}
+
+TEST(OsKernel, ServiceRequestsSerializeFifo) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  Bench b(opt, 0);
+  Netlist nl = lib::makeChecksum(6);
+  nl.setName("driver");
+  ConfigId svc = b.kernel.registerConfig(b.compiler.compile(
+      nl, Region::columns(b.dev.geometry(), 0, 4)));
+  b.kernel.installService(svc);
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.ops = {FpgaExec{svc, 100000}};
+    b.kernel.addTask(spec);
+  }
+  b.kernel.run();
+  const auto& tasks = b.kernel.tasks();
+  EXPECT_LT(tasks[0].finish, tasks[1].finish);
+  EXPECT_LT(tasks[1].finish, tasks[2].finish);
+  // Later requests wait roughly one/two execution times.
+  EXPECT_GT(tasks[2].fpgaWaitTotal, tasks[0].fpgaWaitTotal);
+}
+
+TEST(OsKernel, ServiceCoexistsWithRegularPartitions) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  Bench b(opt, 1);  // one regular config (width 4)
+  Netlist nl = lib::makeChecksum(6);
+  nl.setName("driver");
+  ConfigId svc = b.kernel.registerConfig(b.compiler.compile(
+      nl, Region::columns(b.dev.geometry(), 0, 4)));
+  b.kernel.installService(svc);
+  TaskSpec ts;
+  ts.name = "svc_user";
+  ts.ops = {FpgaExec{svc, 50000}};
+  TaskSpec tr;
+  tr.name = "regular";
+  tr.ops = {FpgaExec{b.configs[0], 50000}};
+  b.kernel.addTask(ts);
+  b.kernel.addTask(tr);
+  b.kernel.run();
+  EXPECT_EQ(b.kernel.metrics().tasksFinished, 2u);
+  EXPECT_TRUE(b.dev.configOk());
+}
+
+TEST(OsKernel, ServiceRequiresPartitionedPolicy) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kDynamicLoading;
+  Bench b(opt, 1);
+  EXPECT_THROW(b.kernel.installService(b.configs[0]), std::logic_error);
+}
+
+TEST(OsKernel, DuplicateServiceInstallRejected) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  Bench b(opt, 1);
+  b.kernel.installService(b.configs[0]);
+  EXPECT_THROW(b.kernel.installService(b.configs[0]), std::logic_error);
+}
+
+TEST(OsKernel, PriorityJumpsBothQueues) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kExclusive;
+  opt.priorityScheduling = true;
+  Bench b(opt, 1);
+  // Three low-priority tasks queue up; a high-priority one arrives later
+  // and must be granted the device before the remaining low ones.
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.name = "low" + std::to_string(i);
+    spec.priority = 0;
+    spec.ops = {FpgaExec{b.configs[0], 300000}};
+    b.kernel.addTask(spec);
+  }
+  TaskSpec hi;
+  hi.name = "hi";
+  hi.priority = 10;
+  hi.arrival = micros(100);  // after all three queued
+  hi.ops = {FpgaExec{b.configs[0], 300000}};
+  b.kernel.addTask(hi);
+  b.kernel.run();
+  const auto& tasks = b.kernel.tasks();
+  // hi (index 3) finishes before low1 and low2 (only low0, already
+  // running non-preemptably, precedes it).
+  EXPECT_LT(tasks[3].finish, tasks[1].finish);
+  EXPECT_LT(tasks[3].finish, tasks[2].finish);
+}
+
+TEST(OsKernel, PriorityIgnoredWhenDisabled) {
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kExclusive;
+  Bench b(opt, 1);
+  for (int i = 0; i < 2; ++i) {
+    TaskSpec spec;
+    spec.name = "low" + std::to_string(i);
+    spec.ops = {FpgaExec{b.configs[0], 300000}};
+    b.kernel.addTask(spec);
+  }
+  TaskSpec hi;
+  hi.name = "hi";
+  hi.priority = 10;
+  hi.arrival = micros(100);
+  hi.ops = {FpgaExec{b.configs[0], 300000}};
+  b.kernel.addTask(hi);
+  b.kernel.run();
+  const auto& tasks = b.kernel.tasks();
+  // Plain FIFO: hi finishes last despite its priority.
+  EXPECT_GT(tasks[2].finish, tasks[0].finish);
+  EXPECT_GT(tasks[2].finish, tasks[1].finish);
+}
+
+}  // namespace
+}  // namespace vfpga

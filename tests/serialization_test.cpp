@@ -1,0 +1,209 @@
+// Bitstream byte-format round trips and the VCD waveform writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compile/compiler.hpp"
+#include "compile/loaded_circuit.hpp"
+#include "fabric/bitstream.hpp"
+#include "fabric/device_family.hpp"
+#include "fabric/vcd.hpp"
+#include "netlist/library/control.hpp"
+#include "sim/rng.hpp"
+
+namespace vfpga {
+namespace {
+
+Bitstream sampleBitstream(std::uint32_t frameBits, std::uint32_t frames,
+                          std::uint64_t seed) {
+  ConfigImage img(frameBits * frames);
+  Rng rng(seed);
+  for (std::uint32_t b = 0; b < img.size(); ++b) {
+    img.set(b, rng.bernoulli(0.3));
+  }
+  return makeFullBitstream(img, frameBits);
+}
+
+TEST(BitstreamSerialization, RoundTripFull) {
+  Bitstream bs = sampleBitstream(128, 7, 11);
+  const auto bytes = serializeBitstream(bs);
+  Bitstream back = deserializeBitstream(bytes);
+  EXPECT_EQ(back.frameBits, bs.frameBits);
+  EXPECT_EQ(back.full, bs.full);
+  ASSERT_EQ(back.frames.size(), bs.frames.size());
+  for (std::size_t f = 0; f < bs.frames.size(); ++f) {
+    EXPECT_EQ(back.frames[f].id, bs.frames[f].id);
+    EXPECT_EQ(back.frames[f].payload, bs.frames[f].payload);
+  }
+  EXPECT_EQ(back.crc, bs.crc);
+  EXPECT_TRUE(back.crcOk());
+}
+
+TEST(BitstreamSerialization, RoundTripPartialOddFrameBits) {
+  // frameBits not a byte multiple exercises the packing tail.
+  ConfigImage img(3 * 37);
+  img.set(5, true);
+  img.set(100, true);
+  std::vector<std::uint32_t> ids{0, 2};
+  Bitstream bs = makePartialBitstream(img, 37, ids);
+  Bitstream back = deserializeBitstream(serializeBitstream(bs));
+  EXPECT_FALSE(back.full);
+  ASSERT_EQ(back.frames.size(), 2u);
+  EXPECT_EQ(back.frames[0].payload, bs.frames[0].payload);
+  EXPECT_EQ(back.frames[1].payload, bs.frames[1].payload);
+}
+
+TEST(BitstreamSerialization, DetectsEveryKindOfDamage) {
+  Bitstream bs = sampleBitstream(64, 4, 23);
+  auto bytes = serializeBitstream(bs);
+
+  auto expectReject = [](std::vector<std::uint8_t> b) {
+    EXPECT_THROW(deserializeBitstream(b), std::runtime_error);
+  };
+  // Bad magic.
+  {
+    auto b = bytes;
+    b[0] = 'X';
+    expectReject(b);
+  }
+  // Unsupported version.
+  {
+    auto b = bytes;
+    b[4] = 0xFF;
+    expectReject(b);
+  }
+  // Truncation at every prefix length must throw, never crash.
+  for (std::size_t cut : {std::size_t{3}, std::size_t{9}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    expectReject({bytes.begin(), bytes.begin() + static_cast<long>(cut)});
+  }
+  // Payload corruption -> CRC mismatch.
+  {
+    auto b = bytes;
+    b[20] ^= 0x10;
+    expectReject(b);
+  }
+  // Trailing garbage.
+  {
+    auto b = bytes;
+    b.push_back(0);
+    expectReject(b);
+  }
+  // Pristine bytes still parse.
+  EXPECT_NO_THROW(deserializeBitstream(bytes));
+}
+
+TEST(BitstreamSerialization, CompiledCircuitRoundTripsThroughBytes) {
+  // The realistic path: compile, serialize the partial bitstream "to
+  // disk", load it back and configure a device with it.
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeCounter(6);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 4));
+  const auto bytes = serializeBitstream(c.partialBitstream());
+  dev.applyBitstream(deserializeBitstream(bytes));
+  ASSERT_TRUE(dev.configOk()) << dev.elaboration().faults.front();
+  LoadedCircuit lc(dev, c);
+  lc.setInput("en", true);
+  lc.setInput("clr", false);
+  for (int i = 0; i < 9; ++i) {
+    lc.evaluate();
+    lc.tick();
+  }
+  lc.evaluate();
+  EXPECT_EQ(lc.outputBus("q", 6), 9u);
+}
+
+// ------------------------------------------------------------------- VCD
+
+TEST(Vcd, EmitsHeaderInitialDumpAndChangesOnly) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  bool a = false, b = true;
+  vcd.addSignal("a", [&] { return a; });
+  vcd.addSignal("top.b", [&] { return b; });
+  vcd.sample(0);
+  a = true;  // only a changes
+  vcd.sample(5);
+  vcd.sample(7);  // nothing changed: no timestamp emitted
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(out.find("#0"), std::string::npos);
+  EXPECT_NE(out.find("#5"), std::string::npos);
+  EXPECT_EQ(out.find("#7"), std::string::npos);
+  // Initial dump has both, second stamp only 'a'.
+  const auto at5 = out.find("#5");
+  EXPECT_NE(out.find("1!", at5), std::string::npos);
+  EXPECT_EQ(out.find("\"", at5), std::string::npos);  // b's id is '"'
+}
+
+TEST(Vcd, RejectsLateSignalsAndTimeTravel) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  vcd.addSignal("x", [] { return false; });
+  vcd.sample(10);
+  EXPECT_THROW(vcd.addSignal("y", [] { return false; }), std::logic_error);
+  EXPECT_THROW(vcd.sample(5), std::logic_error);
+  EXPECT_NO_THROW(vcd.sample(10));  // equal time is fine
+}
+
+TEST(Vcd, IdentifiersStayUniqueBeyondOneChar) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  std::vector<bool> vals(200, false);
+  for (int i = 0; i < 200; ++i) {
+    vcd.addSignal("s" + std::to_string(i),
+                  [&vals, i] { return vals[static_cast<std::size_t>(i)]; });
+  }
+  vcd.sample(0);
+  // 200 > 94 printable ids, so two-char identifiers appear; count the
+  // distinct declarations.
+  std::string out = os.str();
+  std::size_t vars = 0, pos = 0;
+  while ((pos = out.find("$var", pos)) != std::string::npos) {
+    ++vars;
+    pos += 4;
+  }
+  EXPECT_EQ(vars, 200u);
+}
+
+TEST(Vcd, TracesARealDeviceCounter) {
+  DeviceProfile prof = tinyProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeCounter(4);
+  CompileOptions opt;
+  opt.relocatable = false;
+  CompiledCircuit c =
+      compiler.compile(nl, Region::full(dev.geometry()), opt);
+  dev.applyBitstream(c.fullBitstream());
+  ASSERT_TRUE(dev.configOk());
+  LoadedCircuit lc(dev, c);
+  lc.setInput("en", true);
+  lc.setInput("clr", false);
+
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  for (int bit = 0; bit < 4; ++bit) {
+    vcd.addSignal("q" + std::to_string(bit), [&lc, bit] {
+      return lc.output("q" + std::to_string(bit));
+    });
+  }
+  for (std::uint64_t t = 0; t < 8; ++t) {
+    dev.evaluate();
+    vcd.sample(t * 10);
+    dev.tick();
+  }
+  const std::string out = os.str();
+  // q0 toggles every cycle: its id '!' must appear at every timestamp.
+  for (int t = 1; t < 8; ++t) {
+    const auto stamp = out.find("#" + std::to_string(t * 10));
+    ASSERT_NE(stamp, std::string::npos) << "missing timestamp " << t * 10;
+  }
+}
+
+}  // namespace
+}  // namespace vfpga

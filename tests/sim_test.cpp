@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/parallel.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace vfpga {
+namespace {
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_EQ(micros(1), 1000u);
+  EXPECT_EQ(millis(1), 1000u * 1000u);
+  EXPECT_EQ(seconds(1), 1000u * 1000u * 1000u);
+  EXPECT_DOUBLE_EQ(toMilliseconds(millis(200)), 200.0);
+  EXPECT_DOUBLE_EQ(toMicroseconds(micros(7)), 7.0);
+  EXPECT_DOUBLE_EQ(toSeconds(seconds(3)), 3.0);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> fired;
+  sim.scheduleAt(30, [&] { fired.push_back(3); });
+  sim.scheduleAt(10, [&] { fired.push_back(1); });
+  sim.scheduleAt(20, [&] { fired.push_back(2); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulation, SameTimestampFiresInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    sim.scheduleAt(5, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  EventId id = sim.scheduleAt(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, CancelIsIdempotent) {
+  Simulation sim;
+  EventId id = sim.scheduleAt(10, [] {});
+  sim.cancel(id);
+  sim.cancel(id);  // no-op
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int count = 0;
+  sim.scheduleAt(10, [&] { ++count; });
+  sim.scheduleAt(20, [&] { ++count; });
+  sim.scheduleAt(21, [&] { ++count; });
+  EXPECT_EQ(sim.run(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.scheduleAfter(1, chain);
+  };
+  sim.scheduleAt(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99u);
+  EXPECT_EQ(sim.executedEvents(), 100u);
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime seen = 0;
+  sim.scheduleAt(50, [&] {
+    sim.scheduleAfter(7, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 57u);
+}
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, bl, all;
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform() * 10;
+    (i % 2 ? a : bl).add(x);
+    all.add(x);
+  }
+  a.merge(bl);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1.0);   // clamps to first bucket
+  h.add(100.0);  // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+}
+
+TEST(Histogram, QuantileApproximatesMedian) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    sawLo |= (v == -3);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(5.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfZeroExponentIsRoughlyUniform) {
+  Rng rng(19);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Trace, RecordsAndCounts) {
+  Trace t;
+  t.record(10, TraceKind::kPageFault, "page 3");
+  t.record(20, TraceKind::kPageFault, "page 5");
+  t.record(30, TraceKind::kConfigDownload, "cfg a");
+  EXPECT_EQ(t.count(TraceKind::kPageFault), 2u);
+  EXPECT_EQ(t.count(TraceKind::kConfigDownload), 1u);
+  EXPECT_EQ(t.ofKind(TraceKind::kPageFault).size(), 2u);
+  EXPECT_NE(t.render().find("page_fault page 3"), std::string::npos);
+}
+
+TEST(Trace, CapacityBoundsRetainedRecordsButNotCounts) {
+  Trace t(4);
+  for (int i = 0; i < 10; ++i) t.record(i, TraceKind::kInfo, "x");
+  EXPECT_EQ(t.records().size(), 4u);
+  EXPECT_EQ(t.count(TraceKind::kInfo), 10u);
+  EXPECT_EQ(t.records().front().at, 6u);  // oldest retained
+}
+
+TEST(Trace, ZeroCapacityOnlyCounts) {
+  Trace t(0);
+  t.record(1, TraceKind::kInfo, "x");
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.count(TraceKind::kInfo), 1u);
+}
+
+TEST(Trace, ClearResetsEverything) {
+  Trace t;
+  t.record(1, TraceKind::kInfo, "x");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.count(TraceKind::kInfo), 0u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  parallelFor(1000, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndSingleElements) {
+  parallelFor(0, [](std::size_t) { FAIL() << "must not run"; });
+  int count = 0;
+  parallelFor(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallelFor(100,
+                  [](std::size_t i) {
+                    if (i == 37) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, RespectsThreadCap) {
+  std::atomic<int> active{0}, peak{0};
+  parallelFor(
+      64,
+      [&](std::size_t) {
+        const int now = ++active;
+        int expect = peak.load();
+        while (now > expect && !peak.compare_exchange_weak(expect, now)) {
+        }
+        --active;
+      },
+      2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ParallelMap, CollectsInOrder) {
+  auto squares = parallelMap<std::size_t>(
+      50, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+}  // namespace
+}  // namespace vfpga

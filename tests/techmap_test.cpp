@@ -1,0 +1,251 @@
+// Technology-mapping correctness: the mapped netlist must be functionally
+// identical to the gate netlist, for combinational and sequential circuits,
+// and obey the K-input constraint.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
+#include "sim/rng.hpp"
+#include "techmap/lut_mapper.hpp"
+#include "techmap/mapped_netlist.hpp"
+
+namespace vfpga {
+namespace {
+
+/// Drives both evaluators with the same random input stream for `cycles`
+/// clock cycles and asserts every output matches every cycle.
+void expectEquivalent(const Netlist& nl, const MappedNetlist& m, int cycles,
+                      std::uint64_t seed) {
+  Evaluator ref(nl);
+  MappedEvaluator dut(m);
+  ASSERT_EQ(m.inputs.size(), nl.inputs().size());
+  ASSERT_EQ(m.outputs.size(), nl.outputs().size());
+  // Port order is preserved by the mapper.
+  for (std::size_t i = 0; i < m.inputs.size(); ++i) {
+    ASSERT_EQ(m.inputs[i].name, nl.gate(nl.inputs()[i]).name);
+  }
+  Rng rng(seed);
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::vector<bool> in(nl.inputs().size());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bernoulli(0.5);
+    ref.setInputs(in);
+    for (std::size_t i = 0; i < in.size(); ++i) dut.setInput(i, in[i]);
+    ref.eval();
+    dut.eval();
+    for (std::size_t o = 0; o < m.outputs.size(); ++o) {
+      ASSERT_EQ(dut.output(o), ref.value(nl.outputs()[o]))
+          << "output " << m.outputs[o].name << " cycle " << cycle;
+    }
+    ref.tick();
+    dut.tick();
+  }
+}
+
+void expectKConstraint(const MappedNetlist& m) {
+  for (const MappedCell& c : m.cells) {
+    EXPECT_LE(c.inputs.size(), m.k);
+  }
+  EXPECT_NO_THROW(m.check());
+}
+
+struct LibraryCase {
+  const char* label;
+  Netlist nl;
+  int cycles;
+};
+
+std::vector<LibraryCase> libraryCases() {
+  std::vector<LibraryCase> cases;
+  cases.push_back({"adder8", lib::makeRippleAdder(8), 64});
+  cases.push_back({"sub8", lib::makeSubtractor(8), 64});
+  cases.push_back({"cmp8", lib::makeComparator(8), 64});
+  cases.push_back({"mul4", lib::makeArrayMultiplier(4), 64});
+  cases.push_back({"mac4", lib::makeMac(4), 64});
+  cases.push_back({"alu8", lib::makeAlu(8), 64});
+  cases.push_back({"crc8s", lib::makeSerialCrc(8, 0x07), 128});
+  cases.push_back({"crc16p8", lib::makeParallelCrc(16, 0x1021, 8), 64});
+  cases.push_back({"lfsr8", lib::makeLfsr(8, 0b10111000), 128});
+  cases.push_back({"parity8", lib::makeParityTree(8), 32});
+  cases.push_back({"hamming", lib::makeHamming74Encoder(), 32});
+  cases.push_back({"conv", lib::makeConvolutionalEncoder(7, {0171, 0133}), 128});
+  cases.push_back({"counter6", lib::makeCounter(6), 128});
+  cases.push_back({"shift8", lib::makeShiftRegister(8), 64});
+  cases.push_back({"pi8", lib::makePiController(8, 1, 3), 64});
+  cases.push_back({"misr8", lib::makeMisr(8, 0x1D), 64});
+  cases.push_back({"barrel8", lib::makeBarrelShifter(8), 64});
+  cases.push_back({"popcnt8", lib::makePopcount(8), 64});
+  cases.push_back({"prio8", lib::makePriorityEncoder(8), 64});
+  cases.push_back({"cksum8", lib::makeChecksum(8), 64});
+  cases.push_back({"rle4", lib::makeRunLengthDetector(4, 4), 64});
+  cases.push_back({"minmax6", lib::makeMinMax(6), 64});
+  return cases;
+}
+
+class MapLibrary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MapLibrary, EquivalentAtK4) {
+  auto cases = libraryCases();
+  auto& c = cases[GetParam()];
+  MappedNetlist m = mapToLuts(c.nl, MapOptions{4});
+  expectKConstraint(m);
+  expectEquivalent(c.nl, m, c.cycles, 1234 + GetParam());
+}
+
+TEST_P(MapLibrary, EquivalentAtK6) {
+  auto cases = libraryCases();
+  auto& c = cases[GetParam()];
+  MappedNetlist m6 = mapToLuts(c.nl, MapOptions{6});
+  MappedNetlist m4 = mapToLuts(c.nl, MapOptions{4});
+  expectKConstraint(m6);
+  expectEquivalent(c.nl, m6, c.cycles, 4321 + GetParam());
+  // Wider LUTs never need more cells.
+  EXPECT_LE(m6.cells.size(), m4.cells.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLibraryCircuits, MapLibrary,
+                         ::testing::Range<std::size_t>(0, 22),
+                         [](const auto& info) {
+                           return libraryCases()[info.param].label;
+                         });
+
+TEST(LutMapper, RejectsUnsupportedK) {
+  Netlist nl = lib::makeParityTree(4);
+  EXPECT_THROW(mapToLuts(nl, MapOptions{2}), std::invalid_argument);
+  EXPECT_THROW(mapToLuts(nl, MapOptions{7}), std::invalid_argument);
+}
+
+TEST(LutMapper, SingleGatePacksIntoOneLut) {
+  Netlist nl;
+  Builder b(nl);
+  Bus in = b.inputBus("x", 4);
+  nl.addOutput("o", b.and_(b.and_(in[0], in[1]), b.and_(in[2], in[3])));
+  MappedNetlist m = mapToLuts(nl, MapOptions{4});
+  EXPECT_EQ(m.cells.size(), 1u);  // whole 4-input cone in one LUT
+  EXPECT_EQ(m.depth(), 1u);
+}
+
+TEST(LutMapper, ConstantOutputGetsZeroInputCell) {
+  Netlist nl;
+  nl.addOutput("zero", nl.constant(false));
+  nl.addOutput("one", nl.constant(true));
+  MappedNetlist m = mapToLuts(nl);
+  ASSERT_EQ(m.cells.size(), 2u);
+  MappedEvaluator ev(m);
+  ev.eval();
+  EXPECT_FALSE(ev.output(0));
+  EXPECT_TRUE(ev.output(1));
+}
+
+TEST(LutMapper, PassThroughPortNeedsNoCell) {
+  Netlist nl;
+  GateId a = nl.addInput("a");
+  nl.addOutput("o", a);
+  MappedNetlist m = mapToLuts(nl);
+  EXPECT_TRUE(m.cells.empty());
+  EXPECT_EQ(m.outputs[0].net, m.inputNet(0));
+}
+
+TEST(LutMapper, RegisterFeedbackLoopMaps) {
+  // q' = !q : a toggle flip-flop, the smallest feedback loop.
+  Netlist nl;
+  Builder b(nl);
+  Bus q = b.stateBus(1);
+  b.bindState(q, std::vector<GateId>{b.not_(q[0])});
+  nl.addOutput("q", q[0]);
+  MappedNetlist m = mapToLuts(nl);
+  ASSERT_EQ(m.cells.size(), 1u);
+  EXPECT_TRUE(m.cells[0].hasFf);
+  MappedEvaluator ev(m);
+  bool expect = false;
+  for (int i = 0; i < 8; ++i) {
+    ev.eval();
+    EXPECT_EQ(ev.output(0), expect);
+    ev.tick();
+    expect = !expect;
+  }
+}
+
+TEST(LutMapper, FanoutHeavyGatesAreNotDuplicated) {
+  // One AND gate fanning out to 8 XORs: the AND must become its own cell.
+  Netlist nl;
+  Builder b(nl);
+  Bus in = b.inputBus("x", 10);
+  GateId shared = b.and_(in[8], in[9]);
+  for (int i = 0; i < 8; ++i) {
+    nl.addOutput("o" + std::to_string(i),
+                 b.xor_(in[static_cast<std::size_t>(i)], shared));
+  }
+  MappedNetlist m = mapToLuts(nl, MapOptions{4});
+  // 8 XOR cells + 1 shared AND cell.
+  EXPECT_EQ(m.cells.size(), 9u);
+}
+
+TEST(LutMapper, DffInitialValuePreserved) {
+  Netlist nl;
+  GateId d = nl.addInput("d");
+  GateId q = nl.addDff(d, /*init=*/true);
+  nl.addOutput("q", q);
+  MappedNetlist m = mapToLuts(nl);
+  ASSERT_EQ(m.ffCount(), 1u);
+  MappedEvaluator ev(m);
+  ev.setInput(0, false);
+  ev.eval();
+  EXPECT_TRUE(ev.output(0));  // init value visible before first tick
+}
+
+TEST(LutMapper, DepthShrinksWithLargerK) {
+  Netlist nl = lib::makeParityTree(16);
+  MappedNetlist m4 = mapToLuts(nl, MapOptions{4});
+  MappedNetlist m6 = mapToLuts(nl, MapOptions{6});
+  EXPECT_LE(m6.depth(), m4.depth());
+  EXPECT_GE(m4.depth(), 2u);  // 16-bit parity cannot fit one 4-LUT
+}
+
+TEST(MappedNetlist, CheckRejectsBadStructures) {
+  MappedNetlist m;
+  m.k = 4;
+  MappedCell c;
+  c.inputs = {0, 1, 2, 3, 4};  // 5 inputs > K
+  m.cells.push_back(c);
+  EXPECT_THROW(m.check(), std::logic_error);
+}
+
+TEST(MappedNetlist, StateRoundTripInMappedEvaluator) {
+  Netlist nl = lib::makeCounter(6);
+  MappedNetlist m = mapToLuts(nl);
+  MappedEvaluator ev(m);
+  auto enIdx = [&]() -> std::size_t {
+    for (std::size_t i = 0; i < m.inputs.size(); ++i) {
+      if (m.inputs[i].name == "en") return i;
+    }
+    throw std::logic_error("no en port");
+  }();
+  for (std::size_t i = 0; i < m.inputs.size(); ++i) ev.setInput(i, false);
+  ev.setInput(enIdx, true);
+  for (int i = 0; i < 13; ++i) {
+    ev.eval();
+    ev.tick();
+  }
+  ev.eval();
+  const auto snapshot = ev.ffState();
+  std::vector<bool> outsBefore;
+  for (std::size_t o = 0; o < m.outputs.size(); ++o) {
+    outsBefore.push_back(ev.output(o));
+  }
+  for (int i = 0; i < 7; ++i) {
+    ev.eval();
+    ev.tick();
+  }
+  ev.setFfState(snapshot);
+  ev.eval();
+  for (std::size_t o = 0; o < m.outputs.size(); ++o) {
+    EXPECT_EQ(ev.output(o), outsBefore[o]);
+  }
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -1,0 +1,212 @@
+// Netlist text format round trips and the static timing analyzer.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.hpp"
+#include "fabric/device_family.hpp"
+#include "fabric/sta.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/library/arith.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/text_io.hpp"
+#include "sim/rng.hpp"
+#include "workloads/random_netlist.hpp"
+
+namespace vfpga {
+namespace {
+
+void expectEquivalent(const Netlist& a, const Netlist& b, std::uint64_t seed,
+                      int cycles) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  Evaluator ea(a), eb(b);
+  Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    std::vector<bool> in(a.inputs().size());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bernoulli(0.5);
+    ea.setInputs(in);
+    eb.setInputs(in);
+    ea.eval();
+    eb.eval();
+    for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+      ASSERT_EQ(eb.value(b.outputs()[o]), ea.value(a.outputs()[o]));
+    }
+    ea.tick();
+    eb.tick();
+  }
+}
+
+TEST(NetlistText, RoundTripsLibraryCircuits) {
+  std::uint64_t seed = 1000;
+  for (Netlist nl : {lib::makeRippleAdder(6), lib::makeSerialCrc(8, 0x07),
+                     lib::makeCounter(5), lib::makeMac(3),
+                     lib::makeFsm([] {
+                       lib::FsmSpec s;
+                       s.numStates = 3;
+                       s.inputBits = 1;
+                       s.outputBits = 2;
+                       s.next = {{0, 1}, {2, 2}, {0, 0}};
+                       s.moore = {1, 2, 3};
+                       return s;
+                     }())}) {
+    const std::string text = writeNetlistText(nl);
+    Netlist back = parseNetlistText(text);
+    EXPECT_EQ(back.name(), nl.name());
+    expectEquivalent(nl, back, seed++, 48);
+  }
+}
+
+TEST(NetlistText, RoundTripsRandomDags) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed * 10007);
+    workloads::RandomNetlistParams p;
+    p.gates = 20 + rng.below(50);
+    p.flops = rng.below(5);
+    p.feedbackRegs = rng.below(3);
+    Netlist nl = workloads::randomNetlist(p, rng);
+    Netlist back = parseNetlistText(writeNetlistText(nl));
+    expectEquivalent(nl, back, seed, 24);
+  }
+}
+
+TEST(NetlistText, ParsesHandWrittenFullAdder) {
+  const char* text = R"(
+# one-bit full adder with a result register
+name fa1
+input a
+input b
+input cin
+xor t1 a b
+xor sum t1 cin
+and c1 a b
+and c2 t1 cin
+or carry c1 c2
+dff q sum init=1
+output s sum
+output cout carry
+output sreg q
+)";
+  Netlist nl = parseNetlistText(text);
+  EXPECT_EQ(nl.name(), "fa1");
+  Evaluator ev(nl);
+  ev.setInput("a", true);
+  ev.setInput("b", true);
+  ev.setInput("cin", true);
+  ev.eval();
+  EXPECT_TRUE(ev.output("s"));     // 1+1+1 = 1 carry 1
+  EXPECT_TRUE(ev.output("cout"));
+  EXPECT_TRUE(ev.output("sreg"));  // init=1 before the first clock
+}
+
+TEST(NetlistText, FeedbackLoopsParse) {
+  const char* text = R"(
+name toggle
+not n q
+dff q n
+output o q
+)";
+  Netlist nl = parseNetlistText(text);
+  Evaluator ev(nl);
+  bool expect = false;
+  for (int i = 0; i < 6; ++i) {
+    ev.eval();
+    EXPECT_EQ(ev.output("o"), expect);
+    ev.tick();
+    expect = !expect;
+  }
+}
+
+TEST(NetlistText, DiagnosesErrorsWithLineNumbers) {
+  auto expectError = [](const char* text, const char* fragment) {
+    try {
+      parseNetlistText(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expectError("bogus x\n", "unknown kind");
+  expectError("input a\ninput a\n", "duplicate signal");
+  expectError("and x a b\n", "unknown");
+  expectError("input a\nnot x a extra\n", "operand");
+  expectError("input a\nnot x a init=1\n", "init=");
+  expectError("input a\noutput o missing\n", "unknown signal");
+  // Line numbers are reported.
+  expectError("input a\n\nbogus x\n", "line 3");
+}
+
+TEST(NetlistText, CommentsAndBlankLinesIgnored) {
+  Netlist nl = parseNetlistText(
+      "# header\n\ninput a  # trailing comment\noutput o a\n");
+  EXPECT_EQ(nl.inputs().size(), 1u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+// --------------------------------------------------------------------- STA
+
+TEST(Sta, ReportsPathsOnConfiguredDevice) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeRippleAdder(6);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 5));
+  dev.applyBitstream(c.fullBitstream());
+  ASSERT_TRUE(dev.configOk());
+  auto paths = criticalPaths(dev, 5);
+  ASSERT_FALSE(paths.empty());
+  // Slowest-first ordering and consistency with the device's own number.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].arrival, paths[i].arrival);
+  }
+  EXPECT_EQ(paths[0].arrival, dev.criticalPathDelay());
+  // A pure combinational adder: every path starts and ends at pads.
+  EXPECT_NE(paths[0].startpoint.find("pad_slot"), std::string::npos);
+  EXPECT_NE(paths[0].endpoint.find("pad_slot"), std::string::npos);
+  EXPECT_FALSE(paths[0].cells.empty());
+}
+
+TEST(Sta, SequentialCircuitPathsEndAtRegisters) {
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeSerialCrc(8, 0x07);
+  CompiledCircuit c =
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 4));
+  dev.applyBitstream(c.fullBitstream());
+  ASSERT_TRUE(dev.configOk());
+  auto paths = criticalPaths(dev, 20);
+  ASSERT_FALSE(paths.empty());
+  bool sawFfEndpoint = false;
+  for (const TimingPath& p : paths) {
+    if (p.endpoint.rfind("ff(", 0) == 0) sawFfEndpoint = true;
+  }
+  EXPECT_TRUE(sawFfEndpoint);
+}
+
+TEST(Sta, EmptyOrFaultyConfigYieldsNoPaths) {
+  Device dev = mediumPartialProfile().makeDevice();
+  EXPECT_TRUE(criticalPaths(dev, 5).empty());
+  const std::string report = renderTimingReport(dev, 5);
+  EXPECT_NE(report.find("critical paths"), std::string::npos);
+}
+
+TEST(Sta, ReportRendersReadably) {
+  DeviceProfile prof = tinyProfile();
+  Device dev = prof.makeDevice();
+  Compiler compiler(dev);
+  Netlist nl = lib::makeParityTree(6);
+  CompileOptions opt;
+  opt.relocatable = false;
+  CompiledCircuit c =
+      compiler.compile(nl, Region::full(dev.geometry()), opt);
+  dev.applyBitstream(c.fullBitstream());
+  const std::string report = renderTimingReport(dev, 3);
+  EXPECT_NE(report.find("#1"), std::string::npos);
+  EXPECT_NE(report.find("->"), std::string::npos);
+  EXPECT_NE(report.find("lut("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vfpga

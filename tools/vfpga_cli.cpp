@@ -1,0 +1,288 @@
+// vfpga_cli — command-line front end to the library:
+//
+//   vfpga_cli list-circuits                 catalogue of application circuits
+//   vfpga_cli list-devices                  device profiles and their numbers
+//   vfpga_cli info --device <name>          geometry / config / timing detail
+//   vfpga_cli compile --circuit <name> --device <name> [--width N]
+//              [--no-optimize] [--out file.vfpb]       compile + stats
+//   vfpga_cli simulate --circuit <name> --device <name> [--width N]
+//              [--cycles N] [--seed N] [--vcd file.vcd] run on the device
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "compile/compiler.hpp"
+#include "compile/loaded_circuit.hpp"
+#include "fabric/device_family.hpp"
+#include "fabric/sta.hpp"
+#include "fabric/vcd.hpp"
+#include "netlist/optimize.hpp"
+#include "netlist/text_io.hpp"
+#include "sim/rng.hpp"
+#include "workloads/app_circuits.hpp"
+#include "workloads/compile_suite.hpp"
+
+using namespace vfpga;
+using workloads::AppCircuit;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& k) const { return options.count(k) != 0; }
+  std::string get(const std::string& k, const std::string& dflt = "") const {
+    auto it = options.find(k);
+    return it == options.end() ? dflt : it->second;
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vfpga_cli <command> [options]\n"
+               "  list-circuits\n"
+               "  list-devices\n"
+               "  info --device <name>\n"
+               "  compile (--circuit <name> | --netlist file.vnl)"
+               " --device <name> [--width N] [--no-optimize]"
+               " [--out file.vfpb]\n"
+               "  simulate (--circuit <name> | --netlist file.vnl)"
+               " --device <name> [--width N] [--cycles N] [--seed N]"
+               " [--vcd file.vcd]\n");
+  return 2;
+}
+
+/// Loads the circuit under test: a built-in library circuit by name, or a
+/// .vnl text netlist from disk.
+AppCircuit loadCircuit(const Args& a) {
+  if (a.has("netlist")) {
+    std::ifstream in(a.get("netlist"));
+    if (!in) throw std::runtime_error("cannot open " + a.get("netlist"));
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Netlist nl = parseNetlistText(buf.str());
+    std::string name = nl.name().empty() ? a.get("netlist") : nl.name();
+    return AppCircuit{name, "user", std::move(nl)};
+  }
+  return workloads::appCircuitByName(a.get("circuit"));
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return std::nullopt;
+    key = key.substr(2);
+    if (key == "no-optimize") {
+      a.options[key] = "1";
+    } else {
+      if (i + 1 >= argc) return std::nullopt;
+      a.options[key] = argv[++i];
+    }
+  }
+  return a;
+}
+
+int listCircuits() {
+  std::printf("%-14s %-12s %8s %8s %6s %6s\n", "name", "domain", "gates",
+              "DFFs", "ins", "outs");
+  for (const AppCircuit& c : workloads::allSuites()) {
+    const GateCounts n = c.netlist.counts();
+    std::printf("%-14s %-12s %8zu %8zu %6zu %6zu\n", c.name.c_str(),
+                c.domain.c_str(), n.combinational, n.dffs, n.inputs,
+                n.outputs);
+  }
+  return 0;
+}
+
+int listDevices() {
+  std::printf("%-16s %6s %6s %5s %7s %12s %10s %9s\n", "name", "cols",
+              "rows", "K", "wires", "config_bits", "full_ms", "partial?");
+  for (const DeviceProfile& p : allProfiles()) {
+    Device dev = p.makeDevice();
+    ConfigPort port(dev, p.port);
+    std::printf("%-16s %6u %6u %5u %7u %12u %10.2f %9s\n", p.name.c_str(),
+                p.geometry.cols, p.geometry.rows, p.geometry.lutInputs,
+                p.geometry.wiresPerChannel, dev.configMap().totalBits(),
+                toMilliseconds(port.fullDownloadCost()),
+                p.port.partialReconfig ? "yes" : "no");
+  }
+  return 0;
+}
+
+int deviceInfo(const Args& a) {
+  DeviceProfile p = profileByName(a.get("device"));
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  std::printf("device profile: %s\n", p.name.c_str());
+  std::printf("  CLB grid        %u x %u (%zu CLBs, %u-input LUTs)\n",
+              p.geometry.cols, p.geometry.rows, p.geometry.clbCount(),
+              p.geometry.lutInputs);
+  std::printf("  routing         %u wires/channel, disjoint switchboxes\n",
+              p.geometry.wiresPerChannel);
+  std::printf("  I/O             %zu pads x %u slots = %zu pad slots\n",
+              p.geometry.padCount(), p.geometry.slotsPerPad,
+              p.geometry.padSlotCount());
+  std::printf("  config RAM      %u bits in %u frames of %u bits\n",
+              dev.configMap().totalBits(), dev.configMap().frameCount(),
+              dev.configMap().frameBits());
+  std::printf("  full download   %.3f ms (%s)\n",
+              toMilliseconds(port.fullDownloadCost()),
+              p.port.partialReconfig ? "partial reconfig supported"
+                                     : "serial-full only");
+  std::printf("  state access    %s\n",
+              p.port.stateAccess ? "readback/writeback supported" : "none");
+  return 0;
+}
+
+int compileCmd(const Args& a) {
+  AppCircuit circuit = loadCircuit(a);
+  DeviceProfile p = profileByName(a.get("device"));
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+
+  Netlist nl = circuit.netlist;
+  OptimizeStats ostats;
+  if (!a.has("no-optimize")) {
+    nl = optimize(nl, &ostats);
+    std::printf("optimize: %zu -> %zu gates (%zu folded, %zu CSE, %zu dead)\n",
+                ostats.gatesIn, ostats.gatesOut, ostats.constantsFolded,
+                ostats.deduplicated, ostats.deadRemoved);
+  }
+  CompiledCircuit c = [&] {
+    if (a.has("width")) {
+      const auto w = static_cast<std::uint16_t>(std::stoul(a.get("width")));
+      CompileOptions opt;
+      opt.optimize = false;  // already done above
+      return compiler.compile(nl, Region::columns(dev.geometry(), 0, w), opt);
+    }
+    return workloads::compileMinimal(compiler, nl);
+  }();
+  std::printf("compiled %s for %s:\n", circuit.name.c_str(), p.name.c_str());
+  std::printf("  %zu LUT cells (%zu registered), depth %zu\n", c.cellCount(),
+              c.ffCount(), c.mapped.depth());
+  std::printf("  strip width %u columns, %zu ports, %zu config frames\n",
+              c.region.w, c.portCount(), c.frames.size());
+  const Bitstream bs = c.partialBitstream();
+  std::printf("  partial bitstream %zu bits, download %.3f ms "
+              "(full device: %.3f ms)\n",
+              bs.bitCount(), toMilliseconds(port.downloadCost(bs)),
+              toMilliseconds(port.fullDownloadCost()));
+  dev.applyBitstream(c.fullBitstream());
+  if (!dev.configOk()) {
+    std::fprintf(stderr, "configuration fault: %s\n",
+                 dev.elaboration().faults.front().c_str());
+    return 1;
+  }
+  std::printf("  min clock period %llu ns (%.1f MHz)\n",
+              static_cast<unsigned long long>(dev.minClockPeriod()),
+              1e3 / static_cast<double>(dev.minClockPeriod()));
+  std::fputs(renderTimingReport(dev, 3).c_str(), stdout);
+  if (a.has("out")) {
+    const auto bytes = serializeBitstream(bs);
+    std::ofstream out(a.get("out"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    std::printf("  wrote %zu bytes to %s\n", bytes.size(),
+                a.get("out").c_str());
+  }
+  return 0;
+}
+
+int simulateCmd(const Args& a) {
+  AppCircuit circuit = loadCircuit(a);
+  DeviceProfile p = profileByName(a.get("device"));
+  Device dev = p.makeDevice();
+  Compiler compiler(dev);
+  CompiledCircuit c = [&] {
+    if (a.has("width")) {
+      const auto w = static_cast<std::uint16_t>(std::stoul(a.get("width")));
+      return compiler.compile(circuit.netlist,
+                              Region::columns(dev.geometry(), 0, w));
+    }
+    return workloads::compileMinimal(compiler, circuit.netlist);
+  }();
+  dev.applyBitstream(c.fullBitstream());
+  if (!dev.configOk()) {
+    std::fprintf(stderr, "configuration fault: %s\n",
+                 dev.elaboration().faults.front().c_str());
+    return 1;
+  }
+  LoadedCircuit lc(dev, c);
+  lc.applyInitialState();
+
+  const int cycles = std::stoi(a.get("cycles", "16"));
+  Rng rng(std::stoull(a.get("seed", "1")));
+
+  std::ofstream vcdFile;
+  std::optional<VcdWriter> vcd;
+  if (a.has("vcd")) {
+    vcdFile.open(a.get("vcd"));
+    vcd.emplace(vcdFile);
+    for (const PortBinding& pb : c.ports) {
+      if (pb.isInput) continue;
+      vcd->addSignal(pb.name, [&lc, name = pb.name] {
+        return lc.output(name);
+      });
+    }
+  }
+
+  // Header: input names then output names.
+  std::printf("cycle |");
+  for (const PortBinding& pb : c.ports) {
+    if (pb.isInput) std::printf(" %s", pb.name.c_str());
+  }
+  std::printf(" ||");
+  for (const PortBinding& pb : c.ports) {
+    if (!pb.isInput) std::printf(" %s", pb.name.c_str());
+  }
+  std::printf("\n");
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    std::printf("%5d |", cycle);
+    for (const PortBinding& pb : c.ports) {
+      if (!pb.isInput) continue;
+      const bool v = rng.bernoulli(0.5);
+      lc.setInput(pb.name, v);
+      std::printf(" %*d", static_cast<int>(pb.name.size()), v ? 1 : 0);
+    }
+    dev.evaluate();
+    std::printf(" ||");
+    for (const PortBinding& pb : c.ports) {
+      if (pb.isInput) continue;
+      std::printf(" %*d", static_cast<int>(pb.name.size()),
+                  lc.output(pb.name) ? 1 : 0);
+    }
+    std::printf("\n");
+    if (vcd) vcd->sample(static_cast<std::uint64_t>(cycle) * 10);
+    dev.tick();
+  }
+  if (a.has("vcd")) {
+    std::printf("wrote VCD trace to %s\n", a.get("vcd").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "list-circuits") return listCircuits();
+    if (args->command == "list-devices") return listDevices();
+    if (args->command == "info") return deviceInfo(*args);
+    if (args->command == "compile") return compileCmd(*args);
+    if (args->command == "simulate") return simulateCmd(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
