@@ -1,0 +1,282 @@
+#include "analysis/diagnostics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vfpga::analysis {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* locationKindName(Location::Kind k) {
+  switch (k) {
+    case Location::Kind::kNone: return "none";
+    case Location::Kind::kGate: return "gate";
+    case Location::Kind::kCell: return "cell";
+    case Location::Kind::kNet: return "net";
+    case Location::Kind::kSite: return "site";
+    case Location::Kind::kRRNode: return "rrnode";
+    case Location::Kind::kFrame: return "frame";
+    case Location::Kind::kPort: return "port";
+    case Location::Kind::kStrip: return "strip";
+    case Location::Kind::kPage: return "page";
+    case Location::Kind::kTask: return "task";
+    case Location::Kind::kOverlay: return "overlay";
+    case Location::Kind::kSegment: return "segment";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The rule registry. IDs are stable and documented in docs/ANALYSIS.md;
+// never renumber, only append.
+constexpr RuleInfo kRules[] = {
+    // ---- netlist lint (NL) --------------------------------------------------
+    {"NL001", Severity::kError, "combinational cycle",
+     "the combinational part of the netlist is cyclic; the cycle path is "
+     "attached as notes"},
+    {"NL002", Severity::kError, "arity violation",
+     "a gate has the wrong number of fanins for its kind"},
+    {"NL003", Severity::kError, "dangling fanin",
+     "a fanin references a gate id outside the netlist"},
+    {"NL004", Severity::kError, "read from output port",
+     "a gate uses an output port as a fanin"},
+    {"NL005", Severity::kError, "unnamed port",
+     "a primary input or output has no name"},
+    {"NL006", Severity::kWarning, "floating input",
+     "a primary input drives nothing"},
+    {"NL007", Severity::kWarning, "dead gate",
+     "a gate has no path to any primary output"},
+    {"NL008", Severity::kWarning, "constant output",
+     "an output's cone contains no primary input and no register; its value "
+     "never changes"},
+    {"NL009", Severity::kWarning, "stuck register",
+     "a DFF's next-state cone contains no primary input and no register; "
+     "after the first tick it holds a constant, so readers only ever "
+     "observe its initial value"},
+    // ---- mapped netlist (MP) ------------------------------------------------
+    {"MP001", Severity::kError, "LUT capacity exceeded",
+     "a mapped cell has more inputs than the device's K"},
+    {"MP002", Severity::kError, "net out of range",
+     "a cell input references a net id outside the mapped netlist"},
+    {"MP003", Severity::kError, "mapped combinational cycle",
+     "unregistered cells form a combinational cycle; the cycle path is "
+     "attached as notes"},
+    {"MP004", Severity::kError, "invalid port net",
+     "an output port references an invalid net"},
+    // ---- placement (PL) -----------------------------------------------------
+    {"PL001", Severity::kError, "placement overlap",
+     "two cells share one CLB site"},
+    {"PL002", Severity::kError, "cell outside region",
+     "a cell is placed outside the circuit's region"},
+    {"PL003", Severity::kError, "site count mismatch",
+     "the placement does not assign exactly one site per mapped cell"},
+    // ---- routing (RT) -------------------------------------------------------
+    {"RT001", Severity::kError, "routing node conflict",
+     "a routing node (capacity 1) is occupied by more than one net — a "
+     "multi-driven resource"},
+    {"RT002", Severity::kError, "routing isolation violation",
+     "a routed net uses a node owned by a column outside the circuit's "
+     "strip; under partitioning this leaks into a neighbour's columns"},
+    {"RT003", Severity::kError, "inconsistent route tree",
+     "a net enables a switch edge whose endpoints are not both among the "
+     "net's occupied nodes"},
+    // ---- bitstream / frames (BS) --------------------------------------------
+    {"BS001", Severity::kError, "frame outside device",
+     "a circuit claims a configuration frame beyond the device's frame "
+     "count"},
+    {"BS002", Severity::kError, "frame outside region",
+     "a circuit claims a configuration frame (or sets an image bit) outside "
+     "its own column range; downloading it would overwrite a neighbour "
+     "partition"},
+    {"BS003", Severity::kError, "image size mismatch",
+     "the circuit's configuration image does not match the device's "
+     "configuration RAM size"},
+    // ---- port bindings (PT) -------------------------------------------------
+    {"PT001", Severity::kError, "pad slot out of range",
+     "a port is bound to a pad slot the device does not have"},
+    {"PT002", Severity::kError, "pad outside region",
+     "a relocatable circuit binds a port to a pad whose column lies outside "
+     "the circuit's strip"},
+    // ---- strip allocator (AL) -----------------------------------------------
+    {"AL001", Severity::kError, "strip coverage broken",
+     "the allocator's strips do not tile [0, columns) left to right without "
+     "gaps or overlaps"},
+    {"AL002", Severity::kError, "zero-width strip",
+     "the allocator holds a strip of width 0"},
+    {"AL003", Severity::kError, "duplicate partition id",
+     "two strips share one partition id"},
+    {"AL004", Severity::kError, "unmerged idle strips",
+     "two adjacent idle strips exist in variable mode; release() must have "
+     "failed to merge them"},
+    // ---- page table (PG) ----------------------------------------------------
+    {"PG001", Severity::kError, "resident pages exceed capacity",
+     "the page table holds more resident pages than the device can carry"},
+    {"PG002", Severity::kError, "unknown function in page table",
+     "a resident page belongs to a function id that was never declared"},
+    {"PG003", Severity::kError, "page index out of range",
+     "a resident page's index is beyond its function's page count"},
+    {"PG004", Severity::kError, "duplicate page-table entry",
+     "the same (function, page) pair is resident twice"},
+    {"PG005", Severity::kError, "page timestamps corrupt",
+     "a page's loadedAt/lastUse timestamps are out of order or in the "
+     "future"},
+    // ---- overlays (OV) ------------------------------------------------------
+    {"OV001", Severity::kError, "resident circuit outside resident strip",
+     "the resident circuit extends past the resident strip boundary"},
+    {"OV002", Severity::kError, "overlay outside overlay strip",
+     "an overlay circuit extends outside the overlay strip"},
+    {"OV003", Severity::kError, "invalid active overlay",
+     "the active overlay id does not name a declared overlay"},
+    // ---- partition occupancy (PM) -------------------------------------------
+    {"PM001", Severity::kError, "busy strip without occupant",
+     "an allocated strip has no registered occupant circuit"},
+    {"PM002", Severity::kError, "occupant outside its strip",
+     "an occupant circuit's region does not sit inside its strip"},
+    // ---- task state machine (TS) --------------------------------------------
+    {"TS001", Severity::kError, "op index out of range",
+     "a task's operation index is beyond its program"},
+    {"TS002", Severity::kError, "done/op-index mismatch",
+     "a task is marked done before completing its program (or vice versa)"},
+    {"TS003", Severity::kError, "partition held in wrong state",
+     "a task holds a partition while not running on the FPGA"},
+    {"TS004", Severity::kError, "residual work after completion",
+     "a finished task still has CPU time or FPGA cycles outstanding"},
+    {"TS005", Severity::kError, "queue/state mismatch",
+     "a task sits in a scheduler queue whose required state it does not "
+     "have"},
+    {"SG001", Severity::kError, "segment residency corrupt",
+     "a resident segment points at an idle or unknown strip"},
+    {"SG002", Severity::kError, "segments share a strip",
+     "two resident segments claim the same strip"},
+};
+
+std::span<const RuleInfo> registry() { return kRules; }
+
+void appendEscapedJson(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::span<const RuleInfo> allRules() { return registry(); }
+
+const RuleInfo* findRule(std::string_view id) {
+  for (const RuleInfo& r : registry()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+Diagnostic& Report::add(std::string_view ruleId, std::string message,
+                        Location location) {
+  Diagnostic d;
+  d.rule = std::string(ruleId);
+  const RuleInfo* info = findRule(ruleId);
+  d.severity = info ? info->severity : Severity::kError;
+  if (!info) d.notes.push_back("unregistered rule id");
+  d.message = std::move(message);
+  d.location = std::move(location);
+  if (d.severity == Severity::kError) ++errors_;
+  if (d.severity == Severity::kWarning) ++warnings_;
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+std::string Report::renderText() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics_) {
+    os << severityName(d.severity) << " [" << d.rule << "]";
+    if (d.location.kind != Location::Kind::kNone) {
+      os << " at " << locationKindName(d.location.kind);
+      if (d.location.index >= 0) os << " " << d.location.index;
+      if (d.location.x >= 0) {
+        os << " (" << d.location.x << ", " << d.location.y << ")";
+      }
+      if (!d.location.detail.empty()) os << " '" << d.location.detail << "'";
+    }
+    os << ": " << d.message << "\n";
+    for (const std::string& n : d.notes) os << "    note: " << n << "\n";
+  }
+  os << errors_ << " error(s), " << warnings_ << " warning(s), "
+     << diagnostics_.size() << " diagnostic(s) total\n";
+  return os.str();
+}
+
+std::string Report::renderJson() const {
+  std::string out = "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"rule\":\"";
+    appendEscapedJson(out, d.rule);
+    out += "\",\"severity\":\"";
+    out += severityName(d.severity);
+    out += "\",\"message\":\"";
+    appendEscapedJson(out, d.message);
+    out += "\",\"location\":{\"kind\":\"";
+    out += locationKindName(d.location.kind);
+    out += "\",\"index\":" + std::to_string(d.location.index);
+    out += ",\"x\":" + std::to_string(d.location.x);
+    out += ",\"y\":" + std::to_string(d.location.y);
+    out += ",\"detail\":\"";
+    appendEscapedJson(out, d.location.detail);
+    out += "\"},\"notes\":[";
+    for (std::size_t i = 0; i < d.notes.size(); ++i) {
+      if (i) out += ",";
+      out += "\"";
+      appendEscapedJson(out, d.notes[i]);
+      out += "\"";
+    }
+    out += "]}";
+  }
+  out += "],\"errors\":" + std::to_string(errors_);
+  out += ",\"warnings\":" + std::to_string(warnings_) + "}";
+  return out;
+}
+
+void throwIfErrors(const Report& rep, std::string_view context) {
+  if (rep.ok()) return;
+  throw InvariantViolation("invariant violation in " + std::string(context) +
+                           ":\n" + rep.renderText());
+}
+
+namespace {
+bool& checksFlag() {
+  static bool enabled = [] {
+    const char* v = std::getenv("VFPGA_CHECK_INVARIANTS");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+}  // namespace
+
+bool invariantChecksEnabled() { return checksFlag(); }
+
+void setInvariantChecks(bool enabled) { checksFlag() = enabled; }
+
+}  // namespace vfpga::analysis

@@ -1,0 +1,205 @@
+#include "analysis/netlist_lint.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vfpga::analysis {
+
+namespace {
+
+std::string describeGate(const Netlist& nl, GateId id) {
+  const Gate& g = nl.gate(id);
+  std::string s = "gate " + std::to_string(id) + " (" + gateKindName(g.kind);
+  if (!g.name.empty()) s += " '" + g.name + "'";
+  s += ")";
+  return s;
+}
+
+Location gateLoc(const Netlist& nl, GateId id) {
+  Location loc;
+  loc.kind = Location::Kind::kGate;
+  loc.index = id;
+  loc.detail = nl.gate(id).name.empty() ? gateKindName(nl.gate(id).kind)
+                                        : nl.gate(id).name;
+  return loc;
+}
+
+/// Structural phase (NL002-NL005). Returns false when the gate array is
+/// not a well-formed graph, in which case the graph passes must not run.
+bool lintStructure(const Netlist& nl, Report& rep) {
+  bool graphUsable = true;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (static_cast<int>(g.fanins.size()) != gateArity(g.kind)) {
+      rep.add("NL002",
+              describeGate(nl, id) + " has " +
+                  std::to_string(g.fanins.size()) + " fanin(s), needs " +
+                  std::to_string(gateArity(g.kind)),
+              gateLoc(nl, id));
+      graphUsable = false;
+      continue;
+    }
+    for (GateId f : g.fanins) {
+      if (f >= nl.size()) {
+        rep.add("NL003",
+                describeGate(nl, id) + " references nonexistent gate " +
+                    std::to_string(f),
+                gateLoc(nl, id));
+        graphUsable = false;
+      } else if (nl.gate(f).kind == GateKind::kOutput) {
+        rep.add("NL004",
+                describeGate(nl, id) + " reads output port '" +
+                    nl.gate(f).name + "'",
+                gateLoc(nl, id));
+      }
+    }
+    if ((g.kind == GateKind::kInput || g.kind == GateKind::kOutput) &&
+        g.name.empty()) {
+      rep.add("NL005", "unnamed " + std::string(gateKindName(g.kind)),
+              gateLoc(nl, id));
+    }
+  }
+  return graphUsable;
+}
+
+/// Finds one combinational cycle (DFF outputs break cycles) and reports it
+/// with the full path. Returns true when a cycle exists.
+bool lintCycle(const Netlist& nl, Report& rep) {
+  // Colors: 0 = unvisited, 1 = on the current DFS path, 2 = finished.
+  std::vector<std::uint8_t> color(nl.size(), 0);
+  std::vector<GateId> parent(nl.size(), kNoGate);
+  for (GateId root = 0; root < nl.size(); ++root) {
+    if (color[root] != 0) continue;
+    // Iterative DFS over combinational fanin edges.
+    std::vector<std::pair<GateId, std::size_t>> stack{{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Gate& g = nl.gate(id);
+      // A DFF's output does not combinationally depend on its D input.
+      const bool traverse = g.kind != GateKind::kDff;
+      if (!traverse || next >= g.fanins.size()) {
+        color[id] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const GateId f = g.fanins[next++];
+      if (color[f] == 0) {
+        color[f] = 1;
+        parent[f] = id;
+        stack.emplace_back(f, 0);
+      } else if (color[f] == 1) {
+        // Back edge id -> f: the cycle is f <- ... <- id <- f.
+        std::vector<GateId> cycle{f};
+        for (GateId walk = id; walk != f; walk = parent[walk]) {
+          cycle.push_back(walk);
+        }
+        Diagnostic& d = rep.add(
+            "NL001",
+            "combinational cycle of " + std::to_string(cycle.size()) +
+                " gate(s); the path is attached as notes",
+            gateLoc(nl, f));
+        for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) {
+          d.notes.push_back(describeGate(nl, *it));
+        }
+        d.notes.push_back("back to " + describeGate(nl, f));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// NL006-NL009: liveness and constant-cone analysis. Requires an acyclic
+/// combinational graph (topoOrder()).
+void lintLiveness(const Netlist& nl, Report& rep) {
+  const auto fanout = nl.fanoutCounts();
+  for (GateId in : nl.inputs()) {
+    if (fanout[in] == 0) {
+      rep.add("NL006",
+              "input '" + nl.gate(in).name + "' drives nothing",
+              gateLoc(nl, in));
+    }
+  }
+
+  // Reverse reachability from the primary outputs over *all* fanin edges
+  // (a gate feeding only a DFF that feeds an output is alive).
+  std::vector<std::uint8_t> live(nl.size(), 0);
+  std::vector<GateId> frontier(nl.outputs().begin(), nl.outputs().end());
+  for (GateId o : frontier) live[o] = 1;
+  while (!frontier.empty()) {
+    const GateId id = frontier.back();
+    frontier.pop_back();
+    for (GateId f : nl.gate(id).fanins) {
+      if (!live[f]) {
+        live[f] = 1;
+        frontier.push_back(f);
+      }
+    }
+  }
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const GateKind k = nl.gate(id).kind;
+    if (k == GateKind::kInput || k == GateKind::kOutput) continue;
+    if (!live[id]) {
+      rep.add("NL007", describeGate(nl, id) + " has no path to any output",
+              gateLoc(nl, id));
+    }
+  }
+
+  // dynamic[g]: g's value can ever change — its cone reaches a primary
+  // input or a non-stuck register. Greatest fixpoint: start with every DFF
+  // assumed dynamic and drop DFFs whose D cone turns out static; a counter
+  // feeding itself stays dynamic (its cone contains itself), a register
+  // fed only by constants does not.
+  const auto order = nl.topoOrder();
+  std::vector<std::uint8_t> dynamic(nl.size(), 0);
+  std::vector<std::uint8_t> dffDyn(nl.size(), 0);
+  for (GateId d : nl.dffs()) dffDyn[d] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (GateId id : order) {
+      const Gate& g = nl.gate(id);
+      if (g.kind == GateKind::kInput) {
+        dynamic[id] = 1;
+      } else if (g.kind == GateKind::kDff) {
+        dynamic[id] = dffDyn[id];
+      } else {
+        std::uint8_t v = 0;
+        for (GateId f : g.fanins) v |= dynamic[f];
+        dynamic[id] = v;
+      }
+    }
+    for (GateId d : nl.dffs()) {
+      if (dffDyn[d] && !dynamic[nl.gate(d).fanins[0]]) {
+        dffDyn[d] = 0;
+        changed = true;
+      }
+    }
+  }
+  for (GateId o : nl.outputs()) {
+    if (!dynamic[nl.gate(o).fanins[0]]) {
+      rep.add("NL008",
+              "output '" + nl.gate(o).name + "' is constant",
+              gateLoc(nl, o));
+    }
+  }
+  for (GateId d : nl.dffs()) {
+    if (!dynamic[nl.gate(d).fanins[0]] && live[d]) {
+      rep.add("NL009",
+              describeGate(nl, d) +
+                  " never changes after the first clock edge",
+              gateLoc(nl, d));
+    }
+  }
+}
+
+}  // namespace
+
+void lintNetlist(const Netlist& nl, Report& rep) {
+  if (!lintStructure(nl, rep)) return;
+  if (lintCycle(nl, rep)) return;
+  lintLiveness(nl, rep);
+}
+
+}  // namespace vfpga::analysis

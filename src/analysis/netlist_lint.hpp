@@ -1,0 +1,17 @@
+// Gate-level netlist lint: the NL* rules.
+//
+// Unlike Netlist::check(), which throws on the first structural violation,
+// lintNetlist reports *every* finding as a structured diagnostic and adds
+// the quality rules check() does not enforce: floating inputs, dead gates,
+// constant outputs and stuck registers. Combinational cycles are reported
+// with the full cycle path attached as notes.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vfpga::analysis {
+
+void lintNetlist(const Netlist& nl, Report& rep);
+
+}  // namespace vfpga::analysis

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/kernel_check.hpp"
+
 namespace vfpga {
 
 const char* fpgaPolicyName(FpgaPolicy p) {
@@ -142,9 +144,29 @@ void OsKernel::addTask(TaskSpec spec) {
   sim_->scheduleAt(tasks_[t].spec.arrival, [this, t] { onArrive(t); });
 }
 
+void OsKernel::checkInvariants() const {
+  analysis::Report rep;
+  analysis::verifyTasks(tasks_, rep);
+  // The deques are copied into dense vectors for the span-based verifier;
+  // this path only runs under VFPGA_CHECK_INVARIANTS.
+  const std::vector<std::size_t> ready(cpuReady_.begin(), cpuReady_.end());
+  std::vector<std::size_t> waiting(fpgaQueue_.begin(), fpgaQueue_.end());
+  waiting.insert(waiting.end(), fpgaWaiting_.begin(), fpgaWaiting_.end());
+  for (const Service& svc : services_) {
+    waiting.insert(waiting.end(), svc.queue.begin(), svc.queue.end());
+  }
+  analysis::verifyTaskQueues(tasks_, ready, waiting, rep);
+  analysis::throwIfErrors(rep, "OsKernel");
+  if (pm_) pm_->checkInvariants();
+}
+
 void OsKernel::run() {
   started_ = true;
-  sim_->run();
+  if (analysis::invariantChecksEnabled()) {
+    while (sim_->step()) checkInvariants();
+  } else {
+    sim_->run();
+  }
   metrics_.bitsDownloaded = port_->stats().bitsWritten;
   if (pm_) {
     metrics_.relocations = pm_->relocations();
@@ -195,6 +217,9 @@ void OsKernel::enterOp(std::size_t t) {
       const double ns = static_cast<double>(execDuration(fx, fx.cycles)) *
                         options_.softwareSlowdown;
       tr.cpuRemaining = static_cast<SimDuration>(std::llround(ns));
+      // The whole execution runs in software; nothing remains for the
+      // fabric (cyclesRemaining only tracks FPGA work still owed).
+      tr.cyclesRemaining = 0;
       makeCpuReady(t);
       return;
     }

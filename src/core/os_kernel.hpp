@@ -90,8 +90,15 @@ class OsKernel {
   /// Declares a task; it arrives at spec.arrival simulated time.
   void addTask(TaskSpec spec);
 
-  /// Runs the simulation until every task finished.
+  /// Runs the simulation until every task finished. When
+  /// VFPGA_CHECK_INVARIANTS is enabled, checkInvariants() runs after every
+  /// simulated event.
   void run();
+
+  /// Verifies the TS* task-state-machine invariants (plus the partition
+  /// manager's, under partitioned policies) and throws
+  /// analysis::InvariantViolation on any breach.
+  void checkInvariants() const;
 
   const OsMetrics& metrics() const { return metrics_; }
   const Trace& trace() const { return trace_; }

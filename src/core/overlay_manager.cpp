@@ -2,9 +2,18 @@
 
 #include <stdexcept>
 
+#include "analysis/kernel_check.hpp"
 #include "compile/loaded_circuit.hpp"
 
 namespace vfpga {
+
+void OverlayManager::checkInvariants() const {
+  analysis::Report rep;
+  analysis::verifyOverlayLayout(
+      residentCircuit_ ? &*residentCircuit_ : nullptr, overlays_, active_,
+      residentWidth_, dev_->geometry().cols, rep);
+  analysis::throwIfErrors(rep, "OverlayManager");
+}
 
 OverlayManager::OverlayManager(Device& device, ConfigPort& port,
                                Compiler& compiler,
@@ -33,6 +42,7 @@ SimDuration OverlayManager::installResident(const CompiledCircuit& common) {
     LoadedCircuit lc(*dev_, *residentCircuit_);
     lc.applyInitialState();
   }
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return t;
 }
 
@@ -42,6 +52,7 @@ OverlayId OverlayManager::addOverlay(const CompiledCircuit& circuit) {
                                 circuit.name);
   }
   overlays_.push_back(compiler_->relocate(circuit, residentWidth_));
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return static_cast<OverlayId>(overlays_.size() - 1);
 }
 
@@ -96,6 +107,7 @@ OverlayManager::InvokeResult OverlayManager::invoke(OverlayId id) {
   active_ = id;
   r.loaded = true;
   ++loads_;
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return r;
 }
 

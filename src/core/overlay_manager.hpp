@@ -55,6 +55,12 @@ class OverlayManager {
   /// Hit rate of overlay invocations (active overlay already loaded).
   double hitRate() const;
 
+  /// Verifies the OV* invariants (resident/overlay circuits inside their
+  /// strips, active id valid) and throws analysis::InvariantViolation on
+  /// any breach. Runs automatically after every mutation when
+  /// VFPGA_CHECK_INVARIANTS is enabled.
+  void checkInvariants() const;
+
  private:
   Device* dev_;
   ConfigPort* port_;

@@ -74,6 +74,7 @@ PageManager::AccessResult PageManager::access(ConfigId id) {
   ++accesses_;
   AccessResult r;
   for (std::uint32_t p = 0; p < pages; ++p) touchPage(id, p, r);
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return r;
 }
 
@@ -83,7 +84,25 @@ PageManager::AccessResult PageManager::accessPage(ConfigId id,
   ++accesses_;
   AccessResult r;
   touchPage(id, page, r);
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return r;
+}
+
+std::vector<analysis::PageTableEntry> PageManager::pageTable() const {
+  std::vector<analysis::PageTableEntry> entries;
+  entries.reserve(resident_.size());
+  for (const auto& [key, info] : resident_) {
+    entries.push_back(analysis::PageTableEntry{key.first, key.second,
+                                               info.loadedAt, info.lastUse});
+  }
+  return entries;
+}
+
+void PageManager::checkInvariants() const {
+  analysis::Report rep;
+  analysis::verifyPageTable(pageTable(), functionPages_,
+                            options_.residentCapacity, clock_, rep);
+  analysis::throwIfErrors(rep, "PageManager");
 }
 
 }  // namespace vfpga

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <span>
 #include <vector>
 
+#include "analysis/kernel_check.hpp"
 #include "core/config_registry.hpp"
 #include "core/segment_manager.hpp"  // ReplacementPolicy
 #include "fabric/config_port.hpp"
@@ -60,6 +62,21 @@ class PageManager {
   double faultRate() const {
     return touches_ ? static_cast<double>(faults_) / touches_ : 0.0;
   }
+
+  /// Value-level snapshot of the resident set, in key order — the input of
+  /// analysis::verifyPageTable (and of tests that corrupt a copy).
+  std::vector<analysis::PageTableEntry> pageTable() const;
+  /// Declared page count per function id.
+  std::span<const std::uint32_t> functionPageCounts() const {
+    return functionPages_;
+  }
+  std::uint32_t residentCapacity() const { return options_.residentCapacity; }
+  std::uint64_t clock() const { return clock_; }
+
+  /// Verifies the PG* invariants over the live page table and throws
+  /// analysis::InvariantViolation on any breach. Runs automatically after
+  /// every access when VFPGA_CHECK_INVARIANTS is enabled.
+  void checkInvariants() const;
 
  private:
   ConfigPortSpec spec_;

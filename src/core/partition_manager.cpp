@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/kernel_check.hpp"
+
 namespace vfpga {
 
 namespace {
@@ -63,6 +65,7 @@ std::optional<PartitionManager::LoadResult> PartitionManager::load(
         static_cast<std::uint16_t>(strip.x0 + strip.width - 1));
   }
   occupants_[*grant] = Occupant{id, std::move(relocated)};
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return result;
 }
 
@@ -163,6 +166,7 @@ void PartitionManager::unload(PartitionId id) {
   }
   occupants_.erase(it);
   alloc_.release(id);
+  if (analysis::invariantChecksEnabled()) checkInvariants();
 }
 
 LoadedCircuit PartitionManager::loaded(PartitionId id) {
@@ -175,6 +179,21 @@ const CompiledCircuit& PartitionManager::circuitIn(PartitionId id) const {
     throw std::out_of_range("partition has no occupant");
   }
   return it->second.circuit;
+}
+
+void PartitionManager::checkInvariants() const {
+  analysis::Report rep;
+  analysis::verifyStrips(alloc_.strips(), alloc_.columns(), alloc_.isFixed(),
+                         rep);
+  std::vector<analysis::OccupantInfo> occ;
+  occ.reserve(occupants_.size());
+  for (const auto& [partition, occupant] : occupants_) {
+    occ.push_back(analysis::OccupantInfo{partition, occupant.circuit.region.x0,
+                                         occupant.circuit.region.w,
+                                         occupant.circuit.name});
+  }
+  analysis::verifyOccupancy(alloc_.strips(), occ, rep);
+  analysis::throwIfErrors(rep, "PartitionManager");
 }
 
 }  // namespace vfpga

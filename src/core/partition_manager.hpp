@@ -69,6 +69,13 @@ class PartitionManager {
   std::uint64_t garbageCollections() const { return gcRuns_; }
   std::uint64_t relocations() const { return relocationsDone_; }
 
+  /// Verifies the PM* invariants (every busy strip has an occupant, every
+  /// occupant sits inside its strip) on top of the allocator's own AL*
+  /// checks; throws analysis::InvariantViolation on any breach. Runs
+  /// automatically after load/unload when VFPGA_CHECK_INVARIANTS is
+  /// enabled.
+  void checkInvariants() const;
+
  private:
   Device* dev_;
   ConfigPort* port_;

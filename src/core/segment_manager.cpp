@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "analysis/kernel_check.hpp"
+
 namespace vfpga {
 
 const char* replacementPolicyName(ReplacementPolicy p) {
@@ -84,7 +86,21 @@ SegmentManager::AccessResult SegmentManager::access(SegmentId id) {
   CompiledCircuit placed = compiler_->relocate(segments_[id], strip.x0);
   r.cost += port_->download(placed.partialBitstream());
   residency_[id] = Residency{*grant, clock_, clock_};
+  if (analysis::invariantChecksEnabled()) checkInvariants();
   return r;
+}
+
+void SegmentManager::checkInvariants() const {
+  analysis::Report rep;
+  analysis::verifyStrips(alloc_.strips(), alloc_.columns(), alloc_.isFixed(),
+                         rep);
+  std::vector<analysis::SegmentResidencyInfo> resident;
+  resident.reserve(residency_.size());
+  for (const auto& [seg, res] : residency_) {
+    resident.push_back(analysis::SegmentResidencyInfo{seg, res.strip});
+  }
+  analysis::verifySegmentResidency(alloc_.strips(), resident, rep);
+  analysis::throwIfErrors(rep, "SegmentManager");
 }
 
 }  // namespace vfpga

@@ -53,6 +53,12 @@ class SegmentManager {
     return accesses_ ? static_cast<double>(faults_) / accesses_ : 0.0;
   }
 
+  /// Verifies the SG* invariants (resident segments point at busy strips,
+  /// no two segments share one) on top of the allocator's AL* checks;
+  /// throws analysis::InvariantViolation on any breach. Runs automatically
+  /// after every access when VFPGA_CHECK_INVARIANTS is enabled.
+  void checkInvariants() const;
+
  private:
   Device* dev_;
   ConfigPort* port_;

@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/kernel_check.hpp"
+
 namespace vfpga {
+
+namespace {
+/// Gated invariant hook, called after every mutation.
+void maybeCheck(const StripAllocator& a) {
+  if (analysis::invariantChecksEnabled()) a.checkInvariants();
+}
+}  // namespace
+
+void StripAllocator::checkInvariants() const {
+  analysis::Report rep;
+  analysis::verifyStrips(strips_, columns_, fixed_, rep);
+  analysis::throwIfErrors(rep, "StripAllocator");
+}
 
 StripAllocator::StripAllocator(std::uint16_t columns)
     : columns_(columns), fixed_(false) {
   if (columns == 0) throw std::invalid_argument("zero-column allocator");
   strips_.push_back(Strip{next_++, 0, columns, false});
+  maybeCheck(*this);
 }
 
 StripAllocator::StripAllocator(std::uint16_t columns,
@@ -28,6 +44,7 @@ StripAllocator::StripAllocator(std::uint16_t columns,
     strips_.push_back(
         Strip{next_++, x, static_cast<std::uint16_t>(columns - x), false});
   }
+  maybeCheck(*this);
 }
 
 std::size_t StripAllocator::indexOf(PartitionId id) const {
@@ -54,12 +71,14 @@ std::optional<PartitionId> StripAllocator::allocate(std::uint16_t width,
 
   if (fixed_) {
     strips_[best].busy = true;
+    maybeCheck(*this);
     return strips_[best].id;
   }
   // Variable mode: split off exactly `width` columns from the left edge.
   Strip& s = strips_[best];
   if (s.width == width) {
     s.busy = true;
+    maybeCheck(*this);
     return s.id;
   }
   Strip allocated{next_++, s.x0, width, true};
@@ -67,6 +86,7 @@ std::optional<PartitionId> StripAllocator::allocate(std::uint16_t width,
   s.width = static_cast<std::uint16_t>(s.width - width);
   strips_.insert(strips_.begin() + static_cast<std::ptrdiff_t>(best),
                  allocated);
+  maybeCheck(*this);
   return allocated.id;
 }
 
@@ -75,6 +95,7 @@ void StripAllocator::release(PartitionId id) {
   if (!strips_[idx].busy) throw std::logic_error("releasing an idle strip");
   strips_[idx].busy = false;
   if (!fixed_) mergeIdleAround(idx);
+  maybeCheck(*this);
 }
 
 void StripAllocator::mergeIdleAround(std::size_t idx) {
@@ -94,8 +115,6 @@ void StripAllocator::mergeIdleAround(std::size_t idx) {
 const Strip& StripAllocator::strip(PartitionId id) const {
   return strips_[indexOf(id)];
 }
-
-std::vector<Strip> StripAllocator::strips() const { return strips_; }
 
 std::uint16_t StripAllocator::totalFree() const {
   std::uint16_t n = 0;
@@ -139,6 +158,7 @@ std::vector<StripAllocator::Move> StripAllocator::compact() {
         Strip{next_++, x, static_cast<std::uint16_t>(columns_ - x), false});
   }
   strips_ = std::move(packed);
+  maybeCheck(*this);
   return moves;
 }
 

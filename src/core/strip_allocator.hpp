@@ -54,8 +54,14 @@ class StripAllocator {
   void release(PartitionId id);
 
   const Strip& strip(PartitionId id) const;
-  /// All strips, left to right.
-  std::vector<Strip> strips() const;
+  /// All strips, left to right (a view into the allocator's bookkeeping;
+  /// invalidated by any mutating call).
+  const std::vector<Strip>& strips() const { return strips_; }
+
+  /// Verifies the AL* invariants (coverage, ordering, merge discipline) and
+  /// throws analysis::InvariantViolation on any breach. Runs automatically
+  /// after every mutation when VFPGA_CHECK_INVARIANTS is enabled.
+  void checkInvariants() const;
 
   // ---- capacity queries ------------------------------------------------------
   std::uint16_t totalFree() const;

@@ -113,7 +113,16 @@ GateId Netlist::addGate(GateKind kind, std::vector<GateId> fanins,
 }
 
 GateId Netlist::addDff(GateId d, bool init, std::string name) {
-  const GateId id = addGate(GateKind::kDff, {d}, std::move(name));
+  GateId id;
+  if (d == kNoGate) {
+    // Deferred D binding: push directly (addGate would reject the dangling
+    // fanin). check() still rejects kNoGate, so forgetting to rebind fails.
+    id = static_cast<GateId>(gates_.size());
+    gates_.push_back(Gate{GateKind::kDff, {kNoGate}, std::move(name)});
+    dffs_.push_back(id);
+  } else {
+    id = addGate(GateKind::kDff, {d}, std::move(name));
+  }
   gates_[id].dffInit = init;
   return id;
 }

@@ -79,6 +79,10 @@ class Netlist {
   GateId addOutput(std::string name, GateId driver);
   GateId addGate(GateKind kind, std::vector<GateId> fanins,
                  std::string name = "");
+  /// Adds a register. Pass `d = kNoGate` to defer the D binding: the gate is
+  /// created with a dangling fanin that MUST be fixed via rebindDff() before
+  /// check()/evaluation — this avoids materializing a throwaway placeholder
+  /// gate for registers in feedback loops.
   GateId addDff(GateId d, bool init = false, std::string name = "");
   /// Rewires a DFF's D input. This is the only permitted mutation of an
   /// existing gate; it exists so registers in feedback loops can be declared

@@ -158,8 +158,9 @@ Netlist optimizeOnce(const Netlist& nl, OptimizeStats& stats) {
         valueOf[g] = Value::constant(true);
         continue;
       case GateKind::kDff: {
-        const GateId nd = out.addDff(out.constant(false), gate.dffInit,
-                                     gate.name);
+        // Deferred D: bound in the fixup pass once the feedback cone exists
+        // (a const placeholder here would survive as an orphan gate).
+        const GateId nd = out.addDff(kNoGate, gate.dffInit, gate.name);
         valueOf[g] = Value::of(nd);
         dffFixups.emplace_back(g, nd);
         continue;

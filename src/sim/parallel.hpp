@@ -12,9 +12,9 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace vfpga {
@@ -22,9 +22,11 @@ namespace vfpga {
 /// Runs fn(i) for every i in [0, n), using at most maxThreads workers
 /// (0 = hardware concurrency). The first exception thrown by any body is
 /// rethrown on the caller's thread after all workers join. fn must not
-/// touch shared mutable state except its own per-index slots.
-inline void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
-                        unsigned maxThreads = 0) {
+/// touch shared mutable state except its own per-index slots. Templated on
+/// the callable so bodies inline without a std::function indirection per
+/// index.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, unsigned maxThreads = 0) {
   if (n == 0) return;
   unsigned workers = maxThreads ? maxThreads : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
@@ -60,10 +62,8 @@ inline void parallelFor(std::size_t n, const std::function<void(std::size_t)>& f
 }
 
 /// Maps fn over [0, n) in parallel, collecting the results in order.
-template <typename T>
-std::vector<T> parallelMap(std::size_t n,
-                           const std::function<T(std::size_t)>& fn,
-                           unsigned maxThreads = 0) {
+template <typename T, typename Fn>
+std::vector<T> parallelMap(std::size_t n, Fn&& fn, unsigned maxThreads = 0) {
   std::vector<T> out(n);
   parallelFor(n, [&](std::size_t i) { out[i] = fn(i); }, maxThreads);
   return out;

@@ -173,6 +173,47 @@ TEST(StripAllocator, RejectsDegenerateInputs) {
   EXPECT_THROW(a.strip(999), std::out_of_range);
 }
 
+TEST(StripAllocator, FixedModeDoubleReleaseThrows) {
+  StripAllocator a(12, {4, 4, 4});
+  auto p = a.allocate(4);
+  ASSERT_TRUE(p);
+  a.release(*p);
+  EXPECT_THROW(a.release(*p), std::logic_error);
+  // The failed release must not have corrupted the partition table.
+  EXPECT_EQ(a.strips().size(), 3u);
+  EXPECT_EQ(a.totalFree(), 12);
+}
+
+TEST(StripAllocator, FixedModeZeroWidthAllocateThrows) {
+  StripAllocator a(12, {4, 4, 4});
+  EXPECT_THROW(a.allocate(0), std::invalid_argument);
+  EXPECT_THROW(a.allocate(0, FitPolicy::kBestFit), std::invalid_argument);
+  EXPECT_EQ(a.totalFree(), 12);  // nothing was handed out
+}
+
+TEST(StripAllocator, CompactAfterReleaseMovesOnlyDisplacedStrips) {
+  StripAllocator a(16);
+  auto p1 = a.allocate(4);  // [0,4)
+  auto p2 = a.allocate(4);  // [4,8)
+  auto p3 = a.allocate(4);  // [8,12)
+  ASSERT_TRUE(p1 && p2 && p3);
+  a.release(*p2);  // hole in the middle: busy(4) free(4) busy(4) free(4)
+  const auto moves = a.compact();
+  // p1 already sits at 0 — only p3 moves, into the hole at column 4.
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].id, *p3);
+  EXPECT_EQ(moves[0].toX0, 4);
+  EXPECT_EQ(a.strip(*p3).x0, 4);
+  EXPECT_EQ(a.largestFree(), 8);  // trailing holes merged into one
+  EXPECT_EQ(a.strips().size(), 3u);
+}
+
+TEST(StripAllocator, StripsViewIsStableReference) {
+  StripAllocator a(8);
+  const std::vector<Strip>* first = &a.strips();
+  EXPECT_EQ(first, &a.strips());  // accessor returns a view, not a copy
+}
+
 TEST(StripAllocator, ChurnNeverLosesColumns) {
   // Property test: after any sequence of allocate/release, busy + free
   // widths cover exactly the device and strips tile [0, columns).

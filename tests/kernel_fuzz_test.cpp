@@ -103,7 +103,9 @@ TEST_P(KernelFuzz, InvariantsHoldOnRandomWorkloads) {
     EXPECT_LE(m.configTime, m.makespan);
   }
   // Roll-backs only exist in the no-save dynamic regime.
-  if (policy != FpgaPolicy::kDynamicLoading) EXPECT_EQ(m.rollbacks, 0u);
+  if (policy != FpgaPolicy::kDynamicLoading) {
+    EXPECT_EQ(m.rollbacks, 0u);
+  }
 }
 
 TEST_P(KernelFuzz, RunsAreBitDeterministic) {

@@ -7,6 +7,11 @@
 //              [--no-optimize] [--out file.vfpb]       compile + stats
 //   vfpga_cli simulate --circuit <name> --device <name> [--width N]
 //              [--cycles N] [--seed N] [--vcd file.vcd] run on the device
+//   vfpga_cli lint (--circuit <name> | --netlist file.vnl | --all)
+//              [--device <name>] [--width N] [--no-optimize] [--json]
+//              run every analysis pass over the flow; nonzero exit on any
+//              error-severity diagnostic
+//   vfpga_cli lint --list-rules             the rule registry
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -15,6 +20,8 @@
 #include <optional>
 #include <string>
 
+#include "analysis/flow_lint.hpp"
+#include "analysis/netlist_lint.hpp"
 #include "compile/compiler.hpp"
 #include "compile/loaded_circuit.hpp"
 #include "fabric/device_family.hpp"
@@ -52,7 +59,10 @@ int usage() {
                " [--out file.vfpb]\n"
                "  simulate (--circuit <name> | --netlist file.vnl)"
                " --device <name> [--width N] [--cycles N] [--seed N]"
-               " [--vcd file.vcd]\n");
+               " [--vcd file.vcd]\n"
+               "  lint (--circuit <name> | --netlist file.vnl | --all)"
+               " [--device <name>] [--width N] [--no-optimize] [--json]\n"
+               "  lint --list-rules\n");
   return 2;
 }
 
@@ -79,7 +89,8 @@ std::optional<Args> parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) return std::nullopt;
     key = key.substr(2);
-    if (key == "no-optimize") {
+    if (key == "no-optimize" || key == "all" || key == "json" ||
+        key == "list-rules") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -269,6 +280,71 @@ int simulateCmd(const Args& a) {
   return 0;
 }
 
+int lintCmd(const Args& a) {
+  if (a.has("list-rules")) {
+    for (const analysis::RuleInfo& r : analysis::allRules()) {
+      std::printf("%-6s %-8s %s\n       %s\n", r.id,
+                  analysis::severityName(r.severity), r.title, r.description);
+    }
+    return 0;
+  }
+
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  Device dev = p.makeDevice();
+  Compiler compiler(dev);
+
+  std::vector<AppCircuit> circuits;
+  if (a.has("all")) {
+    circuits = workloads::allSuites();
+  } else {
+    circuits.push_back(loadCircuit(a));
+  }
+
+  const bool json = a.has("json");
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  if (json) std::printf("[");
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const AppCircuit& circuit = circuits[i];
+    analysis::Report rep;
+    Netlist nl = circuit.netlist;
+    if (!a.has("no-optimize")) nl = optimize(nl);
+    analysis::lintNetlist(nl, rep);
+    if (rep.ok()) {
+      // The netlist is structurally sound: run the whole flow and lint
+      // every compiled stage (mapping, placement, routing, bitstream).
+      const CompiledCircuit c = [&] {
+        if (a.has("width")) {
+          const auto w =
+              static_cast<std::uint16_t>(std::stoul(a.get("width")));
+          CompileOptions opt;
+          opt.optimize = false;  // handled above
+          return compiler.compile(nl, Region::columns(dev.geometry(), 0, w),
+                                  opt);
+        }
+        return workloads::compileMinimal(compiler, nl);
+      }();
+      analysis::lintCompiled(c, dev.rrg(), dev.configMap(), rep);
+    }
+    errors += rep.errorCount();
+    warnings += rep.warningCount();
+    if (json) {
+      std::printf("%s{\"name\":\"%s\",\"report\":%s}", i == 0 ? "" : ",",
+                  circuit.name.c_str(), rep.renderJson().c_str());
+    } else {
+      std::printf("== %s ==\n%s", circuit.name.c_str(),
+                  rep.renderText().c_str());
+    }
+  }
+  if (json) {
+    std::printf("]\n");
+  } else {
+    std::printf("lint: %zu error(s), %zu warning(s) across %zu circuit(s)\n",
+                errors, warnings, circuits.size());
+  }
+  return errors != 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -280,6 +356,7 @@ int main(int argc, char** argv) {
     if (args->command == "info") return deviceInfo(*args);
     if (args->command == "compile") return compileCmd(*args);
     if (args->command == "simulate") return simulateCmd(*args);
+    if (args->command == "lint") return lintCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
