@@ -61,6 +61,7 @@ RunResult runPolicy(const DeviceProfile& prof, FpgaPolicy policy,
 }  // namespace
 
 int main() {
+  BenchJson bj("e2_dynamic_loading");
   tableHeader("E2",
               "dynamic loading vs software-only, sweep cycles per execution");
   std::printf("%-10s | %-9s %-28s | %-28s | %-12s\n", "", "",
@@ -90,6 +91,22 @@ int main() {
       best = toMilliseconds(partial.makespan);
     }
     if (toMilliseconds(serial.makespan) < best) winner = "vfpga(serial)";
+    const obs::Labels base{{"cycles", std::to_string(cycles)}};
+    auto labeled = [&base](const char* variant) {
+      obs::Labels l = base;
+      l.emplace_back("variant", variant);
+      return l;
+    };
+    bj.sample("vfpga_bench_makespan_ms", labeled("partial"),
+              toMilliseconds(partial.makespan));
+    bj.sample("vfpga_bench_makespan_ms", labeled("serial"),
+              toMilliseconds(serial.makespan));
+    bj.sample("vfpga_bench_makespan_ms", labeled("software"),
+              toMilliseconds(sw.makespan));
+    bj.sample("vfpga_bench_config_overhead", labeled("partial"),
+              partial.overhead);
+    bj.sample("vfpga_bench_config_overhead", labeled("serial"),
+              serial.overhead);
     std::printf("%-10llu | %9.3f %9.2f %7.1f%% | %9.3f %9.2f %7.1f%% | "
                 "%12.2f | %s\n",
                 static_cast<unsigned long long>(cycles), execMsP,
@@ -125,6 +142,13 @@ int main() {
     }
     kernel.run();
     const auto& m = kernel.metrics();
+    const obs::Labels sl{{"slice_ns", std::to_string(slice)}};
+    bj.sample("vfpga_bench_preemptions", sl,
+              static_cast<double>(m.fpgaPreemptions));
+    bj.sample("vfpga_bench_state_move_ms", sl,
+              toMilliseconds(m.stateMoveTime));
+    bj.sample("vfpga_bench_slice_makespan_ms", sl,
+              toMilliseconds(m.makespan));
     if (slice == 0) {
       std::printf("%-12s %10llu %12.3f %12.2f %9.1f%%\n", "run-to-end",
                   static_cast<unsigned long long>(m.fpgaPreemptions),
@@ -138,5 +162,6 @@ int main() {
                   toMilliseconds(m.makespan), 100 * m.configOverhead());
     }
   }
+  bj.write();
   return 0;
 }

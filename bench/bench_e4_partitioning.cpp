@@ -24,8 +24,8 @@ struct PolicyRun {
   OsOptions options;
 };
 
-void runTable(const char* title, std::uint64_t minCycles,
-              std::uint64_t maxCycles) {
+void runTable(BenchJson& bj, const char* regime, const char* title,
+              std::uint64_t minCycles, std::uint64_t maxCycles) {
   tableHeader("E4", title);
   std::printf("%-22s %10s %10s %10s %8s %8s %6s\n", "policy", "mksp_ms",
               "wait_ms", "cfg_ms", "downld", "busy%", "gc");
@@ -93,6 +93,12 @@ void runTable(const char* title, std::uint64_t minCycles,
     }
     kernel.run();
     const auto& m = kernel.metrics();
+    const obs::Labels l{{"policy", pr.label}, {"regime", regime}};
+    bj.sample("vfpga_bench_makespan_ms", l, toMilliseconds(m.makespan));
+    bj.sample("vfpga_bench_wait_ms", l,
+              m.waitTime.mean() / double(kMillisecond));
+    bj.sample("vfpga_bench_downloads", l, static_cast<double>(m.downloads));
+    bj.sample("vfpga_bench_fpga_utilization", l, m.fpgaUtilization());
     std::printf("%-22s %10.2f %10.2f %10.2f %8llu %7.1f%% %6llu\n", pr.label,
                 toMilliseconds(m.makespan),
                 m.waitTime.mean() / double(kMillisecond),
@@ -106,14 +112,17 @@ void runTable(const char* title, std::uint64_t minCycles,
 }  // namespace
 
 int main() {
-  runTable("long executions (compute-dominated, 1M-4M cycles)", 1000000,
-           4000000);
-  runTable("short executions (reconfiguration-dominated, 10k-40k cycles)",
+  BenchJson bj("e4_partitioning");
+  runTable(bj, "long", "long executions (compute-dominated, 1M-4M cycles)",
+           1000000, 4000000);
+  runTable(bj, "short",
+           "short executions (reconfiguration-dominated, 10k-40k cycles)",
            10000, 40000);
   std::printf("\nreading: with long executions partitioning's concurrency "
               "shrinks makespan and wait vs the serialized exclusive FIFO; "
               "with short executions download time dominates and the gap "
               "narrows — exactly the regime split §4 describes. busy%% > 100 "
               "means several partitions computed concurrently.\n");
+  bj.write();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace vfpga;
 using namespace vfpga::bench;
 
 int main() {
+  BenchJson bj("e8_io_mux");
   IoMuxSpec spec;
   spec.physicalPins = 32;
   spec.frameTime = nanos(50);
@@ -27,6 +28,12 @@ int main() {
   std::printf("%-8s %8s %8s %12s %16s %18s\n", "virtual", "ratio", "frames",
               "latency_ns", "per_pin_Mbit/s", "aggregate_Mbit/s");
   for (std::uint32_t v : {8u, 16u, 32u, 48u, 64u, 128u, 256u, 512u}) {
+    const obs::Labels l{{"virtual_pins", std::to_string(v)}};
+    bj.sample("vfpga_bench_frames_per_transfer", l, mux.framesFor(v));
+    bj.sample("vfpga_bench_transfer_latency_ns", l,
+              static_cast<double>(mux.transferTime(v)));
+    bj.sample("vfpga_bench_per_pin_mbit", l,
+              mux.effectivePinBandwidth(v) / 1e6);
     std::printf("%-8u %7.1fx %8u %12llu %16.2f %18.2f\n", v,
                 double(v) / spec.physicalPins, mux.framesFor(v),
                 static_cast<unsigned long long>(mux.transferTime(v)),
@@ -60,5 +67,6 @@ int main() {
               "count is virtualizable but the package bandwidth is not; "
               "circuits whose port count exceeds the pad count need the "
               "mux (the paper's motivation for I/O multiplexing, §2).\n");
+  bj.write();
   return 0;
 }

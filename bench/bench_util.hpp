@@ -1,9 +1,12 @@
 // Shared helpers for the experiment harnesses: column-aligned table
-// printing and a standard set of benchmark circuits.
+// printing, a standard set of benchmark circuits, and a machine-readable
+// results sidecar (BENCH_<name>.json) for CI artifact collection.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "compile/compiler.hpp"
@@ -12,8 +15,50 @@
 #include "netlist/library/coding.hpp"
 #include "netlist/library/control.hpp"
 #include "netlist/library/datapath.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace vfpga::bench {
+
+/// Machine-readable twin of a bench's printed tables: rows accumulate as
+/// labeled gauges, and write() dumps them as BENCH_<name>.json (the
+/// obs::renderMetricsJson array) into $VFPGA_BENCH_JSON_DIR. Without the
+/// environment variable the sidecar is a no-op, so the printed tables stay
+/// the benches' primary interface.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  obs::MetricsRegistry& registry() { return reg_; }
+
+  /// Records one numeric table cell under a prometheus-style metric name.
+  void sample(const std::string& metric, obs::Labels labels, double value) {
+    reg_.gauge(metric, std::move(labels)).set(value);
+  }
+
+  /// Writes BENCH_<name>.json when $VFPGA_BENCH_JSON_DIR is set. Returns
+  /// the path written (empty when disabled or unwritable).
+  std::string write() const {
+    const char* env = std::getenv("VFPGA_BENCH_JSON_DIR");
+    if (env == nullptr || *env == '\0') return {};
+    const std::string path =
+        std::string(env) + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return {};
+    }
+    const std::string body = obs::renderMetricsJson(reg_);
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry reg_;
+};
 
 /// Prints a separator + title for one table of an experiment.
 inline void tableHeader(const char* experiment, const char* title) {

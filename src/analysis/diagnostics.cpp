@@ -259,8 +259,28 @@ std::string Report::renderJson() const {
   return out;
 }
 
+namespace {
+InvariantFailureHook& failureHook() {
+  static InvariantFailureHook hook;
+  return hook;
+}
+}  // namespace
+
+InvariantFailureHook setInvariantFailureHook(InvariantFailureHook hook) {
+  InvariantFailureHook prev = std::move(failureHook());
+  failureHook() = std::move(hook);
+  return prev;
+}
+
 void throwIfErrors(const Report& rep, std::string_view context) {
   if (rep.ok()) return;
+  if (const InvariantFailureHook& hook = failureHook()) {
+    try {
+      hook(rep, context);
+    } catch (...) {
+      // A broken dumper must not mask the violation being reported.
+    }
+  }
   throw InvariantViolation("invariant violation in " + std::string(context) +
                            ":\n" + rep.renderText());
 }

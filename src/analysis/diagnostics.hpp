@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -109,8 +110,21 @@ class InvariantViolation : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
-/// Throws InvariantViolation when `rep` holds any error diagnostic.
+/// Throws InvariantViolation when `rep` holds any error diagnostic. Before
+/// throwing, the installed invariant-failure hook (if any) is invoked with
+/// the failing report and context.
 void throwIfErrors(const Report& rep, std::string_view context);
+
+/// Observer invoked by throwIfErrors() just before it throws; used to wire
+/// a post-mortem dumper (the obs flight recorder) without this library
+/// depending on it. Exceptions escaping the hook are swallowed so they
+/// cannot mask the InvariantViolation itself.
+using InvariantFailureHook =
+    std::function<void(const Report&, std::string_view context)>;
+
+/// Installs (or clears, with {}) the process-wide hook; returns the
+/// previous one.
+InvariantFailureHook setInvariantFailureHook(InvariantFailureHook hook);
 
 /// True when the in-manager invariant hooks should run: either forced via
 /// setInvariantChecks(), or VFPGA_CHECK_INVARIANTS is set in the

@@ -2,11 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "netlist/optimize.hpp"
 #include "sim/rng.hpp"
 
 namespace vfpga {
+
+namespace {
+std::uint64_t wallNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void Compiler::recordPhase(const char* phase, const std::string& circuit,
+                           std::uint64_t startNs, obs::AttrList extra) const {
+  if (tracer_ == nullptr && flowMetrics_ == nullptr) return;
+  const std::uint64_t end = wallNs();
+  const std::uint64_t dur = end > startNs ? end - startNs : 0;
+  if (tracer_ != nullptr) {
+    obs::AttrList attrs{{"circuit", circuit}};
+    attrs.insert(attrs.end(), extra.begin(), extra.end());
+    tracer_->complete(phase, "flow", startNs, dur, std::move(attrs));
+  }
+  if (flowMetrics_ != nullptr) {
+    flowMetrics_
+        ->stats(std::string("vfpga_flow_") + phase + "_ns", {},
+                "Wall-clock time of this compile-flow phase")
+        .observe(static_cast<double>(dur));
+  }
+}
 
 bool CompiledCircuit::needsInitialState() const {
   return std::any_of(initialState.begin(), initialState.end(),
@@ -98,13 +126,26 @@ std::vector<char> Compiler::regionMask(const Region& region,
 
 CompiledCircuit Compiler::compile(const Netlist& nl, const Region& region,
                                   const CompileOptions& options) {
+  const std::uint64_t t0 = wallNs();
   MapOptions mo;
   mo.k = dev_->geometry().lutInputs;
+  MappedNetlist mapped;
   if (options.optimize) {
-    return compileMapped(mapToLuts(vfpga::optimize(nl), mo), nl.name(),
-                         region, options);
+    const std::uint64_t tSynth = wallNs();
+    Netlist optimized = vfpga::optimize(nl);
+    recordPhase("synth", nl.name(), tSynth);
+    const std::uint64_t tMap = wallNs();
+    mapped = mapToLuts(optimized, mo);
+    recordPhase("techmap", nl.name(), tMap);
+  } else {
+    const std::uint64_t tMap = wallNs();
+    mapped = mapToLuts(nl, mo);
+    recordPhase("techmap", nl.name(), tMap);
   }
-  return compileMapped(mapToLuts(nl, mo), nl.name(), region, options);
+  CompiledCircuit c = compileMapped(mapped, nl.name(), region, options);
+  recordPhase("compile", nl.name(), t0,
+              {{"cells", std::to_string(c.cellCount())}});
+  return c;
 }
 
 CompiledCircuit Compiler::compileMapped(const MappedNetlist& mapped,
@@ -155,7 +196,10 @@ CompiledCircuit Compiler::compileMapped(const MappedNetlist& mapped,
   CompileError lastError("place-and-route failed");
   for (int attempt = 0; attempt < std::max(1, options.attempts); ++attempt) {
     Rng attemptRng = rng.fork();
+    const std::uint64_t tPlace = wallNs();
     c.placement = place(mapped, region, attemptRng, options.place);
+    recordPhase("place", name, tPlace,
+                {{"attempt", std::to_string(attempt + 1)}});
 
     std::vector<RouteRequest> requests;
     auto slotNode = [&](std::uint32_t denseSlot) {
@@ -184,7 +228,11 @@ CompiledCircuit Compiler::compileMapped(const MappedNetlist& mapped,
     }
 
     Router router(rrg, mask);
+    const std::uint64_t tRoute = wallNs();
     auto routed = router.routeAll(requests, options.route);
+    recordPhase("route", name, tRoute,
+                {{"attempt", std::to_string(attempt + 1)},
+                 {"ok", routed ? "true" : "false"}});
     if (!routed) {
       lastError = CompileError(name + ": routing failed (attempt " +
                                std::to_string(attempt + 1) + ")");
@@ -202,7 +250,9 @@ CompiledCircuit Compiler::compileMapped(const MappedNetlist& mapped,
       c.initialState.push_back(mapped.cells[cell].ffInit);
     }
 
+    const std::uint64_t tPaint = wallNs();
     paintImage(c);
+    recordPhase("bitstream", name, tPaint);
     return c;
   }
   throw lastError;

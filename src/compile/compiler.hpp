@@ -18,6 +18,8 @@
 
 #include "fabric/bitstream.hpp"
 #include "fabric/device.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/span_tracer.hpp"
 #include "place/placer.hpp"
 #include "route/router.hpp"
 #include "techmap/lut_mapper.hpp"
@@ -111,8 +113,24 @@ class Compiler {
   /// Pad-slot capacity available to a compile in `region`.
   std::size_t ioCapacity(const Region& region, bool relocatable) const;
 
+  /// Attaches flow observers (both optional, not owned, may be nullptr to
+  /// detach). With a tracer, every compile emits wall-clock spans per phase
+  /// (synth, techmap, place, route, bitstream) plus an enclosing `compile`
+  /// span; with a registry, each phase's wall time is observed into the
+  /// `vfpga_flow_<phase>_ns` stats family.
+  void setObservers(obs::SpanTracer* tracer, obs::MetricsRegistry* registry) {
+    tracer_ = tracer;
+    flowMetrics_ = registry;
+  }
+
  private:
   Device* dev_;
+  obs::SpanTracer* tracer_ = nullptr;
+  obs::MetricsRegistry* flowMetrics_ = nullptr;
+
+  /// Closes a flow phase opened at `startNs` (wall clock): span + stats.
+  void recordPhase(const char* phase, const std::string& circuit,
+                   std::uint64_t startNs, obs::AttrList extra = {}) const;
 
   std::vector<std::uint32_t> regionPadSlots(const Region& region,
                                             bool relocatable) const;

@@ -8,12 +8,22 @@ SimDuration IoMux::transfer(std::uint32_t virtualPins) {
   frames_ += framesFor(virtualPins);
   signals_ += virtualPins;
   busy_ += t;
+  if (sink_) {
+    sink_(TraceKind::kIoTransfer,
+          std::to_string(virtualPins) + " signals in " +
+              std::to_string(framesFor(virtualPins)) + " frames");
+  }
   return t;
 }
 
 SimDuration IoMux::rebind(std::uint32_t virtualPins) {
   const SimDuration t = virtualPins * spec_.rebindTimePerPin;
   busy_ += t;
+  if (sink_) {
+    sink_(TraceKind::kIoMuxGrant,
+          std::to_string(spec_.physicalPins) + " pad slots -> " +
+              std::to_string(virtualPins) + " virtual pins");
+  }
   return t;
 }
 

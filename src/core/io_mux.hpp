@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace vfpga {
@@ -68,8 +69,13 @@ class IoMux {
   std::uint64_t signalsMoved() const { return signals_; }
   SimDuration busyTime() const { return busy_; }
 
+  /// Event sink: rebind() emits kIoMuxGrant (pad slots granted to a task's
+  /// virtual pins), transfer() emits kIoTransfer.
+  void setTraceSink(TraceSink sink) { sink_ = std::move(sink); }
+
  private:
   IoMuxSpec spec_;
+  TraceSink sink_;
   std::uint64_t transfers_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t signals_ = 0;

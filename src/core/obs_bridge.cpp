@@ -1,0 +1,127 @@
+#include "core/obs_bridge.hpp"
+
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace vfpga {
+
+namespace {
+
+std::string firstErrorRule(const analysis::Report& rep) {
+  for (const analysis::Diagnostic& d : rep.diagnostics()) {
+    if (d.severity == analysis::Severity::kError) return d.rule;
+  }
+  return rep.diagnostics().empty() ? std::string("unknown")
+                                   : rep.diagnostics().front().rule;
+}
+
+}  // namespace
+
+void installFlightRecorderHook() {
+  static const bool installed = [] {
+    analysis::setInvariantFailureHook(
+        [](const analysis::Report& rep, std::string_view context) {
+          obs::FlightRecorder* fr = obs::FlightRecorder::global();
+          if (fr == nullptr) return;
+          fr->dump(firstErrorRule(rep), context, rep.renderJson());
+        });
+    return true;
+  }();
+  (void)installed;
+}
+
+void publishMetrics(const DynamicLoader& loader, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_loader_switches_total", labels,
+              "Whole-device configuration context switches")
+      .inc(loader.switches());
+}
+
+void publishMetrics(const PartitionManager& pm, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_partition_gc_total", labels,
+              "Garbage-collection (compaction) runs")
+      .inc(pm.garbageCollections());
+  reg.counter("vfpga_partition_relocations_total", labels,
+              "Resident circuits moved by compaction")
+      .inc(pm.relocations());
+  reg.gauge("vfpga_partition_strips", labels,
+            "Strips currently tracked by the allocator")
+      .set(static_cast<double>(pm.allocator().strips().size()));
+}
+
+void publishMetrics(const OverlayManager& ov, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_overlay_invocations_total", labels,
+              "Overlay function invocations")
+      .inc(ov.invocations());
+  reg.counter("vfpga_overlay_loads_total", labels,
+              "Overlay downloads (invocation misses)")
+      .inc(ov.overlayLoads());
+  reg.gauge("vfpga_overlay_hit_rate", labels,
+            "Fraction of invocations served without a download")
+      .set(ov.hitRate());
+}
+
+void publishMetrics(const SegmentManager& sg, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_segment_accesses_total", labels, "Segment accesses")
+      .inc(sg.accesses());
+  reg.counter("vfpga_segment_faults_total", labels,
+              "Segment faults (downloads)")
+      .inc(sg.faults());
+  reg.counter("vfpga_segment_evictions_total", labels, "Segments evicted")
+      .inc(sg.evictions());
+  reg.gauge("vfpga_segment_fault_rate", labels, "Faults per access")
+      .set(sg.faultRate());
+  reg.gauge("vfpga_segment_resident", labels, "Segments currently resident")
+      .set(static_cast<double>(sg.residentCount()));
+}
+
+void publishMetrics(const PageManager& pg, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_page_accesses_total", labels,
+              "Paged-function invocations")
+      .inc(pg.accesses());
+  reg.counter("vfpga_page_faults_total", labels, "Page faults").inc(pg.faults());
+  reg.counter("vfpga_page_bits_moved_total", labels,
+              "Configuration bits moved by demand paging")
+      .inc(pg.bitsMoved());
+  reg.gauge("vfpga_page_fault_rate", labels, "Faults per page touch")
+      .set(pg.faultRate());
+  reg.gauge("vfpga_page_resident", labels, "Pages currently resident")
+      .set(static_cast<double>(pg.residentPages()));
+}
+
+void publishMetrics(const PrefetchLoader& pf, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_prefetch_hits_total", labels,
+              "Activations served by the speculative shadow half")
+      .inc(pf.hits());
+  reg.counter("vfpga_prefetch_misses_total", labels,
+              "Activations that fell back to a demand load")
+      .inc(pf.misses());
+  reg.counter("vfpga_prefetch_stall_ns_total", labels,
+              "Simulated time tasks stalled on activation")
+      .inc(pf.stallTotal());
+  reg.gauge("vfpga_prefetch_hit_rate", labels, "Predictor hit rate")
+      .set(pf.hitRate());
+}
+
+void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
+                    obs::Labels labels) {
+  reg.counter("vfpga_io_mux_transfers_total", labels,
+              "Virtual I/O vector transfers")
+      .inc(mux.transfers());
+  reg.counter("vfpga_io_mux_frames_total", labels, "Bus frames moved")
+      .inc(mux.framesMoved());
+  reg.counter("vfpga_io_mux_signals_total", labels, "Virtual signals moved")
+      .inc(mux.signalsMoved());
+  reg.counter("vfpga_io_mux_busy_ns_total", labels,
+              "Simulated time the multiplexer was busy")
+      .inc(mux.busyTime());
+}
+
+}  // namespace vfpga

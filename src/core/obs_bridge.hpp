@@ -1,0 +1,46 @@
+// Bridges the core OS managers to the observability substrate:
+//
+//  * publishMetrics(...) overloads snapshot each virtualization technique's
+//    counters into a MetricsRegistry under stable prometheus-style names
+//    (the `vfpga_cli report` exposition is built from these);
+//  * installFlightRecorderHook() wires analysis::throwIfErrors() to the
+//    process-wide obs::FlightRecorder, so an invariant violation under
+//    VFPGA_CHECK_INVARIANTS dumps a post-mortem bundle before throwing.
+//
+// This lives in core (not obs) because obs depends only on vfpga_sim; the
+// analysis- and manager-aware glue has to sit above both.
+#pragma once
+
+#include "core/dynamic_loader.hpp"
+#include "core/io_mux.hpp"
+#include "core/overlay_manager.hpp"
+#include "core/page_manager.hpp"
+#include "core/partition_manager.hpp"
+#include "core/prefetch_loader.hpp"
+#include "core/segment_manager.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace vfpga {
+
+/// Idempotent: installs (once per process) the analysis invariant-failure
+/// hook that dumps through obs::FlightRecorder::global(), when one is
+/// installed. The dump carries the first error rule ID, the context string
+/// and the report's JSON rendering.
+void installFlightRecorderHook();
+
+void publishMetrics(const DynamicLoader& loader, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+void publishMetrics(const PartitionManager& pm, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+void publishMetrics(const OverlayManager& ov, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+void publishMetrics(const SegmentManager& sg, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+void publishMetrics(const PageManager& pg, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+void publishMetrics(const PrefetchLoader& pf, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
+                    obs::Labels labels = {});
+
+}  // namespace vfpga

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "analysis/kernel_check.hpp"
+#include "core/obs_bridge.hpp"
 
 namespace vfpga {
 
@@ -20,10 +21,67 @@ const char* fpgaPolicyName(FpgaPolicy p) {
   return "unknown";
 }
 
+namespace {
+obs::Labels policyLabels(FpgaPolicy p) {
+  return {{"policy", fpgaPolicyName(p)}};
+}
+}  // namespace
+
 OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
                    Compiler& compiler, OsOptions options)
     : sim_(&sim), dev_(&device), port_(&port), compiler_(&compiler),
-      options_(std::move(options)), loader_(device, port, registry_) {
+      options_(std::move(options)), loader_(device, port, registry_),
+      spans_(obs::SpanTracer::Clock([this] { return sim_->now(); })),
+      cTasksFinished_(metricsRegistry_.counter(
+          "vfpga_os_tasks_finished_total", policyLabels(options_.policy),
+          "Tasks run to completion")),
+      sWaitTime_(metricsRegistry_.stats(
+          "vfpga_os_task_wait_ns", policyLabels(options_.policy),
+          "Per-task time blocked waiting for the FPGA")),
+      sTurnaround_(metricsRegistry_.stats(
+          "vfpga_os_task_turnaround_ns", policyLabels(options_.policy),
+          "Per-task arrival-to-finish time")),
+      gMakespan_(metricsRegistry_.gauge(
+          "vfpga_os_makespan_ns", policyLabels(options_.policy),
+          "Finish time of the last task")),
+      cFpgaGrants_(metricsRegistry_.counter(
+          "vfpga_os_fpga_grants_total", policyLabels(options_.policy),
+          "FPGA grants (whole device, partition or service)")),
+      cFpgaPreemptions_(metricsRegistry_.counter(
+          "vfpga_os_fpga_preemptions_total", policyLabels(options_.policy),
+          "Executions preempted on the slice boundary")),
+      cRollbacks_(metricsRegistry_.counter(
+          "vfpga_os_rollbacks_total", policyLabels(options_.policy),
+          "Executions restarted from scratch (no state save)")),
+      cFpgaComputeNs_(metricsRegistry_.counter(
+          "vfpga_os_fpga_compute_ns_total", policyLabels(options_.policy),
+          "Simulated time circuits actually computed")),
+      cConfigNs_(metricsRegistry_.counter(
+          "vfpga_os_config_download_ns_total", policyLabels(options_.policy),
+          "Simulated time spent downloading configurations")),
+      cStateMoveNs_(metricsRegistry_.counter(
+          "vfpga_os_state_move_ns_total", policyLabels(options_.policy),
+          "Simulated time spent on register state save/restore")),
+      cDownloads_(metricsRegistry_.counter(
+          "vfpga_os_config_downloads_total", policyLabels(options_.policy),
+          "Configuration downloads")),
+      gBitsDownloaded_(metricsRegistry_.gauge(
+          "vfpga_os_bits_downloaded", policyLabels(options_.policy),
+          "Bits written through the configuration port")),
+      cPartitionsCreated_(metricsRegistry_.counter(
+          "vfpga_os_partitions_created_total", policyLabels(options_.policy),
+          "Partition loads performed")),
+      gGarbageCollections_(metricsRegistry_.gauge(
+          "vfpga_os_garbage_collections", policyLabels(options_.policy),
+          "Compaction (garbage-collection) runs")),
+      gRelocations_(metricsRegistry_.gauge(
+          "vfpga_os_relocations", policyLabels(options_.policy),
+          "Resident circuits moved by compaction")) {
+  installFlightRecorderHook();
+  flight_.attachTrace(&trace_);
+  flight_.attachRegistry(&metricsRegistry_);
+  flight_.attachSpans(&spans_);
+  obs::FlightRecorder::installGlobal(&flight_);
   if (options_.policy == FpgaPolicy::kPartitionedFixed ||
       options_.policy == FpgaPolicy::kPartitionedVariable) {
     PartitionManagerOptions po;
@@ -38,7 +96,38 @@ OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
       po.fixedWidths = options_.fixedWidths;
     }
     pm_.emplace(device, port, registry_, compiler, po);
+    pm_->setTraceSink([this](TraceKind k, std::string detail) {
+      trace_.record(sim_->now(), k, std::move(detail));
+    });
   }
+}
+
+OsKernel::~OsKernel() {
+  if (obs::FlightRecorder::global() == &flight_) {
+    obs::FlightRecorder::installGlobal(nullptr);
+  }
+}
+
+const OsMetrics& OsKernel::metrics() const {
+  OsMetrics m;
+  m.tasksFinished = cTasksFinished_.value();
+  m.waitTime = sWaitTime_.stats();
+  m.turnaround = sTurnaround_.stats();
+  m.makespan = static_cast<SimTime>(gMakespan_.value());
+  m.fpgaGrants = cFpgaGrants_.value();
+  m.fpgaPreemptions = cFpgaPreemptions_.value();
+  m.rollbacks = cRollbacks_.value();
+  m.fpgaComputeTime = cFpgaComputeNs_.value();
+  m.configTime = cConfigNs_.value();
+  m.stateMoveTime = cStateMoveNs_.value();
+  m.downloads = cDownloads_.value();
+  m.bitsDownloaded = static_cast<std::uint64_t>(gBitsDownloaded_.value());
+  m.partitionsCreated = cPartitionsCreated_.value();
+  m.garbageCollections =
+      static_cast<std::uint64_t>(gGarbageCollections_.value());
+  m.relocations = static_cast<std::uint64_t>(gRelocations_.value());
+  metricsView_ = m;
+  return metricsView_;
 }
 
 ConfigId OsKernel::registerConfig(CompiledCircuit circuit) {
@@ -72,8 +161,8 @@ SimDuration OsKernel::installService(ConfigId id) {
     throw std::logic_error("no partition available for service " +
                            registry_.circuit(id).name);
   }
-  metrics_.configTime += load->cost;
-  ++metrics_.downloads;
+  cConfigNs_ += load->cost;
+  ++cDownloads_;
   trace_.record(sim_->now(), TraceKind::kPartitionAssign,
                 "service " + registry_.circuit(id).name);
   services_.push_back(Service{id, load->partition, false, {}});
@@ -102,11 +191,15 @@ void OsKernel::dispatchService(Service& svc) {
   chargeFpgaWait(t);
   tr.state = TaskState::kRunningFpga;
   ++tr.grants;
-  ++metrics_.fpgaGrants;
+  ++cFpgaGrants_;
   // No download: the whole point of the resident driver circuit.
   const FpgaExec& fx = currentExec(t);
   const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
-  metrics_.fpgaComputeTime += execTime;
+  cFpgaComputeNs_ += execTime;
+  spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
+                  "os.service", sim_->now(), execTime,
+                  {{"config", registry_.circuit(fx.config).name}},
+                  static_cast<std::uint32_t>(t) + 1);
   const SimTime deadline = sim_->now() + execTime;
   // Index capture: services_ never grows after run() starts, but an index
   // is immune to reallocation either way.
@@ -167,10 +260,10 @@ void OsKernel::run() {
   } else {
     sim_->run();
   }
-  metrics_.bitsDownloaded = port_->stats().bitsWritten;
+  gBitsDownloaded_.set(static_cast<double>(port_->stats().bitsWritten));
   if (pm_) {
-    metrics_.relocations = pm_->relocations();
-    metrics_.garbageCollections = pm_->garbageCollections();
+    gRelocations_.set(static_cast<double>(pm_->relocations()));
+    gGarbageCollections_.set(static_cast<double>(pm_->garbageCollections()));
   }
   for (const TaskRuntime& t : tasks_) {
     if (!t.done()) {
@@ -249,10 +342,10 @@ void OsKernel::finishTask(std::size_t t) {
   tr.state = TaskState::kDone;
   tr.finish = sim_->now();
   trace_.record(sim_->now(), TraceKind::kTaskFinish, tr.spec.name);
-  ++metrics_.tasksFinished;
-  metrics_.waitTime.add(static_cast<double>(tr.fpgaWaitTotal));
-  metrics_.turnaround.add(static_cast<double>(tr.finish - tr.spec.arrival));
-  metrics_.makespan = std::max(metrics_.makespan, tr.finish);
+  ++cTasksFinished_;
+  sWaitTime_.observe(static_cast<double>(tr.fpgaWaitTotal));
+  sTurnaround_.observe(static_cast<double>(tr.finish - tr.spec.arrival));
+  gMakespan_.setMax(static_cast<double>(tr.finish));
   // The whole-device policies keep per-config saved state; a finished task
   // will never resume, so drop its snapshots.
   if (options_.policy == FpgaPolicy::kDynamicLoading) {
@@ -341,7 +434,7 @@ void OsKernel::dispatchWholeDevice() {
   chargeFpgaWait(t);
   tr.state = TaskState::kRunningFpga;
   ++tr.grants;
-  ++metrics_.fpgaGrants;
+  ++cFpgaGrants_;
 
   const FpgaExec& fx = currentExec(t);
   const bool preemptive = options_.policy == FpgaPolicy::kDynamicLoading &&
@@ -350,15 +443,28 @@ void OsKernel::dispatchWholeDevice() {
   tr.runToCompletionNext = false;
   // Save the resident circuit's registers only when a preemption left
   // live intermediate state behind; a completed execution needs nothing.
+  const ConfigId outgoing = loader_.current();
   const auto cost = loader_.activate(
       fx.config, options_.saveStateOnPreempt && residentStateLive_);
+  if (cost.saveTime > 0 && outgoing != kNoConfig) {
+    trace_.record(sim_->now(), TraceKind::kStateSave,
+                  registry_.circuit(outgoing).name);
+  }
   if (cost.downloaded) {
-    ++metrics_.downloads;
+    ++cDownloads_;
     trace_.record(sim_->now(), TraceKind::kConfigDownload,
                   registry_.circuit(fx.config).name);
+    spans_.complete("download/" + registry_.circuit(fx.config).name,
+                    "os.config", sim_->now() + cost.saveTime,
+                    cost.downloadTime, {},
+                    static_cast<std::uint32_t>(t) + 1);
   }
-  metrics_.configTime += cost.downloadTime;
-  metrics_.stateMoveTime += cost.saveTime + cost.restoreTime;
+  if (cost.restoredSavedState) {
+    trace_.record(sim_->now(), TraceKind::kStateRestore,
+                  registry_.circuit(fx.config).name);
+  }
+  cConfigNs_ += cost.downloadTime;
+  cStateMoveNs_ += cost.saveTime + cost.restoreTime;
 
   const SimDuration full = execDuration(fx, tr.cyclesRemaining);
   SimDuration runFor = full;
@@ -373,7 +479,13 @@ void OsKernel::dispatchWholeDevice() {
   if (cyclesRun == 0) cyclesRun = 1;
   cyclesRun = std::min(cyclesRun, tr.cyclesRemaining);
   const SimDuration execTime = cyclesRun * period;
-  metrics_.fpgaComputeTime += execTime;
+  cFpgaComputeNs_ += execTime;
+  spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
+                  "os.fpga_exec", sim_->now(), cost.total + execTime,
+                  {{"config", registry_.circuit(fx.config).name},
+                   {"cycles", std::to_string(cyclesRun)},
+                   {"downloaded", cost.downloaded ? "true" : "false"}},
+                  static_cast<std::uint32_t>(t) + 1);
 
   const std::uint64_t cyclesAfter = tr.cyclesRemaining - cyclesRun;
   sim_->scheduleAfter(cost.total + execTime, [this, t, cyclesAfter,
@@ -389,7 +501,7 @@ void OsKernel::wholeDeviceExecDone(std::size_t t, bool preempted) {
   TaskRuntime& tr = task(t);
   if (preempted) {
     ++tr.preemptions;
-    ++metrics_.fpgaPreemptions;
+    ++cFpgaPreemptions_;
     trace_.record(sim_->now(), TraceKind::kTaskPreempt,
                   tr.spec.name + " (fpga)");
     if (!options_.saveStateOnPreempt) {
@@ -397,7 +509,7 @@ void OsKernel::wholeDeviceExecDone(std::size_t t, bool preempted) {
       // rule lets the restarted execution run to completion so the system
       // cannot livelock on mutual roll-backs.
       ++tr.rollbacks;
-      ++metrics_.rollbacks;
+      ++cRollbacks_;
       tr.cyclesRemaining = currentExec(t).cycles;
       tr.runToCompletionNext = true;
     }
@@ -440,10 +552,10 @@ void OsKernel::tryDispatchPartitioned() {
       tr.state = TaskState::kRunningFpga;
       tr.partition = load->partition;
       ++tr.grants;
-      ++metrics_.fpgaGrants;
-      ++metrics_.downloads;
-      ++metrics_.partitionsCreated;
-      metrics_.configTime += load->cost;
+      ++cFpgaGrants_;
+      ++cDownloads_;
+      ++cPartitionsCreated_;
+      cConfigNs_ += load->cost;
       // Serialize on the single configuration port: this download starts
       // only when the port is free; the queueing delay counts as wait.
       const SimTime portStart = std::max(sim_->now(), portFreeAt_);
@@ -455,10 +567,12 @@ void OsKernel::tryDispatchPartitioned() {
                         std::to_string(pm_->circuitIn(load->partition)
                                            .region.x0));
       if (load->garbageCollected) {
-        ++metrics_.garbageCollections;
-        metrics_.configTime += load->gcCost;
+        gGarbageCollections_.add(1);
+        cConfigNs_ += load->gcCost;
         trace_.record(sim_->now(), TraceKind::kGarbageCollect,
                       "cost=" + std::to_string(load->gcCost));
+        spans_.complete("gc", "os.partition", portStart + load->cost,
+                        load->gcCost, {}, 0);
         // Compaction stalls every in-flight execution: shift their
         // completions by the GC time.
         for (RunningExec& re : runningExecs_) {
@@ -473,8 +587,14 @@ void OsKernel::tryDispatchPartitioned() {
       }
 
       const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
-      metrics_.fpgaComputeTime += execTime;
+      cFpgaComputeNs_ += execTime;
       const SimTime deadline = portFreeAt_ + execTime;
+      spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
+                      "os.fpga_exec", portStart,
+                      deadline > portStart ? deadline - portStart : 0,
+                      {{"config", registry_.circuit(fx.config).name},
+                       {"partition", std::to_string(load->partition)}},
+                      static_cast<std::uint32_t>(t) + 1);
       const EventId ev = sim_->scheduleAt(deadline, [this, t] {
         partitionedExecDone(t);
       });
@@ -494,7 +614,7 @@ void OsKernel::partitionedExecDone(std::size_t t) {
   trace_.record(sim_->now(), TraceKind::kPartitionRelease, tr.spec.name);
   tr.partition = kNoPartition;
   tr.cyclesRemaining = 0;
-  metrics_.relocations = pm_->relocations();
+  gRelocations_.set(static_cast<double>(pm_->relocations()));
   opComplete(t);
   tryDispatchPartitioned();
 }

@@ -35,6 +35,9 @@
 #include "core/metrics.hpp"
 #include "core/partition_manager.hpp"
 #include "core/task.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/span_tracer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 
@@ -73,6 +76,9 @@ class OsKernel {
  public:
   OsKernel(Simulation& sim, Device& device, ConfigPort& port,
            Compiler& compiler, OsOptions options);
+  ~OsKernel();
+  OsKernel(const OsKernel&) = delete;
+  OsKernel& operator=(const OsKernel&) = delete;
 
   /// Registers a configuration and measures its clock period on the target
   /// device (the device is left blank afterwards). Call before addTask.
@@ -100,10 +106,24 @@ class OsKernel {
   /// analysis::InvariantViolation on any breach.
   void checkInvariants() const;
 
-  const OsMetrics& metrics() const { return metrics_; }
+  /// Legacy metrics façade, rebuilt from the registry on every call; the
+  /// registry (metricsRegistry()) is the source of truth.
+  const OsMetrics& metrics() const;
   const Trace& trace() const { return trace_; }
   const std::vector<TaskRuntime>& tasks() const { return tasks_; }
   ConfigRegistry& registry() { return registry_; }
+  /// Named-metrics registry backing metrics(); exporters walk this.
+  obs::MetricsRegistry& metricsRegistry() { return metricsRegistry_; }
+  const obs::MetricsRegistry& metricsRegistry() const {
+    return metricsRegistry_;
+  }
+  /// Simulated-time span tracer (one complete span per FPGA execution,
+  /// download and garbage collection; tracks = task indices).
+  const obs::SpanTracer& spanTracer() const { return spans_; }
+  obs::SpanTracer& spanTracer() { return spans_; }
+  /// Post-mortem dumper; installed as the process-wide recorder while this
+  /// kernel is alive (last-constructed kernel wins).
+  obs::FlightRecorder& flightRecorder() { return flight_; }
   Simulation& sim() { return *sim_; }
   /// Measured clock period of a registered configuration.
   SimDuration clockPeriod(ConfigId id) const { return clockPeriods_.at(id); }
@@ -119,7 +139,29 @@ class OsKernel {
   DynamicLoader loader_;
   std::optional<PartitionManager> pm_;
   Trace trace_;
-  OsMetrics metrics_;
+  obs::MetricsRegistry metricsRegistry_;
+  obs::SpanTracer spans_;
+  obs::FlightRecorder flight_;
+  mutable OsMetrics metricsView_;
+
+  // Registry-handle references; declared after metricsRegistry_ so the
+  // constructor can bind them in member-init order. Stable for the
+  // kernel's lifetime.
+  obs::Counter& cTasksFinished_;
+  obs::StatsMetric& sWaitTime_;
+  obs::StatsMetric& sTurnaround_;
+  obs::Gauge& gMakespan_;
+  obs::Counter& cFpgaGrants_;
+  obs::Counter& cFpgaPreemptions_;
+  obs::Counter& cRollbacks_;
+  obs::Counter& cFpgaComputeNs_;
+  obs::Counter& cConfigNs_;
+  obs::Counter& cStateMoveNs_;
+  obs::Counter& cDownloads_;
+  obs::Gauge& gBitsDownloaded_;
+  obs::Counter& cPartitionsCreated_;
+  obs::Gauge& gGarbageCollections_;
+  obs::Gauge& gRelocations_;
 
   std::vector<TaskRuntime> tasks_;
   bool started_ = false;

@@ -147,6 +147,11 @@ SimDuration PartitionManager::compactNow() {
                                                     occ.circuit.region.w - 1));
     occ.circuit = compiler_->relocate(occ.circuit, move.toX0);
     ++relocationsDone_;
+    if (sink_) {
+      sink_(TraceKind::kRelocate, occ.circuit.name + ": x" +
+                                      std::to_string(move.fromX0) + " -> x" +
+                                      std::to_string(move.toX0));
+    }
     cost += downloadInto(occ.circuit);
     if (!state.empty()) {
       LoadedCircuit lc(*dev_, occ.circuit);

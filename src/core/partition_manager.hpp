@@ -25,6 +25,7 @@
 #include "core/config_registry.hpp"
 #include "core/strip_allocator.hpp"
 #include "fabric/config_port.hpp"
+#include "sim/trace.hpp"
 
 namespace vfpga {
 
@@ -69,6 +70,10 @@ class PartitionManager {
   std::uint64_t garbageCollections() const { return gcRuns_; }
   std::uint64_t relocations() const { return relocationsDone_; }
 
+  /// Event sink for kRelocate records (the manager has no Trace of its
+  /// own); the kernel binds this to its trace ring.
+  void setTraceSink(TraceSink sink) { sink_ = std::move(sink); }
+
   /// Verifies the PM* invariants (every busy strip has an occupant, every
   /// occupant sits inside its strip) on top of the allocator's own AL*
   /// checks; throws analysis::InvariantViolation on any breach. Runs
@@ -90,6 +95,7 @@ class PartitionManager {
   std::unordered_map<PartitionId, Occupant> occupants_;
   std::uint64_t gcRuns_ = 0;
   std::uint64_t relocationsDone_ = 0;
+  TraceSink sink_;
 
   SimDuration downloadInto(const CompiledCircuit& relocated);
   SimDuration blankColumns(std::uint16_t c0, std::uint16_t c1);

@@ -1,0 +1,170 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+namespace vfpga::obs {
+
+const char* metricKindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kStats: return "stats";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+std::string labelsToString(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+namespace {
+
+bool validName(std::string_view name) {
+  if (name.empty()) return false;
+  auto ok = [](char c, bool first) {
+    if (c >= 'a' && c <= 'z') return true;
+    if (c >= 'A' && c <= 'Z') return true;
+    if (c == '_' || c == ':') return true;
+    return !first && c >= '0' && c <= '9';
+  };
+  if (!ok(name.front(), true)) return false;
+  return std::all_of(name.begin() + 1, name.end(),
+                     [&](char c) { return ok(c, false); });
+}
+
+std::string makeKey(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  key.push_back('\0');
+  key += labelsToString(labels);
+  return key;
+}
+
+}  // namespace
+
+Metric& MetricsRegistry::findOrCreate(std::string_view name, Labels labels,
+                                      std::string_view help, MetricKind kind,
+                                      double lo, double hi,
+                                      std::size_t buckets) {
+  if (!validName(name)) {
+    throw std::logic_error("invalid metric name: " + std::string(name));
+  }
+  std::sort(labels.begin(), labels.end());
+  const std::string key = makeKey(name, labels);
+  auto it = metrics_.find(key);
+  if (it != metrics_.end()) {
+    Metric& m = *it->second;
+    if (m.kind() != kind) {
+      throw std::logic_error("metric " + std::string(name) +
+                             " re-registered as a different kind (" +
+                             metricKindName(m.kind()) + " vs " +
+                             metricKindName(kind) + ")");
+    }
+    return m;
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = std::string(name);
+  metric->help = std::string(help);
+  metric->labels = std::move(labels);
+  switch (kind) {
+    case MetricKind::kCounter: metric->value = Counter{}; break;
+    case MetricKind::kGauge: metric->value = Gauge{}; break;
+    case MetricKind::kStats: metric->value = StatsMetric{}; break;
+    case MetricKind::kHistogram:
+      metric->value = HistogramMetric(lo, hi, buckets);
+      break;
+  }
+  Metric& ref = *metric;
+  metrics_.emplace(key, std::move(metric));
+  return ref;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels,
+                                  std::string_view help) {
+  return std::get<Counter>(findOrCreate(name, std::move(labels), help,
+                                        MetricKind::kCounter, 0, 0, 0)
+                               .value);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels,
+                              std::string_view help) {
+  return std::get<Gauge>(findOrCreate(name, std::move(labels), help,
+                                      MetricKind::kGauge, 0, 0, 0)
+                             .value);
+}
+
+StatsMetric& MetricsRegistry::stats(std::string_view name, Labels labels,
+                                    std::string_view help) {
+  return std::get<StatsMetric>(findOrCreate(name, std::move(labels), help,
+                                            MetricKind::kStats, 0, 0, 0)
+                                   .value);
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t buckets,
+                                            Labels labels,
+                                            std::string_view help) {
+  return std::get<HistogramMetric>(
+      findOrCreate(name, std::move(labels), help, MetricKind::kHistogram, lo,
+                   hi, buckets)
+          .value);
+}
+
+std::vector<const Metric*> MetricsRegistry::sorted() const {
+  std::vector<const Metric*> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, metric] : metrics_) out.push_back(metric.get());
+  return out;
+}
+
+std::size_t MetricsRegistry::familyCount() const {
+  std::size_t n = 0;
+  std::string_view prev;
+  for (const auto& [key, metric] : metrics_) {
+    if (metric->name != prev) {
+      ++n;
+      prev = metric->name;
+    }
+  }
+  return n;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [key, metric] : other.metrics_) {
+    const Metric& m = *metric;
+    switch (m.kind()) {
+      case MetricKind::kCounter:
+        counter(m.name, m.labels, m.help)
+            .inc(std::get<Counter>(m.value).value());
+        break;
+      case MetricKind::kGauge:
+        gauge(m.name, m.labels, m.help).set(std::get<Gauge>(m.value).value());
+        break;
+      case MetricKind::kStats:
+        stats(m.name, m.labels, m.help)
+            .mergeFrom(std::get<StatsMetric>(m.value).stats());
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramMetric& src = std::get<HistogramMetric>(m.value);
+        const Histogram& h = src.histogram();
+        HistogramMetric& dst = histogram(
+            m.name, h.bucketLow(0), h.bucketHigh(h.bucketCount() - 1),
+            h.bucketCount(), m.labels, m.help);
+        for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+          const double mid = (h.bucketLow(i) + h.bucketHigh(i)) / 2.0;
+          for (std::uint64_t n = 0; n < h.bucket(i); ++n) dst.observe(mid);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace vfpga::obs

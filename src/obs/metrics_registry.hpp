@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges, online-stats summaries and
+// fixed-width histograms, each instance keyed by (name, label set).
+//
+// This is the source of truth the OS kernel and managers report into; the
+// legacy OsMetrics struct (core/metrics.hpp) survives as a read-only view
+// materialized from the registry, so existing tests and benches keep their
+// field accesses. Exporters (obs/exporters.hpp) walk the registry to emit
+// Prometheus text exposition, CSV and JSON snapshots.
+//
+// Naming convention (docs/OBSERVABILITY.md): prometheus-style snake_case,
+// `vfpga_<subsystem>_<what>[_unit]`, `_total` suffix for counters, `_ns`
+// for simulated-nanosecond quantities. Handle references returned by the
+// accessors stay valid for the registry's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace vfpga::obs {
+
+/// Sorted-on-registration key/value label pairs.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  Counter& operator++() {
+    ++v_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    v_ += n;
+    return *this;
+  }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  void setMax(double v) { v_ = v > v_ ? v : v_; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Summary metric backed by the Welford accumulator (count/sum/mean/min/
+/// max/stddev); the Prometheus exporter renders it as a summary family.
+class StatsMetric {
+ public:
+  void observe(double v) { stats_.add(v); }
+  /// Folds another accumulator in (exact; used by MetricsRegistry::merge).
+  void mergeFrom(const OnlineStats& other) { stats_.merge(other); }
+  const OnlineStats& stats() const { return stats_; }
+
+ private:
+  OnlineStats stats_;
+};
+
+/// Distribution metric backed by the fixed-width Histogram; the Prometheus
+/// exporter renders cumulative `le` buckets plus percentile samples (via
+/// Histogram::percentile).
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : hist_(lo, hi, buckets) {}
+  void observe(double v) {
+    hist_.add(v);
+    sum_ += v;
+  }
+  const Histogram& histogram() const { return hist_; }
+  double sum() const { return sum_; }
+
+ private:
+  Histogram hist_;
+  double sum_ = 0.0;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kStats, kHistogram };
+
+const char* metricKindName(MetricKind k);
+
+struct Metric {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::variant<Counter, Gauge, StatsMetric, HistogramMetric> value;
+
+  MetricKind kind() const {
+    return static_cast<MetricKind>(value.index());
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the instance; throws std::logic_error when the same
+  /// (name, labels) was previously registered with a different kind, or
+  /// when `name` is not a valid prometheus metric name.
+  Counter& counter(std::string_view name, Labels labels = {},
+                   std::string_view help = "");
+  Gauge& gauge(std::string_view name, Labels labels = {},
+               std::string_view help = "");
+  StatsMetric& stats(std::string_view name, Labels labels = {},
+                     std::string_view help = "");
+  HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                             std::size_t buckets, Labels labels = {},
+                             std::string_view help = "");
+
+  /// All instances, sorted by name then label string (same-name families
+  /// are contiguous, as Prometheus exposition requires).
+  std::vector<const Metric*> sorted() const;
+
+  std::size_t size() const { return metrics_.size(); }
+  /// Number of distinct metric *names* (families).
+  std::size_t familyCount() const;
+
+  /// Copies every instance of `other` into this registry (used to merge
+  /// per-component registries into one report). Kind conflicts throw.
+  void merge(const MetricsRegistry& other);
+
+  void clear() { metrics_.clear(); }
+
+ private:
+  Metric& findOrCreate(std::string_view name, Labels labels,
+                       std::string_view help, MetricKind kind, double lo,
+                       double hi, std::size_t buckets);
+
+  // Keyed by name + '\0' + serialized labels; map keeps families sorted
+  // and unique_ptr keeps handle references stable across inserts.
+  std::map<std::string, std::unique_ptr<Metric>> metrics_;
+};
+
+/// "a=b,c=d" rendering used in CSV output and error messages.
+std::string labelsToString(const Labels& labels);
+
+}  // namespace vfpga::obs

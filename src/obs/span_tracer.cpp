@@ -1,0 +1,98 @@
+#include "obs/span_tracer.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace vfpga::obs {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer() : clock_(steadyNowNs) {}
+
+SpanTracer::SpanTracer(Clock clock) : clock_(std::move(clock)) {
+  if (!clock_) clock_ = steadyNowNs;
+}
+
+SpanTracer::Scoped SpanTracer::scoped(std::string name, std::string category,
+                                      AttrList attributes) {
+  if (!enabled_) return Scoped(nullptr, 0);
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.category = std::move(category);
+  rec.startNs = clock_();
+  rec.depth = static_cast<std::uint32_t>(stack_.size());
+  rec.attributes = std::move(attributes);
+  stack_.push_back(std::move(rec));
+  return Scoped(this, stack_.size() - 1);
+}
+
+SpanTracer::Scoped::~Scoped() {
+  if (tracer_ == nullptr) return;
+  assert(index_ == tracer_->stack_.size() - 1 &&
+         "scoped spans must close innermost-first");
+  tracer_->closeTop();
+}
+
+void SpanTracer::Scoped::note(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  tracer_->stack_[index_].attributes.emplace_back(std::move(key),
+                                                  std::move(value));
+}
+
+void SpanTracer::closeTop() {
+  SpanRecord rec = std::move(stack_.back());
+  stack_.pop_back();
+  const std::uint64_t end = clock_();
+  rec.durationNs = end > rec.startNs ? end - rec.startNs : 0;
+  spans_.push_back(std::move(rec));
+}
+
+void SpanTracer::complete(std::string name, std::string category,
+                          std::uint64_t startNs, std::uint64_t durationNs,
+                          AttrList attributes, std::uint32_t track) {
+  if (!enabled_) return;
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.category = std::move(category);
+  rec.startNs = startNs;
+  rec.durationNs = durationNs;
+  rec.track = track;
+  rec.attributes = std::move(attributes);
+  spans_.push_back(std::move(rec));
+}
+
+void SpanTracer::instant(std::string name, std::string category,
+                         AttrList attributes, std::uint32_t track) {
+  instantAt(clock_(), std::move(name), std::move(category),
+            std::move(attributes), track);
+}
+
+void SpanTracer::instantAt(std::uint64_t atNs, std::string name,
+                           std::string category, AttrList attributes,
+                           std::uint32_t track) {
+  if (!enabled_) return;
+  InstantRecord rec;
+  rec.name = std::move(name);
+  rec.category = std::move(category);
+  rec.atNs = atNs;
+  rec.track = track;
+  rec.attributes = std::move(attributes);
+  instants_.push_back(std::move(rec));
+}
+
+void SpanTracer::clear() {
+  stack_.clear();
+  spans_.clear();
+  instants_.clear();
+}
+
+}  // namespace vfpga::obs

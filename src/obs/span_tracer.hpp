@@ -1,0 +1,123 @@
+// Span-based tracer: nestable timed spans with attributes.
+//
+// Two time domains share one implementation:
+//  * wall-clock tracers (the default clock) time the CAD flow — the
+//    compiler opens a scoped span per phase (synth, techmap, place, route,
+//    bitstream);
+//  * simulated-time tracers (clock wired to Simulation::now()) record what
+//    the OS kernel did and when, in simulated nanoseconds — the kernel
+//    emits pre-timed `complete()` spans because event-driven executions
+//    overlap and finish out of order.
+//
+// Spans layer *over* the existing Trace ring (sim/trace.hpp), they do not
+// replace it: Trace keeps the cheap bounded record stream the golden tests
+// assert on; the tracer adds durations, nesting and attributes, and the
+// Chrome exporter (obs/exporters.hpp) merges both into one timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vfpga::obs {
+
+/// Ordered key/value attributes attached to a span or instant event.
+using AttrList = std::vector<std::pair<std::string, std::string>>;
+
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::uint64_t startNs = 0;
+  std::uint64_t durationNs = 0;
+  /// Logical track: scoped spans inherit 0; the kernel uses task index + 1
+  /// so every task renders as its own row in Perfetto.
+  std::uint32_t track = 0;
+  /// Nesting depth at open time (scoped spans only; pre-timed spans keep 0).
+  std::uint32_t depth = 0;
+  AttrList attributes;
+};
+
+struct InstantRecord {
+  std::string name;
+  std::string category;
+  std::uint64_t atNs = 0;
+  std::uint32_t track = 0;
+  AttrList attributes;
+};
+
+class SpanTracer {
+ public:
+  using Clock = std::function<std::uint64_t()>;
+
+  /// Default clock: monotonic wall time in nanoseconds.
+  SpanTracer();
+  /// Custom clock, e.g. [&sim] { return sim.now(); } for simulated time.
+  explicit SpanTracer(Clock clock);
+
+  std::uint64_t nowNs() const { return clock_(); }
+
+  /// RAII span: closes (and records) on destruction.
+  class Scoped {
+   public:
+    Scoped(Scoped&& o) noexcept : tracer_(o.tracer_), index_(o.index_) {
+      o.tracer_ = nullptr;
+    }
+    Scoped& operator=(Scoped&&) = delete;
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    ~Scoped();
+
+    /// Attaches an attribute to the span before it closes.
+    void note(std::string key, std::string value);
+
+   private:
+    friend class SpanTracer;
+    Scoped(SpanTracer* t, std::size_t index) : tracer_(t), index_(index) {}
+    SpanTracer* tracer_;
+    std::size_t index_;  ///< position in the tracer's open-span stack
+  };
+
+  /// Opens a nested span closed by the returned guard.
+  [[nodiscard]] Scoped scoped(std::string name, std::string category,
+                              AttrList attributes = {});
+
+  /// Records a span whose timing the caller already knows (event-driven
+  /// code where begin/end do not nest lexically).
+  void complete(std::string name, std::string category, std::uint64_t startNs,
+                std::uint64_t durationNs, AttrList attributes = {},
+                std::uint32_t track = 0);
+
+  /// Records a zero-duration marker at the current clock value.
+  void instant(std::string name, std::string category,
+               AttrList attributes = {}, std::uint32_t track = 0);
+  /// Same, at an explicit timestamp.
+  void instantAt(std::uint64_t atNs, std::string name, std::string category,
+                 AttrList attributes = {}, std::uint32_t track = 0);
+
+  /// When disabled, every record call is a cheap no-op (scoped spans still
+  /// return a valid guard).
+  void setEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Closed spans in completion order.
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<InstantRecord>& instants() const { return instants_; }
+  /// Currently open (un-closed) scoped spans.
+  std::size_t openSpans() const { return stack_.size(); }
+
+  void clear();
+
+ private:
+  friend class Scoped;
+  void closeTop();
+
+  Clock clock_;
+  bool enabled_ = true;
+  std::vector<SpanRecord> stack_;  ///< open scoped spans, outermost first
+  std::vector<SpanRecord> spans_;
+  std::vector<InstantRecord> instants_;
+};
+
+}  // namespace vfpga::obs

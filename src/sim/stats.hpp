@@ -53,6 +53,10 @@ class Histogram {
   /// Approximate quantile (q in [0,1]) using bucket midpoints.
   double quantile(double q) const;
 
+  /// Approximate percentile (p in [0,100]); p outside the range clamps.
+  /// Convenience over quantile() for exporters (p50/p90/p99).
+  double percentile(double p) const { return quantile(p / 100.0); }
+
   /// Renders a compact one-line-per-bucket ASCII view for reports.
   std::string render(std::size_t barWidth = 40) const;
 

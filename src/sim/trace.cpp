@@ -27,6 +27,10 @@ const char* traceKindName(TraceKind k) {
     case TraceKind::kPageLoad: return "page_load";
     case TraceKind::kPageEvict: return "page_evict";
     case TraceKind::kIoTransfer: return "io_transfer";
+    case TraceKind::kStateSave: return "state_save";
+    case TraceKind::kStateRestore: return "state_restore";
+    case TraceKind::kRelocate: return "relocate";
+    case TraceKind::kIoMuxGrant: return "io_mux_grant";
     case TraceKind::kInfo: return "info";
   }
   return "unknown";

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,11 +37,23 @@ enum class TraceKind {
   kPageLoad,
   kPageEvict,
   kIoTransfer,
+  kStateSave,     ///< task state read back off the fabric before a preempt
+  kStateRestore,  ///< saved task state written back on re-dispatch
+  kRelocate,      ///< partition compaction moved a resident configuration
+  kIoMuxGrant,    ///< I/O mux granted a physical pad slot to a virtual pin
   kInfo,
 };
 
+/// Number of TraceKind values (kInfo is last by convention).
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kInfo) + 1;
+
 /// Human-readable name of a trace kind (stable; used in golden tests).
 const char* traceKindName(TraceKind k);
+
+/// Callback managers without a Trace reference emit through; the kernel
+/// binds it to its Trace ring (stamping the current simulated time).
+using TraceSink = std::function<void(TraceKind, std::string)>;
 
 struct TraceRecord {
   SimTime at = 0;
@@ -74,7 +87,7 @@ class Trace {
   std::size_t capacity_;
   std::deque<TraceRecord> records_;
   std::vector<std::uint64_t> counts_ =
-      std::vector<std::uint64_t>(static_cast<std::size_t>(TraceKind::kInfo) + 1, 0);
+      std::vector<std::uint64_t>(kTraceKindCount, 0);
 };
 
 }  // namespace vfpga

@@ -1,0 +1,298 @@
+// Observability substrate: span tracer, metrics registry, exporters
+// (Chrome trace_event, Prometheus text exposition, CSV) and the flight
+// recorder, including the analysis-hook glue in core/obs_bridge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "analysis/diagnostics.hpp"
+#include "core/obs_bridge.hpp"
+#include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/span_tracer.hpp"
+#include "sim/trace.hpp"
+
+namespace vfpga {
+namespace {
+
+/// Deterministic tracer clock: advances by a fixed step per read.
+obs::SpanTracer steppedTracer(std::uint64_t step) {
+  auto t = std::make_shared<std::uint64_t>(0);
+  return obs::SpanTracer(
+      obs::SpanTracer::Clock([t, step] { return *t += step; }));
+}
+
+TEST(SpanTracer, ScopedSpansNestAndClose) {
+  obs::SpanTracer tracer = steppedTracer(10);
+  {
+    auto outer = tracer.scoped("outer", "test");
+    EXPECT_EQ(tracer.openSpans(), 1u);
+    {
+      auto inner = tracer.scoped("inner", "test");
+      inner.note("k", "v");
+      EXPECT_EQ(tracer.openSpans(), 2u);
+    }
+    EXPECT_EQ(tracer.openSpans(), 1u);
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  // Spans record in completion order: inner closes first.
+  const obs::SpanRecord& inner = tracer.spans()[0];
+  const obs::SpanRecord& outer = tracer.spans()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.depth, 1u);
+  ASSERT_EQ(inner.attributes.size(), 1u);
+  EXPECT_EQ(inner.attributes[0].first, "k");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  // The outer interval contains the inner one.
+  EXPECT_LE(outer.startNs, inner.startNs);
+  EXPECT_GE(outer.startNs + outer.durationNs,
+            inner.startNs + inner.durationNs);
+}
+
+TEST(SpanTracer, CompleteAndInstantCarryExplicitTiming) {
+  obs::SpanTracer tracer = steppedTracer(1);
+  tracer.complete("exec", "os.fpga_exec", 100, 50, {{"config", "c"}}, 3);
+  tracer.instantAt(120, "marker", "os.trace", {}, 3);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].startNs, 100u);
+  EXPECT_EQ(tracer.spans()[0].durationNs, 50u);
+  EXPECT_EQ(tracer.spans()[0].track, 3u);
+  ASSERT_EQ(tracer.instants().size(), 1u);
+  EXPECT_EQ(tracer.instants()[0].atNs, 120u);
+}
+
+TEST(SpanTracer, DisabledTracerRecordsNothing) {
+  obs::SpanTracer tracer = steppedTracer(1);
+  tracer.setEnabled(false);
+  {
+    auto s = tracer.scoped("quiet", "test");
+  }
+  tracer.complete("quiet2", "test", 0, 1);
+  tracer.instant("quiet3", "test");
+  EXPECT_TRUE(tracer.spans().empty());
+  EXPECT_TRUE(tracer.instants().empty());
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndKeyedByLabels) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("vfpga_test_total", {{"k", "a"}});
+  obs::Counter& b = reg.counter("vfpga_test_total", {{"k", "b"}});
+  a.inc(2);
+  b.inc(5);
+  EXPECT_NE(&a, &b);
+  // Re-lookup returns the same instance.
+  EXPECT_EQ(&reg.counter("vfpga_test_total", {{"k", "a"}}), &a);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.familyCount(), 1u);
+  EXPECT_EQ(reg.counter("vfpga_test_total", {{"k", "a"}}).value(), 2u);
+}
+
+TEST(MetricsRegistry, KindConflictAndBadNameThrow) {
+  obs::MetricsRegistry reg;
+  reg.counter("vfpga_conflict");
+  EXPECT_THROW(reg.gauge("vfpga_conflict"), std::logic_error);
+  EXPECT_THROW(reg.counter("not a metric name!"), std::logic_error);
+  EXPECT_THROW(reg.counter(""), std::logic_error);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndFoldsStats) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("vfpga_m_total").inc(3);
+  b.counter("vfpga_m_total").inc(4);
+  a.stats("vfpga_m_ns").observe(10.0);
+  b.stats("vfpga_m_ns").observe(30.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("vfpga_m_total").value(), 7u);
+  const OnlineStats& s = a.stats("vfpga_m_ns").stats();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(ChromeTrace, GoldenEnvelopeAndNestedSpansValidate) {
+  obs::SpanTracer wall = steppedTracer(100);
+  {
+    auto compile = wall.scoped("compile", "flow");
+    {
+      auto place = wall.scoped("place", "flow", {{"attempt", "1"}});
+    }
+  }
+  Trace ring;
+  ring.record(500, TraceKind::kConfigDownload, "cfg0");
+  obs::SpanTracer sim(obs::SpanTracer::Clock([] { return std::uint64_t{0}; }));
+  sim.complete("exec", "os.fpga_exec", 1000, 2000, {}, 1);
+  sim.complete("download", "os.config", 1200, 300, {}, 1);  // nested
+
+  obs::ChromeTraceInput input;
+  input.wall = &wall;
+  input.sim.push_back({"kernel", &sim, &ring});
+  const std::string json = obs::renderChromeTrace(input);
+
+  // Structural self-validation finds nothing wrong.
+  EXPECT_TRUE(obs::validateChromeTrace(json).empty());
+
+  // Golden-schema spot checks through the strict JSON parser.
+  const obs::JsonValue doc = obs::JsonValue::parse(json);
+  ASSERT_TRUE(doc.isObject());
+  const obs::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.isArray());
+  bool sawWallMeta = false, sawKernelMeta = false, sawExec = false,
+       sawInstant = false;
+  for (const obs::JsonValue& e : events.asArray()) {
+    const std::string ph = e.at("ph").asString();
+    if (ph == "M" && e.at("pid").asNumber() == 1) sawWallMeta = true;
+    if (ph == "M" && e.at("pid").asNumber() == 2) sawKernelMeta = true;
+    if (ph == "X" && e.at("name").asString() == "exec") {
+      sawExec = true;
+      EXPECT_DOUBLE_EQ(e.at("ts").asNumber(), 1.0);   // 1000 ns -> 1 us
+      EXPECT_DOUBLE_EQ(e.at("dur").asNumber(), 2.0);  // 2000 ns -> 2 us
+      EXPECT_EQ(e.at("pid").asNumber(), 2.0);
+    }
+    if (ph == "i") sawInstant = true;
+  }
+  EXPECT_TRUE(sawWallMeta);
+  EXPECT_TRUE(sawKernelMeta);
+  EXPECT_TRUE(sawExec);
+  EXPECT_TRUE(sawInstant);
+}
+
+TEST(ChromeTrace, ValidatorRejectsPartialOverlap) {
+  obs::SpanTracer sim(obs::SpanTracer::Clock([] { return std::uint64_t{0}; }));
+  // [0,100) and [50,150) on one track: partial overlap cannot nest.
+  sim.complete("a", "t", 0, 100, {}, 1);
+  sim.complete("b", "t", 50, 100, {}, 1);
+  obs::ChromeTraceInput input;
+  input.sim.push_back({"p", &sim, nullptr});
+  const auto problems = obs::validateChromeTrace(obs::renderChromeTrace(input));
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Prometheus, RoundTripPreservesEveryScalar) {
+  obs::MetricsRegistry reg;
+  reg.counter("vfpga_rt_total", {{"policy", "x"}}, "a counter").inc(42);
+  reg.gauge("vfpga_rt_gauge", {}, "a gauge").set(2.5);
+  obs::StatsMetric& st = reg.stats("vfpga_rt_ns", {}, "a summary");
+  st.observe(1.0);
+  st.observe(3.0);
+  obs::HistogramMetric& h =
+      reg.histogram("vfpga_rt_hist", 0.0, 10.0, 5, {}, "a histogram");
+  h.observe(1.0);
+  h.observe(9.0);
+
+  const std::string text = obs::renderPrometheus(reg);
+  const std::vector<obs::PromSample> samples = obs::parsePrometheus(text);
+
+  auto find = [&](const std::string& name,
+                  const obs::Labels& labels) -> const obs::PromSample* {
+    for (const obs::PromSample& s : samples) {
+      if (s.name == name && s.labels == labels) return &s;
+    }
+    return nullptr;
+  };
+  const obs::PromSample* c = find("vfpga_rt_total", {{"policy", "x"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 42.0);
+  const obs::PromSample* g = find("vfpga_rt_gauge", {});
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 2.5);
+  const obs::PromSample* cnt = find("vfpga_rt_ns_count", {});
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_DOUBLE_EQ(cnt->value, 2.0);
+  const obs::PromSample* mn = find("vfpga_rt_ns", {{"quantile", "0"}});
+  ASSERT_NE(mn, nullptr);
+  EXPECT_DOUBLE_EQ(mn->value, 1.0);
+  const obs::PromSample* inf = find("vfpga_rt_hist_bucket", {{"le", "+Inf"}});
+  ASSERT_NE(inf, nullptr);
+  EXPECT_DOUBLE_EQ(inf->value, 2.0);
+  const obs::PromSample* hsum = find("vfpga_rt_hist_sum", {});
+  ASSERT_NE(hsum, nullptr);
+  EXPECT_DOUBLE_EQ(hsum->value, 10.0);
+}
+
+TEST(Exporters, CsvAndJsonSnapshots) {
+  obs::MetricsRegistry reg;
+  reg.counter("vfpga_csv_total", {{"k", "v"}}).inc(7);
+  reg.gauge("vfpga_csv_gauge").set(1.25);
+  const std::string csv = obs::renderCsv(reg);
+  EXPECT_NE(csv.find("vfpga_csv_total,\"k=v\",counter,value,7"),
+            std::string::npos);
+  EXPECT_NE(csv.find("vfpga_csv_gauge"), std::string::npos);
+
+  const obs::JsonValue arr = obs::JsonValue::parse(obs::renderMetricsJson(reg));
+  ASSERT_TRUE(arr.isArray());
+  ASSERT_EQ(arr.asArray().size(), 2u);
+}
+
+TEST(FlightRecorder, BundleCarriesRuleTraceTailAndMetrics) {
+  Trace ring;
+  for (int i = 0; i < 10; ++i) {
+    ring.record(static_cast<SimTime>(i), TraceKind::kInfo,
+                "r" + std::to_string(i));
+  }
+  obs::MetricsRegistry reg;
+  reg.counter("vfpga_fr_total").inc(9);
+
+  obs::FlightRecorder::Options opt;
+  opt.traceTail = 4;
+  obs::FlightRecorder fr(opt);
+  fr.attachTrace(&ring);
+  fr.attachRegistry(&reg);
+
+  const std::string bundle = fr.renderBundle("AL002", "unit test", "{}");
+  const obs::JsonValue doc = obs::JsonValue::parse(bundle);
+  EXPECT_EQ(doc.at("rule_id").asString(), "AL002");
+  EXPECT_EQ(doc.at("context").asString(), "unit test");
+  ASSERT_TRUE(doc.at("trace_tail").isArray());
+  // Only the newest traceTail records survive.
+  EXPECT_EQ(doc.at("trace_tail").asArray().size(), 4u);
+  EXPECT_EQ(doc.at("trace_tail").asArray().back().at("detail").asString(),
+            "r9");
+  ASSERT_TRUE(doc.at("metrics").isArray());
+  EXPECT_EQ(doc.at("metrics").asArray().size(), 1u);
+}
+
+TEST(FlightRecorder, SeededInvariantFailureDumpsThroughTheHook) {
+  const std::string dir = ::testing::TempDir();
+  obs::FlightRecorder::Options opt;
+  opt.directory = dir;
+  opt.prefix = "obs_test_flight";
+  obs::FlightRecorder fr(opt);
+  Trace ring;
+  ring.record(1, TraceKind::kGarbageCollect, "before failure");
+  fr.attachTrace(&ring);
+
+  installFlightRecorderHook();
+  obs::FlightRecorder* prev = obs::FlightRecorder::installGlobal(&fr);
+
+  // Seed a defect the way a manager's verifier would report it.
+  analysis::Report rep;
+  rep.add("AL002", "seeded zero-width strip");
+  EXPECT_THROW(analysis::throwIfErrors(rep, "obs_test"),
+               analysis::InvariantViolation);
+
+  obs::FlightRecorder::installGlobal(prev);
+  ASSERT_EQ(fr.dumpCount(), 1u);
+
+  // The bundle landed in `dir` and names the firing rule.
+  const std::string path = dir + "/obs_test_flight_AL002_0.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "expected bundle at " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue doc = obs::JsonValue::parse(buf.str());
+  EXPECT_EQ(doc.at("rule_id").asString(), "AL002");
+  EXPECT_EQ(doc.at("context").asString(), "obs_test");
+  ASSERT_TRUE(doc.at("diagnostics").isObject());
+  EXPECT_NE(buf.str().find("seeded zero-width strip"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -151,6 +151,56 @@ TEST(Histogram, QuantileApproximatesMedian) {
   EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
 }
 
+TEST(OnlineStats, MergeWithEmptyKeepsMinMax) {
+  OnlineStats a, empty;
+  a.add(3.0);
+  a.add(7.0);
+  a.merge(empty);  // no-op: the empty side must not poison min/max
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+  empty.merge(a);  // into-empty copies the populated side exactly
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 7.0);
+}
+
+TEST(OnlineStats, MergeExtendsMinMaxAcrossSides) {
+  OnlineStats a, b;
+  a.add(0.0);
+  a.add(10.0);
+  b.add(-5.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+TEST(Histogram, PercentileMatchesQuantile) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), h.quantile(0.5));
+  EXPECT_NEAR(h.percentile(90.0), 90.0, 2.0);
+  EXPECT_NEAR(h.percentile(99.0), 99.0, 2.0);
+}
+
+TEST(Histogram, PercentileOfClampedSamplesStaysInRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-100.0);  // clamps into the first bucket
+  h.add(1e9);     // clamps into the last bucket
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  // Even wildly out-of-range samples cannot push a percentile outside
+  // [lo, hi] — the exporters rely on this when rendering p50/p90/p99.
+  EXPECT_GE(h.percentile(0.0), 0.0);
+  EXPECT_LE(h.percentile(100.0), 10.0);
+  EXPECT_GE(h.percentile(50.0), 0.0);
+  EXPECT_LE(h.percentile(50.0), 10.0);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());

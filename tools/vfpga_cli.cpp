@@ -12,6 +12,16 @@
 //              run every analysis pass over the flow; nonzero exit on any
 //              error-severity diagnostic
 //   vfpga_cli lint --list-rules             the rule registry
+//   vfpga_cli trace (--circuit <name> | --netlist file.vnl)
+//              [--device <name>] [--width N] [--format chrome|csv]
+//              [--validate] [--out file]    compile + run the circuit under
+//              two OS policies; emit the merged timeline (Perfetto-loadable)
+//   vfpga_cli report [--device <name>] [--format prometheus|csv|json]
+//              [--min-names N] [--out file] run a six-technique workload
+//              and expose every metric the substrate collected
+//
+// Exit codes: 0 success, 1 findings / runtime errors, 2 usage,
+// 3 export or validation failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,11 +34,25 @@
 #include "analysis/netlist_lint.hpp"
 #include "compile/compiler.hpp"
 #include "compile/loaded_circuit.hpp"
+#include "core/dynamic_loader.hpp"
+#include "core/io_mux.hpp"
+#include "core/obs_bridge.hpp"
+#include "core/os_kernel.hpp"
+#include "core/overlay_manager.hpp"
+#include "core/page_manager.hpp"
+#include "core/partition_manager.hpp"
+#include "core/prefetch_loader.hpp"
+#include "core/segment_manager.hpp"
 #include "fabric/device_family.hpp"
 #include "fabric/sta.hpp"
 #include "fabric/vcd.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "netlist/library/datapath.hpp"
 #include "netlist/optimize.hpp"
 #include "netlist/text_io.hpp"
+#include "obs/exporters.hpp"
+#include "obs/json.hpp"
 #include "sim/rng.hpp"
 #include "workloads/app_circuits.hpp"
 #include "workloads/compile_suite.hpp"
@@ -62,7 +86,12 @@ int usage() {
                " [--vcd file.vcd]\n"
                "  lint (--circuit <name> | --netlist file.vnl | --all)"
                " [--device <name>] [--width N] [--no-optimize] [--json]\n"
-               "  lint --list-rules\n");
+               "  lint --list-rules\n"
+               "  trace (--circuit <name> | --netlist file.vnl)"
+               " [--device <name>] [--width N] [--format chrome|csv]"
+               " [--validate] [--out file]\n"
+               "  report [--device <name>] [--format prometheus|csv|json]"
+               " [--min-names N] [--out file]\n");
   return 2;
 }
 
@@ -90,7 +119,7 @@ std::optional<Args> parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) return std::nullopt;
     key = key.substr(2);
     if (key == "no-optimize" || key == "all" || key == "json" ||
-        key == "list-rules") {
+        key == "list-rules" || key == "validate") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -280,6 +309,311 @@ int simulateCmd(const Args& a) {
   return 0;
 }
 
+/// Machine-readable payloads go to --out (or stdout, alone); human chatter
+/// stays on stderr. Exit 3 when the export cannot be written.
+int emitPayload(const Args& a, const std::string& payload) {
+  if (a.has("out")) {
+    std::ofstream out(a.get("out"), std::ios::binary);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", a.get("out").c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "wrote %zu bytes to %s\n", payload.size(),
+                 a.get("out").c_str());
+    return 0;
+  }
+  std::fwrite(payload.data(), 1, payload.size(), stdout);
+  return 0;
+}
+
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+/// CSV sibling of the Chrome export: spans, instants and Trace records of
+/// every process as flat rows.
+std::string renderTimelineCsv(const obs::ChromeTraceInput& input) {
+  std::string out = "process,type,track,category,name,start_ns,duration_ns\n";
+  auto row = [&out](const std::string& proc, const char* type,
+                    std::uint32_t track, const std::string& category,
+                    const std::string& name, std::uint64_t start,
+                    std::uint64_t dur) {
+    out += csvField(proc) + ',' + type + ',' + std::to_string(track) + ',' +
+           csvField(category) + ',' + csvField(name) + ',' +
+           std::to_string(start) + ',' + std::to_string(dur) + '\n';
+  };
+  auto addTracer = [&row](const std::string& proc, const obs::SpanTracer* t) {
+    if (t == nullptr) return;
+    for (const obs::SpanRecord& s : t->spans()) {
+      row(proc, "span", s.track, s.category, s.name, s.startNs, s.durationNs);
+    }
+    for (const obs::InstantRecord& i : t->instants()) {
+      row(proc, "instant", i.track, i.category, i.name, i.atNs, 0);
+    }
+  };
+  addTracer("flow", input.wall);
+  for (const obs::SimProcessTrace& p : input.sim) {
+    addTracer(p.name, p.spans);
+    if (p.trace != nullptr) {
+      for (const TraceRecord& r : p.trace->records()) {
+        row(p.name, "trace", 0, "os.trace", traceKindName(r.kind), r.at, 0);
+      }
+    }
+  }
+  return out;
+}
+
+TaskSpec traceTask(const std::string& name, SimTime arrival, ConfigId cfg,
+                   std::uint64_t cycles) {
+  TaskSpec t;
+  t.name = name;
+  t.arrival = arrival;
+  t.ops = {CpuBurst{micros(20)}, FpgaExec{cfg, cycles}, CpuBurst{micros(10)}};
+  return t;
+}
+
+Netlist named(Netlist nl, const char* name) {
+  nl.setName(name);
+  return nl;
+}
+
+int traceCmd(const Args& a) {
+  const std::string fmt = a.get("format", "chrome");
+  if (fmt != "chrome" && fmt != "csv") {
+    std::fprintf(stderr, "trace: unknown --format '%s' (chrome|csv)\n",
+                 fmt.c_str());
+    return 2;
+  }
+  AppCircuit circuit = loadCircuit(a);
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+
+  // Wall-clock flow spans: every compile below lands on pid 1.
+  obs::SpanTracer wall;
+  obs::MetricsRegistry flowMetrics;
+  compiler.setObservers(&wall, &flowMetrics);
+
+  const CompiledCircuit primary = [&] {
+    if (a.has("width")) {
+      const auto w = static_cast<std::uint16_t>(std::stoul(a.get("width")));
+      return compiler.compile(circuit.netlist,
+                              Region::columns(dev.geometry(), 0, w));
+    }
+    return workloads::compileMinimal(compiler, circuit.netlist);
+  }();
+  // A second circuit so the kernels genuinely context-switch.
+  const CompiledCircuit aux =
+      workloads::compileMinimal(compiler, named(lib::makeChecksum(6), "csum"));
+
+  // Simulated process 1: whole-device dynamic loading with a preemption
+  // slice (downloads, state save/restore).
+  Simulation dynSim;
+  OsOptions dynOpt;
+  dynOpt.policy = FpgaPolicy::kDynamicLoading;
+  dynOpt.fpgaSlice = micros(100);
+  OsKernel dyn(dynSim, dev, port, compiler, dynOpt);
+  {
+    const ConfigId da = dyn.registerConfig(primary);
+    const ConfigId db = dyn.registerConfig(aux);
+    dyn.addTask(traceTask("t0", 0, da, 30000));
+    dyn.addTask(traceTask("t1", micros(40), db, 20000));
+    dyn.addTask(traceTask("t2", micros(80), da, 12000));
+    dyn.run();
+  }
+
+  // Simulated process 2: variable column-strip partitions (concurrent
+  // residency, garbage collection).
+  Simulation partSim;
+  OsOptions partOpt;
+  partOpt.policy = FpgaPolicy::kPartitionedVariable;
+  OsKernel part(partSim, dev, port, compiler, partOpt);
+  {
+    const ConfigId pa = part.registerConfig(primary);
+    const ConfigId pb = part.registerConfig(aux);
+    part.addTask(traceTask("t0", 0, pa, 30000));
+    part.addTask(traceTask("t1", micros(40), pb, 20000));
+    part.addTask(traceTask("t2", micros(80), pa, 12000));
+    part.run();
+  }
+
+  obs::ChromeTraceInput input;
+  input.wall = &wall;
+  input.sim.push_back({"os/dynamic_loading", &dyn.spanTracer(), &dyn.trace()});
+  input.sim.push_back(
+      {"os/partitioned_variable", &part.spanTracer(), &part.trace()});
+
+  const std::string chrome = obs::renderChromeTrace(input);
+  if (a.has("validate")) {
+    const std::vector<std::string> problems = obs::validateChromeTrace(chrome);
+    if (!problems.empty()) {
+      for (const std::string& problem : problems) {
+        std::fprintf(stderr, "trace: invalid: %s\n", problem.c_str());
+      }
+      return 3;
+    }
+    std::fprintf(stderr, "trace: chrome trace validates clean\n");
+  }
+  return emitPayload(a, fmt == "chrome" ? chrome : renderTimelineCsv(input));
+}
+
+int reportCmd(const Args& a) {
+  const std::string fmt = a.get("format", "prometheus");
+  if (fmt != "prometheus" && fmt != "csv" && fmt != "json") {
+    std::fprintf(stderr,
+                 "report: unknown --format '%s' (prometheus|csv|json)\n",
+                 fmt.c_str());
+    return 2;
+  }
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+
+  obs::MetricsRegistry reg;
+  compiler.setObservers(nullptr, &reg);  // vfpga_flow_* phase timings
+
+  const Region strip = Region::columns(dev.geometry(), 0, 4);
+  const CompiledCircuit count =
+      compiler.compile(named(lib::makeCounter(6), "count"), strip);
+  const CompiledCircuit csum =
+      compiler.compile(named(lib::makeChecksum(6), "csum"), strip);
+  const CompiledCircuit lfsr =
+      compiler.compile(named(lib::makeLfsr(8, 0b10111000), "lfsr"), strip);
+
+  // Techniques 1+2 through the kernel: sliced dynamic loading, then
+  // variable partitions. Each run's registry merges in under its policy
+  // label.
+  {
+    Simulation sim;
+    OsOptions opt;
+    opt.policy = FpgaPolicy::kDynamicLoading;
+    opt.fpgaSlice = micros(100);
+    OsKernel kernel(sim, dev, port, compiler, opt);
+    const ConfigId ka = kernel.registerConfig(count);
+    const ConfigId kb = kernel.registerConfig(csum);
+    kernel.addTask(traceTask("d0", 0, ka, 30000));
+    kernel.addTask(traceTask("d1", micros(40), kb, 20000));
+    kernel.addTask(traceTask("d2", micros(80), ka, 12000));
+    kernel.run();
+    reg.merge(kernel.metricsRegistry());
+  }
+  {
+    Simulation sim;
+    OsOptions opt;
+    opt.policy = FpgaPolicy::kPartitionedVariable;
+    OsKernel kernel(sim, dev, port, compiler, opt);
+    const ConfigId ka = kernel.registerConfig(count);
+    const ConfigId kb = kernel.registerConfig(csum);
+    const ConfigId kc = kernel.registerConfig(lfsr);
+    kernel.addTask(traceTask("p0", 0, ka, 30000));
+    kernel.addTask(traceTask("p1", micros(40), kb, 20000));
+    kernel.addTask(traceTask("p2", micros(80), kc, 12000));
+    kernel.run();
+    reg.merge(kernel.metricsRegistry());
+  }
+  // Standalone manager exercises for the remaining techniques (the §2
+  // tour), snapshotted via publishMetrics.
+  {
+    ConfigRegistry cfgs;
+    DynamicLoader loader(dev, port, cfgs);
+    const ConfigId la = cfgs.add(count);
+    const ConfigId lb = cfgs.add(csum);
+    loader.activate(la);
+    loader.activate(lb);
+    loader.activate(la);
+    publishMetrics(loader, reg);
+  }
+  {
+    ConfigRegistry cfgs;
+    PartitionManager pm(dev, port, cfgs, compiler, {});
+    pm.load(cfgs.add(count));
+    pm.load(cfgs.add(csum));
+    pm.load(cfgs.add(lfsr));
+    publishMetrics(pm, reg);
+  }
+  {
+    OverlayManager om(dev, port, compiler, 4);
+    om.installResident(csum);
+    const OverlayId f1 = om.addOverlay(count);
+    const OverlayId f2 = om.addOverlay(lfsr);
+    om.invoke(f1);
+    om.invoke(f1);
+    om.invoke(f2);
+    om.invoke(f1);
+    publishMetrics(om, reg);
+  }
+  {
+    SegmentManager sm(dev, port, compiler);
+    std::vector<SegmentId> segs;
+    for (int i = 0; i < 3; ++i) {
+      Netlist nl = lib::makeChecksum(4);
+      nl.setName("seg" + std::to_string(i));
+      segs.push_back(sm.addSegment(
+          compiler.compile(nl, Region::columns(dev.geometry(), 0, 5))));
+    }
+    for (SegmentId s : {segs[0], segs[1], segs[0], segs[2], segs[0]}) {
+      sm.access(s);
+    }
+    publishMetrics(sm, reg);
+  }
+  {
+    PageManager pg(p.port, dev.configMap().frameBits(),
+                   PageManagerOptions{4, 32, ReplacementPolicy::kLru});
+    const ConfigId big = pg.addFunction(112);
+    const ConfigId sml = pg.addFunction(20);
+    pg.access(big);
+    pg.access(sml);
+    pg.access(big);
+    publishMetrics(pg, reg);
+  }
+  {
+    ConfigRegistry cfgs;
+    PrefetchLoader pf(dev, port, cfgs, compiler);
+    const ConfigId fa = cfgs.add(count);
+    const ConfigId fb = cfgs.add(csum);
+    SimTime now = 0;
+    for (int i = 0; i < 8; ++i) {
+      pf.activate(i % 2 ? fb : fa, now);
+      now += millis(50);
+    }
+    publishMetrics(pf, reg);
+  }
+  {
+    IoMux mux(IoMuxSpec{16, nanos(50), nanos(20), nanos(5)});
+    mux.rebind(64);
+    mux.transfer(64);
+    mux.transfer(64);
+    publishMetrics(mux, reg);
+  }
+
+  std::fprintf(stderr, "report: %zu metric families, %zu series\n",
+               reg.familyCount(), reg.size());
+  if (a.has("min-names")) {
+    const std::size_t need = std::stoul(a.get("min-names"));
+    if (reg.familyCount() < need) {
+      std::fprintf(stderr,
+                   "report: only %zu metric families (< %zu required)\n",
+                   reg.familyCount(), need);
+      return 3;
+    }
+  }
+  const std::string payload = fmt == "prometheus" ? obs::renderPrometheus(reg)
+                              : fmt == "csv"      ? obs::renderCsv(reg)
+                                                  : obs::renderMetricsJson(reg);
+  return emitPayload(a, payload);
+}
+
 int lintCmd(const Args& a) {
   if (a.has("list-rules")) {
     for (const analysis::RuleInfo& r : analysis::allRules()) {
@@ -307,31 +641,48 @@ int lintCmd(const Args& a) {
   for (std::size_t i = 0; i < circuits.size(); ++i) {
     const AppCircuit& circuit = circuits[i];
     analysis::Report rep;
-    Netlist nl = circuit.netlist;
-    if (!a.has("no-optimize")) nl = optimize(nl);
-    analysis::lintNetlist(nl, rep);
-    if (rep.ok()) {
-      // The netlist is structurally sound: run the whole flow and lint
-      // every compiled stage (mapping, placement, routing, bitstream).
-      const CompiledCircuit c = [&] {
-        if (a.has("width")) {
-          const auto w =
-              static_cast<std::uint16_t>(std::stoul(a.get("width")));
-          CompileOptions opt;
-          opt.optimize = false;  // handled above
-          return compiler.compile(nl, Region::columns(dev.geometry(), 0, w),
-                                  opt);
-        }
-        return workloads::compileMinimal(compiler, nl);
-      }();
-      analysis::lintCompiled(c, dev.rrg(), dev.configMap(), rep);
+    // A flow failure (CompileError, ...) on one circuit must not corrupt
+    // the machine-readable stream: it is captured per circuit, keeping the
+    // JSON array well-formed and stdout free of interleaved chatter.
+    std::string failure;
+    try {
+      Netlist nl = circuit.netlist;
+      if (!a.has("no-optimize")) nl = optimize(nl);
+      analysis::lintNetlist(nl, rep);
+      if (rep.ok()) {
+        // The netlist is structurally sound: run the whole flow and lint
+        // every compiled stage (mapping, placement, routing, bitstream).
+        const CompiledCircuit c = [&] {
+          if (a.has("width")) {
+            const auto w =
+                static_cast<std::uint16_t>(std::stoul(a.get("width")));
+            CompileOptions opt;
+            opt.optimize = false;  // handled above
+            return compiler.compile(nl, Region::columns(dev.geometry(), 0, w),
+                                    opt);
+          }
+          return workloads::compileMinimal(compiler, nl);
+        }();
+        analysis::lintCompiled(c, dev.rrg(), dev.configMap(), rep);
+      }
+    } catch (const std::exception& e) {
+      failure = e.what();
+      ++errors;
     }
     errors += rep.errorCount();
     warnings += rep.warningCount();
     if (json) {
-      std::printf("%s{\"name\":\"%s\",\"report\":%s}", i == 0 ? "" : ",",
-                  circuit.name.c_str(), rep.renderJson().c_str());
+      std::printf("%s{\"name\":\"%s\",", i == 0 ? "" : ",",
+                  circuit.name.c_str());
+      if (!failure.empty()) {
+        std::printf("\"error\":\"%s\",", obs::jsonEscape(failure).c_str());
+      }
+      std::printf("\"report\":%s}", rep.renderJson().c_str());
     } else {
+      if (!failure.empty()) {
+        std::fprintf(stderr, "lint: %s: %s\n", circuit.name.c_str(),
+                     failure.c_str());
+      }
       std::printf("== %s ==\n%s", circuit.name.c_str(),
                   rep.renderText().c_str());
     }
@@ -357,6 +708,8 @@ int main(int argc, char** argv) {
     if (args->command == "compile") return compileCmd(*args);
     if (args->command == "simulate") return simulateCmd(*args);
     if (args->command == "lint") return lintCmd(*args);
+    if (args->command == "trace") return traceCmd(*args);
+    if (args->command == "report") return reportCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
