@@ -1,0 +1,180 @@
+// E12 — Fault injection and recovery overhead (robustness extension).
+//
+// Three sweeps over the same seeded 8-task partitioned workload on the
+// medium partial-reconfig device:
+//  1. configuration upsets x scrub interval: repair throughput and the
+//     makespan cost of scrubbing;
+//  2. wire fault rates x retry budget: verified downloads, retries, and
+//     what an exhausted budget does to the task set;
+//  3. permanent column failures: quarantine, relocation, and how much of
+//     the workload survives on the shrunken device.
+// Every configuration is seeded, so rows are reproducible byte for byte.
+#include "bench_util.hpp"
+#include "core/os_kernel.hpp"
+#include "fault/fault_plan.hpp"
+
+using namespace vfpga;
+using namespace vfpga::bench;
+
+namespace {
+
+struct CampaignResult {
+  std::uint64_t finished = 0;
+  std::uint64_t parked = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t scrubRepairs = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t relocations = 0;
+  double makespanMs = 0;
+};
+
+CampaignResult runCampaign(const fault::FaultPlanSpec& spec,
+                           SimDuration scrubInterval, int maxRetries) {
+  fault::FaultPlan plan(spec);
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  ConfigPort port(dev, prof.port);
+  Compiler compiler(dev);
+  Simulation sim;
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  opt.ft.plan = &plan;
+  opt.ft.scrubInterval = scrubInterval;
+  opt.ft.recovery = fault::RecoveryOptions{true, maxRetries, micros(50)};
+  opt.ft.watchdogFactor = 4.0;
+  OsKernel kernel(sim, dev, port, compiler, opt);
+
+  auto circuits = standardCircuits();
+  std::vector<ConfigId> cfgs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cfgs.push_back(kernel.registerConfig(compiler.compile(
+        circuits[i].netlist,
+        Region::columns(compiler.geometry(), 0, circuits[i].width))));
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskSpec t;
+    t.name = "e12_" + std::to_string(i);
+    t.arrival = static_cast<SimTime>(i) * micros(150);
+    t.ops = {CpuBurst{micros(30)}, FpgaExec{cfgs[i % 3], 20000 + 5000 * i},
+             CpuBurst{micros(20)}};
+    kernel.addTask(t);
+  }
+  kernel.run();
+
+  CampaignResult r;
+  for (const TaskRuntime& t : kernel.tasks()) {
+    if (t.state == TaskState::kDone) ++r.finished;
+    if (t.state == TaskState::kParked) ++r.parked;
+  }
+  auto counter = [&](const char* name) {
+    return kernel.metricsRegistry()
+        .counter(name, {{"policy", fpgaPolicyName(opt.policy)}}, "")
+        .value();
+  };
+  r.retries = counter("vfpga_fault_download_retries_total");
+  r.scrubRepairs = counter("vfpga_fault_scrub_repaired_frames_total");
+  r.quarantined = counter("vfpga_fault_strips_quarantined_total");
+  r.relocations = counter("vfpga_fault_quarantine_relocations_total");
+  r.makespanMs = toMilliseconds(kernel.metrics().makespan);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e12_fault_recovery");
+
+  // Fault-free baseline: the floor every overhead column compares against.
+  fault::FaultPlanSpec clean;
+  clean.seed = 12;
+  const CampaignResult base = runCampaign(clean, 0, 0);
+
+  tableHeader("E12", "configuration upsets x scrub interval "
+                     "(8 tasks, medium_partial, partitioned_variable)");
+  std::printf("%-12s %-12s | %10s %10s %10s %10s\n", "upsets/scrub",
+              "scrub_us", "repairs", "finished", "ms", "overhead");
+  for (double mean : {0.5, 1.5, 3.0}) {
+    for (SimDuration interval : {micros(250), micros(500), millis(2)}) {
+      fault::FaultPlanSpec spec;
+      spec.seed = 12;
+      spec.meanUpsetsPerScrub = mean;
+      const CampaignResult r = runCampaign(spec, interval, 0);
+      const double overhead = base.makespanMs > 0
+                                  ? r.makespanMs / base.makespanMs
+                                  : 0.0;
+      std::printf("%-12.1f %-12llu | %10llu %10llu %10.3f %9.2fx\n", mean,
+                  static_cast<unsigned long long>(interval / 1000),
+                  static_cast<unsigned long long>(r.scrubRepairs),
+                  static_cast<unsigned long long>(r.finished), r.makespanMs,
+                  overhead);
+      json.sample("vfpga_bench_e12_scrub_repairs",
+                  {{"mean_upsets", std::to_string(mean)},
+                   {"scrub_us", std::to_string(interval / 1000)}},
+                  static_cast<double>(r.scrubRepairs));
+      json.sample("vfpga_bench_e12_scrub_makespan_ms",
+                  {{"mean_upsets", std::to_string(mean)},
+                   {"scrub_us", std::to_string(interval / 1000)}},
+                  r.makespanMs);
+    }
+  }
+
+  tableHeader("E12", "wire faults x retry budget");
+  std::printf("%-10s %-10s %-8s | %8s %8s %8s %10s\n", "corrupt", "abort",
+              "budget", "retries", "finished", "parked", "ms");
+  for (double rate : {0.1, 0.3, 0.6}) {
+    for (int budget : {0, 2, 4}) {
+      fault::FaultPlanSpec spec;
+      spec.seed = 12;
+      spec.downloadCorruptRate = rate;
+      spec.downloadAbortRate = rate / 2;
+      const CampaignResult r = runCampaign(spec, micros(500), budget);
+      std::printf("%-10.2f %-10.2f %-8d | %8llu %8llu %8llu %10.3f\n", rate,
+                  rate / 2, budget,
+                  static_cast<unsigned long long>(r.retries),
+                  static_cast<unsigned long long>(r.finished),
+                  static_cast<unsigned long long>(r.parked), r.makespanMs);
+      json.sample("vfpga_bench_e12_retry_finished",
+                  {{"rate", std::to_string(rate)},
+                   {"budget", std::to_string(budget)}},
+                  static_cast<double>(r.finished));
+      json.sample("vfpga_bench_e12_retry_parked",
+                  {{"rate", std::to_string(rate)},
+                   {"budget", std::to_string(budget)}},
+                  static_cast<double>(r.parked));
+    }
+  }
+
+  tableHeader("E12", "permanent column failures -> graceful degradation");
+  std::printf("%-20s | %8s %8s %8s %8s %10s\n", "failed columns",
+              "quarant", "reloc", "finished", "parked", "ms");
+  const std::vector<std::vector<fault::StripFailureEvent>> failureSets = {
+      {},
+      {{millis(2), 2}},
+      {{millis(2), 2}, {millis(5), 9}},
+      {{millis(1), 1}, {millis(3), 5}, {millis(6), 10}},
+  };
+  for (const auto& failures : failureSets) {
+    fault::FaultPlanSpec spec;
+    spec.seed = 12;
+    spec.stripFailures = failures;
+    const CampaignResult r = runCampaign(spec, micros(500), 2);
+    std::string label = failures.empty() ? "none" : "";
+    for (const auto& f : failures) {
+      label += (label.empty() ? "col " : ", ") + std::to_string(f.column);
+    }
+    std::printf("%-20s | %8llu %8llu %8llu %8llu %10.3f\n", label.c_str(),
+                static_cast<unsigned long long>(r.quarantined),
+                static_cast<unsigned long long>(r.relocations),
+                static_cast<unsigned long long>(r.finished),
+                static_cast<unsigned long long>(r.parked), r.makespanMs);
+    json.sample("vfpga_bench_e12_degradation_finished",
+                {{"failures", std::to_string(failures.size())}},
+                static_cast<double>(r.finished));
+    json.sample("vfpga_bench_e12_degradation_relocations",
+                {{"failures", std::to_string(failures.size())}},
+                static_cast<double>(r.relocations));
+  }
+
+  json.write();
+  return 0;
+}

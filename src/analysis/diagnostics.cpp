@@ -117,6 +117,9 @@ constexpr RuleInfo kRules[] = {
     {"AL004", Severity::kError, "unmerged idle strips",
      "two adjacent idle strips exist in variable mode; release() must have "
      "failed to merge them"},
+    {"AL005", Severity::kError, "quarantined strip in use",
+     "a strip marked permanently faulty is also marked busy; quarantine "
+     "must relocate or park the occupant first"},
     // ---- page table (PG) ----------------------------------------------------
     {"PG001", Severity::kError, "resident pages exceed capacity",
      "the page table holds more resident pages than the device can carry"},
@@ -157,6 +160,25 @@ constexpr RuleInfo kRules[] = {
      "a resident segment points at an idle or unknown strip"},
     {"SG002", Severity::kError, "segments share a strip",
      "two resident segments claim the same strip"},
+    // ---- fault tolerance (FT) -----------------------------------------------
+    {"FT001", Severity::kError, "fault injection without verification",
+     "the fault plan corrupts or aborts downloads but download verification "
+     "is off, so bad configurations execute undetected"},
+    {"FT002", Severity::kWarning, "zero retry budget",
+     "downloads are verified but maxDownloadRetries is 0, so any wire fault "
+     "immediately parks the task"},
+    {"FT003", Severity::kError, "upsets without scrubber",
+     "the fault plan injects configuration upsets but no scrub interval is "
+     "configured, so corruption accumulates forever"},
+    {"FT004", Severity::kWarning, "scrub interval exceeds shortest execution",
+     "an upset can sit in the configuration RAM for a whole execution "
+     "before the scrubber sees it"},
+    {"FT005", Severity::kWarning, "hung executions never preempted",
+     "the fault plan hangs executions but the watchdog is disabled, so a "
+     "hang stalls its device share forever"},
+    {"FT006", Severity::kWarning, "strip failures without compaction",
+     "permanent strip failures are scripted but garbage collection is off, "
+     "so busy strips cannot be evacuated by compaction"},
 };
 
 std::span<const RuleInfo> registry() { return kRules; }

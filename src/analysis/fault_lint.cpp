@@ -1,0 +1,41 @@
+#include "analysis/fault_lint.hpp"
+
+namespace vfpga::analysis {
+
+void lintFaultTolerance(const FaultToleranceProfile& p, Report& rep) {
+  const bool wireFaults =
+      p.downloadCorruptRate > 0.0 || p.downloadAbortRate > 0.0;
+  if (wireFaults && !p.verifyDownloads) {
+    rep.add("FT001",
+            "downloads are corrupted/aborted but never verified; enable "
+            "RecoveryOptions::verifyDownloads");
+  }
+  if (wireFaults && p.verifyDownloads && p.maxDownloadRetries == 0) {
+    rep.add("FT002",
+            "download verification is on but the retry budget is 0; every "
+            "wire fault parks its task");
+  }
+  if (p.meanUpsetsPerScrub > 0.0 && p.scrubInterval == 0) {
+    rep.add("FT003",
+            "configuration upsets are injected but scrubInterval is 0; "
+            "corruption is never repaired");
+  }
+  if (p.meanUpsetsPerScrub > 0.0 && p.scrubInterval > 0 &&
+      p.minTaskPeriod > 0 && p.scrubInterval > p.minTaskPeriod) {
+    rep.add("FT004",
+            "scrubInterval exceeds the shortest execution; upsets outlive "
+            "whole executions before repair");
+  }
+  if (p.execHangRate > 0.0 && p.watchdogFactor <= 0.0) {
+    rep.add("FT005",
+            "executions can hang but watchdogFactor is 0; a hang holds its "
+            "device share forever");
+  }
+  if (p.anyStripFailures && !p.garbageCollect) {
+    rep.add("FT006",
+            "permanent strip failures are scripted but garbage collection "
+            "is off; busy strips cannot be evacuated via compaction");
+  }
+}
+
+}  // namespace vfpga::analysis

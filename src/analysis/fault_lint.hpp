@@ -1,0 +1,41 @@
+// Fault-tolerance configuration lint (FT001-FT006): static checks on the
+// combination of fault-injection rates and recovery knobs, run before a
+// campaign starts. A plan that injects faults the recovery machinery
+// cannot see (or ever repair) is almost always a harness bug, not an
+// experiment.
+//
+// The profile is a plain snapshot of the knobs so this library needs no
+// dependency on vfpga_fault or the kernel: callers copy the fields out of
+// their FaultPlanSpec / OsOptions.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diagnostics.hpp"
+#include "sim/types.hpp"
+
+namespace vfpga::analysis {
+
+struct FaultToleranceProfile {
+  // Injection (from FaultPlanSpec).
+  double downloadCorruptRate = 0.0;
+  double downloadAbortRate = 0.0;
+  double stateCorruptRate = 0.0;
+  double meanUpsetsPerScrub = 0.0;
+  double execHangRate = 0.0;
+  bool anyStripFailures = false;
+  // Recovery (from OsOptions).
+  SimDuration scrubInterval = 0;
+  bool verifyDownloads = false;
+  int maxDownloadRetries = 0;
+  double watchdogFactor = 0.0;
+  bool garbageCollect = true;
+  /// Shortest expected FPGA execution across the workload; 0 = unknown
+  /// (FT004 is skipped).
+  SimDuration minTaskPeriod = 0;
+};
+
+/// Appends FT001-FT006 findings for the profile to `rep`.
+void lintFaultTolerance(const FaultToleranceProfile& p, Report& rep);
+
+}  // namespace vfpga::analysis

@@ -26,6 +26,7 @@ const char* stateName(TaskState s) {
     case TaskState::kWaitingFpga: return "waiting-fpga";
     case TaskState::kRunningFpga: return "running-fpga";
     case TaskState::kDone: return "done";
+    case TaskState::kParked: return "parked";
   }
   return "unknown";
 }
@@ -63,10 +64,17 @@ void verifyStrips(std::span<const Strip> strips, std::uint16_t columns,
     if (!ids.insert(s.id).second) {
       rep.add("AL003", "partition id used by two strips", stripLoc(s));
     }
-    if (!fixedMode && i > 0 && !s.busy && !strips[i - 1].busy) {
+    if (!fixedMode && i > 0 && !s.busy && !strips[i - 1].busy &&
+        !s.faulty && !strips[i - 1].faulty) {
       rep.add("AL004",
               "idle strips at columns " + std::to_string(strips[i - 1].x0) +
                   " and " + std::to_string(s.x0) + " were not merged",
+              stripLoc(s));
+    }
+    if (s.faulty && s.busy) {
+      rep.add("AL005",
+              "quarantined strip at column " + std::to_string(s.x0) +
+                  " is marked busy",
               stripLoc(s));
     }
   }

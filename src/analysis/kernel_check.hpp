@@ -20,9 +20,10 @@
 
 namespace vfpga::analysis {
 
-/// AL001-AL004: strips must tile [0, columns) left to right with no gaps,
+/// AL001-AL005: strips must tile [0, columns) left to right with no gaps,
 /// overlaps, zero widths or duplicate ids; in variable mode adjacent idle
-/// strips must have been merged.
+/// (non-faulty) strips must have been merged; a quarantined strip is never
+/// busy.
 void verifyStrips(std::span<const Strip> strips, std::uint16_t columns,
                   bool fixedMode, Report& rep);
 

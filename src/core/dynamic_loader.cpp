@@ -18,12 +18,17 @@ DynamicLoader::SwitchCost DynamicLoader::activate(ConfigId id,
   const CompiledCircuit& incoming = registry_->circuit(id);
 
   // 1. Save the outgoing circuit's registers so it can be resumed later.
+  //    The snapshot is CRC-sealed before the fault plan gets a chance to
+  //    rot it, so corruption is detected at restore time.
   if (current_ != kNoConfig) {
     const CompiledCircuit& outgoing = registry_->circuit(current_);
     if (saveOutgoing && outgoing.ffCount() > 0 &&
         port_->spec().stateAccess) {
       LoadedCircuit lc(*dev_, outgoing);
-      savedStates_[current_] = lc.saveState();
+      Saved& entry = savedStates_[current_];
+      entry.bits = lc.saveState();
+      entry.crc = fault::stateCrc(entry.bits);
+      if (plan_) plan_->corruptState(entry.bits);
       cost.saveTime = port_->chargeStateRead(outgoing.ffCount());
     } else {
       savedStates_.erase(current_);  // roll-back: intermediate state lost
@@ -32,29 +37,57 @@ DynamicLoader::SwitchCost DynamicLoader::activate(ConfigId id,
 
   // 2. Download. A partial port writes only the differing frames (old
   //    circuit erased, new one written in one pass); a serial-full port
-  //    rewrites the whole device.
+  //    rewrites the whole device. With verification enabled each transfer
+  //    is readback-checked and retried on mismatch up to the budget.
+  fault::DownloadOutcome dl;
   if (port_->spec().partialReconfig) {
     const auto dirty =
         diffFrames(dev_->image(), incoming.image, incoming.frameBits);
     if (!dirty.empty()) {
       const Bitstream bs =
           makePartialBitstream(incoming.image, incoming.frameBits, dirty);
-      cost.downloadTime = port_->download(bs);
+      dl = fault::downloadWithRetry(*port_, bs, recovery_);
       cost.downloaded = true;
     }
   } else {
-    cost.downloadTime = port_->download(incoming.fullBitstream());
+    dl = fault::downloadWithRetry(*port_, incoming.fullBitstream(), recovery_);
     cost.downloaded = true;
   }
   current_ = id;
+  cost.downloadTime = dl.time;
+  cost.retries = dl.retries;
+  cost.aborts = dl.aborts;
+  if (cost.downloaded) ++stats_.downloads;
+  stats_.downloadRetries += static_cast<std::uint64_t>(dl.retries);
+  stats_.downloadAborts += dl.aborts;
+  stats_.verifyFailures += dl.verifyFailures;
+  if (!dl.ok) {
+    // Retry budget exhausted: the device holds a corrupt configuration.
+    // Skip state restore — the caller decides whether to park the task or
+    // try a different configuration; the config RAM stays as-is until the
+    // next download or scrub repairs it.
+    cost.downloadFailed = true;
+    ++stats_.switches;
+    cost.total = cost.saveTime + cost.downloadTime;
+    return cost;
+  }
 
   // 3. Restore the incoming circuit's registers: its previously saved
   //    state when it was preempted, otherwise its declared initial values.
+  //    A snapshot that fails its CRC is discarded and the circuit restarts
+  //    from initial values (graceful degradation: recompute, don't crash).
   if (incoming.ffCount() > 0) {
     LoadedCircuit lc(*dev_, incoming);
     auto it = savedStates_.find(id);
+    if (it != savedStates_.end() &&
+        fault::stateCrc(it->second.bits) != it->second.crc) {
+      ++stats_.stateCrcFailures;
+      savedStates_.erase(it);
+      it = savedStates_.end();
+      cost.stateCorrupt = true;
+    }
     if (it != savedStates_.end()) {
-      lc.restoreState(it->second);
+      lc.restoreState(it->second.bits);
       cost.restoreTime = port_->chargeStateWrite(incoming.ffCount());
       cost.restoredSavedState = true;
     } else {
@@ -68,7 +101,7 @@ DynamicLoader::SwitchCost DynamicLoader::activate(ConfigId id,
     }
   }
 
-  ++switches_;
+  ++stats_.switches;
   cost.total = cost.saveTime + cost.downloadTime + cost.restoreTime;
   return cost;
 }

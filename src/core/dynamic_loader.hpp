@@ -19,6 +19,8 @@
 #include "compile/loaded_circuit.hpp"
 #include "core/config_registry.hpp"
 #include "fabric/config_port.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
 
 namespace vfpga {
 
@@ -34,6 +36,19 @@ class DynamicLoader {
     SimDuration restoreTime = 0;
     bool downloaded = false;
     bool restoredSavedState = false;
+    int retries = 0;             ///< download retries this switch
+    std::uint64_t aborts = 0;    ///< truncated transfers this switch
+    bool downloadFailed = false; ///< retry budget exhausted, config bad
+    bool stateCorrupt = false;   ///< saved state failed its CRC; restarted
+  };
+
+  struct Stats {
+    std::uint64_t switches = 0;
+    std::uint64_t downloads = 0;
+    std::uint64_t downloadRetries = 0;
+    std::uint64_t downloadAborts = 0;
+    std::uint64_t verifyFailures = 0;
+    std::uint64_t stateCrcFailures = 0;
   };
 
   /// Makes `id` resident. `saveOutgoing = false` implements the paper's
@@ -53,15 +68,29 @@ class DynamicLoader {
   /// Harness for the currently resident configuration.
   LoadedCircuit loaded();
 
-  std::uint64_t switches() const { return switches_; }
+  std::uint64_t switches() const { return stats_.switches; }
+  const Stats& stats() const { return stats_; }
+
+  /// Download verification / retry policy (defaults: off — behaviour and
+  /// cost identical to a loader without fault tolerance).
+  void setRecovery(const fault::RecoveryOptions& opts) { recovery_ = opts; }
+  /// Fault plan applied to saved snapshots (nullptr = no injection).
+  void setFaultPlan(fault::FaultPlan* plan) { plan_ = plan; }
 
  private:
+  struct Saved {
+    std::vector<bool> bits;
+    std::uint16_t crc = 0;
+  };
+
   Device* dev_;
   ConfigPort* port_;
   ConfigRegistry* registry_;
   ConfigId current_ = kNoConfig;
-  std::unordered_map<ConfigId, std::vector<bool>> savedStates_;
-  std::uint64_t switches_ = 0;
+  std::unordered_map<ConfigId, Saved> savedStates_;
+  Stats stats_;
+  fault::RecoveryOptions recovery_;
+  fault::FaultPlan* plan_ = nullptr;
 };
 
 }  // namespace vfpga

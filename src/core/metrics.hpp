@@ -31,6 +31,9 @@ struct OsMetrics {
   std::uint64_t garbageCollections = 0;
   std::uint64_t relocations = 0;
 
+  // Fault tolerance (zero unless a FaultPlan is installed).
+  std::uint64_t tasksParked = 0;  ///< tasks stopped by graceful degradation
+
   /// Fraction of the makespan the fabric spent computing.
   double fpgaUtilization() const {
     if (makespan == 0) return 0.0;

@@ -37,6 +37,12 @@ void publishMetrics(const DynamicLoader& loader, obs::MetricsRegistry& reg,
   reg.counter("vfpga_loader_switches_total", labels,
               "Whole-device configuration context switches")
       .inc(loader.switches());
+  reg.counter("vfpga_loader_download_retries_total", labels,
+              "Downloads retried after failed verification")
+      .inc(loader.stats().downloadRetries);
+  reg.counter("vfpga_loader_download_aborts_total", labels,
+              "Downloads truncated on the wire")
+      .inc(loader.stats().downloadAborts);
 }
 
 void publishMetrics(const PartitionManager& pm, obs::MetricsRegistry& reg,

@@ -87,6 +87,10 @@ OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
     PartitionManagerOptions po;
     po.fit = options_.fit;
     po.garbageCollect = options_.garbageCollect;
+    if (options_.ft.plan) {
+      po.recovery = options_.ft.recovery;
+      po.plan = options_.ft.plan;
+    }
     if (options_.policy == FpgaPolicy::kPartitionedFixed) {
       if (options_.fixedWidths.empty()) {
         throw std::invalid_argument(
@@ -100,12 +104,57 @@ OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
       trace_.record(sim_->now(), k, std::move(detail));
     });
   }
+  if (options_.ft.plan) {
+    bindFaultMetrics();
+    loader_.setFaultPlan(options_.ft.plan);
+    loader_.setRecovery(options_.ft.recovery);
+    port_->setTamperHook([plan = options_.ft.plan](Bitstream& bs) {
+      return plan->tamperDownload(bs);
+    });
+    tamperInstalled_ = true;
+    // Base the golden image on whatever the device holds right now;
+    // registerConfig() re-bases it after each behind-the-port download.
+    port_->resyncExpected();
+  }
 }
 
 OsKernel::~OsKernel() {
+  // The port may outlive this kernel (sequential kernels share one port);
+  // do not leave a hook referencing a dead fault plan behind.
+  if (tamperInstalled_) port_->setTamperHook(nullptr);
   if (obs::FlightRecorder::global() == &flight_) {
     obs::FlightRecorder::installGlobal(nullptr);
   }
+}
+
+void OsKernel::bindFaultMetrics() {
+  const obs::Labels l = policyLabels(options_.policy);
+  auto bind = [&](const char* name, const char* help) {
+    return &metricsRegistry_.counter(name, l, help);
+  };
+  fm_.upsets = bind("vfpga_fault_upsets_total",
+                    "Configuration upsets injected by the fault plan");
+  fm_.scrubRuns = bind("vfpga_fault_scrub_runs_total",
+                       "Readback scrub passes over the device");
+  fm_.scrubRepairs = bind("vfpga_fault_scrub_repaired_frames_total",
+                          "Configuration frames repaired by the scrubber");
+  fm_.retries = bind("vfpga_fault_download_retries_total",
+                     "Configuration downloads retried after verify failure");
+  fm_.aborts = bind("vfpga_fault_download_aborts_total",
+                    "Configuration transfers truncated on the wire");
+  fm_.verifyFailures = bind("vfpga_fault_verify_failures_total",
+                            "Frames that failed post-download verification");
+  fm_.stateCorruptions = bind("vfpga_fault_state_corruptions_total",
+                              "Saved snapshots rejected by their CRC");
+  fm_.watchdogPreempts = bind("vfpga_fault_watchdog_preemptions_total",
+                              "Hung executions preempted by the watchdog");
+  fm_.quarantines = bind("vfpga_fault_strips_quarantined_total",
+                         "Device strips quarantined after permanent failure");
+  fm_.quarantineRelocations =
+      bind("vfpga_fault_quarantine_relocations_total",
+           "Circuits relocated off a failing strip");
+  fm_.parked = bind("vfpga_fault_tasks_parked_total",
+                    "Tasks permanently parked after unrecoverable faults");
 }
 
 const OsMetrics& OsKernel::metrics() const {
@@ -126,6 +175,7 @@ const OsMetrics& OsKernel::metrics() const {
   m.garbageCollections =
       static_cast<std::uint64_t>(gGarbageCollections_.value());
   m.relocations = static_cast<std::uint64_t>(gRelocations_.value());
+  m.tasksParked = fm_.parked != nullptr ? fm_.parked->value() : 0;
   metricsView_ = m;
   return metricsView_;
 }
@@ -142,6 +192,10 @@ ConfigId OsKernel::registerConfig(CompiledCircuit circuit) {
   }
   const SimDuration period = dev_->minClockPeriod();
   dev_->clearConfig();
+  // The measurement downloads bypassed the port; re-base its golden image
+  // on the (now blank) device so the scrubber never "repairs" toward a
+  // stale snapshot.
+  port_->resyncExpected();
   const ConfigId id = registry_.add(std::move(circuit));
   clockPeriods_.push_back(period);
   return id;
@@ -255,10 +309,41 @@ void OsKernel::checkInvariants() const {
 
 void OsKernel::run() {
   started_ = true;
+  if (options_.ft.plan) {
+    if (options_.ft.scrubInterval > 0) {
+      sim_->scheduleAfter(options_.ft.scrubInterval, [this] { scrubTick(); });
+    }
+    if (pm_) {
+      for (const auto& ev : options_.ft.plan->spec().stripFailures) {
+        const std::uint16_t col = ev.column;
+        sim_->scheduleAt(ev.at, [this, col] { onStripFailure(col); });
+      }
+    }
+  }
   if (analysis::invariantChecksEnabled()) {
     while (sim_->step()) checkInvariants();
   } else {
     sim_->run();
+  }
+  if (options_.ft.plan) {
+    // One final scrub pass leaves the configuration RAM consistent with
+    // the golden image (post-run configOk asserts rely on it), then fold
+    // the subsystem counters into the vfpga_fault_* families once — the
+    // retry/abort totals live in the port/loader/manager stats until here.
+    const ScrubResult res = port_->scrub();
+    *fm_.scrubRuns += 1;
+    *fm_.scrubRepairs += res.repairedFrames;
+    *fm_.retries += loader_.stats().downloadRetries;
+    *fm_.stateCorruptions += loader_.stats().stateCrcFailures;
+    *fm_.aborts += port_->stats().abortedDownloads;
+    *fm_.verifyFailures += port_->stats().verifyFailures;
+    if (pm_) {
+      const PartitionManager::FtStats& fs = pm_->ftStats();
+      *fm_.retries += fs.downloadRetries;
+      *fm_.stateCorruptions += fs.stateCrcFailures;
+      *fm_.quarantines += fs.quarantinedStrips;
+      *fm_.quarantineRelocations += fs.quarantineRelocations;
+    }
   }
   gBitsDownloaded_.set(static_cast<double>(port_->stats().bitsWritten));
   if (pm_) {
@@ -266,7 +351,7 @@ void OsKernel::run() {
     gGarbageCollections_.set(static_cast<double>(pm_->garbageCollections()));
   }
   for (const TaskRuntime& t : tasks_) {
-    if (!t.done()) {
+    if (!t.terminal()) {
       throw std::logic_error("simulation drained with unfinished task " +
                              t.spec.name);
     }
@@ -465,6 +550,18 @@ void OsKernel::dispatchWholeDevice() {
   }
   cConfigNs_ += cost.downloadTime;
   cStateMoveNs_ += cost.saveTime + cost.restoreTime;
+  if (cost.downloadFailed) {
+    // Retry budget exhausted: the device never held a verified copy of the
+    // configuration. Park the task instead of running garbage; the device
+    // is occupied for the (wasted) transfer time.
+    sim_->scheduleAfter(cost.total, [this, t] {
+      fpgaRunning_.reset();
+      residentStateLive_ = false;
+      parkTask(t, "configuration download failed after retries");
+      dispatchWholeDevice();
+    });
+    return;
+  }
 
   const SimDuration full = execDuration(fx, tr.cyclesRemaining);
   SimDuration runFor = full;
@@ -487,12 +584,43 @@ void OsKernel::dispatchWholeDevice() {
                    {"downloaded", cost.downloaded ? "true" : "false"}},
                   static_cast<std::uint32_t>(t) + 1);
 
+  if (options_.ft.plan && options_.ft.watchdogFactor > 0 &&
+      options_.ft.plan->execHangs()) {
+    // The execution hangs: no completion is ever signalled. The watchdog
+    // preempts it after watchdogFactor x the expected time; cyclesRemaining
+    // stays untouched (no progress was made).
+    const auto wd = static_cast<SimDuration>(
+        std::llround(static_cast<double>(execTime) *
+                     options_.ft.watchdogFactor));
+    sim_->scheduleAfter(cost.total + wd, [this, t] { wholeWatchdogFire(t); });
+    return;
+  }
   const std::uint64_t cyclesAfter = tr.cyclesRemaining - cyclesRun;
   sim_->scheduleAfter(cost.total + execTime, [this, t, cyclesAfter,
                                               sliceExpires] {
     task(t).cyclesRemaining = cyclesAfter;
     wholeDeviceExecDone(t, sliceExpires && cyclesAfter > 0);
   });
+}
+
+void OsKernel::wholeWatchdogFire(std::size_t t) {
+  fpgaRunning_.reset();
+  // The hung circuit's registers are garbage; never save or resume them.
+  residentStateLive_ = false;
+  TaskRuntime& tr = task(t);
+  ++tr.preemptions;
+  ++tr.watchdogTrips;
+  ++cFpgaPreemptions_;
+  if (fm_.watchdogPreempts != nullptr) *fm_.watchdogPreempts += 1;
+  trace_.record(sim_->now(), TraceKind::kTaskPreempt,
+                tr.spec.name + " (watchdog)");
+  if (tr.watchdogTrips >= options_.ft.watchdogTripLimit) {
+    parkTask(t, "execution hung past the watchdog trip limit");
+  } else {
+    startFpgaWait(t);
+    fpgaQueue_.push_back(t);
+  }
+  dispatchWholeDevice();
 }
 
 void OsKernel::wholeDeviceExecDone(std::size_t t, bool preempted) {
@@ -526,6 +654,11 @@ void OsKernel::wholeDeviceExecDone(std::size_t t, bool preempted) {
 void OsKernel::submitPartitioned(std::size_t t) {
   if (Service* svc = serviceFor(currentExec(t).config)) {
     submitService(*svc, t);
+    return;
+  }
+  if (options_.ft.plan && !pm_->feasible(currentExec(t).config)) {
+    // Quarantines since addTask() shrank the device below this circuit.
+    parkTask(t, "configuration no longer fits the degraded device");
     return;
   }
   startFpgaWait(t);
@@ -562,6 +695,22 @@ void OsKernel::tryDispatchPartitioned() {
       portFreeAt_ = portStart + load->cost + load->gcCost;
       chargeFpgaWait(t);
       tr.fpgaWaitTotal += portStart - sim_->now();
+      if (load->downloadFailed) {
+        // Retry budget exhausted: release the strip (its RAM holds an
+        // unverified image; the scrubber repairs it toward the golden
+        // intent) and park the task instead of running garbage.
+        if (load->garbageCollected) {
+          gGarbageCollections_.add(1);
+          cConfigNs_ += load->gcCost;
+          trace_.record(sim_->now(), TraceKind::kGarbageCollect,
+                        "cost=" + std::to_string(load->gcCost));
+          stallRunningExecs(load->gcCost);
+        }
+        chargeUnload(pm_->unload(load->partition));
+        parkTask(t, "configuration download failed after retries");
+        retryPendingQuarantines();
+        break;  // deque mutated; restart the scan
+      }
       trace_.record(sim_->now(), TraceKind::kPartitionAssign,
                     registry_.circuit(fx.config).name + " -> strip " +
                         std::to_string(pm_->circuitIn(load->partition)
@@ -575,15 +724,7 @@ void OsKernel::tryDispatchPartitioned() {
                         load->gcCost, {}, 0);
         // Compaction stalls every in-flight execution: shift their
         // completions by the GC time.
-        for (RunningExec& re : runningExecs_) {
-          sim_->cancel(re.completionEvent);
-          re.deadline += load->gcCost;
-          const std::size_t rt = re.task;
-          re.completionEvent =
-              sim_->scheduleAt(re.deadline, [this, rt] {
-                partitionedExecDone(rt);
-              });
-        }
+        stallRunningExecs(load->gcCost);
       }
 
       const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
@@ -595,6 +736,17 @@ void OsKernel::tryDispatchPartitioned() {
                       {{"config", registry_.circuit(fx.config).name},
                        {"partition", std::to_string(load->partition)}},
                       static_cast<std::uint32_t>(t) + 1);
+      if (options_.ft.plan && options_.ft.watchdogFactor > 0 &&
+          options_.ft.plan->execHangs()) {
+        // Hung execution: it never completes, so it is not a RunningExec
+        // (GC stalls must not convert a hang into a completion). The
+        // watchdog preempts it after watchdogFactor x the expected time.
+        const auto wd = static_cast<SimDuration>(
+            std::llround(static_cast<double>(execTime) *
+                         options_.ft.watchdogFactor));
+        sim_->scheduleAt(portFreeAt_ + wd, [this, t] { watchdogFire(t); });
+        break;  // deque mutated; restart the scan
+      }
       const EventId ev = sim_->scheduleAt(deadline, [this, t] {
         partitionedExecDone(t);
       });
@@ -610,12 +762,148 @@ void OsKernel::partitionedExecDone(std::size_t t) {
       std::remove_if(runningExecs_.begin(), runningExecs_.end(),
                      [t](const RunningExec& re) { return re.task == t; }),
       runningExecs_.end());
-  pm_->unload(tr.partition);
+  chargeUnload(pm_->unload(tr.partition));
   trace_.record(sim_->now(), TraceKind::kPartitionRelease, tr.spec.name);
   tr.partition = kNoPartition;
   tr.cyclesRemaining = 0;
   gRelocations_.set(static_cast<double>(pm_->relocations()));
+  retryPendingQuarantines();
   opComplete(t);
+  tryDispatchPartitioned();
+}
+
+// ------------------------------------------------------- fault tolerance
+
+void OsKernel::scrubTick() {
+  bool allDone = true;
+  for (const TaskRuntime& tr : tasks_) {
+    if (!tr.terminal()) {
+      allDone = false;
+      break;
+    }
+  }
+  // Stop rescheduling once nothing is left to protect, so the simulation
+  // can drain; run() performs one final pass.
+  if (allDone) return;
+  const std::vector<std::uint32_t> upsets =
+      options_.ft.plan->drawUpsets(dev_->configMap().totalBits());
+  for (const std::uint32_t bit : upsets) {
+    dev_->setConfigBit(bit, !dev_->image().get(bit));
+  }
+  if (!upsets.empty()) *fm_.upsets += upsets.size();
+  const ScrubResult res = port_->scrub();
+  *fm_.scrubRuns += 1;
+  if (res.repairedFrames > 0) {
+    *fm_.scrubRepairs += res.repairedFrames;
+    trace_.record(sim_->now(), TraceKind::kConfigReadback,
+                  "scrub repaired " + std::to_string(res.repairedFrames) +
+                      " frame(s)");
+  }
+  sim_->scheduleAfter(options_.ft.scrubInterval, [this] { scrubTick(); });
+}
+
+void OsKernel::onStripFailure(std::uint16_t column) {
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                "permanent strip failure at column " + std::to_string(column));
+  if (!attemptQuarantine(column)) pendingQuarantines_.push_back(column);
+}
+
+bool OsKernel::attemptQuarantine(std::uint16_t column) {
+  const PartitionManager::QuarantineResult res = pm_->quarantine(column);
+  if (res.deferred) return false;
+  if (res.cost > 0) {
+    // The evacuation and hygiene sweep monopolized the configuration
+    // port; everything in flight stretches by its cost, exactly like a
+    // GC pass.
+    cConfigNs_ += res.cost;
+    portFreeAt_ = std::max(sim_->now(), portFreeAt_) + res.cost;
+    stallRunningExecs(res.cost);
+  }
+  if (res.relocated) {
+    for (TaskRuntime& tr : tasks_) {
+      if (tr.partition == res.movedFrom) tr.partition = res.movedTo;
+    }
+    for (Service& svc : services_) {
+      if (svc.partition == res.movedFrom) svc.partition = res.movedTo;
+    }
+  }
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                "column " + std::to_string(column) + " quarantined" +
+                    (res.relocated ? " (occupant relocated)" : ""));
+  // The usable device just shrank; waiters that can no longer ever fit
+  // would otherwise starve the drain check.
+  parkInfeasibleWaiters();
+  return true;
+}
+
+void OsKernel::retryPendingQuarantines() {
+  if (pendingQuarantines_.empty()) return;
+  std::vector<std::uint16_t> pending;
+  pending.swap(pendingQuarantines_);
+  for (const std::uint16_t col : pending) {
+    if (!attemptQuarantine(col)) pendingQuarantines_.push_back(col);
+  }
+}
+
+void OsKernel::chargeUnload(SimDuration cost) {
+  if (cost == 0) return;
+  cConfigNs_ += cost;
+  portFreeAt_ = std::max(sim_->now(), portFreeAt_) + cost;
+}
+
+void OsKernel::parkInfeasibleWaiters() {
+  for (auto it = fpgaWaiting_.begin(); it != fpgaWaiting_.end();) {
+    const std::size_t t = *it;
+    if (pm_->feasible(currentExec(t).config)) {
+      ++it;
+      continue;
+    }
+    it = fpgaWaiting_.erase(it);
+    chargeFpgaWait(t);
+    parkTask(t, "configuration no longer fits the degraded device");
+  }
+}
+
+void OsKernel::parkTask(std::size_t t, const std::string& reason) {
+  TaskRuntime& tr = task(t);
+  tr.state = TaskState::kParked;
+  tr.partition = kNoPartition;
+  tr.finish = sim_->now();
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                tr.spec.name + " parked: " + reason);
+  if (fm_.parked != nullptr) *fm_.parked += 1;
+  flight_.dump("FT_PARK", tr.spec.name + ": " + reason);
+}
+
+void OsKernel::stallRunningExecs(SimDuration d) {
+  for (RunningExec& re : runningExecs_) {
+    sim_->cancel(re.completionEvent);
+    re.deadline += d;
+    const std::size_t rt = re.task;
+    re.completionEvent =
+        sim_->scheduleAt(re.deadline, [this, rt] { partitionedExecDone(rt); });
+  }
+}
+
+void OsKernel::watchdogFire(std::size_t t) {
+  TaskRuntime& tr = task(t);
+  ++tr.preemptions;
+  ++tr.watchdogTrips;
+  ++cFpgaPreemptions_;
+  if (fm_.watchdogPreempts != nullptr) *fm_.watchdogPreempts += 1;
+  trace_.record(sim_->now(), TraceKind::kTaskPreempt,
+                tr.spec.name + " (watchdog)");
+  chargeUnload(pm_->unload(tr.partition));
+  trace_.record(sim_->now(), TraceKind::kPartitionRelease, tr.spec.name);
+  tr.partition = kNoPartition;
+  retryPendingQuarantines();
+  if (tr.watchdogTrips >= options_.ft.watchdogTripLimit) {
+    parkTask(t, "execution hung past the watchdog trip limit");
+  } else {
+    // Full re-run: cyclesRemaining was never decremented for a hung exec.
+    startFpgaWait(t);
+    fpgaWaiting_.push_back(t);
+  }
   tryDispatchPartitioned();
 }
 

@@ -35,6 +35,8 @@
 #include "core/metrics.hpp"
 #include "core/partition_manager.hpp"
 #include "core/task.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/span_tracer.hpp"
@@ -70,6 +72,26 @@ struct OsOptions {
   /// Software execution of a circuit runs this many times slower than the
   /// FPGA clock (per cycle).
   double softwareSlowdown = 20.0;
+
+  /// Fault tolerance. Everything here is inert until `plan` is set: with a
+  /// plan the kernel installs the wire tamper hook, turns on download
+  /// verification/retry (`recovery`), runs the periodic readback scrubber
+  /// and arms the execution watchdog. Without a plan the kernel's
+  /// behaviour, cost model and metric families are bit-identical to
+  /// before the fault subsystem existed.
+  struct FaultToleranceOptions {
+    fault::FaultPlan* plan = nullptr;      ///< not owned; outlives kernel
+    /// Period of the readback scrubber (0 = no scrubbing).
+    SimDuration scrubInterval = 0;
+    /// Download verification/retry policy applied when plan is set.
+    fault::RecoveryOptions recovery{true, 3, micros(50)};
+    /// A dispatched execution that has not completed after
+    /// watchdogFactor x its expected time is preempted (0 = no watchdog).
+    double watchdogFactor = 4.0;
+    /// Watchdog preemptions of one task before it is parked.
+    std::uint64_t watchdogTripLimit = 8;
+  };
+  FaultToleranceOptions ft;
 };
 
 class OsKernel {
@@ -229,6 +251,47 @@ class OsKernel {
   void submitPartitioned(std::size_t t);
   void tryDispatchPartitioned();
   void partitionedExecDone(std::size_t t);
+
+  // ---- fault tolerance ------------------------------------------------------
+  // Registry handles for the vfpga_fault_* families; bound only when a
+  // FaultPlan is installed so fault-free kernels keep their exact metric
+  // families (exporter goldens included).
+  struct FaultMetrics {
+    obs::Counter* upsets = nullptr;
+    obs::Counter* scrubRuns = nullptr;
+    obs::Counter* scrubRepairs = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* aborts = nullptr;
+    obs::Counter* verifyFailures = nullptr;
+    obs::Counter* stateCorruptions = nullptr;
+    obs::Counter* watchdogPreempts = nullptr;
+    obs::Counter* quarantines = nullptr;
+    obs::Counter* quarantineRelocations = nullptr;
+    obs::Counter* parked = nullptr;
+  };
+  FaultMetrics fm_;
+  /// Columns whose quarantine was deferred (occupant could not move yet);
+  /// retried after every unload.
+  std::vector<std::uint16_t> pendingQuarantines_;
+  bool tamperInstalled_ = false;
+
+  void bindFaultMetrics();
+  void scrubTick();
+  void onStripFailure(std::uint16_t column);
+  bool attemptQuarantine(std::uint16_t column);
+  void retryPendingQuarantines();
+  void parkInfeasibleWaiters();
+  /// Accounts for the strip-deactivation download an unload performs on a
+  /// degraded device (no-op for the healthy-device cost of 0).
+  void chargeUnload(SimDuration cost);
+  /// Permanently stops a task after an unrecoverable fault; dumps a
+  /// flight-recorder bundle for the post-mortem.
+  void parkTask(std::size_t t, const std::string& reason);
+  /// Pushes every in-flight partitioned completion out by `d` (used when
+  /// compaction or a quarantine relocation monopolizes the device).
+  void stallRunningExecs(SimDuration d);
+  void watchdogFire(std::size_t t);       ///< partitioned hung exec
+  void wholeWatchdogFire(std::size_t t);  ///< whole-device hung exec
 };
 
 }  // namespace vfpga

@@ -29,11 +29,11 @@ bool PartitionManager::feasible(ConfigId id) const {
   if (!c.relocatable) return false;
   if (alloc_.isFixed()) {
     for (const Strip& s : alloc_.strips()) {
-      if (s.width >= c.region.w) return true;
+      if (!s.faulty && s.width >= c.region.w) return true;
     }
     return false;
   }
-  return c.region.w <= alloc_.columns();
+  return c.region.w <= alloc_.largestUsableSpan();
 }
 
 std::optional<PartitionManager::LoadResult> PartitionManager::load(
@@ -56,7 +56,11 @@ std::optional<PartitionManager::LoadResult> PartitionManager::load(
   result.partition = *grant;
   const Strip& strip = alloc_.strip(*grant);
   CompiledCircuit relocated = compiler_->relocate(canon, strip.x0);
-  result.cost = downloadInto(relocated);
+  const DlOutcome dl = downloadInto(relocated);
+  result.cost = dl.time;
+  result.retries = dl.retries;
+  result.aborts = dl.aborts;
+  result.downloadFailed = dl.failed;
   // Fixed partitions may be wider than the circuit: blank the remainder so
   // a previous occupant's configuration cannot keep decoding there.
   if (strip.width > relocated.region.w) {
@@ -69,10 +73,13 @@ std::optional<PartitionManager::LoadResult> PartitionManager::load(
   return result;
 }
 
-SimDuration PartitionManager::downloadInto(const CompiledCircuit& relocated) {
-  SimDuration t = 0;
+PartitionManager::DlOutcome PartitionManager::downloadInto(
+    const CompiledCircuit& relocated) {
+  DlOutcome out;
+  fault::DownloadOutcome dl;
   if (port_->spec().partialReconfig) {
-    t += port_->download(relocated.partialBitstream());
+    dl = fault::downloadWithRetry(*port_, relocated.partialBitstream(),
+                                  options_.recovery);
   } else {
     // A serial-full-only port cannot write one strip in isolation: the
     // whole current image plus the new strip must be re-downloaded. Build
@@ -87,16 +94,31 @@ SimDuration PartitionManager::downloadInto(const CompiledCircuit& relocated) {
         merged.set(b, relocated.image.get(b));
       }
     }
-    t += port_->download(makeFullBitstream(merged, relocated.frameBits));
+    dl = fault::downloadWithRetry(
+        *port_, makeFullBitstream(merged, relocated.frameBits),
+        options_.recovery);
+  }
+  out.time = dl.time;
+  out.retries = dl.retries;
+  out.aborts = dl.aborts;
+  out.failed = !dl.ok;
+  ftStats_.downloadRetries += static_cast<std::uint64_t>(dl.retries);
+  ftStats_.downloadAborts += dl.aborts;
+  if (out.failed) {
+    // The strip's configuration is bad; skip state init. The caller either
+    // unloads (and parks the task) or lets the next scrub repair the RAM
+    // toward the golden image, which already holds the intended config.
+    ++ftStats_.downloadFailures;
+    return out;
   }
   if (relocated.ffCount() > 0) {
     LoadedCircuit lc(*dev_, relocated);
     lc.applyInitialState();
     if (relocated.needsInitialState() && port_->spec().stateAccess) {
-      t += port_->chargeStateWrite(relocated.ffCount());
+      out.time += port_->chargeStateWrite(relocated.ffCount());
     }
   }
-  return t;
+  return out;
 }
 
 SimDuration PartitionManager::blankColumns(std::uint16_t c0,
@@ -120,40 +142,57 @@ SimDuration PartitionManager::blankColumns(std::uint16_t c0,
   return port_->download(makeFullBitstream(merged, map.frameBits()));
 }
 
-SimDuration PartitionManager::compactNow() {
-  ++gcRuns_;
+SimDuration PartitionManager::blankInactiveStrips() {
   SimDuration cost = 0;
-  // Capture the register state of every occupant that will move *before*
-  // touching the configuration RAM.
-  const auto moves = alloc_.compact();
-  for (const auto& move : moves) {
-    auto it = occupants_.find(move.id);
-    if (it == occupants_.end()) {
-      throw std::logic_error("compaction moved an unknown partition");
+  for (const Strip& s : alloc_.strips()) {
+    // Idle strips hold stale released configurations; faulty strips hold
+    // whatever was resident when the column died. Either would keep
+    // decoding into live neighbours, so both are deactivated.
+    if (s.busy) continue;
+    cost += blankColumns(s.x0, static_cast<std::uint16_t>(s.x0 + s.width - 1));
+  }
+  return cost;
+}
+
+SimDuration PartitionManager::relocateOccupant(Occupant& occ,
+                                               std::uint16_t fromX0,
+                                               std::uint16_t toX0) {
+  SimDuration cost = 0;
+  // Capture the register state *before* touching the configuration RAM.
+  // The snapshot is CRC-sealed so fault-plan corruption is detected below.
+  std::vector<bool> state;
+  std::uint16_t crc = 0;
+  if (occ.circuit.ffCount() > 0) {
+    LoadedCircuit lc(*dev_, occ.circuit);
+    state = lc.saveState();
+    crc = fault::stateCrc(state);
+    if (options_.plan) options_.plan->corruptState(state);
+    if (port_->spec().stateAccess) {
+      cost += port_->chargeStateRead(occ.circuit.ffCount());
     }
-    Occupant& occ = it->second;
-    std::vector<bool> state;
-    if (occ.circuit.ffCount() > 0) {
-      LoadedCircuit lc(*dev_, occ.circuit);
-      state = lc.saveState();
-      if (port_->spec().stateAccess) {
-        cost += port_->chargeStateRead(occ.circuit.ffCount());
-      }
-    }
-    // Blank the old strip (its columns may not be covered by any new
-    // occupant after packing), then download at the new location.
-    cost += blankColumns(move.fromX0,
-                         static_cast<std::uint16_t>(move.fromX0 +
-                                                    occ.circuit.region.w - 1));
-    occ.circuit = compiler_->relocate(occ.circuit, move.toX0);
-    ++relocationsDone_;
-    if (sink_) {
-      sink_(TraceKind::kRelocate, occ.circuit.name + ": x" +
-                                      std::to_string(move.fromX0) + " -> x" +
-                                      std::to_string(move.toX0));
-    }
-    cost += downloadInto(occ.circuit);
-    if (!state.empty()) {
+  }
+  // Blank the old strip (its columns may not be covered by any new
+  // occupant after packing), then download at the new location.
+  cost += blankColumns(
+      fromX0, static_cast<std::uint16_t>(fromX0 + occ.circuit.region.w - 1));
+  occ.circuit = compiler_->relocate(occ.circuit, toX0);
+  ++relocationsDone_;
+  if (sink_) {
+    sink_(TraceKind::kRelocate, occ.circuit.name + ": x" +
+                                    std::to_string(fromX0) + " -> x" +
+                                    std::to_string(toX0));
+  }
+  const DlOutcome dl = downloadInto(occ.circuit);
+  cost += dl.time;
+  // On a failed relocation download the config RAM is left bad, but the
+  // golden image already holds the intent, so the next scrub repairs it;
+  // downloadInto applied the initial state only on success.
+  if (!state.empty() && !dl.failed) {
+    if (fault::stateCrc(state) != crc) {
+      // Snapshot rotted in transit: restart from initial values (already
+      // applied by downloadInto) instead of resuming with garbage.
+      ++ftStats_.stateCrcFailures;
+    } else {
       LoadedCircuit lc(*dev_, occ.circuit);
       lc.restoreState(state);
       if (port_->spec().stateAccess) {
@@ -164,14 +203,105 @@ SimDuration PartitionManager::compactNow() {
   return cost;
 }
 
-void PartitionManager::unload(PartitionId id) {
+SimDuration PartitionManager::compactNow() {
+  ++gcRuns_;
+  SimDuration cost = 0;
+  const auto moves = alloc_.compact();
+  for (const auto& move : moves) {
+    auto it = occupants_.find(move.id);
+    if (it == occupants_.end()) {
+      throw std::logic_error("compaction moved an unknown partition");
+    }
+    cost += relocateOccupant(it->second, move.fromX0, move.toX0);
+  }
+  return cost;
+}
+
+PartitionManager::QuarantineResult PartitionManager::quarantine(
+    std::uint16_t column) {
+  QuarantineResult res;
+  // A compaction below may move occupants across the failed column, so
+  // re-resolve which strip holds it on every attempt.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Strip* hit = nullptr;
+    for (const Strip& s : alloc_.strips()) {
+      if (column >= s.x0 && column < s.x0 + s.width) {
+        hit = &s;
+        break;
+      }
+    }
+    if (hit == nullptr) throw std::out_of_range("column beyond device");
+    if (hit->faulty) {
+      res.quarantined = true;  // already fenced off
+      return res;
+    }
+    if (!hit->busy) {
+      alloc_.quarantineColumn(column);
+      ++ftStats_.quarantinedStrips;
+      // Hygiene sweep: the split just created strip boundaries that no
+      // longer align with the stale configurations released partitions
+      // leave behind, so later allocations would dissect those remnants
+      // into half-decoded garbage. Deactivate every idle region now.
+      res.cost += blankInactiveStrips();
+      res.quarantined = true;
+      if (analysis::invariantChecksEnabled()) checkInvariants();
+      return res;
+    }
+    // Busy strip: evacuate the occupant to another strip first.
+    const PartitionId victim = hit->id;
+    const std::uint16_t fromX0 = hit->x0;
+    Occupant& occ = occupants_.at(victim);
+    const std::uint16_t w = occ.circuit.region.w;
+    auto grant = alloc_.allocate(w, options_.fit);
+    if (!grant) {
+      if (attempt == 0 && options_.garbageCollect && !alloc_.isFixed() &&
+          alloc_.wouldFitAfterCompaction(w)) {
+        res.cost += compactNow();
+        continue;
+      }
+      res.deferred = true;  // caller retries after the next unload
+      return res;
+    }
+    const std::uint16_t toX0 = alloc_.strip(*grant).x0;
+    res.cost += relocateOccupant(occ, fromX0, toX0);
+    Occupant moved = std::move(occ);
+    occupants_.erase(victim);
+    occupants_[*grant] = std::move(moved);
+    alloc_.release(victim);
+    alloc_.quarantineColumn(column);
+    ++ftStats_.quarantinedStrips;
+    ++ftStats_.quarantineRelocations;
+    res.cost += blankInactiveStrips();  // same hygiene sweep as the idle case
+    res.quarantined = true;
+    res.relocated = true;
+    res.movedFrom = victim;
+    res.movedTo = *grant;
+    if (analysis::invariantChecksEnabled()) checkInvariants();
+    return res;
+  }
+  res.deferred = true;
+  return res;
+}
+
+SimDuration PartitionManager::unload(PartitionId id) {
   auto it = occupants_.find(id);
   if (it == occupants_.end()) {
     throw std::logic_error("unload of an empty partition");
   }
   occupants_.erase(it);
+  SimDuration cost = 0;
+  // On a degraded device the quarantine splits have broken the alignment
+  // between strip boundaries and released circuits, so a later split could
+  // dissect this stale configuration into half-decoded garbage: deactivate
+  // the strip on release. A healthy device keeps the free ride of leaving
+  // the (aligned, harmless) configuration in the RAM.
+  if (alloc_.quarantinedColumns() > 0) {
+    const Strip& s = alloc_.strip(id);
+    cost = blankColumns(s.x0, static_cast<std::uint16_t>(s.x0 + s.width - 1));
+  }
   alloc_.release(id);
   if (analysis::invariantChecksEnabled()) checkInvariants();
+  return cost;
 }
 
 LoadedCircuit PartitionManager::loaded(PartitionId id) {

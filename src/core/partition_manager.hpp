@@ -25,6 +25,8 @@
 #include "core/config_registry.hpp"
 #include "core/strip_allocator.hpp"
 #include "fabric/config_port.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/recovery.hpp"
 #include "sim/trace.hpp"
 
 namespace vfpga {
@@ -34,6 +36,11 @@ struct PartitionManagerOptions {
   /// Empty = variable-size partitions; otherwise fixed widths at init.
   std::vector<std::uint16_t> fixedWidths;
   bool garbageCollect = true;
+  /// Download verification / retry policy (defaults: off — identical
+  /// behaviour and cost to a manager without fault tolerance).
+  fault::RecoveryOptions recovery;
+  /// Fault plan applied to relocation state snapshots (nullptr = none).
+  fault::FaultPlan* plan = nullptr;
 };
 
 class PartitionManager {
@@ -46,6 +53,19 @@ class PartitionManager {
     SimDuration cost = 0;       ///< download (+ state init) time
     SimDuration gcCost = 0;     ///< additional compaction time, if GC ran
     bool garbageCollected = false;
+    int retries = 0;            ///< download retries (verification on)
+    std::uint64_t aborts = 0;   ///< truncated transfers seen
+    bool downloadFailed = false;///< retry budget exhausted; caller unloads
+  };
+
+  /// Fault-tolerance counters (all zero without a plan/verification).
+  struct FtStats {
+    std::uint64_t downloadRetries = 0;
+    std::uint64_t downloadAborts = 0;
+    std::uint64_t downloadFailures = 0;
+    std::uint64_t stateCrcFailures = 0;
+    std::uint64_t quarantinedStrips = 0;
+    std::uint64_t quarantineRelocations = 0;
   };
 
   /// Allocates a strip for `id`'s width, relocates the circuit there and
@@ -53,12 +73,35 @@ class PartitionManager {
   /// enabled); the caller queues the task, as §4 prescribes.
   std::optional<LoadResult> load(ConfigId id);
 
-  /// Releases the partition; the configuration stays in the RAM (harmless)
-  /// but the columns become reusable.
-  void unload(PartitionId id);
+  /// Releases the partition. On a healthy device the configuration stays
+  /// in the RAM (harmless) and the columns just become reusable; on a
+  /// degraded device (any quarantined column) the strip is deactivated
+  /// first and the blanking download time is returned (0 otherwise).
+  SimDuration unload(PartitionId id);
 
-  /// Whether `id` could ever be satisfied on an empty device.
+  /// Whether `id` could ever be satisfied on an empty device (quarantined
+  /// columns shrink what "ever" means).
   bool feasible(ConfigId id) const;
+
+  /// Outcome of a quarantine request for one failed column.
+  struct QuarantineResult {
+    bool quarantined = false;    ///< the column is now fenced off
+    bool deferred = false;       ///< occupant could not move yet; retry later
+    bool relocated = false;      ///< an occupant was moved out of the way
+    bool downloadFailed = false; ///< the relocation download never verified
+    SimDuration cost = 0;        ///< relocation + download time charged
+    PartitionId movedFrom = kNoPartition;
+    PartitionId movedTo = kNoPartition;
+  };
+
+  /// Fences off a permanently failed device column. An idle strip is
+  /// quarantined immediately; a busy strip first has its occupant relocated
+  /// to another strip (compacting if that is what it takes). When no
+  /// destination exists *right now* the request is deferred — the caller
+  /// retries after the next unload.
+  QuarantineResult quarantine(std::uint16_t column);
+
+  const FtStats& ftStats() const { return ftStats_; }
 
   /// Harness for the circuit loaded in a partition (valid until unload or
   /// the next garbage collection, which may move it).
@@ -96,9 +139,21 @@ class PartitionManager {
   std::uint64_t gcRuns_ = 0;
   std::uint64_t relocationsDone_ = 0;
   TraceSink sink_;
+  FtStats ftStats_;
 
-  SimDuration downloadInto(const CompiledCircuit& relocated);
+  struct DlOutcome {
+    SimDuration time = 0;
+    bool failed = false;
+    int retries = 0;
+    std::uint64_t aborts = 0;
+  };
+  DlOutcome downloadInto(const CompiledCircuit& relocated);
   SimDuration blankColumns(std::uint16_t c0, std::uint16_t c1);
+  SimDuration blankInactiveStrips();
+  /// Moves one occupant's circuit from `fromX0` to `toX0`: state save
+  /// (CRC-sealed), blank, relocate, verified download, state restore.
+  SimDuration relocateOccupant(Occupant& occ, std::uint16_t fromX0,
+                               std::uint16_t toX0);
   SimDuration compactNow();
 };
 

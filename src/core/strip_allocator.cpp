@@ -60,7 +60,7 @@ std::optional<PartitionId> StripAllocator::allocate(std::uint16_t width,
   std::size_t best = strips_.size();
   for (std::size_t i = 0; i < strips_.size(); ++i) {
     const Strip& s = strips_[i];
-    if (s.busy || s.width < width) continue;
+    if (s.busy || s.faulty || s.width < width) continue;
     if (fit == FitPolicy::kFirstFit) {
       best = i;
       break;
@@ -100,12 +100,14 @@ void StripAllocator::release(PartitionId id) {
 
 void StripAllocator::mergeIdleAround(std::size_t idx) {
   // Merge with right neighbour first (index stays valid), then left.
-  if (idx + 1 < strips_.size() && !strips_[idx + 1].busy) {
+  // Faulty strips never merge: they pin the quarantine boundary.
+  if (idx + 1 < strips_.size() && !strips_[idx + 1].busy &&
+      !strips_[idx + 1].faulty) {
     strips_[idx].width =
         static_cast<std::uint16_t>(strips_[idx].width + strips_[idx + 1].width);
     strips_.erase(strips_.begin() + static_cast<std::ptrdiff_t>(idx) + 1);
   }
-  if (idx > 0 && !strips_[idx - 1].busy) {
+  if (idx > 0 && !strips_[idx - 1].busy && !strips_[idx - 1].faulty) {
     strips_[idx - 1].width =
         static_cast<std::uint16_t>(strips_[idx - 1].width + strips_[idx].width);
     strips_.erase(strips_.begin() + static_cast<std::ptrdiff_t>(idx));
@@ -119,7 +121,7 @@ const Strip& StripAllocator::strip(PartitionId id) const {
 std::uint16_t StripAllocator::totalFree() const {
   std::uint16_t n = 0;
   for (const Strip& s : strips_) {
-    if (!s.busy) n = static_cast<std::uint16_t>(n + s.width);
+    if (!s.busy && !s.faulty) n = static_cast<std::uint16_t>(n + s.width);
   }
   return n;
 }
@@ -127,13 +129,92 @@ std::uint16_t StripAllocator::totalFree() const {
 std::uint16_t StripAllocator::largestFree() const {
   std::uint16_t n = 0;
   for (const Strip& s : strips_) {
-    if (!s.busy) n = std::max(n, s.width);
+    if (!s.busy && !s.faulty) n = std::max(n, s.width);
   }
   return n;
 }
 
+void StripAllocator::quarantineColumn(std::uint16_t column) {
+  if (column >= columns_) throw std::out_of_range("column beyond device");
+  std::size_t idx = strips_.size();
+  for (std::size_t i = 0; i < strips_.size(); ++i) {
+    const Strip& s = strips_[i];
+    if (column >= s.x0 && column < s.x0 + s.width) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == strips_.size()) throw std::logic_error("column not covered");
+  Strip& s = strips_[idx];
+  if (s.faulty) return;  // already quarantined
+  if (s.busy) {
+    throw std::logic_error("quarantining a busy strip (relocate first)");
+  }
+  if (fixed_ || s.width == 1) {
+    // Fixed partitions cannot be resized: the whole partition is lost.
+    s.faulty = true;
+    maybeCheck(*this);
+    return;
+  }
+  // Variable mode: carve a 1-column faulty strip out of the idle strip,
+  // keeping any remainder on each side allocatable.
+  const Strip old = s;
+  std::vector<Strip> parts;
+  if (column > old.x0) {
+    parts.push_back(Strip{old.id, old.x0,
+                          static_cast<std::uint16_t>(column - old.x0), false,
+                          false});
+  }
+  parts.push_back(Strip{next_++, column, 1, false, true});
+  const std::uint16_t rightW =
+      static_cast<std::uint16_t>(old.x0 + old.width - column - 1);
+  if (rightW > 0) {
+    parts.push_back(Strip{column > old.x0 ? next_++ : old.id,
+                          static_cast<std::uint16_t>(column + 1), rightW,
+                          false, false});
+  }
+  strips_.erase(strips_.begin() + static_cast<std::ptrdiff_t>(idx));
+  strips_.insert(strips_.begin() + static_cast<std::ptrdiff_t>(idx),
+                 parts.begin(), parts.end());
+  maybeCheck(*this);
+}
+
+std::uint16_t StripAllocator::quarantinedColumns() const {
+  std::uint16_t n = 0;
+  for (const Strip& s : strips_) {
+    if (s.faulty) n = static_cast<std::uint16_t>(n + s.width);
+  }
+  return n;
+}
+
+std::uint16_t StripAllocator::largestUsableSpan() const {
+  std::uint16_t best = 0, run = 0;
+  for (const Strip& s : strips_) {
+    if (s.faulty) {
+      best = std::max(best, run);
+      run = 0;
+    } else {
+      run = static_cast<std::uint16_t>(run + s.width);
+    }
+  }
+  return std::max(best, run);
+}
+
+std::uint16_t StripAllocator::largestFreeAfterCompaction() const {
+  std::uint16_t best = 0, idle = 0;
+  for (const Strip& s : strips_) {
+    if (s.faulty) {
+      best = std::max(best, idle);
+      idle = 0;
+    } else if (!s.busy) {
+      idle = static_cast<std::uint16_t>(idle + s.width);
+    }
+  }
+  return std::max(best, idle);
+}
+
 bool StripAllocator::wouldFitAfterCompaction(std::uint16_t width) const {
-  return largestFree() < width && totalFree() >= width;
+  return largestFree() < width && largestFreeAfterCompaction() >= width;
 }
 
 double StripAllocator::externalFragmentation() const {
@@ -144,18 +225,29 @@ double StripAllocator::externalFragmentation() const {
 
 std::vector<StripAllocator::Move> StripAllocator::compact() {
   if (fixed_) throw std::logic_error("compact() on fixed partitions");
+  // Busy strips pack left *within each segment between faulty pins*:
+  // quarantined columns stay where they are and nothing crosses them.
   std::vector<Move> moves;
   std::vector<Strip> packed;
   std::uint16_t x = 0;
   for (const Strip& s : strips_) {
+    if (s.faulty) {
+      if (x < s.x0) {
+        packed.push_back(Strip{
+            next_++, x, static_cast<std::uint16_t>(s.x0 - x), false, false});
+      }
+      packed.push_back(s);
+      x = static_cast<std::uint16_t>(s.x0 + s.width);
+      continue;
+    }
     if (!s.busy) continue;
     if (s.x0 != x) moves.push_back(Move{s.id, s.x0, x});
-    packed.push_back(Strip{s.id, x, s.width, true});
+    packed.push_back(Strip{s.id, x, s.width, true, false});
     x = static_cast<std::uint16_t>(x + s.width);
   }
   if (x < columns_) {
-    packed.push_back(
-        Strip{next_++, x, static_cast<std::uint16_t>(columns_ - x), false});
+    packed.push_back(Strip{
+        next_++, x, static_cast<std::uint16_t>(columns_ - x), false, false});
   }
   strips_ = std::move(packed);
   maybeCheck(*this);

@@ -30,6 +30,9 @@ struct Strip {
   std::uint16_t x0 = 0;
   std::uint16_t width = 0;
   bool busy = false;
+  /// Permanently failed columns: never allocated, never merged, and pinned
+  /// in place by compaction (the device shrinks around them).
+  bool faulty = false;
 };
 
 class StripAllocator {
@@ -62,6 +65,21 @@ class StripAllocator {
   /// throws analysis::InvariantViolation on any breach. Runs automatically
   /// after every mutation when VFPGA_CHECK_INVARIANTS is enabled.
   void checkInvariants() const;
+
+  // ---- quarantine (fault tolerance) -----------------------------------------
+  /// Marks the strip containing `column` permanently faulty. The strip must
+  /// be idle (the caller relocates or drains any occupant first); in
+  /// variable mode only the single failed column is quarantined (the strip
+  /// is split around it), in fixed mode the whole fixed partition is lost.
+  void quarantineColumn(std::uint16_t column);
+  /// Total columns lost to quarantine.
+  std::uint16_t quarantinedColumns() const;
+  /// Widest contiguous run of non-faulty columns (busy or idle): the upper
+  /// bound on any allocation, ever, with the current quarantine map.
+  std::uint16_t largestUsableSpan() const;
+  /// Largest idle run achievable by compaction: per segment between faulty
+  /// pins, the idle columns can be consolidated into one run.
+  std::uint16_t largestFreeAfterCompaction() const;
 
   // ---- capacity queries ------------------------------------------------------
   std::uint16_t totalFree() const;

@@ -10,6 +10,7 @@ const char* taskStateName(TaskState s) {
     case TaskState::kWaitingFpga: return "waiting_fpga";
     case TaskState::kRunningFpga: return "running_fpga";
     case TaskState::kDone: return "done";
+    case TaskState::kParked: return "parked";
   }
   return "unknown";
 }

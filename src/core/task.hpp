@@ -46,6 +46,8 @@ enum class TaskState : std::uint8_t {
   kWaitingFpga,  ///< blocked on an FPGA grant
   kRunningFpga,  ///< circuit computing in the fabric
   kDone,
+  kParked,       ///< permanently stopped by the kernel after an
+                 ///< unrecoverable fault (graceful degradation terminal)
 };
 
 const char* taskStateName(TaskState s);
@@ -75,8 +77,13 @@ struct TaskRuntime {
   std::uint64_t grants = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t rollbacks = 0;
+  std::uint64_t watchdogTrips = 0;
 
   bool done() const { return state == TaskState::kDone; }
+  /// Done or parked: the kernel will never run this task again.
+  bool terminal() const {
+    return state == TaskState::kDone || state == TaskState::kParked;
+  }
 };
 
 /// Total FPGA cycles a spec requests across all its ops.

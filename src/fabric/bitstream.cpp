@@ -220,6 +220,15 @@ Bitstream deserializeBitstream(std::span<const std::uint8_t> bytes) {
   return bs;
 }
 
+std::uint16_t frameCrc(const ConfigImage& image, std::uint32_t frameBits,
+                       std::uint32_t frameId) {
+  const std::uint32_t base = frameId * frameBits;
+  if (static_cast<std::size_t>(base) + frameBits > image.size()) {
+    throw std::out_of_range("frame id beyond image");
+  }
+  return crc16Bits(image.raw().subspan(base, frameBits));
+}
+
 void applyBitstream(ConfigImage& image, const Bitstream& bs) {
   for (const Frame& f : bs.frames) {
     const std::uint32_t base = f.id * bs.frameBits;

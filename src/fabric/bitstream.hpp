@@ -71,6 +71,11 @@ std::vector<std::uint32_t> diffFrames(const ConfigImage& a,
 /// Applies a bitstream to an image (frame ids must be in range).
 void applyBitstream(ConfigImage& image, const Bitstream& bs);
 
+/// CRC-16 of one frame's worth of image bits (used by readback scrubbing
+/// to compare live configuration against a golden image frame by frame).
+std::uint16_t frameCrc(const ConfigImage& image, std::uint32_t frameBits,
+                       std::uint32_t frameId);
+
 // ---- byte-level serialization (the on-disk / on-wire format) --------------
 // Layout (all multi-byte fields little-endian):
 //   "VFPB"  magic            (4 bytes)

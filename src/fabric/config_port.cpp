@@ -26,21 +26,106 @@ SimDuration ConfigPort::stateWriteCost(std::size_t ffBits) const {
   return spec_.stateOverhead + ffBits * spec_.stateBitPeriod;
 }
 
+SimDuration ConfigPort::appliedDownloadCost(const Bitstream& bs,
+                                            std::size_t framesApplied) const {
+  if (bs.full) {
+    return spec_.fullOverhead +
+           framesApplied * bs.frameBits * spec_.bitPeriod;
+  }
+  return framesApplied * (spec_.frameOverhead + bs.frameBits * spec_.bitPeriod);
+}
+
 SimDuration ConfigPort::download(const Bitstream& bs) {
   if (!bs.full && !spec_.partialReconfig) {
     throw std::logic_error(
         "partial bitstream on a serial-full-only configuration port");
   }
-  device_->applyBitstream(bs);
-  const SimDuration t = downloadCost(bs);
+  // The *intent* always lands in the golden image, even when the wire
+  // mangles what reaches the device: the scrubber repairs toward intent.
+  applyBitstream(expected_, bs);
   if (bs.full) {
     ++stats_.fullDownloads;
   } else {
     ++stats_.partialDownloads;
   }
-  stats_.bitsWritten += bs.bitCount();
+  if (!tamper_) {
+    device_->applyBitstream(bs);
+    const SimDuration t = downloadCost(bs);
+    stats_.bitsWritten += bs.bitCount();
+    stats_.busyTime += t;
+    return t;
+  }
+  Bitstream wire = bs;
+  const DownloadTamper tamper = tamper_(wire);
+  std::size_t applied = wire.frames.size();
+  if (tamper.framesApplied != kAllFrames &&
+      tamper.framesApplied < applied) {
+    applied = static_cast<std::size_t>(tamper.framesApplied);
+    wire.frames.resize(applied);
+    ++stats_.abortedDownloads;
+  }
+  if (tamper.corrupted) ++stats_.corruptedDownloads;
+  // The modelled faults strike *after* the stream CRC generator (write
+  // noise between the port and the configuration RAM), so the stream-level
+  // check passes and detection is the job of readback verify/scrub.
+  wire.sealCrc();
+  device_->applyBitstream(wire);
+  // An aborted transfer is charged for the prefix that made it across.
+  const SimDuration t = appliedDownloadCost(bs, applied);
+  stats_.bitsWritten += applied * bs.frameBits;
   stats_.busyTime += t;
   return t;
+}
+
+VerifyResult ConfigPort::verifyDownload(const Bitstream& bs) {
+  VerifyResult res;
+  for (const Frame& f : bs.frames) {
+    ++stats_.verifyReads;
+    res.time += spec_.frameOverhead + bs.frameBits * spec_.bitPeriod;
+    if (crc16Bits(f.payload) != frameCrc(device_->image(), bs.frameBits, f.id)) {
+      ++res.badFrames;
+    }
+  }
+  res.ok = res.badFrames == 0;
+  stats_.verifyFailures += res.badFrames;
+  stats_.busyTime += res.time;
+  return res;
+}
+
+ScrubResult ConfigPort::scrub() {
+  const std::uint32_t frameBits = device_->configMap().frameBits();
+  const std::uint32_t frames = device_->configMap().totalBits() / frameBits;
+  ScrubResult res;
+  res.checkedFrames = frames;
+  // Scan pass: the scrub engine reads back one CRC word per frame, not the
+  // whole frame, so a pass over an idle device is cheap.
+  res.time += frames * (spec_.frameOverhead + 16 * spec_.bitPeriod);
+  std::vector<std::uint32_t> dirty;
+  for (std::uint32_t id = 0; id < frames; ++id) {
+    if (frameCrc(device_->image(), frameBits, id) !=
+        frameCrc(expected_, frameBits, id)) {
+      dirty.push_back(id);
+    }
+  }
+  stats_.scrubReads += frames;
+  if (!dirty.empty()) {
+    // Repair pass. On a frame-addressable port only the dirty frames are
+    // rewritten; a serial-full-only port must re-download everything. The
+    // repair write goes straight to the device (dedicated scrub datapath,
+    // not subject to the wire tamper hook — this also guarantees the
+    // scrubber converges).
+    Bitstream repair =
+        spec_.partialReconfig
+            ? makePartialBitstream(expected_, frameBits, dirty)
+            : makeFullBitstream(expected_, frameBits);
+    device_->applyBitstream(repair);
+    res.time += downloadCost(repair);
+    res.repairedFrames = static_cast<std::uint32_t>(dirty.size());
+    stats_.scrubRepairedFrames += res.repairedFrames;
+    stats_.bitsWritten += repair.bitCount();
+  }
+  stats_.busyTime += res.time;
+  return res;
 }
 
 SimDuration ConfigPort::readState(std::vector<bool>& out) {

@@ -12,12 +12,27 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "fabric/device.hpp"
 #include "sim/types.hpp"
 
 namespace vfpga {
+
+/// Sentinel for DownloadTamper::framesApplied: the whole transfer landed.
+inline constexpr std::uint64_t kAllFrames = ~0ull;
+
+/// What a wire-level fault did to one download transfer. Produced by the
+/// tamper hook (see ConfigPort::setTamperHook); the hook may additionally
+/// flip bits of the bitstream copy it is handed.
+struct DownloadTamper {
+  /// Number of leading frames that actually reached the device
+  /// (kAllFrames = no truncation).
+  std::uint64_t framesApplied = kAllFrames;
+  /// True when payload bits were flipped in transit.
+  bool corrupted = false;
+};
 
 struct ConfigPortSpec {
   bool partialReconfig = true;
@@ -38,15 +53,65 @@ struct ConfigPortStats {
   std::uint64_t stateWrites = 0;
   std::uint64_t stateBitsMoved = 0;
   SimDuration busyTime = 0;
+  // Fault-tolerance traffic (all zero unless a tamper hook / verify /
+  // scrub is in use).
+  std::uint64_t abortedDownloads = 0;
+  std::uint64_t corruptedDownloads = 0;
+  std::uint64_t verifyReads = 0;
+  std::uint64_t verifyFailures = 0;
+  std::uint64_t scrubReads = 0;
+  std::uint64_t scrubRepairedFrames = 0;
+};
+
+/// Result of a post-download readback verification pass.
+struct VerifyResult {
+  bool ok = true;
+  std::uint32_t badFrames = 0;
+  SimDuration time = 0;
+};
+
+/// Result of one readback scrub pass over the whole device.
+struct ScrubResult {
+  std::uint32_t checkedFrames = 0;
+  std::uint32_t repairedFrames = 0;
+  SimDuration time = 0;
 };
 
 class ConfigPort {
  public:
+  /// Wire-fault model: called once per download with a mutable copy of the
+  /// bitstream; may flip payload bits and/or report a truncation point.
+  using DownloadTamperHook = std::function<DownloadTamper(Bitstream&)>;
+
   ConfigPort(Device& device, ConfigPortSpec spec)
-      : device_(&device), spec_(spec) {}
+      : device_(&device), spec_(spec), expected_(device.image()) {}
 
   const ConfigPortSpec& spec() const { return spec_; }
   const ConfigPortStats& stats() const { return stats_; }
+
+  /// Installs (or clears, with nullptr-like empty function) the wire-fault
+  /// model applied to subsequent downloads.
+  void setTamperHook(DownloadTamperHook hook) { tamper_ = std::move(hook); }
+
+  /// Golden image: every *intended* download payload lands here even when
+  /// the wire tampers with what reached the device, so the scrubber knows
+  /// what the configuration should be.
+  const ConfigImage& expectedImage() const { return expected_; }
+
+  /// Re-bases the golden image on the device's current contents. Call when
+  /// configuration is changed behind the port's back (e.g. direct
+  /// Device::applyBitstream during setup, or clearConfig).
+  void resyncExpected() { expected_ = device_->image(); }
+
+  /// Reads back the frames named by `bs` and compares their CRCs against
+  /// the payloads that were supposed to arrive. Charges readback time.
+  VerifyResult verifyDownload(const Bitstream& bs);
+
+  /// One full readback scrub pass: CRC-compares every live frame against
+  /// the golden image and re-downloads any mismatching frames. The repair
+  /// write bypasses the tamper hook (modelled as a dedicated, checked
+  /// scrub datapath; also guarantees the scrubber converges).
+  ScrubResult scrub();
 
   /// Pure cost queries (no device mutation).
   SimDuration downloadCost(const Bitstream& bs) const;
@@ -71,9 +136,14 @@ class ConfigPort {
   SimDuration chargeStateWrite(std::size_t ffBits);
 
  private:
+  SimDuration appliedDownloadCost(const Bitstream& bs,
+                                  std::size_t framesApplied) const;
+
   Device* device_;
   ConfigPortSpec spec_;
   ConfigPortStats stats_;
+  ConfigImage expected_;
+  DownloadTamperHook tamper_;
 };
 
 }  // namespace vfpga

@@ -1,0 +1,95 @@
+// Deterministic, seedable fault injection for the VFPGA stack.
+//
+// RAM-configured FPGAs fail in practice exactly where this simulator was
+// assuming perfection: configuration downloads get corrupted or truncated
+// on the wire, the configuration RAM takes background single-event upsets,
+// saved register snapshots rot, and whole column strips wear out. A
+// FaultPlan packages those fault classes behind one seeded Rng (plus a
+// scripted list of permanent strip failures), so a "campaign" is fully
+// reproducible: same spec + same seed -> bit-identical fault sequence,
+// which the recovery machinery (ConfigPort scrubbing, retry-with-backoff,
+// strip quarantine, watchdog preemption) must then survive.
+//
+// The plan is *passive*: it never mutates the system on its own. The
+// ConfigPort calls tamperDownload() as its wire-level tamper hook, the
+// loader/partition manager call corruptState() on saved snapshots, and the
+// kernel's scrubber calls drawUpsets() once per scrub tick. Counters track
+// what was injected (not what was detected — detection lives in the
+// component stats).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/config_port.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace vfpga::fault {
+
+/// A scripted permanent failure: at simulated time `at`, device column
+/// `column` stops holding configuration reliably and must be quarantined.
+struct StripFailureEvent {
+  SimTime at = 0;
+  std::uint16_t column = 0;
+};
+
+struct FaultPlanSpec {
+  std::uint64_t seed = 1;
+  /// P(a download transfer has 1..3 payload bits flipped on the wire).
+  double downloadCorruptRate = 0.0;
+  /// P(a download transfer is truncated after a random frame prefix).
+  double downloadAbortRate = 0.0;
+  /// P(a saved register snapshot has one bit flipped while parked).
+  double stateCorruptRate = 0.0;
+  /// Mean background configuration upsets injected per scrub tick
+  /// (Poisson-distributed).
+  double meanUpsetsPerScrub = 0.0;
+  /// P(an FPGA execution hangs and never signals completion).
+  double execHangRate = 0.0;
+  /// Scripted permanent strip failures, in any order.
+  std::vector<StripFailureEvent> stripFailures;
+};
+
+/// What the plan injected so far (attempts, not detections).
+struct FaultCounters {
+  std::uint64_t corruptedDownloads = 0;
+  std::uint64_t abortedDownloads = 0;
+  std::uint64_t flippedBits = 0;
+  std::uint64_t stateCorruptions = 0;
+  std::uint64_t upsets = 0;
+  std::uint64_t hangs = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanSpec spec);
+
+  const FaultPlanSpec& spec() const { return spec_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  /// ConfigPort tamper hook: may truncate the frame list and/or flip bits
+  /// in the frames that still reach the device. Mutates `bs` in place for
+  /// bit flips; truncation is reported through the returned DownloadTamper
+  /// (the port prunes and charges the prefix).
+  DownloadTamper tamperDownload(Bitstream& bs);
+
+  /// Flips one bit of a saved register snapshot with stateCorruptRate
+  /// probability. Returns true when a bit was flipped.
+  bool corruptState(std::vector<bool>& bits);
+
+  /// Background configuration upsets for one scrub interval: a
+  /// Poisson(meanUpsetsPerScrub) count of uniformly drawn bit indices in
+  /// [0, imageBits).
+  std::vector<std::uint32_t> drawUpsets(std::uint32_t imageBits);
+
+  /// One draw per dispatched FPGA execution: true = this execution hangs.
+  bool execHangs();
+
+ private:
+  FaultPlanSpec spec_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace vfpga::fault

@@ -19,9 +19,16 @@
 //   vfpga_cli report [--device <name>] [--format prometheus|csv|json]
 //              [--min-names N] [--out file] run a six-technique workload
 //              and expose every metric the substrate collected
+//   vfpga_cli faults [--seed N] [--campaign ci|stress] [--out file]
+//              [--flight-dir dir]           run a seeded fault-injection
+//              campaign (bit flips, aborted downloads, permanent strip
+//              failures, hangs) against the partitioned kernel and emit a
+//              survival report; exit 0 iff every task finished
 //
 // Exit codes: 0 success, 1 findings / runtime errors, 2 usage,
-// 3 export or validation failure.
+// 3 export or validation failure. The same codes apply to every command
+// (lint --json and trace --validate return 3 on export/validation
+// failure, 1 on findings).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,8 +37,10 @@
 #include <optional>
 #include <string>
 
+#include "analysis/fault_lint.hpp"
 #include "analysis/flow_lint.hpp"
 #include "analysis/netlist_lint.hpp"
+#include "fault/fault_plan.hpp"
 #include "compile/compiler.hpp"
 #include "compile/loaded_circuit.hpp"
 #include "core/dynamic_loader.hpp"
@@ -91,7 +100,11 @@ int usage() {
                " [--device <name>] [--width N] [--format chrome|csv]"
                " [--validate] [--out file]\n"
                "  report [--device <name>] [--format prometheus|csv|json]"
-               " [--min-names N] [--out file]\n");
+               " [--min-names N] [--out file]\n"
+               "  faults [--seed N] [--campaign ci|stress] [--out file]"
+               " [--flight-dir dir]\n"
+               "exit codes: 0 success, 1 findings / runtime errors,"
+               " 2 usage, 3 export or validation failure\n");
   return 2;
 }
 
@@ -696,6 +709,170 @@ int lintCmd(const Args& a) {
   return errors != 0 ? 1 : 0;
 }
 
+/// Seeded fault-injection campaign against the partitioned kernel: three
+/// relocatable circuits, eight staggered tasks, wire corruption/truncation,
+/// configuration upsets, scripted permanent strip failures and hangs. The
+/// report is byte-identical for a given seed and campaign (the whole stack
+/// is deterministic), which is what the CI smoke test pins.
+int faultsCmd(const Args& a) {
+  const std::uint64_t seed = std::stoull(a.get("seed", "7"));
+  const std::string campaign = a.get("campaign", "ci");
+  if (a.has("flight-dir")) {
+    setenv("VFPGA_FLIGHT_DIR", a.get("flight-dir").c_str(), 1);
+  }
+
+  fault::FaultPlanSpec spec;
+  spec.seed = seed;
+  if (campaign == "ci") {
+    spec.downloadCorruptRate = 0.25;
+    spec.downloadAbortRate = 0.15;
+    spec.stateCorruptRate = 0.20;
+    spec.meanUpsetsPerScrub = 1.5;
+    spec.execHangRate = 0.10;
+    spec.stripFailures = {{millis(2), 2}, {millis(5), 9}};
+  } else if (campaign == "stress") {
+    spec.downloadCorruptRate = 0.40;
+    spec.downloadAbortRate = 0.30;
+    spec.stateCorruptRate = 0.35;
+    spec.meanUpsetsPerScrub = 3.0;
+    spec.execHangRate = 0.20;
+    spec.stripFailures = {{millis(1), 2}, {millis(3), 7}, {millis(6), 10}};
+  } else {
+    std::fprintf(stderr, "error: unknown campaign '%s' (ci|stress)\n",
+                 campaign.c_str());
+    return 2;
+  }
+  fault::FaultPlan plan(spec);
+
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  opt.ft.plan = &plan;
+  opt.ft.scrubInterval = micros(500);
+  opt.ft.recovery = fault::RecoveryOptions{true, 4, micros(50)};
+  opt.ft.watchdogFactor = 4.0;
+
+  // Static sanity check of the knob combination before anything runs.
+  {
+    analysis::FaultToleranceProfile prof;
+    prof.downloadCorruptRate = spec.downloadCorruptRate;
+    prof.downloadAbortRate = spec.downloadAbortRate;
+    prof.stateCorruptRate = spec.stateCorruptRate;
+    prof.meanUpsetsPerScrub = spec.meanUpsetsPerScrub;
+    prof.execHangRate = spec.execHangRate;
+    prof.anyStripFailures = !spec.stripFailures.empty();
+    prof.scrubInterval = opt.ft.scrubInterval;
+    prof.verifyDownloads = opt.ft.recovery.verifyDownloads;
+    prof.maxDownloadRetries = opt.ft.recovery.maxDownloadRetries;
+    prof.watchdogFactor = opt.ft.watchdogFactor;
+    prof.garbageCollect = opt.garbageCollect;
+    analysis::Report rep;
+    analysis::lintFaultTolerance(prof, rep);
+    if (!rep.diagnostics().empty()) {
+      std::fprintf(stderr, "%s", rep.renderText().c_str());
+    }
+    if (!rep.ok()) return 1;
+  }
+
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+
+  const Region strip = Region::columns(dev.geometry(), 0, 4);
+  Simulation sim;
+  OsKernel kernel(sim, dev, port, compiler, opt);
+  const ConfigId cfgs[3] = {
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeCounter(6), "count"), strip)),
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeChecksum(6), "csum"), strip)),
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeLfsr(8, 0b10111000), "lfsr"), strip)),
+  };
+  const std::size_t kTasks = 8;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    TaskSpec t;
+    t.name = "ft" + std::to_string(i);
+    t.arrival = static_cast<SimTime>(i) * micros(150);
+    t.ops = {CpuBurst{micros(30)}, FpgaExec{cfgs[i % 3], 20000 + 5000 * i},
+             CpuBurst{micros(20)}};
+    kernel.addTask(std::move(t));
+  }
+  kernel.run();
+
+  std::size_t finished = 0;
+  std::size_t parked = 0;
+  for (const TaskRuntime& t : kernel.tasks()) {
+    if (t.state == TaskState::kDone) ++finished;
+    if (t.state == TaskState::kParked) ++parked;
+  }
+  const fault::FaultCounters& in = plan.counters();
+  const ConfigPortStats& ps = port.stats();
+  const obs::Labels l = {{"policy", fpgaPolicyName(opt.policy)}};
+  obs::MetricsRegistry& reg = kernel.metricsRegistry();
+  auto c = [&](const char* name) {
+    return reg.counter(name, l, "").value();
+  };
+
+  char buf[512];
+  std::string out;
+  auto line = [&](const char* fmt2, auto... args2) {
+    std::snprintf(buf, sizeof buf, fmt2, args2...);
+    out += buf;
+  };
+  const bool survived = finished == kTasks && parked == 0;
+  line("vfpga fault campaign report\n");
+  line("===========================\n");
+  line("campaign: %s\nseed: %llu\npolicy: %s\ndevice: %s\n\n",
+       campaign.c_str(), static_cast<unsigned long long>(seed),
+       fpgaPolicyName(opt.policy), p.name.c_str());
+  line("tasks: %zu   finished: %zu   parked: %zu\n\n", kTasks, finished,
+       parked);
+  line("injected\n");
+  line("  corrupted downloads:     %llu\n",
+       static_cast<unsigned long long>(in.corruptedDownloads));
+  line("  aborted downloads:       %llu\n",
+       static_cast<unsigned long long>(in.abortedDownloads));
+  line("  flipped wire bits:       %llu\n",
+       static_cast<unsigned long long>(in.flippedBits));
+  line("  state corruptions:       %llu\n",
+       static_cast<unsigned long long>(in.stateCorruptions));
+  line("  config upsets:           %llu\n",
+       static_cast<unsigned long long>(in.upsets));
+  line("  hung executions:         %llu\n\n",
+       static_cast<unsigned long long>(in.hangs));
+  line("detected\n");
+  line("  verify failures (frames):%llu\n",
+       static_cast<unsigned long long>(ps.verifyFailures));
+  line("  state CRC failures:      %llu\n\n",
+       static_cast<unsigned long long>(
+           c("vfpga_fault_state_corruptions_total")));
+  line("recovered\n");
+  line("  download retries:        %llu\n",
+       static_cast<unsigned long long>(
+           c("vfpga_fault_download_retries_total")));
+  line("  scrub runs:              %llu\n",
+       static_cast<unsigned long long>(c("vfpga_fault_scrub_runs_total")));
+  line("  scrub repaired frames:   %llu\n",
+       static_cast<unsigned long long>(
+           c("vfpga_fault_scrub_repaired_frames_total")));
+  line("  watchdog preemptions:    %llu\n",
+       static_cast<unsigned long long>(
+           c("vfpga_fault_watchdog_preemptions_total")));
+  line("  strips quarantined:      %llu\n",
+       static_cast<unsigned long long>(
+           c("vfpga_fault_strips_quarantined_total")));
+  line("  quarantine relocations:  %llu\n\n",
+       static_cast<unsigned long long>(
+           c("vfpga_fault_quarantine_relocations_total")));
+  line("makespan: %.3f ms\n", toMilliseconds(kernel.metrics().makespan));
+  line("survived: %s\n", survived ? "yes" : "no");
+
+  const int rc = emitPayload(a, out);
+  if (rc != 0) return rc;
+  return survived ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -710,6 +887,7 @@ int main(int argc, char** argv) {
     if (args->command == "lint") return lintCmd(*args);
     if (args->command == "trace") return traceCmd(*args);
     if (args->command == "report") return reportCmd(*args);
+    if (args->command == "faults") return faultsCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
