@@ -10,6 +10,8 @@
 // Setup: two tasks alternating two different configurations (worst-case
 // thrashing) on one device; sweep the cycles per execution. Baseline:
 // kSoftwareOnly at 20x per-cycle slowdown.
+#include <algorithm>
+
 #include "bench_util.hpp"
 #include "core/os_kernel.hpp"
 
@@ -22,6 +24,10 @@ struct RunResult {
   SimDuration makespan;
   double utilization;
   double overhead;
+  /// Fraction of registered configs whose OS download spans link back to
+  /// the compile span that produced them (vfpga_cli report --links joins
+  /// the same ids).
+  double linkCoverage;
 };
 
 RunResult runPolicy(const DeviceProfile& prof, FpgaPolicy policy,
@@ -29,6 +35,10 @@ RunResult runPolicy(const DeviceProfile& prof, FpgaPolicy policy,
   Device dev = prof.makeDevice();
   ConfigPort port(dev, prof.port);
   Compiler compiler(dev);
+  // Wall tracer: every compile gets a process-unique span id, so the
+  // kernel's download spans carry cross-layer links.
+  obs::SpanTracer flowSpans;
+  compiler.setObservers(&flowSpans, nullptr);
   Simulation sim;
   OsOptions opt;
   opt.policy = policy;
@@ -53,9 +63,25 @@ RunResult runPolicy(const DeviceProfile& prof, FpgaPolicy policy,
     kernel.addTask(spec);
   }
   kernel.run();
+
+  std::size_t linkedConfigs = 0;
+  for (ConfigId cfg : {cfgA, cfgB}) {
+    const std::uint64_t compileSpan = kernel.compileSpanOf(cfg);
+    const auto& spans = kernel.spanTracer().spans();
+    const bool linked =
+        compileSpan != 0 &&
+        std::any_of(spans.begin(), spans.end(),
+                    [compileSpan](const obs::SpanRecord& s) {
+                      return s.category == "os.config" &&
+                             std::find(s.links.begin(), s.links.end(),
+                                       compileSpan) != s.links.end();
+                    });
+    if (linked) ++linkedConfigs;
+  }
   return RunResult{kernel.metrics().makespan,
                    kernel.metrics().fpgaUtilization(),
-                   kernel.metrics().configOverhead()};
+                   kernel.metrics().configOverhead(),
+                   static_cast<double>(linkedConfigs) / 2.0};
 }
 
 }  // namespace
@@ -107,6 +133,10 @@ int main() {
               partial.overhead);
     bj.sample("vfpga_bench_config_overhead", labeled("serial"),
               serial.overhead);
+    bj.sample("vfpga_bench_link_coverage", labeled("partial"),
+              partial.linkCoverage);
+    bj.sample("vfpga_bench_link_coverage", labeled("serial"),
+              serial.linkCoverage);
     std::printf("%-10llu | %9.3f %9.2f %7.1f%% | %9.3f %9.2f %7.1f%% | "
                 "%12.2f | %s\n",
                 static_cast<unsigned long long>(cycles), execMsP,

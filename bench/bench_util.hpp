@@ -17,14 +17,16 @@
 #include "netlist/library/datapath.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/output_dir.hpp"
 
 namespace vfpga::bench {
 
 /// Machine-readable twin of a bench's printed tables: rows accumulate as
 /// labeled gauges, and write() dumps them as BENCH_<name>.json (the
-/// obs::renderMetricsJson array) into $VFPGA_BENCH_JSON_DIR. Without the
-/// environment variable the sidecar is a no-op, so the printed tables stay
-/// the benches' primary interface.
+/// obs::renderMetricsJson array). $VFPGA_BENCH_JSON_DIR overrides the
+/// target directory; otherwise the sidecar lands in the shared
+/// observability output directory (obs::outputDir(): $VFPGA_OBS_DIR or
+/// ./vfpga_obs). `vfpga_cli bench-trend` consumes these files.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -36,13 +38,13 @@ class BenchJson {
     reg_.gauge(metric, std::move(labels)).set(value);
   }
 
-  /// Writes BENCH_<name>.json when $VFPGA_BENCH_JSON_DIR is set. Returns
-  /// the path written (empty when disabled or unwritable).
+  /// Writes BENCH_<name>.json; returns the path written (empty when
+  /// unwritable).
   std::string write() const {
     const char* env = std::getenv("VFPGA_BENCH_JSON_DIR");
-    if (env == nullptr || *env == '\0') return {};
-    const std::string path =
-        std::string(env) + "/BENCH_" + name_ + ".json";
+    const std::string dir =
+        (env != nullptr && *env != '\0') ? std::string(env) : obs::outputDir();
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());

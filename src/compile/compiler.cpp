@@ -18,15 +18,18 @@ std::uint64_t wallNs() {
 }
 }  // namespace
 
-void Compiler::recordPhase(const char* phase, const std::string& circuit,
-                           std::uint64_t startNs, obs::AttrList extra) const {
-  if (tracer_ == nullptr && flowMetrics_ == nullptr) return;
+std::uint64_t Compiler::recordPhase(const char* phase,
+                                    const std::string& circuit,
+                                    std::uint64_t startNs,
+                                    obs::AttrList extra) const {
+  if (tracer_ == nullptr && flowMetrics_ == nullptr) return 0;
   const std::uint64_t end = wallNs();
   const std::uint64_t dur = end > startNs ? end - startNs : 0;
+  std::uint64_t spanId = 0;
   if (tracer_ != nullptr) {
     obs::AttrList attrs{{"circuit", circuit}};
     attrs.insert(attrs.end(), extra.begin(), extra.end());
-    tracer_->complete(phase, "flow", startNs, dur, std::move(attrs));
+    spanId = tracer_->complete(phase, "flow", startNs, dur, std::move(attrs));
   }
   if (flowMetrics_ != nullptr) {
     flowMetrics_
@@ -34,6 +37,7 @@ void Compiler::recordPhase(const char* phase, const std::string& circuit,
                 "Wall-clock time of this compile-flow phase")
         .observe(static_cast<double>(dur));
   }
+  return spanId;
 }
 
 bool CompiledCircuit::needsInitialState() const {
@@ -143,8 +147,8 @@ CompiledCircuit Compiler::compile(const Netlist& nl, const Region& region,
     recordPhase("techmap", nl.name(), tMap);
   }
   CompiledCircuit c = compileMapped(mapped, nl.name(), region, options);
-  recordPhase("compile", nl.name(), t0,
-              {{"cells", std::to_string(c.cellCount())}});
+  c.compileSpanId = recordPhase("compile", nl.name(), t0,
+                                {{"cells", std::to_string(c.cellCount())}});
   return c;
 }
 
@@ -252,7 +256,9 @@ CompiledCircuit Compiler::compileMapped(const MappedNetlist& mapped,
 
     const std::uint64_t tPaint = wallNs();
     paintImage(c);
-    recordPhase("bitstream", name, tPaint);
+    // Direct compileMapped() callers get the bitstream span as the link
+    // anchor; compile() overwrites with the enclosing `compile` span.
+    c.compileSpanId = recordPhase("bitstream", name, tPaint);
     return c;
   }
   throw lastError;

@@ -61,6 +61,11 @@ struct CompiledCircuit {
   std::vector<std::uint32_t> frames;  ///< config frames the circuit touches
   std::uint32_t frameBits = 0;
 
+  /// Span id of the enclosing `compile` flow span (0 when no tracer was
+  /// attached). OS-side download/exec spans link back to it, connecting
+  /// runtime behavior to the compile decision that produced the config.
+  std::uint64_t compileSpanId = 0;
+
   /// CLB site of the i-th FF of the mapped netlist (MappedEvaluator
   /// order); stable under multi-circuit residency, translated by relocate().
   std::vector<CellSite> ffSites;
@@ -129,8 +134,10 @@ class Compiler {
   obs::MetricsRegistry* flowMetrics_ = nullptr;
 
   /// Closes a flow phase opened at `startNs` (wall clock): span + stats.
-  void recordPhase(const char* phase, const std::string& circuit,
-                   std::uint64_t startNs, obs::AttrList extra = {}) const;
+  /// Returns the span id (0 with no tracer attached).
+  std::uint64_t recordPhase(const char* phase, const std::string& circuit,
+                            std::uint64_t startNs,
+                            obs::AttrList extra = {}) const;
 
   std::vector<std::uint32_t> regionPadSlots(const Region& region,
                                             bool relocatable) const;

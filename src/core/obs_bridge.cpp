@@ -130,4 +130,21 @@ void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
       .inc(mux.busyTime());
 }
 
+std::vector<obs::CellState> occupancyCells(const StripAllocator& alloc) {
+  std::vector<obs::CellState> cells(alloc.columns(), obs::CellState::kIdle);
+  for (const Strip& s : alloc.strips()) {
+    obs::CellState state = obs::CellState::kIdle;
+    if (s.faulty) {
+      state = obs::CellState::kFaulty;
+    } else if (s.busy) {
+      state = obs::CellState::kBusy;
+    }
+    for (std::uint16_t c = s.x0; c < s.x0 + s.width && c < cells.size();
+         ++c) {
+      cells[c] = state;
+    }
+  }
+  return cells;
+}
+
 }  // namespace vfpga

@@ -18,6 +18,8 @@
 #include "core/partition_manager.hpp"
 #include "core/prefetch_loader.hpp"
 #include "core/segment_manager.hpp"
+#include "core/strip_allocator.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics_registry.hpp"
 
 namespace vfpga {
@@ -42,5 +44,9 @@ void publishMetrics(const PrefetchLoader& pf, obs::MetricsRegistry& reg,
                     obs::Labels labels = {});
 void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
                     obs::Labels labels = {});
+
+/// Per-column occupancy snapshot of the strip table, for the heatmap
+/// collector (obs/heatmap.hpp): faulty > busy > idle per column.
+std::vector<obs::CellState> occupancyCells(const StripAllocator& alloc);
 
 }  // namespace vfpga

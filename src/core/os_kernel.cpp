@@ -196,9 +196,32 @@ ConfigId OsKernel::registerConfig(CompiledCircuit circuit) {
   // on the (now blank) device so the scrubber never "repairs" toward a
   // stale snapshot.
   port_->resyncExpected();
+  const std::uint64_t compileSpan = circuit.compileSpanId;
   const ConfigId id = registry_.add(std::move(circuit));
   clockPeriods_.push_back(period);
+  compileSpanIds_.push_back(compileSpan);
   return id;
+}
+
+std::vector<std::uint64_t> OsKernel::linksFor(ConfigId id) const {
+  const std::uint64_t span = compileSpanIds_.at(id);
+  if (span == 0) return {};
+  return {span};
+}
+
+void OsKernel::attachHeatmap(obs::HeatmapCollector* heatmap) {
+  if (!pm_) {
+    throw std::logic_error("occupancy heatmap needs a partitioned policy");
+  }
+  if (heatmap == nullptr) {
+    pm_->setOccupancyObserver(nullptr);
+    return;
+  }
+  pm_->setOccupancyObserver([this, heatmap](const char* event) {
+    heatmap->sample(sim_->now(), event, occupancyCells(pm_->allocator()));
+  });
+  // Starting row so the matrix opens with the pristine strip table.
+  heatmap->sample(sim_->now(), "start", occupancyCells(pm_->allocator()));
 }
 
 SimDuration OsKernel::installService(ConfigId id) {
@@ -252,8 +275,9 @@ void OsKernel::dispatchService(Service& svc) {
   cFpgaComputeNs_ += execTime;
   spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
                   "os.service", sim_->now(), execTime,
-                  {{"config", registry_.circuit(fx.config).name}},
-                  static_cast<std::uint32_t>(t) + 1);
+                  {{"config", registry_.circuit(fx.config).name},
+                   {"config_id", std::to_string(fx.config)}},
+                  static_cast<std::uint32_t>(t) + 1, linksFor(fx.config));
   const SimTime deadline = sim_->now() + execTime;
   // Index capture: services_ never grows after run() starts, but an index
   // is immune to reallocation either way.
@@ -541,8 +565,9 @@ void OsKernel::dispatchWholeDevice() {
                   registry_.circuit(fx.config).name);
     spans_.complete("download/" + registry_.circuit(fx.config).name,
                     "os.config", sim_->now() + cost.saveTime,
-                    cost.downloadTime, {},
-                    static_cast<std::uint32_t>(t) + 1);
+                    cost.downloadTime,
+                    {{"config_id", std::to_string(fx.config)}},
+                    static_cast<std::uint32_t>(t) + 1, linksFor(fx.config));
   }
   if (cost.restoredSavedState) {
     trace_.record(sim_->now(), TraceKind::kStateRestore,
@@ -580,9 +605,10 @@ void OsKernel::dispatchWholeDevice() {
   spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
                   "os.fpga_exec", sim_->now(), cost.total + execTime,
                   {{"config", registry_.circuit(fx.config).name},
+                   {"config_id", std::to_string(fx.config)},
                    {"cycles", std::to_string(cyclesRun)},
                    {"downloaded", cost.downloaded ? "true" : "false"}},
-                  static_cast<std::uint32_t>(t) + 1);
+                  static_cast<std::uint32_t>(t) + 1, linksFor(fx.config));
 
   if (options_.ft.plan && options_.ft.watchdogFactor > 0 &&
       options_.ft.plan->execHangs()) {
@@ -730,12 +756,19 @@ void OsKernel::tryDispatchPartitioned() {
       const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
       cFpgaComputeNs_ += execTime;
       const SimTime deadline = portFreeAt_ + execTime;
+      spans_.complete("download/" + registry_.circuit(fx.config).name,
+                      "os.config", portStart, load->cost,
+                      {{"config_id", std::to_string(fx.config)},
+                       {"partition", std::to_string(load->partition)}},
+                      static_cast<std::uint32_t>(t) + 1,
+                      linksFor(fx.config));
       spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
                       "os.fpga_exec", portStart,
                       deadline > portStart ? deadline - portStart : 0,
                       {{"config", registry_.circuit(fx.config).name},
+                       {"config_id", std::to_string(fx.config)},
                        {"partition", std::to_string(load->partition)}},
-                      static_cast<std::uint32_t>(t) + 1);
+                      static_cast<std::uint32_t>(t) + 1, linksFor(fx.config));
       if (options_.ft.plan && options_.ft.watchdogFactor > 0 &&
           options_.ft.plan->execHangs()) {
         // Hung execution: it never completes, so it is not a RunningExec

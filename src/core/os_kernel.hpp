@@ -38,6 +38,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/recovery.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/span_tracer.hpp"
 #include "sim/event_queue.hpp"
@@ -149,8 +150,24 @@ class OsKernel {
   Simulation& sim() { return *sim_; }
   /// Measured clock period of a registered configuration.
   SimDuration clockPeriod(ConfigId id) const { return clockPeriods_.at(id); }
+  /// Compile-flow span id that produced `config` (0 when the circuit was
+  /// compiled without a tracer attached). OS download/exec spans carry it
+  /// in their `links`, so reports can join runtime cost to compile phase.
+  std::uint64_t compileSpanOf(ConfigId id) const {
+    return compileSpanIds_.at(id);
+  }
+  /// Non-owning Trace access for live streaming sinks.
+  Trace& traceRing() { return trace_; }
+
+  /// Wires a per-strip occupancy heatmap collector to the partition
+  /// manager: every allocate/release/relocate/quarantine snapshots the
+  /// strip table at the current simulated time. Partitioned policies only.
+  void attachHeatmap(obs::HeatmapCollector* heatmap);
 
  private:
+  /// {compile span id} link list for a config (empty when untraced).
+  std::vector<std::uint64_t> linksFor(ConfigId id) const;
+
   Simulation* sim_;
   Device* dev_;
   ConfigPort* port_;
@@ -158,6 +175,7 @@ class OsKernel {
   OsOptions options_;
   ConfigRegistry registry_;
   std::vector<SimDuration> clockPeriods_;
+  std::vector<std::uint64_t> compileSpanIds_;  ///< parallel to clockPeriods_
   DynamicLoader loader_;
   std::optional<PartitionManager> pm_;
   Trace trace_;

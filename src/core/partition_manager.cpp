@@ -69,6 +69,7 @@ std::optional<PartitionManager::LoadResult> PartitionManager::load(
         static_cast<std::uint16_t>(strip.x0 + strip.width - 1));
   }
   occupants_[*grant] = Occupant{id, std::move(relocated)};
+  notifyOccupancy("allocate");
   if (analysis::invariantChecksEnabled()) checkInvariants();
   return result;
 }
@@ -200,6 +201,7 @@ SimDuration PartitionManager::relocateOccupant(Occupant& occ,
       }
     }
   }
+  notifyOccupancy("relocate");
   return cost;
 }
 
@@ -244,6 +246,7 @@ PartitionManager::QuarantineResult PartitionManager::quarantine(
       // into half-decoded garbage. Deactivate every idle region now.
       res.cost += blankInactiveStrips();
       res.quarantined = true;
+      notifyOccupancy("quarantine");
       if (analysis::invariantChecksEnabled()) checkInvariants();
       return res;
     }
@@ -276,6 +279,7 @@ PartitionManager::QuarantineResult PartitionManager::quarantine(
     res.relocated = true;
     res.movedFrom = victim;
     res.movedTo = *grant;
+    notifyOccupancy("quarantine");
     if (analysis::invariantChecksEnabled()) checkInvariants();
     return res;
   }
@@ -300,6 +304,7 @@ SimDuration PartitionManager::unload(PartitionId id) {
     cost = blankColumns(s.x0, static_cast<std::uint16_t>(s.x0 + s.width - 1));
   }
   alloc_.release(id);
+  notifyOccupancy("release");
   if (analysis::invariantChecksEnabled()) checkInvariants();
   return cost;
 }

@@ -117,6 +117,15 @@ class PartitionManager {
   /// own); the kernel binds this to its trace ring.
   void setTraceSink(TraceSink sink) { sink_ = std::move(sink); }
 
+  /// Fired after every occupancy mutation ("allocate", "release",
+  /// "relocate", "quarantine"), once the strip table reflects it; the
+  /// binder snapshots allocator() state, e.g. into an occupancy heatmap
+  /// (obs/heatmap.hpp via OsKernel::attachHeatmap).
+  using OccupancyObserver = std::function<void(const char* event)>;
+  void setOccupancyObserver(OccupancyObserver observer) {
+    occupancyObserver_ = std::move(observer);
+  }
+
   /// Verifies the PM* invariants (every busy strip has an occupant, every
   /// occupant sits inside its strip) on top of the allocator's own AL*
   /// checks; throws analysis::InvariantViolation on any breach. Runs
@@ -139,7 +148,12 @@ class PartitionManager {
   std::uint64_t gcRuns_ = 0;
   std::uint64_t relocationsDone_ = 0;
   TraceSink sink_;
+  OccupancyObserver occupancyObserver_;
   FtStats ftStats_;
+
+  void notifyOccupancy(const char* event) {
+    if (occupancyObserver_) occupancyObserver_(event);
+  }
 
   struct DlOutcome {
     SimDuration time = 0;

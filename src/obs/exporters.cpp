@@ -27,17 +27,45 @@ std::string tsMicros(std::uint64_t ns) {
   return fmtDouble(static_cast<double>(ns) / 1000.0);
 }
 
-void appendArgs(std::string& out, const AttrList& attrs) {
+/// Keys render sorted: a span replayed from an NDJSON stream round-trips
+/// its attributes through a key-sorted JSON object, so the live render
+/// must use the same order to stay byte-identical with the replay.
+void appendArgs(std::string& out, const AttrList& attrs,
+                const AttrList& extra = {}) {
+  AttrList merged = attrs;
+  merged.insert(merged.end(), extra.begin(), extra.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
   out += "\"args\":{";
-  for (std::size_t i = 0; i < attrs.size(); ++i) {
-    if (i) out += ',';
+  bool first = true;
+  for (const auto& [k, v] : merged) {
+    if (!first) out += ',';
+    first = false;
     out += '"';
-    out += jsonEscape(attrs[i].first);
+    out += jsonEscape(k);
     out += "\":\"";
-    out += jsonEscape(attrs[i].second);
+    out += jsonEscape(v);
     out += '"';
   }
   out += '}';
+}
+
+/// span_id / links render as args (string values), keeping the trace_event
+/// envelope and the validator untouched.
+AttrList linkArgs(const SpanRecord& s) {
+  AttrList extra;
+  if (s.spanId != 0) extra.emplace_back("span_id", std::to_string(s.spanId));
+  if (!s.links.empty()) {
+    std::string joined;
+    for (std::size_t i = 0; i < s.links.size(); ++i) {
+      if (i) joined += ',';
+      joined += std::to_string(s.links[i]);
+    }
+    extra.emplace_back("links", std::move(joined));
+  }
+  return extra;
 }
 
 void appendMetaEvent(std::string& out, bool& first, int pid,
@@ -60,7 +88,7 @@ void appendSpans(std::string& out, bool& first, int pid,
            tsMicros(s.startNs) + ",\"dur\":" + tsMicros(s.durationNs) +
            ",\"pid\":" + std::to_string(pid) +
            ",\"tid\":" + std::to_string(s.track) + ",";
-    appendArgs(out, s.attributes);
+    appendArgs(out, s.attributes, linkArgs(s));
     out += '}';
   }
   for (const InstantRecord& i : tracer.instants()) {

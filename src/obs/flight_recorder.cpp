@@ -7,6 +7,7 @@
 
 #include "obs/exporters.hpp"
 #include "obs/json.hpp"
+#include "obs/output_dir.hpp"
 
 namespace vfpga::obs {
 
@@ -86,8 +87,7 @@ std::string FlightRecorder::dump(std::string_view ruleId,
   std::string dir = options_.directory;
   if (dir.empty()) {
     const char* env = std::getenv("VFPGA_FLIGHT_DIR");
-    dir = (env != nullptr && *env != '\0') ? std::string(env)
-                                           : std::string(".");
+    dir = (env != nullptr && *env != '\0') ? std::string(env) : outputDir();
   }
 
   const std::string path = dir + "/" + options_.prefix + "_" +

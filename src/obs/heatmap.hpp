@@ -1,0 +1,63 @@
+// Per-strip occupancy heatmap: a time × column matrix of fabric state.
+//
+// The strip-packing literature judges allocation policies by spatial
+// occupancy over time, so the collector records one row per allocator
+// mutation (allocate / release / relocate / quarantine — the
+// PartitionManager occupancy observer fires it) with the state of every
+// column at that simulated instant. The obs layer stays below core, so the
+// collector takes a plain per-column state vector; core/obs_bridge.hpp
+// converts StripAllocator state into it.
+//
+// Renders are fully deterministic (no wall timestamps), so a fixed-seed
+// run reproduces CSV/JSON/HTML output byte-identically — the golden tests
+// rely on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vfpga::obs {
+
+/// State of one fabric column at one sample instant.
+enum class CellState : std::uint8_t {
+  kIdle = 0,   ///< inside a free strip
+  kBusy = 1,   ///< inside an allocated strip
+  kFaulty = 2  ///< inside a quarantined strip
+};
+
+struct HeatmapSample {
+  std::uint64_t atNs = 0;
+  std::string event;  ///< "allocate", "release", "relocate", "quarantine"
+  std::vector<CellState> cells;  ///< one entry per fabric column
+};
+
+class HeatmapCollector {
+ public:
+  explicit HeatmapCollector(std::uint16_t columns) : columns_(columns) {}
+
+  /// Appends one matrix row; `cells` is truncated/padded (idle) to the
+  /// collector's column count so a ragged snapshot cannot skew the matrix.
+  void sample(std::uint64_t atNs, std::string event,
+              std::vector<CellState> cells);
+
+  std::uint16_t columns() const { return columns_; }
+  const std::vector<HeatmapSample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+  /// "time_ns,event,c0,..,cN-1" header + one row per sample (cells as
+  /// 0/1/2 per CellState).
+  std::string renderCsv() const;
+  /// {"columns":N,"samples":[{"t_ns":..,"event":"..","cells":[..]},..]} —
+  /// parses under the strict obs/json.hpp parser.
+  std::string renderJson() const;
+  /// Self-contained HTML report (inline CSS, no external resources).
+  std::string renderHtml(std::string_view title) const;
+
+ private:
+  std::uint16_t columns_;
+  std::vector<HeatmapSample> samples_;
+};
+
+}  // namespace vfpga::obs

@@ -47,6 +47,9 @@ std::string makeKey(std::string_view name, const Labels& labels) {
   return key;
 }
 
+// Self-metric counting accesses rerouted by the cardinality guard.
+constexpr std::string_view kDroppedSeriesMetric = "vfpga_obs_dropped_series";
+
 }  // namespace
 
 Metric& MetricsRegistry::findOrCreate(std::string_view name, Labels labels,
@@ -57,7 +60,7 @@ Metric& MetricsRegistry::findOrCreate(std::string_view name, Labels labels,
     throw std::logic_error("invalid metric name: " + std::string(name));
   }
   std::sort(labels.begin(), labels.end());
-  const std::string key = makeKey(name, labels);
+  std::string key = makeKey(name, labels);
   auto it = metrics_.find(key);
   if (it != metrics_.end()) {
     Metric& m = *it->second;
@@ -68,6 +71,37 @@ Metric& MetricsRegistry::findOrCreate(std::string_view name, Labels labels,
                              metricKindName(kind) + ")");
     }
     return m;
+  }
+  // Cardinality guard: a full family collapses new label sets into one
+  // overflow instance (looked up above on the recursive call, so the cap
+  // check never applies to it twice). The reroute is counted in the
+  // vfpga_obs_dropped_series self-metric, whose own family (one series)
+  // can never trip the cap.
+  if (maxSeriesPerFamily_ > 0 && name != kDroppedSeriesMetric) {
+    auto fam = familySizes_.find(name);
+    if (fam != familySizes_.end() && fam->second >= maxSeriesPerFamily_) {
+      ++droppedSeries_;
+      Metric& drops = findOrCreate(kDroppedSeriesMetric, {},
+                                   "label sets dropped by the cardinality "
+                                   "guard (accesses rerouted to overflow)",
+                                   MetricKind::kCounter, 0, 0, 0);
+      std::get<Counter>(drops.value).inc();
+      const std::string overflowKey =
+          makeKey(name, {{"overflow", "true"}});
+      auto ov = metrics_.find(overflowKey);
+      if (ov != metrics_.end()) {
+        Metric& m = *ov->second;
+        if (m.kind() != kind) {
+          throw std::logic_error("metric " + std::string(name) +
+                                 " re-registered as a different kind (" +
+                                 metricKindName(m.kind()) + " vs " +
+                                 metricKindName(kind) + ")");
+        }
+        return m;
+      }
+      key = overflowKey;
+      labels = {{"overflow", "true"}};
+    }
   }
   auto metric = std::make_unique<Metric>();
   metric->name = std::string(name);
@@ -83,6 +117,7 @@ Metric& MetricsRegistry::findOrCreate(std::string_view name, Labels labels,
   }
   Metric& ref = *metric;
   metrics_.emplace(key, std::move(metric));
+  familySizes_[std::string(name)] += 1;
   return ref;
 }
 

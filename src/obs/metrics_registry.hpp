@@ -131,7 +131,22 @@ class MetricsRegistry {
   /// per-component registries into one report). Kind conflicts throw.
   void merge(const MetricsRegistry& other);
 
-  void clear() { metrics_.clear(); }
+  /// Label-cardinality guard: caps the number of distinct label sets per
+  /// metric family. Once a family is full, further label sets collapse into
+  /// a single overflow instance labelled {overflow="true"} (handle
+  /// references stay valid and writable), and every such rerouted access
+  /// increments the `vfpga_obs_dropped_series` self-metric — drops are
+  /// visible in the exposition, never silent. 0 (the default) = unlimited.
+  void setMaxSeriesPerFamily(std::size_t cap) { maxSeriesPerFamily_ = cap; }
+  std::size_t maxSeriesPerFamily() const { return maxSeriesPerFamily_; }
+  /// Accesses rerouted to an overflow instance so far.
+  std::uint64_t droppedSeries() const { return droppedSeries_; }
+
+  void clear() {
+    metrics_.clear();
+    familySizes_.clear();
+    droppedSeries_ = 0;
+  }
 
  private:
   Metric& findOrCreate(std::string_view name, Labels labels,
@@ -141,6 +156,9 @@ class MetricsRegistry {
   // Keyed by name + '\0' + serialized labels; map keeps families sorted
   // and unique_ptr keeps handle references stable across inserts.
   std::map<std::string, std::unique_ptr<Metric>> metrics_;
+  std::map<std::string, std::size_t, std::less<>> familySizes_;
+  std::size_t maxSeriesPerFamily_ = 0;
+  std::uint64_t droppedSeries_ = 0;
 };
 
 /// "a=b,c=d" rendering used in CSV output and error messages.

@@ -1,0 +1,19 @@
+#include "obs/output_dir.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+namespace vfpga::obs {
+
+std::string outputDir() {
+  std::string dir;
+  if (const char* env = std::getenv("VFPGA_OBS_DIR")) dir = env;
+  if (dir.empty()) dir = "./vfpga_obs";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return ".";
+  return dir;
+}
+
+}  // namespace vfpga::obs

@@ -1,0 +1,17 @@
+// Shared observability output directory.
+//
+// Every artifact the obs layer writes as a side effect of a run — flight
+// recorder bundles, bench JSON sidecars, stream files the CLI defaults —
+// lands here instead of littering the CWD: $VFPGA_OBS_DIR when set,
+// ./vfpga_obs otherwise. The directory is created on first use.
+#pragma once
+
+#include <string>
+
+namespace vfpga::obs {
+
+/// Resolved obs output directory ($VFPGA_OBS_DIR, default "./vfpga_obs"),
+/// created if missing. Falls back to "." if creation fails (read-only CWD).
+std::string outputDir();
+
+}  // namespace vfpga::obs

@@ -1,5 +1,6 @@
 #include "obs/span_tracer.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <chrono>
 
@@ -15,6 +16,11 @@ std::uint64_t steadyNowNs() {
 }
 
 }  // namespace
+
+std::uint64_t nextSpanId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 SpanTracer::SpanTracer() : clock_(steadyNowNs) {}
 
@@ -53,21 +59,41 @@ void SpanTracer::closeTop() {
   stack_.pop_back();
   const std::uint64_t end = clock_();
   rec.durationNs = end > rec.startNs ? end - rec.startNs : 0;
+  rec.spanId = nextSpanId();
   spans_.push_back(std::move(rec));
+  if (spanSink_) spanSink_(spans_.back());
 }
 
-void SpanTracer::complete(std::string name, std::string category,
-                          std::uint64_t startNs, std::uint64_t durationNs,
-                          AttrList attributes, std::uint32_t track) {
-  if (!enabled_) return;
+std::uint64_t SpanTracer::complete(std::string name, std::string category,
+                                   std::uint64_t startNs,
+                                   std::uint64_t durationNs,
+                                   AttrList attributes, std::uint32_t track,
+                                   std::vector<std::uint64_t> links) {
+  if (!enabled_) return 0;
   SpanRecord rec;
   rec.name = std::move(name);
   rec.category = std::move(category);
   rec.startNs = startNs;
   rec.durationNs = durationNs;
   rec.track = track;
+  rec.spanId = nextSpanId();
+  rec.links = std::move(links);
   rec.attributes = std::move(attributes);
   spans_.push_back(std::move(rec));
+  if (spanSink_) spanSink_(spans_.back());
+  return spans_.back().spanId;
+}
+
+void SpanTracer::import(SpanRecord rec) {
+  if (!enabled_) return;
+  spans_.push_back(std::move(rec));
+  if (spanSink_) spanSink_(spans_.back());
+}
+
+void SpanTracer::import(InstantRecord rec) {
+  if (!enabled_) return;
+  instants_.push_back(std::move(rec));
+  if (instantSink_) instantSink_(instants_.back());
 }
 
 void SpanTracer::instant(std::string name, std::string category,
@@ -87,6 +113,7 @@ void SpanTracer::instantAt(std::uint64_t atNs, std::string name,
   rec.track = track;
   rec.attributes = std::move(attributes);
   instants_.push_back(std::move(rec));
+  if (instantSink_) instantSink_(instants_.back());
 }
 
 void SpanTracer::clear() {

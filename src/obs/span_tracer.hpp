@@ -36,6 +36,13 @@ struct SpanRecord {
   std::uint32_t track = 0;
   /// Nesting depth at open time (scoped spans only; pre-timed spans keep 0).
   std::uint32_t depth = 0;
+  /// Process-unique id assigned when the span closes (see nextSpanId()).
+  /// Ids are unique across tracers, so a sim-clock span can link to a
+  /// wall-clock compile span recorded by a different tracer.
+  std::uint64_t spanId = 0;
+  /// Span-ids of causally related spans in any tracer — the OS download /
+  /// exec spans carry the id of the compile span that produced the config.
+  std::vector<std::uint64_t> links;
   AttrList attributes;
 };
 
@@ -84,10 +91,19 @@ class SpanTracer {
                               AttrList attributes = {});
 
   /// Records a span whose timing the caller already knows (event-driven
-  /// code where begin/end do not nest lexically).
-  void complete(std::string name, std::string category, std::uint64_t startNs,
-                std::uint64_t durationNs, AttrList attributes = {},
-                std::uint32_t track = 0);
+  /// code where begin/end do not nest lexically). `links` names causally
+  /// related spans (cross-tracer span ids). Returns the new span's id
+  /// (0 when the tracer is disabled).
+  std::uint64_t complete(std::string name, std::string category,
+                         std::uint64_t startNs, std::uint64_t durationNs,
+                         AttrList attributes = {}, std::uint32_t track = 0,
+                         std::vector<std::uint64_t> links = {});
+
+  /// Appends an already-formed record verbatim — span id and links are
+  /// preserved, not re-assigned. Used to rebuild tracers from a captured
+  /// NDJSON stream (vfpga_cli trace --from); sinks still fire.
+  void import(SpanRecord rec);
+  void import(InstantRecord rec);
 
   /// Records a zero-duration marker at the current clock value.
   void instant(std::string name, std::string category,
@@ -107,6 +123,16 @@ class SpanTracer {
   /// Currently open (un-closed) scoped spans.
   std::size_t openSpans() const { return stack_.size(); }
 
+  /// Live sinks, invoked synchronously as each span closes / instant is
+  /// recorded (after the record is retained). The streaming exporter
+  /// (obs/stream.hpp) attaches here; either may be empty.
+  using SpanSink = std::function<void(const SpanRecord&)>;
+  using InstantSink = std::function<void(const InstantRecord&)>;
+  void setSinks(SpanSink onSpan, InstantSink onInstant) {
+    spanSink_ = std::move(onSpan);
+    instantSink_ = std::move(onInstant);
+  }
+
   void clear();
 
  private:
@@ -118,6 +144,12 @@ class SpanTracer {
   std::vector<SpanRecord> stack_;  ///< open scoped spans, outermost first
   std::vector<SpanRecord> spans_;
   std::vector<InstantRecord> instants_;
+  SpanSink spanSink_;
+  InstantSink instantSink_;
 };
+
+/// Next process-unique span id (monotonic from 1; never 0). Shared by all
+/// tracers so links resolve across time domains.
+std::uint64_t nextSpanId();
 
 }  // namespace vfpga::obs

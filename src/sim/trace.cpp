@@ -38,6 +38,7 @@ const char* traceKindName(TraceKind k) {
 
 void Trace::record(SimTime at, TraceKind kind, std::string detail) {
   ++counts_[static_cast<std::size_t>(kind)];
+  if (recordSink_) recordSink_(TraceRecord{at, kind, detail});
   if (capacity_ == 0) return;
   if (records_.size() >= capacity_) records_.pop_front();
   records_.push_back(TraceRecord{at, kind, std::move(detail)});

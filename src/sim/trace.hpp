@@ -69,6 +69,11 @@ class Trace {
 
   void record(SimTime at, TraceKind kind, std::string detail);
 
+  /// Live observer invoked on every record() before retention/eviction —
+  /// streaming exporters see records even when the ring drops them.
+  using RecordSink = std::function<void(const TraceRecord&)>;
+  void setRecordSink(RecordSink sink) { recordSink_ = std::move(sink); }
+
   /// All retained records, oldest first.
   const std::deque<TraceRecord>& records() const { return records_; }
 
@@ -85,6 +90,7 @@ class Trace {
 
  private:
   std::size_t capacity_;
+  RecordSink recordSink_;
   std::deque<TraceRecord> records_;
   std::vector<std::uint64_t> counts_ =
       std::vector<std::uint64_t>(kTraceKindCount, 0);

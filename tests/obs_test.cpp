@@ -11,11 +11,16 @@
 
 #include "analysis/diagnostics.hpp"
 #include "core/obs_bridge.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/library/control.hpp"
 #include "obs/exporters.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/stream.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
 namespace vfpga {
@@ -292,6 +297,163 @@ TEST(FlightRecorder, SeededInvariantFailureDumpsThroughTheHook) {
   EXPECT_EQ(doc.at("context").asString(), "obs_test");
   ASSERT_TRUE(doc.at("diagnostics").isObject());
   EXPECT_NE(buf.str().find("seeded zero-width strip"), std::string::npos);
+}
+
+TEST(Histogram, PercentileEmptySingleAndDuplicateHeavy) {
+  // Empty: every percentile collapses to the low edge.
+  Histogram empty(0.0, 10.0, 10);
+  EXPECT_EQ(empty.percentile(50), 0.0);
+  EXPECT_EQ(empty.percentile(99), 0.0);
+
+  // One sample: every percentile is that sample's bucket midpoint, and
+  // out-of-range p clamps instead of misbehaving.
+  Histogram one(0.0, 10.0, 10);
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 5.5);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 5.5);
+  EXPECT_DOUBLE_EQ(one.percentile(150), 5.5);  // clamps to p100
+  EXPECT_DOUBLE_EQ(one.percentile(-5), 0.5);   // clamps to p0: first midpoint
+
+  // Duplicate-heavy: the mode dominates up through p99; only p100 reaches
+  // the lone outlier.
+  Histogram heavy(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) heavy.add(5.0);
+  heavy.add(9.0);
+  EXPECT_DOUBLE_EQ(heavy.percentile(50), 5.5);
+  EXPECT_DOUBLE_EQ(heavy.percentile(99), 5.5);
+  EXPECT_DOUBLE_EQ(heavy.percentile(100), 9.5);
+}
+
+TEST(MetricsRegistry, CardinalityGuardCollapsesOverflowSeries) {
+  obs::MetricsRegistry reg;
+  reg.setMaxSeriesPerFamily(2);
+  reg.counter("vfpga_guarded_total", {{"k", "a"}}).inc();
+  reg.counter("vfpga_guarded_total", {{"k", "b"}}).inc();
+  // Over the cap: both land in the {overflow="true"} collapse series.
+  reg.counter("vfpga_guarded_total", {{"k", "c"}}).inc();
+  reg.counter("vfpga_guarded_total", {{"k", "d"}}).inc();
+  EXPECT_EQ(reg.droppedSeries(), 2u);
+  EXPECT_EQ(reg.counter("vfpga_obs_dropped_series").value(), 2u);
+  EXPECT_EQ(reg.counter("vfpga_guarded_total", {{"overflow", "true"}}).value(),
+            2u);
+  // Series that existed before the cap tripped still resolve normally.
+  EXPECT_EQ(reg.counter("vfpga_guarded_total", {{"k", "a"}}).value(), 1u);
+}
+
+TEST(StreamExporter, TinyRingDropsAreCountedAndEveryLineParses) {
+  const std::string path = ::testing::TempDir() + "/stream_tiny.ndjson";
+  obs::StreamOptions opt;
+  opt.path = path;
+  opt.ringCapacity = 2;
+  opt.flushEveryRecords = 0;  // only finish() flushes, so the ring overflows
+  obs::StreamExporter stream(opt);
+  ASSERT_TRUE(stream.ok());
+  obs::SpanTracer tracer = steppedTracer(10);
+  stream.attach(tracer, "unit");
+  for (int i = 0; i < 20; ++i) {
+    tracer.complete("s" + std::to_string(i), "os.test",
+                    static_cast<std::uint64_t>(i) * 10, 5);
+  }
+  stream.finish();
+  EXPECT_EQ(stream.emitted(), 20u);
+  EXPECT_EQ(stream.dropped(), 18u);
+  EXPECT_EQ(stream.written(), 3u);  // two buffered spans + stream_summary
+  EXPECT_EQ(stream.droppedByKey().at("os.test"), 18u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  obs::JsonValue last;
+  while (std::getline(in, line)) {
+    last = obs::JsonValue::parse(line);  // throws on any malformed line
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(last.at("kind").asString(), "stream_summary");
+  EXPECT_EQ(last.at("dropped").asNumber(), 18.0);
+  EXPECT_EQ(last.at("dropped_by_kind").at("os.test").asNumber(), 18.0);
+}
+
+TEST(StreamExporter, SamplingKeepsOneOfNPerKey) {
+  const std::string path = ::testing::TempDir() + "/stream_sampled.ndjson";
+  obs::StreamOptions opt;
+  opt.path = path;
+  opt.sampleEvery["os.test"] = 5;
+  obs::StreamExporter stream(opt);
+  ASSERT_TRUE(stream.ok());
+  obs::SpanTracer tracer = steppedTracer(10);
+  stream.attach(tracer, "unit");
+  for (int i = 0; i < 10; ++i) {
+    tracer.complete("s", "os.test", static_cast<std::uint64_t>(i) * 10, 1);
+  }
+  stream.finish();
+  EXPECT_EQ(stream.emitted(), 10u);
+  EXPECT_EQ(stream.sampledOut(), 8u);
+  EXPECT_EQ(stream.written(), 3u);  // records 1 and 6, plus the summary
+}
+
+TEST(Heatmap, MatrixGoldenOnScriptedSequence) {
+  using CS = obs::CellState;
+  obs::HeatmapCollector hm(4);
+  hm.sample(0, "start", {CS::kIdle, CS::kIdle, CS::kIdle, CS::kIdle});
+  hm.sample(10, "allocate", {CS::kBusy, CS::kBusy, CS::kIdle, CS::kIdle});
+  hm.sample(20, "relocate", {CS::kIdle, CS::kIdle, CS::kBusy, CS::kBusy});
+  hm.sample(30, "quarantine", {CS::kFaulty, CS::kIdle, CS::kBusy, CS::kBusy});
+  // A ragged snapshot pads with idle instead of skewing the matrix.
+  hm.sample(40, "release", {CS::kFaulty, CS::kIdle});
+
+  EXPECT_EQ(hm.renderCsv(),
+            "time_ns,event,c0,c1,c2,c3\n"
+            "0,start,0,0,0,0\n"
+            "10,allocate,1,1,0,0\n"
+            "20,relocate,0,0,1,1\n"
+            "30,quarantine,2,0,1,1\n"
+            "40,release,2,0,0,0\n");
+
+  const obs::JsonValue doc = obs::JsonValue::parse(hm.renderJson());
+  EXPECT_EQ(doc.at("columns").asNumber(), 4.0);
+  ASSERT_EQ(doc.at("samples").asArray().size(), 5u);
+  const obs::JsonValue& quarantineRow = doc.at("samples").asArray()[3];
+  EXPECT_EQ(quarantineRow.at("event").asString(), "quarantine");
+  EXPECT_EQ(quarantineRow.at("t_ns").asNumber(), 30.0);
+  EXPECT_EQ(quarantineRow.at("cells").asArray()[0].asNumber(), 2.0);
+
+  const std::string html = hm.renderHtml("unit");
+  EXPECT_NE(html.find("<html"), std::string::npos);
+  EXPECT_NE(html.find("quarantine"), std::string::npos);
+}
+
+TEST(Heatmap, PartitionManagerObserverSnapshotsAllocatorState) {
+  DeviceProfile p = profileByName("medium_partial");
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+  ConfigRegistry cfgs;
+  PartitionManager pm(dev, port, cfgs, compiler, {});
+  obs::HeatmapCollector hm(static_cast<std::uint16_t>(dev.geometry().cols));
+  std::uint64_t tick = 0;
+  pm.setOccupancyObserver([&](const char* event) {
+    hm.sample(tick++, event, occupancyCells(pm.allocator()));
+  });
+
+  Netlist nl = lib::makeCounter(6);
+  nl.setName("count");
+  const ConfigId id =
+      cfgs.add(compiler.compile(nl, Region::columns(dev.geometry(), 0, 4)));
+  const auto loaded = pm.load(id);
+  ASSERT_TRUE(loaded.has_value());
+  const auto q = pm.quarantine(11);  // idle column: fenced immediately
+  EXPECT_TRUE(q.quarantined);
+  pm.unload(loaded->partition);
+
+  ASSERT_EQ(hm.samples().size(), 3u);
+  EXPECT_EQ(hm.samples()[0].event, "allocate");
+  EXPECT_EQ(hm.samples()[1].event, "quarantine");
+  EXPECT_EQ(hm.samples()[2].event, "release");
+  EXPECT_EQ(hm.samples()[0].cells[0], obs::CellState::kBusy);
+  EXPECT_EQ(hm.samples()[1].cells[11], obs::CellState::kFaulty);
+  EXPECT_EQ(hm.samples()[2].cells[0], obs::CellState::kIdle);
 }
 
 }  // namespace

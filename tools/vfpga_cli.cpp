@@ -14,24 +14,44 @@
 //   vfpga_cli lint --list-rules             the rule registry
 //   vfpga_cli trace (--circuit <name> | --netlist file.vnl)
 //              [--device <name>] [--width N] [--format chrome|csv]
-//              [--validate] [--out file]    compile + run the circuit under
-//              two OS policies; emit the merged timeline (Perfetto-loadable)
+//              [--validate] [--stream file.ndjson] [--out file]
+//              compile + run the circuit under two OS policies; emit the
+//              merged timeline (Perfetto-loadable); --stream additionally
+//              writes live NDJSON records while the run is in flight
+//   vfpga_cli trace --from file.ndjson [--format chrome|csv] [--validate]
+//              re-render a captured NDJSON stream (exit 3 when any line
+//              is truncated or fails the strict JSON parser)
 //   vfpga_cli report [--device <name>] [--format prometheus|csv|json]
-//              [--min-names N] [--out file] run a six-technique workload
-//              and expose every metric the substrate collected
+//              [--min-names N] [--links] [--out file] run a six-technique
+//              workload and expose every metric the substrate collected;
+//              --links instead prints the compile-span -> OS-span link
+//              table (exit 1 when any FPGA task resolves no link)
+//   vfpga_cli heatmap [--device <name>] [--seed N]
+//              [--format csv|json|html] [--out file]  deterministic
+//              partitioned run with scripted strip failures; emit the
+//              per-strip occupancy matrix (byte-identical per seed)
 //   vfpga_cli faults [--seed N] [--campaign ci|stress] [--out file]
-//              [--flight-dir dir]           run a seeded fault-injection
-//              campaign (bit flips, aborted downloads, permanent strip
-//              failures, hangs) against the partitioned kernel and emit a
-//              survival report; exit 0 iff every task finished
+//              [--flight-dir dir] [--stream file.ndjson]
+//              run a seeded fault-injection campaign (bit flips, aborted
+//              downloads, permanent strip failures, hangs) against the
+//              partitioned kernel and emit a survival report; exit 0 iff
+//              every task finished
+//   vfpga_cli bench-trend --baseline bench/baselines.json [--dir dir]
+//              [--tolerance F] [--out trend.json]  compare BENCH_*.json
+//              sidecars against committed baselines; exit 1 on any metric
+//              drifting beyond the tolerance band
 //
 // Exit codes: 0 success, 1 findings / runtime errors, 2 usage,
 // 3 export or validation failure. The same codes apply to every command
 // (lint --json and trace --validate return 3 on export/validation
 // failure, 1 on findings).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <map>
 #include <optional>
@@ -61,7 +81,10 @@
 #include "netlist/optimize.hpp"
 #include "netlist/text_io.hpp"
 #include "obs/exporters.hpp"
+#include "obs/heatmap.hpp"
 #include "obs/json.hpp"
+#include "obs/output_dir.hpp"
+#include "obs/stream.hpp"
 #include "sim/rng.hpp"
 #include "workloads/app_circuits.hpp"
 #include "workloads/compile_suite.hpp"
@@ -98,11 +121,19 @@ int usage() {
                "  lint --list-rules\n"
                "  trace (--circuit <name> | --netlist file.vnl)"
                " [--device <name>] [--width N] [--format chrome|csv]"
+               " [--validate] [--stream file.ndjson] [--out file]\n"
+               "  trace --from file.ndjson [--format chrome|csv]"
                " [--validate] [--out file]\n"
                "  report [--device <name>] [--format prometheus|csv|json]"
-               " [--min-names N] [--out file]\n"
+               " [--min-names N] [--links] [--out file]\n"
+               "  heatmap [--device <name>] [--seed N]"
+               " [--format csv|json|html] [--out file]\n"
                "  faults [--seed N] [--campaign ci|stress] [--out file]"
-               " [--flight-dir dir]\n"
+               " [--flight-dir dir] [--stream file.ndjson]\n"
+               "  bench-trend --baseline file.json [--dir dir]"
+               " [--tolerance F] [--out trend.json]\n"
+               "stream knobs: [--stream-ring N] [--stream-flush N]"
+               " [--stream-flush-ns N] [--stream-sample key=N[,key=N]]\n"
                "exit codes: 0 success, 1 findings / runtime errors,"
                " 2 usage, 3 export or validation failure\n");
   return 2;
@@ -132,7 +163,7 @@ std::optional<Args> parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) return std::nullopt;
     key = key.substr(2);
     if (key == "no-optimize" || key == "all" || key == "json" ||
-        key == "list-rules" || key == "validate") {
+        key == "list-rules" || key == "validate" || key == "links") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -385,6 +416,179 @@ std::string renderTimelineCsv(const obs::ChromeTraceInput& input) {
   return out;
 }
 
+/// Shared --stream* flags -> exporter options ("-" streams to stdout).
+obs::StreamOptions streamOptions(const Args& a) {
+  obs::StreamOptions o;
+  o.path = a.get("stream");
+  o.ringCapacity = std::stoul(a.get("stream-ring", "1024"));
+  o.flushEveryRecords = std::stoul(a.get("stream-flush", "64"));
+  o.flushTimeDeltaNs = std::stoull(a.get("stream-flush-ns", "0"));
+  // --stream-sample key=N[,key=N]: keep 1 of every N records per key
+  // (span/instant category, or "trace" for Trace-ring records).
+  std::stringstream ss(a.get("stream-sample"));
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("bad --stream-sample entry '" + tok + "'");
+    }
+    o.sampleEvery[tok.substr(0, eq)] =
+        static_cast<std::uint32_t>(std::stoul(tok.substr(eq + 1)));
+  }
+  return o;
+}
+
+/// Wires a kernel's span tracer and Trace ring into the live exporter.
+void attachKernelStream(obs::StreamExporter& stream, OsKernel& kernel,
+                        std::string domain) {
+  stream.attach(kernel.spanTracer(), domain);
+  kernel.traceRing().setRecordSink([&stream, domain](const TraceRecord& r) {
+    stream.onTrace(r.at, traceKindName(r.kind), r.detail, domain);
+  });
+}
+
+/// Drop accounting is explicit, never silent: summarize it on stderr (the
+/// payload on stdout/--out stays machine-readable).
+void reportStreamTotals(const obs::StreamExporter& stream, const char* cmd) {
+  std::fprintf(stderr,
+               "%s: stream wrote %llu records (%llu emitted, %llu dropped,"
+               " %llu sampled out)\n",
+               cmd, static_cast<unsigned long long>(stream.written()),
+               static_cast<unsigned long long>(stream.emitted()),
+               static_cast<unsigned long long>(stream.dropped()),
+               static_cast<unsigned long long>(stream.sampledOut()));
+  for (const auto& [key, n] : stream.droppedByKey()) {
+    std::fprintf(stderr, "%s: stream dropped %llu x %s\n", cmd,
+                 static_cast<unsigned long long>(n), key.c_str());
+  }
+}
+
+TraceKind traceKindByName(std::string_view name) {
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    if (name == traceKindName(kind)) return kind;
+  }
+  return TraceKind::kInfo;
+}
+
+/// A captured NDJSON stream rebuilt into per-domain tracers and Trace
+/// rings; "flow" maps back to the wall-clock process, every other domain
+/// to a simulated process.
+struct CapturedStream {
+  std::map<std::string, obs::SpanTracer> tracers;
+  std::map<std::string, Trace> traces;
+  std::uint64_t records = 0;
+  std::uint64_t summaries = 0;
+};
+
+std::uint64_t asU64(const obs::JsonValue& v) {
+  return static_cast<std::uint64_t>(v.asNumber());
+}
+
+/// Parses a captured stream strictly: every line must be a complete JSON
+/// record of a known kind. A truncated tail (killed writer, partial
+/// flush) is an error — returns 3 with a file:line diagnostic; 0 on
+/// success.
+int loadStream(const std::string& path, CapturedStream& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open stream %s\n", path.c_str());
+    return 3;
+  }
+  std::string text;
+  std::uint64_t lineNo = 0;
+  while (std::getline(in, text)) {
+    ++lineNo;
+    if (text.empty()) continue;
+    try {
+      const obs::JsonValue v = obs::JsonValue::parse(text);
+      const std::string& kind = v.at("kind").asString();
+      if (kind == "span") {
+        obs::SpanRecord s;
+        s.name = v.at("name").asString();
+        s.category = v.at("category").asString();
+        s.startNs = asU64(v.at("start_ns"));
+        s.durationNs = asU64(v.at("duration_ns"));
+        s.track = static_cast<std::uint32_t>(asU64(v.at("track")));
+        s.spanId = asU64(v.at("span_id"));
+        if (v.has("links")) {
+          for (const obs::JsonValue& l : v.at("links").asArray()) {
+            s.links.push_back(asU64(l));
+          }
+        }
+        if (v.has("attributes")) {
+          for (const auto& [k, val] : v.at("attributes").asObject()) {
+            s.attributes.emplace_back(k, val.asString());
+          }
+        }
+        out.tracers[v.at("domain").asString()].import(std::move(s));
+      } else if (kind == "instant") {
+        obs::InstantRecord i;
+        i.name = v.at("name").asString();
+        i.category = v.at("category").asString();
+        i.atNs = asU64(v.at("at_ns"));
+        i.track = static_cast<std::uint32_t>(asU64(v.at("track")));
+        if (v.has("attributes")) {
+          for (const auto& [k, val] : v.at("attributes").asObject()) {
+            i.attributes.emplace_back(k, val.asString());
+          }
+        }
+        out.tracers[v.at("domain").asString()].import(std::move(i));
+      } else if (kind == "trace") {
+        const std::string& domain = v.at("domain").asString();
+        auto [it, inserted] =
+            out.traces.try_emplace(domain, std::size_t{1} << 20);
+        (void)inserted;
+        it->second.record(asU64(v.at("at_ns")),
+                          traceKindByName(v.at("trace_kind").asString()),
+                          v.at("detail").asString());
+      } else if (kind == "stream_summary") {
+        ++out.summaries;
+      } else {
+        throw obs::JsonError("unknown record kind '" + kind + "'");
+      }
+    } catch (const obs::JsonError& e) {
+      std::fprintf(stderr,
+                   "error: %s:%llu: truncated or invalid stream record: %s\n",
+                   path.c_str(), static_cast<unsigned long long>(lineNo),
+                   e.what());
+      return 3;
+    }
+    ++out.records;
+  }
+  return 0;
+}
+
+/// View over a CapturedStream in renderChromeTrace/renderTimelineCsv form.
+obs::ChromeTraceInput capturedInput(const CapturedStream& cap) {
+  obs::ChromeTraceInput input;
+  const auto flow = cap.tracers.find("flow");
+  if (flow != cap.tracers.end()) input.wall = &flow->second;
+  for (const auto& [domain, tracer] : cap.tracers) {
+    if (domain == "flow") continue;
+    const auto t = cap.traces.find(domain);
+    input.sim.push_back(
+        {domain, &tracer, t == cap.traces.end() ? nullptr : &t->second});
+  }
+  for (const auto& [domain, trace] : cap.traces) {
+    if (domain == "flow" || cap.tracers.count(domain) != 0) continue;
+    input.sim.push_back({domain, nullptr, &trace});
+  }
+  return input;
+}
+
+int validateChromeOrFail(const std::string& chrome) {
+  const std::vector<std::string> problems = obs::validateChromeTrace(chrome);
+  if (!problems.empty()) {
+    for (const std::string& problem : problems) {
+      std::fprintf(stderr, "trace: invalid: %s\n", problem.c_str());
+    }
+    return 3;
+  }
+  std::fprintf(stderr, "trace: chrome trace validates clean\n");
+  return 0;
+}
+
 TaskSpec traceTask(const std::string& name, SimTime arrival, ConfigId cfg,
                    std::uint64_t cycles) {
   TaskSpec t;
@@ -406,6 +610,28 @@ int traceCmd(const Args& a) {
                  fmt.c_str());
     return 2;
   }
+
+  // Replay path: re-render (and optionally validate) a captured NDJSON
+  // stream instead of running a workload.
+  if (a.has("from")) {
+    CapturedStream cap;
+    const int rc = loadStream(a.get("from"), cap);
+    if (rc != 0) return rc;
+    std::fprintf(stderr,
+                 "trace: replayed %llu stream records across %zu domains"
+                 " (%llu summaries)\n",
+                 static_cast<unsigned long long>(cap.records),
+                 cap.tracers.size() + cap.traces.size(),
+                 static_cast<unsigned long long>(cap.summaries));
+    const obs::ChromeTraceInput input = capturedInput(cap);
+    const std::string chrome = obs::renderChromeTrace(input);
+    if (a.has("validate")) {
+      const int vrc = validateChromeOrFail(chrome);
+      if (vrc != 0) return vrc;
+    }
+    return emitPayload(a, fmt == "chrome" ? chrome : renderTimelineCsv(input));
+  }
+
   AppCircuit circuit = loadCircuit(a);
   DeviceProfile p = profileByName(a.get("device", "medium_partial"));
   Device dev = p.makeDevice();
@@ -416,6 +642,19 @@ int traceCmd(const Args& a) {
   obs::SpanTracer wall;
   obs::MetricsRegistry flowMetrics;
   compiler.setObservers(&wall, &flowMetrics);
+
+  // Live streaming: attach before anything compiles or runs so the NDJSON
+  // file fills while the workload is in flight.
+  std::optional<obs::StreamExporter> stream;
+  if (a.has("stream")) {
+    stream.emplace(streamOptions(a));
+    if (!stream->ok()) {
+      std::fprintf(stderr, "error: cannot open stream %s\n",
+                   a.get("stream").c_str());
+      return 3;
+    }
+    stream->attach(wall, "flow");
+  }
 
   const CompiledCircuit primary = [&] {
     if (a.has("width")) {
@@ -436,6 +675,7 @@ int traceCmd(const Args& a) {
   dynOpt.policy = FpgaPolicy::kDynamicLoading;
   dynOpt.fpgaSlice = micros(100);
   OsKernel dyn(dynSim, dev, port, compiler, dynOpt);
+  if (stream) attachKernelStream(*stream, dyn, "os/dynamic_loading");
   {
     const ConfigId da = dyn.registerConfig(primary);
     const ConfigId db = dyn.registerConfig(aux);
@@ -451,6 +691,7 @@ int traceCmd(const Args& a) {
   OsOptions partOpt;
   partOpt.policy = FpgaPolicy::kPartitionedVariable;
   OsKernel part(partSim, dev, port, compiler, partOpt);
+  if (stream) attachKernelStream(*stream, part, "os/partitioned_variable");
   {
     const ConfigId pa = part.registerConfig(primary);
     const ConfigId pb = part.registerConfig(aux);
@@ -458,6 +699,11 @@ int traceCmd(const Args& a) {
     part.addTask(traceTask("t1", micros(40), pb, 20000));
     part.addTask(traceTask("t2", micros(80), pa, 12000));
     part.run();
+  }
+
+  if (stream) {
+    stream->finish();
+    reportStreamTotals(*stream, "trace");
   }
 
   obs::ChromeTraceInput input;
@@ -468,14 +714,8 @@ int traceCmd(const Args& a) {
 
   const std::string chrome = obs::renderChromeTrace(input);
   if (a.has("validate")) {
-    const std::vector<std::string> problems = obs::validateChromeTrace(chrome);
-    if (!problems.empty()) {
-      for (const std::string& problem : problems) {
-        std::fprintf(stderr, "trace: invalid: %s\n", problem.c_str());
-      }
-      return 3;
-    }
-    std::fprintf(stderr, "trace: chrome trace validates clean\n");
+    const int vrc = validateChromeOrFail(chrome);
+    if (vrc != 0) return vrc;
   }
   return emitPayload(a, fmt == "chrome" ? chrome : renderTimelineCsv(input));
 }
@@ -494,7 +734,72 @@ int reportCmd(const Args& a) {
   Compiler compiler(dev);
 
   obs::MetricsRegistry reg;
-  compiler.setObservers(nullptr, &reg);  // vfpga_flow_* phase timings
+  // vfpga_flow_* phase timings; the wall tracer also gives every compile a
+  // process-unique span id that the kernels' download/exec spans link back
+  // to — the --links join below resolves them.
+  obs::SpanTracer wall;
+  compiler.setObservers(&wall, &reg);
+
+  // --links: per-config counts of OS spans carrying the compile span id,
+  // plus a per-task verdict (>=1 linked download span for some config the
+  // task names).
+  struct LinkRow {
+    std::string policy;
+    std::string config;
+    std::uint64_t compileSpan = 0;
+    std::uint64_t downloads = 0;
+    std::uint64_t execs = 0;
+  };
+  struct TaskLinks {
+    std::string policy;
+    std::string task;
+    bool resolved = false;
+  };
+  std::vector<LinkRow> linkRows;
+  std::vector<TaskLinks> taskLinks;
+  auto collectLinks = [&linkRows, &taskLinks](OsKernel& kernel,
+                                              const char* policy) {
+    const std::vector<obs::SpanRecord>& spans = kernel.spanTracer().spans();
+    auto linked = [&spans](std::uint64_t compileSpan, const char* category) {
+      std::uint64_t n = 0;
+      for (const obs::SpanRecord& s : spans) {
+        const bool categoryOk =
+            category == nullptr ? s.category != "os.config"
+                                : s.category == category;
+        if (categoryOk && std::find(s.links.begin(), s.links.end(),
+                                    compileSpan) != s.links.end()) {
+          ++n;
+        }
+      }
+      return n;
+    };
+    for (ConfigId id = 0; id < kernel.registry().size(); ++id) {
+      LinkRow row;
+      row.policy = policy;
+      row.config = kernel.registry().circuit(id).name;
+      row.compileSpan = kernel.compileSpanOf(id);
+      if (row.compileSpan != 0) {
+        row.downloads = linked(row.compileSpan, "os.config");
+        row.execs = linked(row.compileSpan, nullptr);
+      }
+      linkRows.push_back(std::move(row));
+    }
+    for (const TaskRuntime& t : kernel.tasks()) {
+      TaskLinks tl;
+      tl.policy = policy;
+      tl.task = t.spec.name;
+      for (const TaskOp& op : t.spec.ops) {
+        const FpgaExec* fx = std::get_if<FpgaExec>(&op);
+        if (fx == nullptr) continue;
+        const std::uint64_t compileSpan = kernel.compileSpanOf(fx->config);
+        if (compileSpan != 0 && linked(compileSpan, "os.config") > 0) {
+          tl.resolved = true;
+          break;
+        }
+      }
+      taskLinks.push_back(std::move(tl));
+    }
+  };
 
   const Region strip = Region::columns(dev.geometry(), 0, 4);
   const CompiledCircuit count =
@@ -520,6 +825,7 @@ int reportCmd(const Args& a) {
     kernel.addTask(traceTask("d2", micros(80), ka, 12000));
     kernel.run();
     reg.merge(kernel.metricsRegistry());
+    if (a.has("links")) collectLinks(kernel, "dynamic_loading");
   }
   {
     Simulation sim;
@@ -534,6 +840,7 @@ int reportCmd(const Args& a) {
     kernel.addTask(traceTask("p2", micros(80), kc, 12000));
     kernel.run();
     reg.merge(kernel.metricsRegistry());
+    if (a.has("links")) collectLinks(kernel, "partitioned_variable");
   }
   // Standalone manager exercises for the remaining techniques (the §2
   // tour), snapshotted via publishMetrics.
@@ -608,6 +915,59 @@ int reportCmd(const Args& a) {
     mux.transfer(64);
     mux.transfer(64);
     publishMetrics(mux, reg);
+  }
+
+  if (a.has("links")) {
+    std::size_t resolved = 0;
+    for (const TaskLinks& t : taskLinks) resolved += t.resolved ? 1 : 0;
+    std::ostringstream os;
+    if (fmt == "json") {
+      os << "{\n\"configs\":[";
+      for (std::size_t i = 0; i < linkRows.size(); ++i) {
+        const LinkRow& r = linkRows[i];
+        os << (i ? ",\n" : "\n") << "{\"policy\":\"" << obs::jsonEscape(r.policy)
+           << "\",\"config\":\"" << obs::jsonEscape(r.config)
+           << "\",\"compile_span\":" << r.compileSpan
+           << ",\"download_spans\":" << r.downloads
+           << ",\"exec_spans\":" << r.execs << "}";
+      }
+      os << "\n],\n\"tasks\":[";
+      for (std::size_t i = 0; i < taskLinks.size(); ++i) {
+        const TaskLinks& t = taskLinks[i];
+        os << (i ? ",\n" : "\n") << "{\"policy\":\"" << obs::jsonEscape(t.policy)
+           << "\",\"task\":\"" << obs::jsonEscape(t.task)
+           << "\",\"resolved\":" << (t.resolved ? "true" : "false") << "}";
+      }
+      os << "\n]\n}\n";
+    } else {
+      os << "span links (compile -> OS)\n";
+      os << "==========================\n";
+      char buf[160];
+      std::snprintf(buf, sizeof buf, "%-22s %-8s %12s %10s %10s\n", "policy",
+                    "config", "compile_span", "downloads", "execs");
+      os << buf;
+      for (const LinkRow& r : linkRows) {
+        std::snprintf(buf, sizeof buf, "%-22s %-8s %12llu %10llu %10llu\n",
+                      r.policy.c_str(), r.config.c_str(),
+                      static_cast<unsigned long long>(r.compileSpan),
+                      static_cast<unsigned long long>(r.downloads),
+                      static_cast<unsigned long long>(r.execs));
+        os << buf;
+      }
+      os << "\ntask link coverage\n";
+      for (const TaskLinks& t : taskLinks) {
+        std::snprintf(buf, sizeof buf, "%-22s %-8s %s\n", t.policy.c_str(),
+                      t.task.c_str(), t.resolved ? "resolved" : "UNRESOLVED");
+        os << buf;
+      }
+      os << "resolved: " << resolved << "/" << taskLinks.size() << " tasks\n";
+    }
+    std::fprintf(stderr,
+                 "report: %zu/%zu tasks resolved a compile->download link\n",
+                 resolved, taskLinks.size());
+    const int rc = emitPayload(a, os.str());
+    if (rc != 0) return rc;
+    return resolved == taskLinks.size() && !taskLinks.empty() ? 0 : 1;
   }
 
   std::fprintf(stderr, "report: %zu metric families, %zu series\n",
@@ -781,6 +1141,18 @@ int faultsCmd(const Args& a) {
   const Region strip = Region::columns(dev.geometry(), 0, 4);
   Simulation sim;
   OsKernel kernel(sim, dev, port, compiler, opt);
+  // Live NDJSON stream of the campaign (watch with tail -f); the summary
+  // goes to stderr so the survival report stays byte-identical per seed.
+  std::optional<obs::StreamExporter> stream;
+  if (a.has("stream")) {
+    stream.emplace(streamOptions(a));
+    if (!stream->ok()) {
+      std::fprintf(stderr, "error: cannot open stream %s\n",
+                   a.get("stream").c_str());
+      return 3;
+    }
+    attachKernelStream(*stream, kernel, "os/faults");
+  }
   const ConfigId cfgs[3] = {
       kernel.registerConfig(
           compiler.compile(named(lib::makeCounter(6), "count"), strip)),
@@ -799,6 +1171,10 @@ int faultsCmd(const Args& a) {
     kernel.addTask(std::move(t));
   }
   kernel.run();
+  if (stream) {
+    stream->finish();
+    reportStreamTotals(*stream, "faults");
+  }
 
   std::size_t finished = 0;
   std::size_t parked = 0;
@@ -873,6 +1249,192 @@ int faultsCmd(const Args& a) {
   return survived ? 0 : 1;
 }
 
+/// Deterministic partitioned workload with scripted permanent strip
+/// failures: every allocator mutation (allocate / release / relocate /
+/// quarantine) appends one row to the per-column occupancy matrix. The
+/// whole stack is seeded and event-driven, so the CSV/JSON/HTML renders
+/// are byte-identical for a given seed and device — the determinism ctest
+/// runs the command twice and compares.
+int heatmapCmd(const Args& a) {
+  const std::string fmt = a.get("format", "csv");
+  if (fmt != "csv" && fmt != "json" && fmt != "html") {
+    std::fprintf(stderr, "heatmap: unknown --format '%s' (csv|json|html)\n",
+                 fmt.c_str());
+    return 2;
+  }
+  fault::FaultPlanSpec spec;
+  spec.seed = std::stoull(a.get("seed", "7"));
+  spec.stripFailures = {{millis(2), 2}, {millis(5), 9}};
+  fault::FaultPlan plan(spec);
+
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  opt.ft.plan = &plan;
+  opt.ft.scrubInterval = micros(500);
+  opt.ft.recovery = fault::RecoveryOptions{true, 4, micros(50)};
+  opt.ft.watchdogFactor = 4.0;
+
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+
+  const Region strip = Region::columns(dev.geometry(), 0, 4);
+  Simulation sim;
+  OsKernel kernel(sim, dev, port, compiler, opt);
+  obs::HeatmapCollector heatmap(
+      static_cast<std::uint16_t>(dev.geometry().cols));
+  kernel.attachHeatmap(&heatmap);
+  const ConfigId cfgs[3] = {
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeCounter(6), "count"), strip)),
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeChecksum(6), "csum"), strip)),
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeLfsr(8, 0b10111000), "lfsr"), strip)),
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    TaskSpec t;
+    t.name = "hm" + std::to_string(i);
+    t.arrival = static_cast<SimTime>(i) * micros(200);
+    t.ops = {CpuBurst{micros(25)}, FpgaExec{cfgs[i % 3], 15000 + 4000 * i},
+             CpuBurst{micros(15)}};
+    kernel.addTask(std::move(t));
+  }
+  kernel.run();
+
+  std::fprintf(stderr, "heatmap: %zu samples x %u columns\n",
+               heatmap.samples().size(), heatmap.columns());
+  const std::string payload =
+      fmt == "csv"    ? heatmap.renderCsv()
+      : fmt == "json" ? heatmap.renderJson()
+                      : heatmap.renderHtml("vfpga occupancy - " + p.name);
+  return emitPayload(a, payload);
+}
+
+/// Compares BENCH_*.json sidecars in --dir against the committed baseline
+/// file. Only metrics named in the baseline participate (new metrics never
+/// fail the build); a metric missing from the sidecars, or drifting beyond
+/// the tolerance band, does. The sim-derived bench numbers are
+/// deterministic and machine-independent, so the band only absorbs
+/// intentional model changes.
+int benchTrendCmd(const Args& a) {
+  const std::string dir = a.get("dir", obs::outputDir());
+  const std::string baselinePath = a.get("baseline", "bench/baselines.json");
+
+  std::ifstream bin(baselinePath);
+  if (!bin) {
+    std::fprintf(stderr, "error: cannot open baseline %s\n",
+                 baselinePath.c_str());
+    return 3;
+  }
+  std::stringstream bbuf;
+  bbuf << bin.rdbuf();
+  obs::JsonValue baseline;
+  try {
+    baseline = obs::JsonValue::parse(bbuf.str());
+  } catch (const obs::JsonError& e) {
+    std::fprintf(stderr, "error: %s: %s\n", baselinePath.c_str(), e.what());
+    return 3;
+  }
+  double tol = baseline.has("tolerance") ? baseline.at("tolerance").asNumber()
+                                         : 0.2;
+  if (a.has("tolerance")) tol = std::stod(a.get("tolerance"));
+
+  // Current values, flattened to "<sidecar-stem>/<metric>{labels}" keys
+  // (gauges and counters; multi-field stats/histograms are skipped).
+  std::map<std::string, double> current;
+  std::size_t sidecars = 0;
+  try {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string fname = entry.path().filename().string();
+      if (fname.rfind("BENCH_", 0) != 0 ||
+          entry.path().extension() != ".json") {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::stringstream buf;
+      buf << in.rdbuf();
+      obs::JsonValue doc;
+      try {
+        doc = obs::JsonValue::parse(buf.str());
+      } catch (const obs::JsonError& e) {
+        std::fprintf(stderr, "error: %s: %s\n",
+                     entry.path().string().c_str(), e.what());
+        return 3;
+      }
+      ++sidecars;
+      const std::string stem = entry.path().stem().string();
+      for (const obs::JsonValue& m : doc.asArray()) {
+        if (!m.has("value")) continue;
+        std::string key = stem + "/" + m.at("name").asString() + "{";
+        bool first = true;
+        for (const auto& [lk, lv] : m.at("labels").asObject()) {
+          if (!first) key += ",";
+          first = false;
+          key += lk + "=" + lv.asString();
+        }
+        key += "}";
+        current[key] = m.at("value").asNumber();
+      }
+    }
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::fprintf(stderr, "error: cannot scan %s: %s\n", dir.c_str(),
+                 e.what());
+    return 3;
+  }
+
+  const obs::JsonValue::Object& metrics = baseline.at("metrics").asObject();
+  std::size_t compared = 0;
+  std::size_t missing = 0;
+  std::size_t regressions = 0;
+  std::ostringstream trend;
+  trend << std::setprecision(15);
+  trend << "{\n\"tolerance\":" << tol << ",\n\"rows\":[";
+  bool first = true;
+  for (const auto& [key, bv] : metrics) {
+    const double base = bv.asNumber();
+    const auto it = current.find(key);
+    double cur = 0.0;
+    double delta = 0.0;
+    const char* status = "missing";
+    if (it == current.end()) {
+      ++missing;
+      std::fprintf(stderr, "bench-trend: MISSING %s (no sidecar value)\n",
+                   key.c_str());
+    } else {
+      cur = it->second;
+      ++compared;
+      delta = (cur - base) / std::max(std::fabs(base), 1e-12);
+      if (std::fabs(delta) <= tol) {
+        status = "ok";
+      } else {
+        status = "regression";
+        ++regressions;
+        std::fprintf(stderr,
+                     "bench-trend: REGRESSION %s: baseline %.6g current"
+                     " %.6g (%+.1f%%)\n",
+                     key.c_str(), base, cur, 100.0 * delta);
+      }
+    }
+    trend << (first ? "" : ",") << "\n{\"metric\":\"" << obs::jsonEscape(key)
+          << "\",\"baseline\":" << base << ",\"current\":" << cur
+          << ",\"delta\":" << delta << ",\"status\":\"" << status << "\"}";
+    first = false;
+  }
+  trend << "\n],\n\"sidecars\":" << sidecars << ",\"compared\":" << compared
+        << ",\"new\":" << (current.size() - compared)
+        << ",\"missing\":" << missing << ",\"regressions\":" << regressions
+        << "\n}\n";
+  std::fprintf(stderr,
+               "bench-trend: %zu sidecars, %zu compared, %zu missing,"
+               " %zu regressions (tolerance +/-%.0f%%)\n",
+               sidecars, compared, missing, regressions, 100.0 * tol);
+  const int rc = emitPayload(a, trend.str());
+  if (rc != 0) return rc;
+  return regressions == 0 && missing == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -887,7 +1449,9 @@ int main(int argc, char** argv) {
     if (args->command == "lint") return lintCmd(*args);
     if (args->command == "trace") return traceCmd(*args);
     if (args->command == "report") return reportCmd(*args);
+    if (args->command == "heatmap") return heatmapCmd(*args);
     if (args->command == "faults") return faultsCmd(*args);
+    if (args->command == "bench-trend") return benchTrendCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
