@@ -1,0 +1,168 @@
+// E13 — Multi-device cluster scheduling (cluster extension).
+//
+// Three sweeps over a seeded 24-job campaign, all devices medium_partial,
+// one shared simulation and one shared content-addressed bitstream cache:
+//  1. device scaling: fixed offered load spread over 2/3/4 devices —
+//     queue-wait percentiles and throughput as capacity grows;
+//  2. placement policies under degradation: first-fit vs least-loaded vs
+//     best-fit while dev1 loses two columns and its tasks drain away;
+//  3. cache dedupe proof: registering W workloads on N devices compiles
+//     each distinct bitstream exactly once (compiles == unique digests),
+//     every other registration is a cache hit.
+// Every row is reproducible byte for byte (seeded arrivals, seeded fault
+// plans, index-ordered scheduler iteration).
+#include "bench_util.hpp"
+#include "cluster/scheduler.hpp"
+#include "sim/rng.hpp"
+
+using namespace vfpga;
+using namespace vfpga::bench;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 13;
+constexpr std::size_t kJobs = 24;
+constexpr std::size_t kWorkloads = 3;
+
+struct ClusterResult {
+  cluster::ClusterScheduler::Summary summary;
+  cluster::BitstreamCacheStats cache;
+  double cacheHitRate = 0;
+  std::size_t registrations = 0;
+};
+
+ClusterResult runCluster(std::size_t devices, cluster::PlacementPolicy policy,
+                         bool faulty) {
+  Simulation sim;
+  cluster::BitstreamCache cache(32);
+
+  std::vector<cluster::DeviceNodeSpec> specs;
+  for (std::size_t i = 0; i < devices; ++i) {
+    cluster::DeviceNodeSpec s;
+    s.name = "dev" + std::to_string(i);
+    s.profile = mediumPartialProfile();
+    if (faulty && i == 1) {
+      s.faulty = true;
+      s.faultSpec.seed = kSeed + 1;
+      s.faultSpec.stripFailures = {{millis(2), 2}, {millis(4), 9}};
+    }
+    specs.push_back(std::move(s));
+  }
+
+  OsOptions base;
+  base.priorityScheduling = true;
+  cluster::DevicePool pool(sim, specs, cache, base);
+  auto circuits = standardCircuits();
+  std::vector<cluster::WorkloadId> ws;
+  for (std::size_t i = 0; i < kWorkloads; ++i) {
+    ws.push_back(pool.registerWorkload(circuits[i].name, circuits[i].netlist,
+                                       circuits[i].width));
+  }
+
+  cluster::ClusterOptions copt;
+  copt.placement = policy;
+  copt.minUsableColumns = 8;
+  copt.maxJobsPerDevice = 2;  // the cap is what makes queue waits real
+  cluster::ClusterScheduler sched(sim, pool, copt);
+
+  Rng rng(kSeed);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    cluster::ClusterJobSpec job;
+    job.name = "e13_" + std::to_string(j);
+    job.submitAt =
+        static_cast<SimTime>(j) * micros(100) + rng.below(micros(50));
+    job.priority = static_cast<int>(rng.below(3));
+    job.ops = {CpuBurst{micros(20)},
+               FpgaExec{ws[rng.below(kWorkloads)], 15000 + 1000 * rng.below(20)},
+               CpuBurst{micros(10)}};
+    sched.submit(std::move(job));
+  }
+  sched.run();
+
+  ClusterResult r;
+  r.summary = sched.summary();
+  r.cache = cache.stats();
+  r.cacheHitRate = cache.hitRate();
+  r.registrations = kWorkloads * devices;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e13_cluster");
+  int rc = 0;
+
+  tableHeader("E13", "device scaling (24 jobs, least_loaded, fault-free)");
+  std::printf("%-8s | %9s %9s %12s %12s %12s\n", "devices", "admitted",
+              "completed", "p99_wait_ms", "makespan_ms", "jobs/s");
+  std::vector<std::pair<std::size_t, ClusterResult>> sweep;
+  for (std::size_t devices : {std::size_t{2}, std::size_t{3}, std::size_t{4}}) {
+    const ClusterResult r =
+        runCluster(devices, cluster::PlacementPolicy::kLeastLoaded, false);
+    sweep.emplace_back(devices, r);
+    std::printf("%-8zu | %9llu %9llu %12.3f %12.3f %12.2f\n", devices,
+                static_cast<unsigned long long>(r.summary.admitted),
+                static_cast<unsigned long long>(r.summary.completed),
+                toMilliseconds(r.summary.p99QueueWaitNs),
+                toMilliseconds(r.summary.makespanNs),
+                r.summary.throughputJobsPerSec);
+    const obs::Labels l = {{"devices", std::to_string(devices)}};
+    json.sample("vfpga_bench_e13_throughput_jobs_s", l,
+                r.summary.throughputJobsPerSec);
+    json.sample("vfpga_bench_e13_p99_wait_ns", l,
+                static_cast<double>(r.summary.p99QueueWaitNs));
+    json.sample("vfpga_bench_e13_completed", l,
+                static_cast<double>(r.summary.completed));
+  }
+
+  tableHeader("E13",
+              "placement policy x degradation (3 devices, dev1 loses 2 cols)");
+  std::printf("%-14s | %9s %9s %9s %12s %12s\n", "policy", "completed",
+              "drain", "rebal", "p99_wait_ms", "makespan_ms");
+  for (cluster::PlacementPolicy policy :
+       {cluster::PlacementPolicy::kFirstFit,
+        cluster::PlacementPolicy::kLeastLoaded,
+        cluster::PlacementPolicy::kBestFit}) {
+    const ClusterResult r = runCluster(3, policy, true);
+    const char* name = cluster::placementPolicyName(policy);
+    std::printf("%-14s | %9llu %9llu %9llu %12.3f %12.3f\n", name,
+                static_cast<unsigned long long>(r.summary.completed),
+                static_cast<unsigned long long>(r.summary.migrationsDrain),
+                static_cast<unsigned long long>(r.summary.migrationsRebalance),
+                toMilliseconds(r.summary.p99QueueWaitNs),
+                toMilliseconds(r.summary.makespanNs));
+    const obs::Labels l = {{"policy", name}};
+    json.sample("vfpga_bench_e13_policy_makespan_ms", l,
+                toMilliseconds(r.summary.makespanNs));
+    json.sample("vfpga_bench_e13_policy_drain_migrations", l,
+                static_cast<double>(r.summary.migrationsDrain));
+    json.sample("vfpga_bench_e13_policy_completed", l,
+                static_cast<double>(r.summary.completed));
+  }
+
+  tableHeader("E13", "shared bitstream cache dedupe "
+                     "(3 workloads registered on every device)");
+  std::printf("%-8s | %8s %9s %9s %8s %9s %9s\n", "devices", "regs",
+              "compiles", "digests", "hits", "hit_rate", "dedupe_ok");
+  for (const auto& [devices, r] : sweep) {
+    const bool dedupeOk = r.cache.compiles == r.cache.uniqueDigests &&
+                          r.cache.hits + r.cache.misses == r.registrations;
+    if (!dedupeOk) rc = 1;  // the cache's core guarantee failed
+    std::printf("%-8zu | %8zu %9llu %9llu %8llu %9.4f %9s\n", devices,
+                r.registrations,
+                static_cast<unsigned long long>(r.cache.compiles),
+                static_cast<unsigned long long>(r.cache.uniqueDigests),
+                static_cast<unsigned long long>(r.cache.hits), r.cacheHitRate,
+                dedupeOk ? "yes" : "NO");
+    const obs::Labels l = {{"devices", std::to_string(devices)}};
+    json.sample("vfpga_bench_e13_cache_compiles", l,
+                static_cast<double>(r.cache.compiles));
+    json.sample("vfpga_bench_e13_cache_unique_digests", l,
+                static_cast<double>(r.cache.uniqueDigests));
+    json.sample("vfpga_bench_e13_cache_hit_rate", l, r.cacheHitRate);
+  }
+
+  json.write();
+  return rc;
+}

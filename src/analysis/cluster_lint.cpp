@@ -1,0 +1,52 @@
+#include "analysis/cluster_lint.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace vfpga::analysis {
+
+void lintCluster(const ClusterProfile& p, Report& rep) {
+  const std::uint16_t widestDevice =
+      p.deviceColumns.empty()
+          ? 0
+          : *std::max_element(p.deviceColumns.begin(), p.deviceColumns.end());
+
+  for (std::size_t w = 0; w < p.workloadWidths.size(); ++w) {
+    if (p.workloadWidths[w] > widestDevice) {
+      Location loc;
+      loc.kind = Location::Kind::kStrip;
+      loc.index = static_cast<std::int64_t>(w);
+      rep.add("CL001",
+              "workload needs " + std::to_string(p.workloadWidths[w]) +
+                  " columns but the widest pool device has " +
+                  std::to_string(widestDevice) +
+                  "; it can never be placed anywhere",
+              loc);
+    }
+  }
+  if (p.admissionQueueDepth == 0) {
+    rep.add("CL002",
+            "admission queue depth is 0; backpressure rejects every "
+            "submission before placement is even attempted");
+  }
+  if (widestDevice > 0 && p.minUsableColumns > widestDevice) {
+    rep.add("CL003",
+            "minUsableColumns (" + std::to_string(p.minUsableColumns) +
+                ") exceeds the widest device (" +
+                std::to_string(widestDevice) +
+                " columns); every device counts as degraded and placement "
+                "always fails");
+  }
+  if (p.anyStripFailures && p.deviceColumns.size() < 2) {
+    rep.add("CL004",
+            "strip failures are scripted but the pool has a single device; "
+            "a degraded device has no migration target");
+  }
+  if (p.rebalanceGap == 1) {
+    rep.add("CL005",
+            "rebalance gap of 1 migrates a waiter on any load difference; "
+            "two devices can ping-pong the same task every tick");
+  }
+}
+
+}  // namespace vfpga::analysis

@@ -1,0 +1,30 @@
+// Cluster configuration lint (CL001-CL005): static checks on a cluster
+// campaign before any device kernel starts. Like the fault lint, the
+// profile is a plain snapshot of the knobs so this library needs no
+// dependency on vfpga_cluster: callers copy the fields out of their
+// DeviceNodeSpecs / ClusterOptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace vfpga::analysis {
+
+struct ClusterProfile {
+  /// Column count of each pool device, pool order.
+  std::vector<std::uint16_t> deviceColumns;
+  /// Strip width of each registered workload.
+  std::vector<std::uint16_t> workloadWidths;
+  std::size_t admissionQueueDepth = 0;
+  std::uint16_t minUsableColumns = 0;
+  std::size_t rebalanceGap = 0;
+  /// Any device carries a fault plan with scripted strip failures.
+  bool anyStripFailures = false;
+};
+
+/// Appends CL001-CL005 findings for the profile to `rep`.
+void lintCluster(const ClusterProfile& p, Report& rep);
+
+}  // namespace vfpga::analysis

@@ -179,6 +179,21 @@ constexpr RuleInfo kRules[] = {
     {"FT006", Severity::kWarning, "strip failures without compaction",
      "permanent strip failures are scripted but garbage collection is off, "
      "so busy strips cannot be evacuated by compaction"},
+    // ---- cluster scheduling (CL) --------------------------------------------
+    {"CL001", Severity::kError, "workload fits no pool device",
+     "a registered workload is wider than every device in the pool, so no "
+     "placement can ever succeed"},
+    {"CL002", Severity::kError, "zero admission queue depth",
+     "backpressure rejects every submission before placement is attempted"},
+    {"CL003", Severity::kError, "degradation threshold above device width",
+     "minUsableColumns exceeds the widest device, so every device counts "
+     "as degraded and placement always fails"},
+    {"CL004", Severity::kWarning, "faulty single-device cluster",
+     "strip failures are scripted but the pool has one device, so a "
+     "degraded device has no migration target"},
+    {"CL005", Severity::kWarning, "rebalance gap of one",
+     "any load difference triggers a migration; two devices can ping-pong "
+     "the same waiter every dispatch tick"},
 };
 
 std::span<const RuleInfo> registry() { return kRules; }

@@ -27,6 +27,7 @@ const char* stateName(TaskState s) {
     case TaskState::kRunningFpga: return "running-fpga";
     case TaskState::kDone: return "done";
     case TaskState::kParked: return "parked";
+    case TaskState::kMigrated: return "migrated";
   }
   return "unknown";
 }

@@ -1,0 +1,77 @@
+#include "cluster/bitstream_cache.hpp"
+
+#include <string>
+
+#include "netlist/text_io.hpp"
+
+namespace vfpga::cluster {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void mixBytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void mixU64(std::uint64_t& h, std::uint64_t v) {
+  // Byte-order-independent: feed the value little-endian by construction.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t compileDigest(const Netlist& nl, const FabricGeometry& g,
+                            std::uint32_t frameBits, std::uint16_t width) {
+  std::uint64_t h = kFnvOffset;
+  const std::string text = writeNetlistText(nl);
+  mixBytes(h, text.data(), text.size());
+  mixU64(h, g.rows);
+  mixU64(h, g.cols);
+  mixU64(h, g.lutInputs);
+  mixU64(h, g.wiresPerChannel);
+  mixU64(h, g.slotsPerPad);
+  mixU64(h, frameBits);
+  mixU64(h, width);
+  return h;
+}
+
+BitstreamCache::BitstreamCache(std::size_t maxEntries)
+    : maxEntries_(maxEntries) {}
+
+std::shared_ptr<const CompiledCircuit> BitstreamCache::getOrCompile(
+    std::uint64_t digest, const CompileFn& compile) {
+  if (seen_.emplace(digest, true).second) ++stats_.uniqueDigests;
+
+  auto it = map_.find(digest);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.circuit;
+  }
+
+  ++stats_.misses;
+  ++stats_.compiles;
+  auto circuit = std::make_shared<const CompiledCircuit>(compile());
+
+  if (maxEntries_ > 0 && map_.size() >= maxEntries_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+
+  lru_.push_front(digest);
+  map_.emplace(digest, Entry{circuit, lru_.begin()});
+  return circuit;
+}
+
+}  // namespace vfpga::cluster

@@ -1,0 +1,73 @@
+// Content-addressed shared bitstream cache for the cluster layer.
+//
+// A cluster of same-geometry devices compiles each workload exactly once:
+// the compile request is keyed by a digest of the netlist's canonical text
+// rendering plus the target fabric signature (geometry + frame size) and
+// requested strip width, so two devices of the same family share the
+// compiled, relocatable circuit, while a geometry mismatch naturally gets
+// its own entry. The cache is LRU-bounded and keeps hit/miss/compile/
+// eviction counters the cluster report and bench_e13 export.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "compile/compiler.hpp"
+#include "fabric/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vfpga::cluster {
+
+/// FNV-1a digest of a compile request: canonical netlist text, fabric
+/// signature (rows/cols/K/W/frame bits) and strip width. Identical inputs
+/// produce identical digests on every platform — the cache key doubles as
+/// the stable "bitstream identity" the cluster report prints.
+std::uint64_t compileDigest(const Netlist& nl, const FabricGeometry& g,
+                            std::uint32_t frameBits, std::uint16_t width);
+
+struct BitstreamCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compiles = 0;   ///< == misses (kept separate for clarity)
+  std::uint64_t evictions = 0;
+  std::uint64_t uniqueDigests = 0;  ///< distinct keys ever requested
+};
+
+class BitstreamCache {
+ public:
+  /// `maxEntries` bounds the resident set; 0 means unbounded.
+  explicit BitstreamCache(std::size_t maxEntries = 64);
+
+  using CompileFn = std::function<CompiledCircuit()>;
+
+  /// Returns the cached circuit for `digest`, running `compile` on a miss.
+  /// The returned pointer stays valid even after eviction (shared
+  /// ownership) — kernels copy it into their registries anyway.
+  std::shared_ptr<const CompiledCircuit> getOrCompile(
+      std::uint64_t digest, const CompileFn& compile);
+
+  const BitstreamCacheStats& stats() const { return stats_; }
+  std::size_t size() const { return map_.size(); }
+  std::size_t maxEntries() const { return maxEntries_; }
+  double hitRate() const {
+    const std::uint64_t total = stats_.hits + stats_.misses;
+    return total == 0 ? 0.0 : static_cast<double>(stats_.hits) / total;
+  }
+
+ private:
+  std::size_t maxEntries_;
+  /// Front = most recently used.
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    std::shared_ptr<const CompiledCircuit> circuit;
+    std::list<std::uint64_t>::iterator pos;
+  };
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::unordered_map<std::uint64_t, bool> seen_;  ///< digest ever requested
+  BitstreamCacheStats stats_;
+};
+
+}  // namespace vfpga::cluster

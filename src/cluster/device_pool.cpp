@@ -1,0 +1,74 @@
+#include "cluster/device_pool.hpp"
+
+#include <stdexcept>
+
+namespace vfpga::cluster {
+
+OsOptions DeviceNode::withFaults(OsOptions options, fault::FaultPlan* plan,
+                                 SimDuration scrubInterval) {
+  options.policy = FpgaPolicy::kPartitionedVariable;
+  options.ft.plan = plan;
+  options.ft.scrubInterval = plan ? scrubInterval : 0;
+  return options;
+}
+
+DeviceNode::DeviceNode(Simulation& sim, const DeviceNodeSpec& spec,
+                       OsOptions options)
+    : name_(spec.name),
+      profile_(spec.profile),
+      dev_(profile_.makeDevice()),
+      port_(dev_, profile_.port),
+      compiler_(dev_),
+      plan_(spec.faulty ? std::make_unique<fault::FaultPlan>(spec.faultSpec)
+                        : nullptr),
+      kernel_(sim, dev_, port_, compiler_,
+              withFaults(options, plan_.get(), spec.scrubInterval)),
+      heatmap_(profile_.geometry.cols) {
+  kernel_.attachHeatmap(&heatmap_);
+}
+
+std::uint16_t DeviceNode::usableColumns() const {
+  const PartitionManager* pm = kernel_.partitionManager();
+  return pm ? pm->allocator().largestUsableSpan() : 0;
+}
+
+DevicePool::DevicePool(Simulation& sim,
+                       const std::vector<DeviceNodeSpec>& specs,
+                       BitstreamCache& cache, OsOptions baseOptions)
+    : sim_(&sim), cache_(&cache) {
+  if (specs.empty()) throw std::invalid_argument("DevicePool: no devices");
+  nodes_.reserve(specs.size());
+  for (const auto& spec : specs)
+    nodes_.push_back(std::make_unique<DeviceNode>(sim, spec, baseOptions));
+}
+
+WorkloadId DevicePool::registerWorkload(const std::string& name,
+                                        const Netlist& nl,
+                                        std::uint16_t width) {
+  WorkloadId id = kNoConfig;
+  for (auto& nodePtr : nodes_) {
+    DeviceNode& node = *nodePtr;
+    const std::uint64_t digest =
+        compileDigest(nl, node.profile().geometry, node.profile().frameBits,
+                      width);
+    auto circuit = cache_->getOrCompile(digest, [&] {
+      CompileOptions opt;
+      CompiledCircuit c = node.compiler().compile(
+          nl, Region::columns(node.device().geometry(), 0, width), opt);
+      c.name = name;
+      return c;
+    });
+    const ConfigId got = node.kernel().registerConfig(*circuit);
+    if (id == kNoConfig) {
+      id = got;
+    } else if (got != id) {
+      // Registration order is identical on every node, so ids must agree;
+      // a mismatch means a kernel was used outside the pool's control.
+      throw std::logic_error("DevicePool: ConfigId skew across nodes");
+    }
+  }
+  widths_.push_back(width);
+  return id;
+}
+
+}  // namespace vfpga::cluster

@@ -1,0 +1,110 @@
+// DevicePool: N simulated FPGA devices, each with its own OsKernel,
+// sharing one discrete-event Simulation and one BitstreamCache.
+//
+// The pool is the cluster's hardware inventory. Every node owns a full
+// per-device stack (Device, ConfigPort, Compiler, optional FaultPlan,
+// OsKernel, occupancy heatmap); the pool guarantees the property the
+// migration protocol depends on: every workload is registered on every
+// kernel in the same order, so a ConfigId names the same circuit
+// cluster-wide and a migration ticket's continuation can be resubmitted to
+// any node verbatim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/bitstream_cache.hpp"
+#include "core/os_kernel.hpp"
+#include "fabric/device_family.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/heatmap.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vfpga::cluster {
+
+/// Construction recipe for one pool member.
+struct DeviceNodeSpec {
+  std::string name;           ///< report label, e.g. "dev0"
+  DeviceProfile profile;      ///< fabric family (heterogeneous pools OK)
+  /// Per-device fault campaign; inert when `faulty` is false.
+  fault::FaultPlanSpec faultSpec;
+  bool faulty = false;
+  /// Readback-scrubber period when a plan is installed (0 = no scrubbing).
+  SimDuration scrubInterval = 0;
+};
+
+/// One device and its kernel. Construction order inside matters (device
+/// before port before compiler before kernel), hence the owning class.
+class DeviceNode {
+ public:
+  DeviceNode(Simulation& sim, const DeviceNodeSpec& spec, OsOptions options);
+  DeviceNode(const DeviceNode&) = delete;
+  DeviceNode& operator=(const DeviceNode&) = delete;
+
+  const std::string& name() const { return name_; }
+  const DeviceProfile& profile() const { return profile_; }
+  Device& device() { return dev_; }
+  Compiler& compiler() { return compiler_; }
+  OsKernel& kernel() { return kernel_; }
+  const OsKernel& kernel() const { return kernel_; }
+  obs::HeatmapCollector& heatmap() { return heatmap_; }
+  const obs::HeatmapCollector& heatmap() const { return heatmap_; }
+
+  /// Widest contiguous run of non-quarantined columns: the node's current
+  /// capacity ceiling (drain trigger input).
+  std::uint16_t usableColumns() const;
+  /// Queue-depth load figure: FPGA waiters + in-flight executions.
+  std::size_t load() const {
+    return kernel_.fpgaWaitingCount() + kernel_.runningExecCount();
+  }
+
+ private:
+  std::string name_;
+  DeviceProfile profile_;
+  Device dev_;
+  ConfigPort port_;
+  Compiler compiler_;
+  std::unique_ptr<fault::FaultPlan> plan_;
+  OsKernel kernel_;
+  obs::HeatmapCollector heatmap_;
+
+  static OsOptions withFaults(OsOptions options, fault::FaultPlan* plan,
+                              SimDuration scrubInterval);
+};
+
+/// Cluster-wide workload id; equal to the ConfigId the workload got on
+/// every kernel (registration order is identical across nodes).
+using WorkloadId = ConfigId;
+
+class DevicePool {
+ public:
+  /// Base OsOptions are applied to every node (policy is forced to
+  /// kPartitionedVariable — the only policy the migration datapath
+  /// supports); per-node fault plans come from the specs.
+  DevicePool(Simulation& sim, const std::vector<DeviceNodeSpec>& specs,
+             BitstreamCache& cache, OsOptions baseOptions = {});
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  DeviceNode& node(std::size_t i) { return *nodes_[i]; }
+  const DeviceNode& node(std::size_t i) const { return *nodes_[i]; }
+
+  /// Compiles `nl` once per distinct fabric signature (via the shared
+  /// cache) and registers it on every kernel. Returns the cluster-wide id.
+  /// Must complete before any kernel starts.
+  WorkloadId registerWorkload(const std::string& name, const Netlist& nl,
+                              std::uint16_t width);
+
+  std::uint16_t workloadWidth(WorkloadId id) const { return widths_.at(id); }
+  std::size_t workloadCount() const { return widths_.size(); }
+  BitstreamCache& cache() { return *cache_; }
+
+ private:
+  Simulation* sim_;
+  BitstreamCache* cache_;
+  std::vector<std::unique_ptr<DeviceNode>> nodes_;
+  std::vector<std::uint16_t> widths_;  ///< indexed by WorkloadId
+};
+
+}  // namespace vfpga::cluster

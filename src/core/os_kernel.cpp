@@ -155,6 +155,8 @@ void OsKernel::bindFaultMetrics() {
            "Circuits relocated off a failing strip");
   fm_.parked = bind("vfpga_fault_tasks_parked_total",
                     "Tasks permanently parked after unrecoverable faults");
+  fm_.healed = bind("vfpga_fault_strips_healed_total",
+                    "Quarantined strips recovered after a transient fault");
 }
 
 const OsMetrics& OsKernel::metrics() const {
@@ -332,6 +334,16 @@ void OsKernel::checkInvariants() const {
 }
 
 void OsKernel::run() {
+  start();
+  if (analysis::invariantChecksEnabled()) {
+    while (sim_->step()) checkInvariants();
+  } else {
+    sim_->run();
+  }
+  finalize();
+}
+
+void OsKernel::start() {
   started_ = true;
   if (options_.ft.plan) {
     if (options_.ft.scrubInterval > 0) {
@@ -341,14 +353,16 @@ void OsKernel::run() {
       for (const auto& ev : options_.ft.plan->spec().stripFailures) {
         const std::uint16_t col = ev.column;
         sim_->scheduleAt(ev.at, [this, col] { onStripFailure(col); });
+        if (ev.healAfter > 0) {
+          sim_->scheduleAt(ev.at + ev.healAfter,
+                           [this, col] { onStripHeal(col); });
+        }
       }
     }
   }
-  if (analysis::invariantChecksEnabled()) {
-    while (sim_->step()) checkInvariants();
-  } else {
-    sim_->run();
-  }
+}
+
+void OsKernel::finalize() {
   if (options_.ft.plan) {
     // One final scrub pass leaves the configuration RAM consistent with
     // the golden image (post-run configOk asserts rely on it), then fold
@@ -752,6 +766,17 @@ void OsKernel::tryDispatchPartitioned() {
         // completions by the GC time.
         stallRunningExecs(load->gcCost);
       }
+      if (tr.spec.migratedStateBits > 0) {
+        // Continuation of a live-migrated task: write the snapshot taken
+        // at the source back through the port before the circuit computes.
+        const SimDuration restore = port_->chargeStateWrite(
+            static_cast<std::size_t>(tr.spec.migratedStateBits));
+        cStateMoveNs_ += restore;
+        portFreeAt_ += restore;
+        trace_.record(sim_->now(), TraceKind::kStateRestore,
+                      tr.spec.name + " (migrated in)");
+        tr.spec.migratedStateBits = 0;
+      }
 
       const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
       cFpgaComputeNs_ += execTime;
@@ -803,6 +828,103 @@ void OsKernel::partitionedExecDone(std::size_t t) {
   retryPendingQuarantines();
   opComplete(t);
   tryDispatchPartitioned();
+}
+
+// -------------------------------------------------------- live migration
+
+std::vector<std::size_t> OsKernel::migratableTasks() const {
+  std::vector<std::size_t> out(fpgaWaiting_.begin(), fpgaWaiting_.end());
+  for (const RunningExec& re : runningExecs_) {
+    // Service requests run in the service's pinned partition and cannot
+    // move; plain partitioned execs hold a partition of their own. Hung
+    // executions never appear in runningExecs_, so garbage state can
+    // never be migrated.
+    if (tasks_[re.task].partition != kNoPartition) out.push_back(re.task);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+OsKernel::MigrationTicket OsKernel::extractForMigration(std::size_t t) {
+  if (!pm_) throw std::logic_error("migration needs a partitioned policy");
+  TaskRuntime& tr = task(t);
+  MigrationTicket ticket;
+  if (tr.state == TaskState::kWaitingFpga) {
+    const auto it = std::find(fpgaWaiting_.begin(), fpgaWaiting_.end(), t);
+    if (it == fpgaWaiting_.end()) {
+      throw std::logic_error("waiting task is not in the partitioned queue");
+    }
+    fpgaWaiting_.erase(it);
+    chargeFpgaWait(t);
+  } else if (tr.state == TaskState::kRunningFpga &&
+             tr.partition != kNoPartition) {
+    const auto it =
+        std::find_if(runningExecs_.begin(), runningExecs_.end(),
+                     [t](const RunningExec& re) { return re.task == t; });
+    if (it == runningExecs_.end()) {
+      throw std::logic_error(
+          "running task has no completion in flight (hung executions "
+          "cannot migrate)");
+    }
+    // Whole cycles still owed when the execution is cut at `now` (its
+    // completion would have fired at the deadline).
+    const FpgaExec& fx = currentExec(t);
+    const SimDuration period = clockPeriods_.at(fx.config);
+    const SimTime now = sim_->now();
+    std::uint64_t remaining = 0;
+    if (it->deadline > now && period > 0) {
+      remaining = (it->deadline - now + period - 1) / period;
+    }
+    remaining = std::min(remaining, tr.cyclesRemaining);
+    if (remaining == 0) remaining = 1;
+    sim_->cancel(it->completionEvent);
+    runningExecs_.erase(it);
+    tr.cyclesRemaining = remaining;
+    // Real datapath hand-off: read the registers of the relocated circuit
+    // back through the configuration port, then release the strip.
+    ticket.savedState = pm_->loaded(tr.partition).saveState();
+    const SimDuration readCost =
+        port_->chargeStateRead(ticket.savedState.size());
+    cStateMoveNs_ += readCost;
+    ticket.cost += readCost;
+    trace_.record(sim_->now(), TraceKind::kStateSave,
+                  tr.spec.name + " (migrate)");
+    const SimDuration unloadCost = pm_->unload(tr.partition);
+    chargeUnload(unloadCost);
+    ticket.cost += unloadCost;
+    trace_.record(sim_->now(), TraceKind::kPartitionRelease, tr.spec.name);
+    tr.partition = kNoPartition;
+    ticket.fromRunning = true;
+  } else {
+    throw std::logic_error(std::string("task not in a migratable state: ") +
+                           taskStateName(tr.state));
+  }
+
+  // The continuation: the current FPGA op rewritten to the cycles still
+  // owed, then the untouched rest of the program.
+  TaskSpec cont;
+  cont.name = tr.spec.name;
+  cont.arrival = sim_->now();
+  cont.priority = tr.spec.priority;
+  cont.ops.push_back(FpgaExec{currentExec(t).config, tr.cyclesRemaining});
+  for (std::size_t i = tr.opIndex + 1; i < tr.spec.ops.size(); ++i) {
+    cont.ops.push_back(tr.spec.ops[i]);
+  }
+  cont.migratedStateBits = ticket.savedState.size();
+  ticket.continuation = std::move(cont);
+
+  tr.state = TaskState::kMigrated;
+  tr.finish = sim_->now();
+  tr.cyclesRemaining = 0;
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                tr.spec.name + " migrated out" +
+                    (ticket.fromRunning ? " (preempted mid-execution)" : ""));
+  if (ticket.fromRunning) {
+    // A strip just freed up; treat it like any other release.
+    retryPendingQuarantines();
+    tryDispatchPartitioned();
+  }
+  return ticket;
 }
 
 // ------------------------------------------------------- fault tolerance
@@ -867,6 +989,33 @@ bool OsKernel::attemptQuarantine(std::uint16_t column) {
   // would otherwise starve the drain check.
   parkInfeasibleWaiters();
   return true;
+}
+
+void OsKernel::onStripHeal(std::uint16_t column) {
+  // A failure whose quarantine was still deferred heals in place: the
+  // fence never went up, so just forget the pending request.
+  const auto it = std::find(pendingQuarantines_.begin(),
+                            pendingQuarantines_.end(), column);
+  if (it != pendingQuarantines_.end()) {
+    pendingQuarantines_.erase(it);
+    trace_.record(sim_->now(), TraceKind::kInfo,
+                  "column " + std::to_string(column) +
+                      " healed before quarantine completed");
+    return;
+  }
+  const SimDuration cost = pm_->unquarantine(column);
+  if (cost > 0) {
+    // Blanking the recovered columns monopolized the configuration port.
+    cConfigNs_ += cost;
+    portFreeAt_ = std::max(sim_->now(), portFreeAt_) + cost;
+    stallRunningExecs(cost);
+  }
+  if (fm_.healed != nullptr) *fm_.healed += 1;
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                "column " + std::to_string(column) +
+                    " healed (transient fault)");
+  // The device just grew back: waiters that did not fit may fit now.
+  tryDispatchPartitioned();
 }
 
 void OsKernel::retryPendingQuarantines() {

@@ -121,8 +121,53 @@ class OsKernel {
 
   /// Runs the simulation until every task finished. When
   /// VFPGA_CHECK_INVARIANTS is enabled, checkInvariants() runs after every
-  /// simulated event.
+  /// simulated event. Equivalent to start() + draining the simulation +
+  /// finalize(); single-kernel callers use this, the cluster layer (which
+  /// shares one Simulation between many kernels and owns the event loop)
+  /// calls the pieces.
   void run();
+
+  /// Marks the kernel started and schedules its autonomous event sources
+  /// (scrubber ticks, scripted strip failures and heals). Does not drain
+  /// the simulation.
+  void start();
+
+  /// Post-drain bookkeeping: final scrub pass, fault-counter fold-in and
+  /// gauge snapshots. Throws when any task is non-terminal — the caller
+  /// drained the simulation too early.
+  void finalize();
+
+  // ---- live migration (cluster layer) ---------------------------------------
+  /// One extracted task: the remaining program (current FPGA op rewritten
+  /// to the cycles still owed) plus what the hand-off cost at this source.
+  struct MigrationTicket {
+    TaskSpec continuation;
+    /// Register snapshot read back through the configuration port when the
+    /// task was running (empty for a task extracted while still waiting).
+    std::vector<bool> savedState;
+    SimDuration cost = 0;  ///< state readback + strip deactivation time
+    bool fromRunning = false;
+  };
+
+  /// Task indices that can currently be handed to another kernel: FPGA
+  /// waiters, plus (partitioned policies) in-flight executions — but never
+  /// hung ones, whose register state is garbage. Ordered by task index.
+  std::vector<std::size_t> migratableTasks() const;
+
+  /// Extracts task `t` for live migration: dequeues a waiter or preempts a
+  /// running execution (real register readback through the port, partition
+  /// released), marks the task kMigrated here and returns the continuation
+  /// the target kernel should addTask(). Partitioned policies only.
+  MigrationTicket extractForMigration(std::size_t t);
+
+  /// Queue-depth view for cluster placement policies.
+  std::size_t fpgaWaitingCount() const { return fpgaWaiting_.size(); }
+  std::size_t runningExecCount() const { return runningExecs_.size(); }
+  /// Partition manager (nullptr for non-partitioned policies).
+  const PartitionManager* partitionManager() const {
+    return pm_ ? &*pm_ : nullptr;
+  }
+  const OsOptions& options() const { return options_; }
 
   /// Verifies the TS* task-state-machine invariants (plus the partition
   /// manager's, under partitioned policies) and throws
@@ -286,6 +331,7 @@ class OsKernel {
     obs::Counter* quarantines = nullptr;
     obs::Counter* quarantineRelocations = nullptr;
     obs::Counter* parked = nullptr;
+    obs::Counter* healed = nullptr;
   };
   FaultMetrics fm_;
   /// Columns whose quarantine was deferred (occupant could not move yet);
@@ -296,6 +342,7 @@ class OsKernel {
   void bindFaultMetrics();
   void scrubTick();
   void onStripFailure(std::uint16_t column);
+  void onStripHeal(std::uint16_t column);
   bool attemptQuarantine(std::uint16_t column);
   void retryPendingQuarantines();
   void parkInfeasibleWaiters();

@@ -287,6 +287,29 @@ PartitionManager::QuarantineResult PartitionManager::quarantine(
   return res;
 }
 
+SimDuration PartitionManager::unquarantine(std::uint16_t column) {
+  const Strip* hit = nullptr;
+  for (const Strip& s : alloc_.strips()) {
+    if (column >= s.x0 && column < s.x0 + s.width) {
+      hit = &s;
+      break;
+    }
+  }
+  if (hit == nullptr) throw std::out_of_range("column beyond device");
+  if (!hit->faulty) return 0;  // never quarantined, or already healed
+  const std::uint16_t c0 = hit->x0;
+  const std::uint16_t c1 =
+      static_cast<std::uint16_t>(hit->x0 + hit->width - 1);
+  // The RAM under the healed columns holds whatever the fault scrambled;
+  // deactivate it before the strip can be granted again.
+  const SimDuration cost = blankColumns(c0, c1);
+  alloc_.unquarantineColumn(column);
+  ++ftStats_.stripsHealed;
+  notifyOccupancy("heal");
+  if (analysis::invariantChecksEnabled()) checkInvariants();
+  return cost;
+}
+
 SimDuration PartitionManager::unload(PartitionId id) {
   auto it = occupants_.find(id);
   if (it == occupants_.end()) {

@@ -66,6 +66,7 @@ class PartitionManager {
     std::uint64_t stateCrcFailures = 0;
     std::uint64_t quarantinedStrips = 0;
     std::uint64_t quarantineRelocations = 0;
+    std::uint64_t stripsHealed = 0;
   };
 
   /// Allocates a strip for `id`'s width, relocates the circuit there and
@@ -100,6 +101,13 @@ class PartitionManager {
   /// destination exists *right now* the request is deferred — the caller
   /// retries after the next unload.
   QuarantineResult quarantine(std::uint16_t column);
+
+  /// Reverses a quarantine after a transient fault healed: the column's
+  /// strip becomes allocatable again and merges with idle neighbours. The
+  /// recovered columns hold whatever configuration the failure left behind,
+  /// so they are blanked before reuse; the returned cost is that
+  /// deactivation download (0 when the column was never quarantined).
+  SimDuration unquarantine(std::uint16_t column);
 
   const FtStats& ftStats() const { return ftStats_; }
 

@@ -179,6 +179,38 @@ void StripAllocator::quarantineColumn(std::uint16_t column) {
   maybeCheck(*this);
 }
 
+void StripAllocator::unquarantineColumn(std::uint16_t column) {
+  if (column >= columns_) throw std::out_of_range("column beyond device");
+  for (std::size_t i = 0; i < strips_.size(); ++i) {
+    Strip& s = strips_[i];
+    if (column < s.x0 || column >= s.x0 + s.width) continue;
+    if (!s.faulty) return;  // nothing to heal
+    s.faulty = false;
+    if (!fixed_) mergeIdleAround(i);
+    maybeCheck(*this);
+    return;
+  }
+  throw std::logic_error("column not covered");
+}
+
+std::size_t StripAllocator::repairUnmergedIdle() {
+  if (fixed_) throw std::logic_error("repairUnmergedIdle() on fixed partitions");
+  std::size_t merges = 0;
+  for (std::size_t i = 0; i + 1 < strips_.size();) {
+    Strip& a = strips_[i];
+    const Strip& b = strips_[i + 1];
+    if (!a.busy && !a.faulty && !b.busy && !b.faulty) {
+      a.width = static_cast<std::uint16_t>(a.width + b.width);
+      strips_.erase(strips_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      ++merges;
+      continue;  // `a` may now merge with the next strip too
+    }
+    ++i;
+  }
+  maybeCheck(*this);
+  return merges;
+}
+
 std::uint16_t StripAllocator::quarantinedColumns() const {
   std::uint16_t n = 0;
   for (const Strip& s : strips_) {

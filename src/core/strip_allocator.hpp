@@ -72,6 +72,11 @@ class StripAllocator {
   /// variable mode only the single failed column is quarantined (the strip
   /// is split around it), in fixed mode the whole fixed partition is lost.
   void quarantineColumn(std::uint16_t column);
+  /// Reverses quarantineColumn() for a transient fault that healed: the
+  /// faulty strip containing `column` becomes allocatable again and (in
+  /// variable mode) merges with idle neighbours. No-op when the column is
+  /// not quarantined.
+  void unquarantineColumn(std::uint16_t column);
   /// Total columns lost to quarantine.
   std::uint16_t quarantinedColumns() const;
   /// Widest contiguous run of non-faulty columns (busy or idle): the upper
@@ -100,6 +105,14 @@ class StripAllocator {
   /// own bookkeeping and returns them so the caller can relocate and
   /// re-download the affected circuits. Variable mode only.
   std::vector<Move> compact();
+
+  // ---- repair -----------------------------------------------------------------
+  /// Auto-repair for the AL004 finding (adjacent idle strips that were not
+  /// merged): merges every mergeable idle pair and returns how many merges
+  /// ran. A healthy allocator returns 0 — release() keeps the table merged
+  /// — so a nonzero return means external bookkeeping corruption was
+  /// repaired. Variable mode only (fixed partitions never merge).
+  std::size_t repairUnmergedIdle();
 
  private:
   std::uint16_t columns_;

@@ -11,6 +11,7 @@ const char* taskStateName(TaskState s) {
     case TaskState::kRunningFpga: return "running_fpga";
     case TaskState::kDone: return "done";
     case TaskState::kParked: return "parked";
+    case TaskState::kMigrated: return "migrated";
   }
   return "unknown";
 }

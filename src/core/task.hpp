@@ -37,6 +37,11 @@ struct TaskSpec {
   /// kernel runs with OsOptions::priorityScheduling.
   int priority = 0;
   std::vector<TaskOp> ops;
+  /// Nonzero for the continuation of a live-migrated task: the number of
+  /// register bits whose snapshot must be written back through the
+  /// configuration port before the first FPGA grant (the kernel charges
+  /// the state-restore once, then clears the field).
+  std::uint64_t migratedStateBits = 0;
 };
 
 enum class TaskState : std::uint8_t {
@@ -48,6 +53,9 @@ enum class TaskState : std::uint8_t {
   kDone,
   kParked,       ///< permanently stopped by the kernel after an
                  ///< unrecoverable fault (graceful degradation terminal)
+  kMigrated,     ///< handed off to another kernel (cluster live migration);
+                 ///< terminal *in this kernel* — the continuation runs
+                 ///< elsewhere with the remaining ops and cycles
 };
 
 const char* taskStateName(TaskState s);
@@ -80,9 +88,11 @@ struct TaskRuntime {
   std::uint64_t watchdogTrips = 0;
 
   bool done() const { return state == TaskState::kDone; }
-  /// Done or parked: the kernel will never run this task again.
+  /// Done, parked or migrated away: the kernel will never run this task
+  /// again.
   bool terminal() const {
-    return state == TaskState::kDone || state == TaskState::kParked;
+    return state == TaskState::kDone || state == TaskState::kParked ||
+           state == TaskState::kMigrated;
   }
 };
 

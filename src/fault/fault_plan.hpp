@@ -27,11 +27,16 @@
 
 namespace vfpga::fault {
 
-/// A scripted permanent failure: at simulated time `at`, device column
-/// `column` stops holding configuration reliably and must be quarantined.
+/// A scripted failure: at simulated time `at`, device column `column`
+/// stops holding configuration reliably and must be quarantined. With
+/// healAfter == 0 the failure is permanent; a positive healAfter models a
+/// transient fault (thermal event, marginal timing) — the column becomes
+/// trustworthy again `healAfter` after the failure and the kernel may
+/// un-quarantine it.
 struct StripFailureEvent {
   SimTime at = 0;
   std::uint16_t column = 0;
+  SimDuration healAfter = 0;
 };
 
 struct FaultPlanSpec {

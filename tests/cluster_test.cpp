@@ -1,0 +1,486 @@
+// Cluster-layer tests: the content-addressed bitstream cache (dedupe, LRU
+// eviction, digest stability), the device pool's cluster-wide ConfigId
+// guarantee, live-migration correctness down at the register level
+// (snapshot -> move -> resume must be bit-identical to an uninterrupted
+// run, for both a cooperative hand-off and a quarantine-forced
+// relocation), the kernel migration ticket, and the cluster scheduler
+// (determinism, backpressure, drain, transient-fault failback, CL rules).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/cluster_lint.hpp"
+#include "cluster/scheduler.hpp"
+#include "core/strip_allocator.hpp"
+#include "netlist/library/coding.hpp"
+#include "netlist/library/control.hpp"
+#include "sim/rng.hpp"
+
+namespace vfpga {
+namespace {
+
+Netlist named(Netlist nl, const char* name) {
+  nl.setName(name);
+  return nl;
+}
+
+// ---- BitstreamCache --------------------------------------------------------
+
+TEST(BitstreamCache, DigestIsStableAndContentSensitive) {
+  Device dev = mediumPartialProfile().makeDevice();
+  const Netlist a = named(lib::makeCounter(6), "count");
+  const Netlist b = named(lib::makeLfsr(8, 0b10111000), "lfsr");
+  const std::uint32_t fb = mediumPartialProfile().frameBits;
+
+  EXPECT_EQ(cluster::compileDigest(a, dev.geometry(), fb, 4),
+            cluster::compileDigest(a, dev.geometry(), fb, 4));
+  EXPECT_NE(cluster::compileDigest(a, dev.geometry(), fb, 4),
+            cluster::compileDigest(b, dev.geometry(), fb, 4));
+  // Same netlist, different strip width or frame size: distinct identity.
+  EXPECT_NE(cluster::compileDigest(a, dev.geometry(), fb, 4),
+            cluster::compileDigest(a, dev.geometry(), fb, 5));
+  EXPECT_NE(cluster::compileDigest(a, dev.geometry(), fb, 4),
+            cluster::compileDigest(a, dev.geometry(), fb * 2, 4));
+  // Different fabric geometry: distinct identity.
+  Device tiny = tinyProfile().makeDevice();
+  EXPECT_NE(cluster::compileDigest(a, dev.geometry(), fb, 4),
+            cluster::compileDigest(a, tiny.geometry(), fb, 4));
+}
+
+TEST(BitstreamCache, DedupesCompilesAndCountsHits) {
+  Device dev = mediumPartialProfile().makeDevice();
+  Compiler compiler(dev);
+  const Netlist nl = named(lib::makeCounter(6), "count");
+  int compiles = 0;
+  auto compileFn = [&] {
+    ++compiles;
+    return compiler.compile(nl, Region::columns(compiler.geometry(), 0, 4));
+  };
+
+  cluster::BitstreamCache cache(8);
+  auto c1 = cache.getOrCompile(11, compileFn);
+  auto c2 = cache.getOrCompile(11, compileFn);
+  auto c3 = cache.getOrCompile(11, compileFn);
+  EXPECT_EQ(compiles, 1);
+  EXPECT_EQ(c1.get(), c2.get());
+  EXPECT_EQ(c2.get(), c3.get());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+  EXPECT_EQ(cache.stats().uniqueDigests, 1u);
+  EXPECT_DOUBLE_EQ(cache.hitRate(), 2.0 / 3.0);
+}
+
+TEST(BitstreamCache, LruEvictionRecompilesColdEntry) {
+  Device dev = mediumPartialProfile().makeDevice();
+  Compiler compiler(dev);
+  const Netlist nl = named(lib::makeCounter(6), "count");
+  auto compileFn = [&] {
+    return compiler.compile(nl, Region::columns(compiler.geometry(), 0, 4));
+  };
+
+  cluster::BitstreamCache cache(2);
+  auto kept = cache.getOrCompile(1, compileFn);  // shared ptr survives evict
+  cache.getOrCompile(2, compileFn);
+  cache.getOrCompile(1, compileFn);  // touch 1: now 2 is the LRU entry
+  cache.getOrCompile(3, compileFn);  // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.getOrCompile(2, compileFn);  // cold again: recompile
+  EXPECT_EQ(cache.stats().compiles, 4u);
+  EXPECT_EQ(cache.stats().uniqueDigests, 3u);  // 2 counted once, not twice
+  EXPECT_NE(kept.get(), nullptr);
+}
+
+// ---- DevicePool ------------------------------------------------------------
+
+TEST(DevicePool, WorkloadIdsAgreeAcrossNodesAndCompileOnce) {
+  Simulation sim;
+  cluster::BitstreamCache cache(8);
+  std::vector<cluster::DeviceNodeSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "dev" + std::to_string(i);
+    specs[i].profile = mediumPartialProfile();
+  }
+  cluster::DevicePool pool(sim, specs, cache);
+
+  const cluster::WorkloadId w0 =
+      pool.registerWorkload("count", named(lib::makeCounter(6), "count"), 4);
+  const cluster::WorkloadId w1 = pool.registerWorkload(
+      "lfsr", named(lib::makeLfsr(8, 0b10111000), "lfsr"), 4);
+
+  EXPECT_EQ(w0, 0u);
+  EXPECT_EQ(w1, 1u);
+  EXPECT_EQ(pool.workloadWidth(w0), 4);
+  EXPECT_EQ(pool.workloadCount(), 2u);
+  // 2 workloads x 3 nodes = 6 registrations but only 2 real compiles.
+  EXPECT_EQ(cache.stats().compiles, 2u);
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.stats().uniqueDigests, 2u);
+  for (std::size_t i = 0; i < pool.nodeCount(); ++i) {
+    EXPECT_EQ(pool.node(i).kernel().registry().size(), 2u);
+    EXPECT_EQ(pool.node(i).usableColumns(), 12);
+  }
+}
+
+// ---- migration correctness (register level) --------------------------------
+
+/// Runs `cycles` enabled-counter cycles on `lc` (en held, clr low).
+void clockCounter(LoadedCircuit& lc, int cycles) {
+  lc.setInput("en", true);
+  lc.setInput("clr", false);
+  for (int i = 0; i < cycles; ++i) {
+    lc.evaluate();
+    lc.tick();
+  }
+  lc.evaluate();
+}
+
+TEST(Migration, SnapshotMoveResumeIsBitIdentical) {
+  // Run 23 cycles on device A, migrate the register snapshot to a
+  // *different strip* of device B, run 41 more — the result must be
+  // bit-identical (outputs and full FF state) to 64 uninterrupted cycles.
+  const Netlist nl = named(lib::makeCounter(6), "count");
+
+  Device devA = mediumPartialProfile().makeDevice();
+  Compiler compilerA(devA);
+  const CompiledCircuit cA =
+      compilerA.compile(nl, Region::columns(compilerA.geometry(), 0, 4));
+  devA.applyBitstream(cA.fullBitstream());
+  ASSERT_TRUE(devA.configOk());
+  LoadedCircuit la(devA, cA);
+  la.applyInitialState();
+  clockCounter(la, 23);
+  EXPECT_EQ(la.outputBus("q", 6), 23u);
+  const std::vector<bool> snapshot = la.saveState();
+
+  // Target lives at columns 5..8 — state is mapped-order, so it relocates.
+  Device devB = mediumPartialProfile().makeDevice();
+  Compiler compilerB(devB);
+  const CompiledCircuit cB = compilerB.relocate(cA, 5);
+  devB.applyBitstream(cB.fullBitstream());
+  ASSERT_TRUE(devB.configOk());
+  LoadedCircuit lb(devB, cB);
+  lb.restoreState(snapshot);
+  clockCounter(lb, 41);
+
+  // Uninterrupted reference on a fresh device.
+  Device devR = mediumPartialProfile().makeDevice();
+  const CompiledCircuit cR = cA;
+  devR.applyBitstream(cR.fullBitstream());
+  ASSERT_TRUE(devR.configOk());
+  LoadedCircuit lr(devR, cR);
+  lr.applyInitialState();
+  clockCounter(lr, 64);
+
+  EXPECT_EQ(lb.outputBus("q", 6), lr.outputBus("q", 6));
+  EXPECT_EQ(lb.saveState(), lr.saveState());
+}
+
+TEST(Migration, QuarantineForcedRelocationIsBitIdentical) {
+  // Same bit-identity bar, but the move is *forced*: a column inside the
+  // busy strip fails and the partition manager relocates the occupant
+  // (state save, blank, relocate, verified download, state restore).
+  const Netlist nl = named(lib::makeCounter(6), "count");
+
+  DeviceProfile prof = mediumPartialProfile();
+  Device dev = prof.makeDevice();
+  ConfigPort port(dev, prof.port);
+  Compiler compiler(dev);
+  ConfigRegistry registry;
+  const ConfigId cfg = registry.add(
+      compiler.compile(nl, Region::columns(compiler.geometry(), 0, 4)));
+  PartitionManager pm(dev, port, registry, compiler);
+
+  const auto load = pm.load(cfg);
+  ASSERT_TRUE(load.has_value());
+  {
+    LoadedCircuit lc = pm.loaded(load->partition);
+    lc.applyInitialState();
+    clockCounter(lc, 23);
+    EXPECT_EQ(lc.outputBus("q", 6), 23u);
+  }
+
+  const auto q = pm.quarantine(1);  // column 1 sits inside the busy strip
+  EXPECT_TRUE(q.quarantined);
+  EXPECT_TRUE(q.relocated);
+  ASSERT_NE(q.movedTo, kNoPartition);
+
+  LoadedCircuit moved = pm.loaded(q.movedTo);
+  moved.setInput("en", false);
+  moved.setInput("clr", false);
+  moved.evaluate();
+  EXPECT_EQ(moved.outputBus("q", 6), 23u);  // state survived the move
+  clockCounter(moved, 41);
+
+  Device devR = mediumPartialProfile().makeDevice();
+  Compiler compilerR(devR);
+  const CompiledCircuit cR =
+      compilerR.compile(nl, Region::columns(compilerR.geometry(), 0, 4));
+  devR.applyBitstream(cR.fullBitstream());
+  ASSERT_TRUE(devR.configOk());
+  LoadedCircuit lr(devR, cR);
+  lr.applyInitialState();
+  clockCounter(lr, 64);
+
+  EXPECT_EQ(moved.outputBus("q", 6), lr.outputBus("q", 6));
+  EXPECT_EQ(moved.saveState(), lr.saveState());
+}
+
+// ---- kernel migration ticket ----------------------------------------------
+
+TEST(Migration, ExtractedRunningTaskResumesOnSecondKernel) {
+  Simulation sim;
+  DeviceProfile prof = mediumPartialProfile();
+  Device devA = prof.makeDevice(), devB = prof.makeDevice();
+  ConfigPort portA(devA, prof.port), portB(devB, prof.port);
+  Compiler compA(devA), compB(devB);
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  OsKernel a(sim, devA, portA, compA, opt);
+  OsKernel b(sim, devB, portB, compB, opt);
+  const Netlist nl = named(lib::makeCounter(6), "count");
+  const ConfigId cfgA = a.registerConfig(
+      compA.compile(nl, Region::columns(compA.geometry(), 0, 4)));
+  const ConfigId cfgB = b.registerConfig(
+      compB.compile(nl, Region::columns(compB.geometry(), 0, 4)));
+  ASSERT_EQ(cfgA, cfgB);
+
+  TaskSpec t;
+  t.name = "mig";
+  t.ops = {CpuBurst{micros(5)}, FpgaExec{cfgA, 200000}, CpuBurst{micros(5)}};
+  a.addTask(t);
+  a.start();
+  b.start();
+
+  while (a.runningExecCount() == 0) ASSERT_TRUE(sim.step());
+  const auto movable = a.migratableTasks();
+  ASSERT_EQ(movable.size(), 1u);
+  OsKernel::MigrationTicket ticket = a.extractForMigration(movable[0]);
+  EXPECT_TRUE(ticket.fromRunning);
+  EXPECT_GT(ticket.cost, 0);
+  EXPECT_FALSE(ticket.savedState.empty());
+  EXPECT_EQ(ticket.continuation.migratedStateBits, ticket.savedState.size());
+  EXPECT_EQ(a.tasks()[movable[0]].state, TaskState::kMigrated);
+  // The continuation owes at most the original cycles and runs from `now`.
+  ASSERT_EQ(ticket.continuation.ops.size(), 2u);
+  const auto* fx = std::get_if<FpgaExec>(&ticket.continuation.ops[0]);
+  ASSERT_NE(fx, nullptr);
+  EXPECT_LE(fx->cycles, 200000u);
+  EXPECT_GT(fx->cycles, 0u);
+
+  b.addTask(ticket.continuation);
+  while (sim.step()) {
+  }
+  a.finalize();
+  b.finalize();
+  ASSERT_EQ(b.tasks().size(), 1u);
+  EXPECT_EQ(b.tasks()[0].state, TaskState::kDone);
+}
+
+// ---- ClusterScheduler ------------------------------------------------------
+
+struct CampaignConfig {
+  std::size_t devices = 3;
+  std::size_t jobs = 12;
+  cluster::ClusterOptions options;
+  std::vector<fault::StripFailureEvent> dev1Failures;
+};
+
+struct CampaignRun {
+  Simulation sim;
+  cluster::BitstreamCache cache{16};
+  std::unique_ptr<cluster::DevicePool> pool;
+  std::unique_ptr<cluster::ClusterScheduler> sched;
+};
+
+/// Builds + runs one seeded campaign; identical configs must yield
+/// byte-identical reports.
+std::unique_ptr<CampaignRun> runCampaign(const CampaignConfig& cfg) {
+  auto run = std::make_unique<CampaignRun>();
+  std::vector<cluster::DeviceNodeSpec> specs(cfg.devices);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "dev" + std::to_string(i);
+    specs[i].profile = mediumPartialProfile();
+    if (i == 1 && !cfg.dev1Failures.empty()) {
+      specs[i].faulty = true;
+      specs[i].faultSpec.seed = 99;
+      specs[i].faultSpec.stripFailures = cfg.dev1Failures;
+    }
+  }
+  run->pool = std::make_unique<cluster::DevicePool>(run->sim, specs,
+                                                    run->cache);
+  const cluster::WorkloadId w =
+      run->pool->registerWorkload("count", named(lib::makeCounter(6), "count"),
+                                  4);
+  run->sched = std::make_unique<cluster::ClusterScheduler>(
+      run->sim, *run->pool, cfg.options);
+  Rng rng(5);
+  for (std::size_t j = 0; j < cfg.jobs; ++j) {
+    cluster::ClusterJobSpec job;
+    job.name = "t" + std::to_string(j);
+    job.submitAt =
+        static_cast<SimTime>(j) * micros(80) + rng.below(micros(40));
+    job.priority = static_cast<int>(rng.below(2));
+    job.ops = {CpuBurst{micros(10)}, FpgaExec{w, 20000 + 500 * rng.below(8)},
+               CpuBurst{micros(5)}};
+    run->sched->submit(std::move(job));
+  }
+  run->sched->run();
+  return run;
+}
+
+TEST(ClusterScheduler, SameSeedByteIdenticalReports) {
+  CampaignConfig cfg;
+  cfg.options.maxJobsPerDevice = 2;
+  cfg.dev1Failures = {{millis(1), 2}, {millis(2), 9}};
+  cfg.options.minUsableColumns = 8;
+  auto a = runCampaign(cfg);
+  auto b = runCampaign(cfg);
+  EXPECT_EQ(a->sched->renderReport(), b->sched->renderReport());
+  EXPECT_EQ(a->sched->renderJsonReport(), b->sched->renderJsonReport());
+  EXPECT_FALSE(a->sched->renderReport().empty());
+}
+
+TEST(ClusterScheduler, BackpressureRejectsBeyondQueueDepth) {
+  CampaignConfig cfg;
+  cfg.jobs = 16;
+  cfg.options.admissionQueueDepth = 2;
+  cfg.options.maxJobsPerDevice = 1;
+  cfg.devices = 2;
+  auto run = runCampaign(cfg);
+  const auto& s = run->sched->summary();
+  EXPECT_EQ(s.submitted, 16u);
+  EXPECT_GT(s.rejected, 0u);
+  EXPECT_EQ(s.admitted + s.rejected, s.submitted);
+  EXPECT_EQ(s.completed, s.admitted);  // admitted jobs still all finish
+  EXPECT_NEAR(s.rejectedFraction,
+              static_cast<double>(s.rejected) / s.submitted, 1e-12);
+  std::size_t rejectedRows = 0;
+  for (const auto& o : run->sched->outcomes()) {
+    if (!o.admitted) {
+      ++rejectedRows;
+      EXPECT_TRUE(o.device.empty());
+    }
+  }
+  EXPECT_EQ(rejectedRows, s.rejected);
+}
+
+TEST(ClusterScheduler, DrainsDegradedDeviceAndCompletesEverything) {
+  CampaignConfig cfg;
+  cfg.options.minUsableColumns = 8;
+  cfg.options.maxJobsPerDevice = 2;
+  // Two failures shrink dev1's largest span below 8 -> forced evacuation.
+  cfg.dev1Failures = {{millis(1), 2}, {millis(2), 9}};
+  auto run = runCampaign(cfg);
+  const auto& s = run->sched->summary();
+  EXPECT_EQ(s.completed, s.admitted);
+  EXPECT_EQ(s.parked, 0u);
+  EXPECT_GE(s.migrationsDrain, 1u);
+  EXPECT_LT(run->pool->node(1).usableColumns(), 8);
+  EXPECT_TRUE(s.sloCompletedMet);
+}
+
+TEST(ClusterScheduler, TransientFaultHealsAndWorkFlowsBack) {
+  CampaignConfig cfg;
+  cfg.jobs = 18;
+  cfg.options.minUsableColumns = 8;
+  cfg.options.maxJobsPerDevice = 2;
+  cfg.options.rebalanceGap = 2;
+  // dev1 loses column 5 at 1 ms and heals 2 ms later.
+  cfg.dev1Failures = {{millis(1), 5, millis(2)}};
+  auto run = runCampaign(cfg);
+  const auto& s = run->sched->summary();
+  EXPECT_EQ(s.completed, s.admitted);
+  // Healed: the full fabric is usable again and the heal was counted.
+  EXPECT_EQ(run->pool->node(1).usableColumns(), 12);
+  const PartitionManager* pm = run->pool->node(1).kernel().partitionManager();
+  ASSERT_NE(pm, nullptr);
+  EXPECT_EQ(pm->ftStats().stripsHealed, 1u);
+  EXPECT_EQ(pm->allocator().quarantinedColumns(), 0);
+}
+
+// ---- transient heal / repair primitives ------------------------------------
+
+TEST(StripAllocator, UnquarantineRestoresSpanAndMerges) {
+  StripAllocator alloc(12);
+  alloc.quarantineColumn(5);
+  EXPECT_EQ(alloc.quarantinedColumns(), 1);
+  EXPECT_EQ(alloc.largestUsableSpan(), 6);
+  alloc.unquarantineColumn(5);
+  EXPECT_EQ(alloc.quarantinedColumns(), 0);
+  EXPECT_EQ(alloc.largestUsableSpan(), 12);
+  // The table must be fully merged again: one idle strip, allocatable at
+  // full width.
+  EXPECT_EQ(alloc.strips().size(), 1u);
+  EXPECT_TRUE(alloc.allocate(12).has_value());
+  // Unquarantining a healthy column is a no-op.
+  alloc.unquarantineColumn(3);
+  alloc.checkInvariants();
+}
+
+TEST(StripAllocator, RepairUnmergedIdleIsIdleOnHealthyTable) {
+  StripAllocator alloc(12);
+  const auto a = alloc.allocate(4);
+  const auto b = alloc.allocate(4);
+  ASSERT_TRUE(a && b);
+  alloc.release(*a);
+  alloc.release(*b);
+  // release() keeps the table merged, so the repair pass finds nothing.
+  EXPECT_EQ(alloc.repairUnmergedIdle(), 0u);
+  EXPECT_EQ(alloc.strips().size(), 1u);
+  alloc.checkInvariants();
+}
+
+// ---- CL lint rules ---------------------------------------------------------
+
+std::vector<std::string> ruleIds(const analysis::Report& rep) {
+  std::vector<std::string> ids;
+  for (const auto& d : rep.diagnostics()) ids.push_back(d.rule);
+  return ids;
+}
+
+TEST(ClusterLint, FlagsEveryMisconfiguration) {
+  analysis::ClusterProfile p;
+  p.deviceColumns = {12};
+  p.workloadWidths = {4, 20};  // 20 fits nowhere -> CL001
+  p.admissionQueueDepth = 0;   // CL002
+  p.minUsableColumns = 16;     // CL003
+  p.rebalanceGap = 1;          // CL005
+  p.anyStripFailures = true;   // single faulty device -> CL004
+  analysis::Report rep;
+  analysis::lintCluster(p, rep);
+  const auto ids = ruleIds(rep);
+  EXPECT_EQ(ids, (std::vector<std::string>{"CL001", "CL002", "CL003",
+                                           "CL004", "CL005"}));
+  EXPECT_FALSE(rep.ok());  // CL001-CL003 are errors
+}
+
+TEST(ClusterLint, CleanProfilePasses) {
+  analysis::ClusterProfile p;
+  p.deviceColumns = {12, 12, 12};
+  p.workloadWidths = {4, 6};
+  p.admissionQueueDepth = 16;
+  p.minUsableColumns = 8;
+  p.rebalanceGap = 2;
+  p.anyStripFailures = true;  // fine: there are migration targets
+  analysis::Report rep;
+  analysis::lintCluster(p, rep);
+  EXPECT_TRUE(rep.diagnostics().empty());
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(ClusterLint, RulesAreRegistered) {
+  for (const char* id : {"CL001", "CL002", "CL003", "CL004", "CL005"}) {
+    const analysis::RuleInfo* info = analysis::findRule(id);
+    ASSERT_NE(info, nullptr) << id;
+  }
+  EXPECT_EQ(analysis::findRule("CL001")->severity,
+            analysis::Severity::kError);
+  EXPECT_EQ(analysis::findRule("CL004")->severity,
+            analysis::Severity::kWarning);
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -12,6 +12,19 @@
 //              run every analysis pass over the flow; nonzero exit on any
 //              error-severity diagnostic
 //   vfpga_cli lint --list-rules             the rule registry
+//   vfpga_cli lint --fix --netlist file.vnl [--out fixed.vnl]
+//              auto-repair the fixable findings (NL007 dead gates) with
+//              the equivalence-preserving rewrite and emit the repaired
+//              netlist; exit 0 iff everything fixable was repaired and
+//              the re-lint came back clean
+//   vfpga_cli cluster [--devices N] [--seed N] [--campaign ci|heal|stress]
+//              [--policy first_fit|least_loaded|best_fit]
+//              [--format text|json] [--out file]
+//              seeded multi-device campaign: shared bitstream cache,
+//              admission backpressure, pluggable placement and live task
+//              migration off degraded devices; the report is
+//              byte-identical per seed and a copy lands in the obs output
+//              directory; exit 0 iff every SLO was met
 //   vfpga_cli trace (--circuit <name> | --netlist file.vnl)
 //              [--device <name>] [--width N] [--format chrome|csv]
 //              [--validate] [--stream file.ndjson] [--out file]
@@ -57,9 +70,11 @@
 #include <optional>
 #include <string>
 
+#include "analysis/cluster_lint.hpp"
 #include "analysis/fault_lint.hpp"
 #include "analysis/flow_lint.hpp"
 #include "analysis/netlist_lint.hpp"
+#include "cluster/scheduler.hpp"
 #include "fault/fault_plan.hpp"
 #include "compile/compiler.hpp"
 #include "compile/loaded_circuit.hpp"
@@ -119,6 +134,11 @@ int usage() {
                "  lint (--circuit <name> | --netlist file.vnl | --all)"
                " [--device <name>] [--width N] [--no-optimize] [--json]\n"
                "  lint --list-rules\n"
+               "  lint --fix --netlist file.vnl [--out fixed.vnl]\n"
+               "  cluster [--devices N] [--seed N] [--campaign ci|heal|"
+               "stress]\n"
+               "          [--policy first_fit|least_loaded|best_fit]"
+               " [--format text|json] [--out file]\n"
                "  trace (--circuit <name> | --netlist file.vnl)"
                " [--device <name>] [--width N] [--format chrome|csv]"
                " [--validate] [--stream file.ndjson] [--out file]\n"
@@ -163,7 +183,8 @@ std::optional<Args> parse(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) return std::nullopt;
     key = key.substr(2);
     if (key == "no-optimize" || key == "all" || key == "json" ||
-        key == "list-rules" || key == "validate" || key == "links") {
+        key == "list-rules" || key == "validate" || key == "links" ||
+        key == "fix") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -987,7 +1008,49 @@ int reportCmd(const Args& a) {
   return emitPayload(a, payload);
 }
 
+/// Auto-repair pass for the fixable lint rules. Netlist-level findings
+/// (NL007 dead gates) are repaired by the equivalence-preserving optimizer
+/// rewrite and the repaired .vnl is emitted; allocator-level findings
+/// (AL004 unmerged idle strips) are runtime state, repaired in-process via
+/// StripAllocator::repairUnmergedIdle() — see docs/ANALYSIS.md.
+int lintFixCmd(const Args& a) {
+  if (!a.has("netlist")) {
+    std::fprintf(stderr,
+                 "lint --fix: requires --netlist file.vnl (built-in "
+                 "circuits are read-only)\n");
+    return 2;
+  }
+  const AppCircuit circuit = loadCircuit(a);
+  const auto fixableCount = [](const analysis::Report& rep) {
+    std::size_t n = 0;
+    for (const analysis::Diagnostic& d : rep.diagnostics()) {
+      if (d.rule == "NL007") ++n;
+    }
+    return n;
+  };
+
+  analysis::Report before;
+  analysis::lintNetlist(circuit.netlist, before);
+  const std::size_t found = fixableCount(before);
+
+  OptimizeStats stats;
+  const Netlist fixed = optimize(circuit.netlist, &stats);
+  analysis::Report after;
+  analysis::lintNetlist(fixed, after);
+  const std::size_t left = fixableCount(after);
+
+  std::fprintf(stderr,
+               "lint --fix: %s: %zu fixable finding(s), %zu dead gate(s) "
+               "removed, %zu fixable remaining, %zu error(s) after re-lint\n",
+               circuit.name.c_str(), found, stats.deadRemoved, left,
+               after.errorCount());
+  const int rc = emitPayload(a, writeNetlistText(fixed));
+  if (rc != 0) return rc;
+  return left == 0 && after.ok() ? 0 : 1;
+}
+
 int lintCmd(const Args& a) {
+  if (a.has("fix")) return lintFixCmd(a);
   if (a.has("list-rules")) {
     for (const analysis::RuleInfo& r : analysis::allRules()) {
       std::printf("%-6s %-8s %s\n       %s\n", r.id,
@@ -1249,6 +1312,138 @@ int faultsCmd(const Args& a) {
   return survived ? 0 : 1;
 }
 
+/// Seeded multi-device cluster campaign: N partitioned kernels sharing one
+/// simulation and one content-addressed bitstream cache, admission
+/// backpressure, pluggable placement and live migration off degraded
+/// devices (with failback after transient faults heal). The report is
+/// byte-identical per (seed, devices, policy, campaign); a copy always
+/// lands in the obs output directory so repo-root stays clean. Exit 0 iff
+/// every SLO was met.
+int clusterCmd(const Args& a) {
+  const std::uint64_t seed = std::stoull(a.get("seed", "7"));
+  const std::size_t devices = std::stoul(a.get("devices", "3"));
+  const std::string campaign = a.get("campaign", "ci");
+  const std::string fmt = a.get("format", "text");
+  if (devices < 2 || devices > 8) {
+    std::fprintf(stderr, "cluster: --devices must be in [2, 8]\n");
+    return 2;
+  }
+  if (fmt != "text" && fmt != "json") {
+    std::fprintf(stderr, "cluster: unknown --format '%s' (text|json)\n",
+                 fmt.c_str());
+    return 2;
+  }
+
+  cluster::ClusterOptions copt;
+  copt.placement =
+      cluster::placementPolicyByName(a.get("policy", "least_loaded"));
+  copt.minUsableColumns = 8;
+  copt.maxJobsPerDevice = 3;
+  std::size_t jobCount = 5 * devices;
+  // dev1 is the unlucky device of every campaign; the others stay healthy.
+  fault::FaultPlanSpec faulty;
+  faulty.seed = seed + 1;
+  if (campaign == "ci") {
+    faulty.stripFailures = {{millis(2), 2}, {millis(4), 9}};
+    copt.slos.maxRejectedFraction = 0.0;
+    copt.slos.maxP99QueueWaitNs = millis(20);
+  } else if (campaign == "heal") {
+    // One transient fault: the strip heals after 3 ms and the rebalancer
+    // migrates work back onto the recovered device.
+    faulty.stripFailures = {{millis(2), 5, millis(3)}};
+    copt.rebalanceGap = 2;
+    copt.slos.maxRejectedFraction = 0.0;
+    copt.slos.maxP99QueueWaitNs = millis(20);
+  } else if (campaign == "stress") {
+    faulty.stripFailures = {{millis(1), 2}, {millis(3), 9}};
+    copt.admissionQueueDepth = 4;
+    copt.maxJobsPerDevice = 2;
+    jobCount = 10 * devices;
+    copt.slos.maxRejectedFraction = 0.6;
+    copt.slos.maxP99QueueWaitNs = millis(50);
+  } else {
+    std::fprintf(stderr, "cluster: unknown campaign '%s' (ci|heal|stress)\n",
+                 campaign.c_str());
+    return 2;
+  }
+
+  std::vector<cluster::DeviceNodeSpec> specs;
+  for (std::size_t i = 0; i < devices; ++i) {
+    cluster::DeviceNodeSpec s;
+    s.name = "dev" + std::to_string(i);
+    s.profile = mediumPartialProfile();
+    if (i == 1) {
+      s.faulty = true;
+      s.faultSpec = faulty;
+    }
+    specs.push_back(std::move(s));
+  }
+
+  // Static sanity check of the campaign before anything runs (CL rules).
+  {
+    analysis::ClusterProfile prof;
+    for (const auto& s : specs) {
+      prof.deviceColumns.push_back(s.profile.geometry.cols);
+    }
+    prof.workloadWidths = {4, 4, 4};
+    prof.admissionQueueDepth = copt.admissionQueueDepth;
+    prof.minUsableColumns = copt.minUsableColumns;
+    prof.rebalanceGap = copt.rebalanceGap;
+    prof.anyStripFailures = true;
+    analysis::Report rep;
+    analysis::lintCluster(prof, rep);
+    if (!rep.diagnostics().empty()) {
+      std::fprintf(stderr, "%s", rep.renderText().c_str());
+    }
+    if (!rep.ok()) return 1;
+  }
+
+  Simulation sim;
+  cluster::BitstreamCache cache(32);
+  OsOptions base;
+  base.priorityScheduling = true;
+  cluster::DevicePool pool(sim, specs, cache, base);
+  const cluster::WorkloadId ws[3] = {
+      pool.registerWorkload("count", named(lib::makeCounter(6), "count"), 4),
+      pool.registerWorkload("csum", named(lib::makeChecksum(6), "csum"), 4),
+      pool.registerWorkload("lfsr",
+                            named(lib::makeLfsr(8, 0b10111000), "lfsr"), 4),
+  };
+
+  cluster::ClusterScheduler sched(sim, pool, copt);
+  Rng rng(seed);
+  for (std::size_t j = 0; j < jobCount; ++j) {
+    cluster::ClusterJobSpec job;
+    job.name = "j" + std::to_string(j);
+    job.submitAt = static_cast<SimTime>(j) * micros(120) +
+                   rng.below(micros(60));
+    job.priority = static_cast<int>(rng.below(3));
+    job.ops = {CpuBurst{micros(20)},
+               FpgaExec{ws[rng.below(3)], 15000 + 1000 * rng.below(20)},
+               CpuBurst{micros(10)}};
+    sched.submit(std::move(job));
+  }
+  sched.run();
+
+  const std::string payload =
+      fmt == "json" ? sched.renderJsonReport() : sched.renderReport();
+  // Sidecar copy into the obs output directory (never the repo root).
+  const std::string side = obs::outputDir() + "/cluster_" + campaign + "_" +
+                           cluster::placementPolicyName(copt.placement) +
+                           "_" + std::to_string(seed) +
+                           (fmt == "json" ? ".json" : ".txt");
+  {
+    std::ofstream sf(side, std::ios::binary);
+    sf.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (sf) {
+      std::fprintf(stderr, "cluster: report sidecar %s\n", side.c_str());
+    }
+  }
+  const int rc = emitPayload(a, payload);
+  if (rc != 0) return rc;
+  return sched.summary().slosMet ? 0 : 1;
+}
+
 /// Deterministic partitioned workload with scripted permanent strip
 /// failures: every allocator mutation (allocate / release / relocate /
 /// quarantine) appends one row to the per-column occupancy matrix. The
@@ -1451,6 +1646,7 @@ int main(int argc, char** argv) {
     if (args->command == "report") return reportCmd(*args);
     if (args->command == "heatmap") return heatmapCmd(*args);
     if (args->command == "faults") return faultsCmd(*args);
+    if (args->command == "cluster") return clusterCmd(*args);
     if (args->command == "bench-trend") return benchTrendCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
