@@ -1,0 +1,138 @@
+// E14 — Formal equivalence checking cost (verification extension).
+//
+// Two sweeps on the medium partial-reconfig device:
+//  1. counter width x proof ladder: extract-vs-prove wall split and which
+//     rung (structural / exhaustive / BDD) each endpoint cone lands on when
+//     registers are pinned exactly by CLB site (checkConfigured);
+//  2. the standard bench mix proven against its *source* netlist
+//     (checkConfiguredAgainst), where the optimizer/mapper re-arranged
+//     registers and matching falls back to simulation signatures.
+// Proof shapes (cone counts, matched FFs, vector counts, proven flags) are
+// deterministic and baselined; wall-clock columns are informational only.
+#include <chrono>
+
+#include "analysis/equiv/verify.hpp"
+#include "bench_util.hpp"
+#include "workloads/compile_suite.hpp"
+
+using namespace vfpga;
+using namespace vfpga::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsedUs(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct ProofRow {
+  analysis::equiv::EquivResult result;
+  double extractUs = 0;
+  double proveUs = 0;
+};
+
+/// Times reverse extraction separately from the full proof (which
+/// re-extracts internally: the split shows how much of the check is
+/// readback decode vs actual reasoning).
+ProofRow timedCheck(Device& dev, const CompiledCircuit& c,
+                    const Netlist* golden) {
+  ProofRow row;
+  const auto t0 = Clock::now();
+  const auto extracted = analysis::equiv::extractConfigured(dev, c);
+  const auto t1 = Clock::now();
+  const auto chk = golden != nullptr
+                       ? analysis::equiv::checkConfiguredAgainst(dev, c,
+                                                                 *golden)
+                       : analysis::equiv::checkConfigured(dev, c);
+  const auto t2 = Clock::now();
+  row.extractUs = elapsedUs(t0, t1);
+  row.proveUs = elapsedUs(t1, t2) - row.extractUs;
+  if (row.proveUs < 0) row.proveUs = 0;
+  row.result = chk.result;
+  if (!extracted.ok() || !chk.ok()) {
+    std::fprintf(stderr, "bench_e14: UNEXPECTED mismatch: %s\n",
+                 chk.result.summary().c_str());
+    std::exit(1);
+  }
+  return row;
+}
+
+void sampleProofShape(BenchJson& json, const std::string& labelKey,
+                      const std::string& labelVal,
+                      const analysis::equiv::EquivResult& r) {
+  auto put = [&](const char* metric, double v) {
+    json.sample(metric, {{labelKey, labelVal}}, v);
+  };
+  put("vfpga_bench_e14_matched_ffs", static_cast<double>(r.matchedFfs));
+  put("vfpga_bench_e14_cones_structural",
+      static_cast<double>(r.conesStructural));
+  put("vfpga_bench_e14_cones_exhaustive",
+      static_cast<double>(r.conesExhaustive));
+  put("vfpga_bench_e14_cones_bdd", static_cast<double>(r.conesBdd));
+  put("vfpga_bench_e14_exhaustive_vectors",
+      static_cast<double>(r.exhaustiveVectors));
+  put("vfpga_bench_e14_fully_proven", r.fullyProven ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("e14_equiv");
+
+  tableHeader("E14", "counter width x proof ladder "
+                     "(site-pinned registers, medium_partial)");
+  std::printf("%-6s | %8s %8s %8s %8s %10s %8s | %11s %11s\n", "width",
+              "ffs", "struct", "exhaust", "bdd", "exh_vecs", "proven",
+              "extract_us", "prove_us");
+  for (std::uint32_t width : {4u, 6u, 8u, 10u, 12u}) {
+    Device dev = mediumPartialProfile().makeDevice();
+    Compiler compiler(dev);
+    Netlist nl = lib::makeCounter(width);
+    nl.setName("counter" + std::to_string(width));
+    const CompiledCircuit c = workloads::compileMinimal(compiler, nl);
+    dev.applyBitstream(c.fullBitstream());
+    const ProofRow row = timedCheck(dev, c, nullptr);
+    const auto& r = row.result;
+    std::printf("%-6u | %8zu %8zu %8zu %8zu %10llu %8s | %11.1f %11.1f\n",
+                width, r.matchedFfs, r.conesStructural, r.conesExhaustive,
+                r.conesBdd,
+                static_cast<unsigned long long>(r.exhaustiveVectors),
+                r.fullyProven ? "yes" : "NO", row.extractUs, row.proveUs);
+    sampleProofShape(json, "width", std::to_string(width), r);
+    // Wall times land in the sidecar for trend eyeballing but are never
+    // baselined: only the deterministic proof shape gates CI.
+    json.sample("vfpga_bench_e14_extract_us",
+                {{"width", std::to_string(width)}}, row.extractUs);
+    json.sample("vfpga_bench_e14_prove_us",
+                {{"width", std::to_string(width)}}, row.proveUs);
+  }
+
+  tableHeader("E14", "standard mix vs source netlist "
+                     "(signature-matched registers)");
+  std::printf("%-10s | %8s %8s %8s %8s %10s %8s | %11s %11s\n", "circuit",
+              "ffs", "struct", "exhaust", "bdd", "exh_vecs", "proven",
+              "extract_us", "prove_us");
+  for (const BenchCircuit& bc : standardCircuits()) {
+    Device dev = mediumPartialProfile().makeDevice();
+    Compiler compiler(dev);
+    const CompiledCircuit c =
+        workloads::compileMinimal(compiler, bc.netlist);
+    dev.applyBitstream(c.fullBitstream());
+    const ProofRow row = timedCheck(dev, c, &bc.netlist);
+    const auto& r = row.result;
+    std::printf("%-10s | %8zu %8zu %8zu %8zu %10llu %8s | %11.1f %11.1f\n",
+                bc.name.c_str(), r.matchedFfs, r.conesStructural,
+                r.conesExhaustive, r.conesBdd,
+                static_cast<unsigned long long>(r.exhaustiveVectors),
+                r.fullyProven ? "yes" : "NO", row.extractUs, row.proveUs);
+    sampleProofShape(json, "circuit", bc.name, r);
+    json.sample("vfpga_bench_e14_extract_us", {{"circuit", bc.name}},
+                row.extractUs);
+    json.sample("vfpga_bench_e14_prove_us", {{"circuit", bc.name}},
+                row.proveUs);
+  }
+
+  json.write();
+  return 0;
+}

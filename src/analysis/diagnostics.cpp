@@ -194,6 +194,46 @@ constexpr RuleInfo kRules[] = {
     {"CL005", Severity::kWarning, "rebalance gap of one",
      "any load difference triggers a migration; two devices can ping-pong "
      "the same waiter every dispatch tick"},
+    // ---- timing analysis (TA) -----------------------------------------------
+    {"TA001", Severity::kError, "negative slack",
+     "a register-to-register / pad-to-pad path arrives later than the "
+     "device family's clock constraint allows (arrival + clock margin > "
+     "target period)"},
+    {"TA002", Severity::kWarning, "near-critical path",
+     "a path's slack is below the near-critical fraction of the target "
+     "clock period; any routing detour could push it negative"},
+    {"TA003", Severity::kWarning, "excessive logic depth",
+     "a timing path traverses more LUT levels than the lint bound; deep "
+     "cones dominate the critical path and resist relocation-invariant "
+     "timing"},
+    {"TA004", Severity::kWarning, "excessive fanout",
+     "a cell output drives more sinks than the lint bound; high-fanout "
+     "nets accumulate switch delay and congest the strip's channels"},
+    {"TA005", Severity::kWarning, "unconstrained endpoint",
+     "a timing endpoint's cone starts at no register, pad or constant "
+     "driver the analyzer can time from; the path is unconstrained"},
+    {"TA006", Severity::kError, "timing unavailable on faulted configuration",
+     "static timing analysis was requested but the configuration has "
+     "decode faults; the faults are attached as notes (previously this "
+     "silently returned an empty report)"},
+    // ---- equivalence checking (EQ) ------------------------------------------
+    {"EQ001", Severity::kError, "configuration extraction failed",
+     "the configured device cannot be decoded back into a standalone "
+     "circuit in the claimed region (elaboration faults, signals crossing "
+     "the region boundary)"},
+    {"EQ002", Severity::kError, "combinational equivalence mismatch",
+     "a combinational cone of the extracted design differs from the golden "
+     "netlist; the counterexample cut assignment is attached as a note"},
+    {"EQ003", Severity::kError, "sequential equivalence mismatch",
+     "a matched register diverges (initial value, next-state function or "
+     "lockstep state trace); the counterexample is attached as a note"},
+    {"EQ004", Severity::kWarning, "equivalence not fully proven",
+     "the designs agree, but some endpoints were only checked by random "
+     "simulation (cone too wide, or registers the optimizer removed left "
+     "unmatched residue)"},
+    {"EQ005", Severity::kError, "port binding mismatch",
+     "a circuit port is missing, has the wrong direction, or is driven "
+     "from outside the circuit in the configured fabric"},
 };
 
 std::span<const RuleInfo> registry() { return kRules; }

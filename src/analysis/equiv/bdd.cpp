@@ -1,0 +1,101 @@
+#include "analysis/equiv/bdd.hpp"
+
+#include <algorithm>
+
+namespace vfpga::analysis::equiv {
+
+namespace {
+
+// 64-bit mix of three 21-bit-ish fields; refs stay well under 2^21 because
+// nodeLimit defaults to 2^20, so the packing is collision-free in practice
+// and the map compares nothing (the key is exact).
+inline std::uint64_t key3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return (a << 42) ^ (b << 21) ^ c;
+}
+
+}  // namespace
+
+BddManager::BddManager(std::uint32_t numVars, std::size_t nodeLimit)
+    : numVars_(numVars), nodeLimit_(std::max<std::size_t>(nodeLimit, 16)) {
+  nodes_.push_back(Node{kTermVar, kFalse, kFalse});  // ref 0: FALSE
+  nodes_.push_back(Node{kTermVar, kTrue, kTrue});    // ref 1: TRUE
+}
+
+BddManager::Ref BddManager::mk(std::uint32_t v, Ref lo, Ref hi) {
+  if (lo == kOverflow || hi == kOverflow) return kOverflow;
+  if (lo == hi) return lo;  // reduction rule
+  const std::uint64_t k = key3(v, static_cast<std::uint64_t>(lo),
+                               static_cast<std::uint64_t>(hi));
+  auto it = unique_.find(k);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= nodeLimit_) {
+    overflow_ = true;
+    return kOverflow;
+  }
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{v, lo, hi});
+  unique_.emplace(k, r);
+  return r;
+}
+
+BddManager::Ref BddManager::var(std::uint32_t v) {
+  return mk(v, kFalse, kTrue);
+}
+
+BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
+  if (f == kOverflow || g == kOverflow || h == kOverflow) return kOverflow;
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t k = key3(static_cast<std::uint64_t>(f),
+                               static_cast<std::uint64_t>(g),
+                               static_cast<std::uint64_t>(h));
+  auto it = iteMemo_.find(k);
+  if (it != iteMemo_.end()) return it->second;
+
+  const std::uint32_t top =
+      std::min({varOf(f), varOf(g), varOf(h)});
+  auto cofactor = [&](Ref a, bool hi) -> Ref {
+    if (varOf(a) != top) return a;  // a does not branch on top
+    const Node& n = nodes_[static_cast<std::size_t>(a)];
+    return hi ? n.hi : n.lo;
+  };
+  const Ref lo = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const Ref hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Ref r = mk(top, lo, hi);
+  if (r != kOverflow) iteMemo_.emplace(k, r);
+  return r;
+}
+
+BddManager::Ref BddManager::bddNot(Ref a) { return ite(a, kFalse, kTrue); }
+
+BddManager::Ref BddManager::bddAnd(Ref a, Ref b) { return ite(a, b, kFalse); }
+
+BddManager::Ref BddManager::bddOr(Ref a, Ref b) { return ite(a, kTrue, b); }
+
+BddManager::Ref BddManager::bddXor(Ref a, Ref b) {
+  return ite(a, bddNot(b), b);
+}
+
+std::vector<std::pair<std::uint32_t, bool>> BddManager::anySat(Ref f) const {
+  // Every reduced non-FALSE node reaches TRUE: a node with both children
+  // FALSE would have been collapsed to FALSE by mk(). Prefer the hi edge so
+  // the reported vector reads naturally (set bits where possible).
+  std::vector<std::pair<std::uint32_t, bool>> path;
+  while (f != kTrue && f != kFalse) {
+    const Node& n = nodes_[static_cast<std::size_t>(f)];
+    if (n.hi != kFalse) {
+      path.emplace_back(n.var, true);
+      f = n.hi;
+    } else {
+      path.emplace_back(n.var, false);
+      f = n.lo;
+    }
+  }
+  return path;
+}
+
+}  // namespace vfpga::analysis::equiv

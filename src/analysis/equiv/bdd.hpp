@@ -1,0 +1,79 @@
+// Minimal reduced-ordered BDD manager for the equivalence checker's wide
+// combinational cones. Exhaustive enumeration is capped at
+// EquivOptions::coneInputBound cut points (2^k vectors); above that the
+// checker builds both cone functions as ROBDDs over the shared union
+// support and compares the canonical node references — equality of refs is
+// a complete proof, inequality yields a satisfying assignment of the XOR
+// (a concrete counterexample vector).
+//
+// Design notes:
+//  - plain nodes (no complement edges): simpler invariants, and the cones
+//    proved here are tens of LUT-mapped gates over <= 64 cut variables, so
+//    canonical-size blowup is bounded by `nodeLimit`, not by constants;
+//  - all operations are deterministic: node indices are allocated in
+//    creation order, and creation order is a pure function of the call
+//    sequence (hash maps are only used for lookup, never for iteration);
+//  - on hitting `nodeLimit` every operation returns kOverflow and the
+//    caller falls back to the random-simulation oracle (recorded as
+//    residue, never as a proof).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vfpga::analysis::equiv {
+
+class BddManager {
+ public:
+  /// Node reference. Non-negative values index nodes_; kOverflow poisons
+  /// every downstream operation once the node limit is hit.
+  using Ref = std::int32_t;
+  static constexpr Ref kFalse = 0;
+  static constexpr Ref kTrue = 1;
+  static constexpr Ref kOverflow = -1;
+
+  explicit BddManager(std::uint32_t numVars, std::size_t nodeLimit = 1u << 20);
+
+  std::uint32_t numVars() const { return numVars_; }
+  bool overflowed() const { return overflow_; }
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// The single-variable function for variable `v` (0-based, v < numVars).
+  Ref var(std::uint32_t v);
+
+  Ref bddNot(Ref a);
+  Ref bddAnd(Ref a, Ref b);
+  Ref bddOr(Ref a, Ref b);
+  Ref bddXor(Ref a, Ref b);
+  /// if-then-else: f ? g : h (the universal connective the others reduce to).
+  Ref ite(Ref f, Ref g, Ref h);
+
+  /// One satisfying assignment of `f` as (var, value) pairs along the
+  /// chosen path; variables not mentioned are don't-cares. Precondition:
+  /// f is a valid non-kFalse reference.
+  std::vector<std::pair<std::uint32_t, bool>> anySat(Ref f) const;
+
+ private:
+  struct Node {
+    std::uint32_t var;  ///< branch variable; kTermVar for the two terminals
+    Ref lo = kFalse;    ///< cofactor for var = 0
+    Ref hi = kFalse;    ///< cofactor for var = 1
+  };
+  static constexpr std::uint32_t kTermVar = 0xffffffffu;
+
+  std::uint32_t varOf(Ref a) const { return nodes_[static_cast<std::size_t>(a)].var; }
+  /// Unique-table constructor: returns the existing node for (v, lo, hi)
+  /// or allocates one; collapses lo == hi; kOverflow past the node limit.
+  Ref mk(std::uint32_t v, Ref lo, Ref hi);
+
+  std::uint32_t numVars_;
+  std::size_t nodeLimit_;
+  bool overflow_ = false;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;  ///< (v,lo,hi) -> node
+  std::unordered_map<std::uint64_t, Ref> iteMemo_; ///< (f,g,h) -> result
+};
+
+}  // namespace vfpga::analysis::equiv

@@ -1,0 +1,268 @@
+#include "analysis/equiv/extract.hpp"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace vfpga::analysis::equiv {
+
+namespace {
+
+std::string siteName(int x, int y) {
+  return "clb(" + std::to_string(x) + "," + std::to_string(y) + ")";
+}
+
+/// Adds a zero-input constant cell (lutTable bit 0 is the value).
+NetId addConstCell(MappedNetlist& m, std::vector<CellSite>& sites, bool v) {
+  MappedCell cell;
+  cell.lutTable = v ? 1u : 0u;
+  cell.name = v ? "const1" : "const0";
+  m.cells.push_back(std::move(cell));
+  sites.push_back(CellSite{0xffff, 0xffff});
+  return m.cellNet(m.cells.size() - 1);
+}
+
+}  // namespace
+
+ExtractedDesign extractConfigured(Device& dev, const CompiledCircuit& c) {
+  ExtractedDesign out;
+  const Elaboration& e = dev.elaboration();
+  const FabricGeometry& g = dev.geometry();
+  out.mapped.k = g.lutInputs;
+
+  // A faulted configuration (contention, undriven output pads, routing
+  // loops) has no well-defined function; refuse to guess.
+  for (const std::string& f : e.faults) {
+    out.problems.push_back("configuration fault: " + f);
+  }
+  if (!out.problems.empty()) return out;
+
+  // ---- input ports: pad slot -> primary input net --------------------------
+  std::unordered_map<std::uint32_t, NetId> netOfInputSlot;
+  std::unordered_set<std::uint32_t> deviceInputSlots(e.inputSlots.begin(),
+                                                     e.inputSlots.end());
+  for (const PortBinding& p : c.ports) {
+    if (!p.isInput) continue;
+    const NetId id = static_cast<NetId>(out.mapped.inputs.size());
+    out.mapped.inputs.push_back(MappedPort{p.name, id});
+    netOfInputSlot[p.padSlot] = id;
+    if (!deviceInputSlots.count(p.padSlot)) {
+      // Harmless when nothing reads the pad (a floating input); if logic
+      // needed it, the pins fell back to undriven and the functional
+      // checker reports the divergence with a counterexample.
+      out.notes.push_back("input pad slot " + std::to_string(p.padSlot) +
+                          " ('" + p.name + "') is not configured as an input");
+    }
+  }
+
+  // ---- cells: enabled CLBs inside the region -------------------------------
+  std::vector<std::int32_t> extractedOfElab(e.cells.size(), -1);
+  for (std::uint32_t ci = 0; ci < e.cells.size(); ++ci) {
+    const Elaboration::Cell& cell = e.cells[ci];
+    if (!c.region.contains(cell.x, cell.y)) continue;
+    extractedOfElab[ci] = static_cast<std::int32_t>(out.mapped.cells.size());
+    out.mapped.cells.emplace_back();
+    out.cellSites.push_back(CellSite{cell.x, cell.y});
+  }
+
+  const std::size_t nInputs = out.mapped.inputs.size();
+  auto sourceNet = [&](const SignalSource& s, NetId& net,
+                       std::string& why) -> bool {
+    switch (s.kind) {
+      case SignalSource::Kind::kUndriven:
+        why = "undriven";
+        return false;
+      case SignalSource::Kind::kCell: {
+        const std::int32_t ex = extractedOfElab[s.index];
+        if (ex < 0) {
+          why = "driven by " + siteName(e.cells[s.index].x, e.cells[s.index].y) +
+                " outside the region";
+          return false;
+        }
+        net = static_cast<NetId>(nInputs + static_cast<std::size_t>(ex));
+        return true;
+      }
+      case SignalSource::Kind::kPadSlot: {
+        auto it = netOfInputSlot.find(s.index);
+        if (it == netOfInputSlot.end()) {
+          why = "driven by pad slot " + std::to_string(s.index) +
+                " which is not one of the circuit's inputs";
+          return false;
+        }
+        net = it->second;
+        return true;
+      }
+    }
+    why = "unknown source kind";
+    return false;
+  };
+
+  for (std::uint32_t ci = 0; ci < e.cells.size(); ++ci) {
+    const std::int32_t ex = extractedOfElab[ci];
+    if (ex < 0) continue;
+    const Elaboration::Cell& cell = e.cells[ci];
+    MappedCell& mc = out.mapped.cells[static_cast<std::size_t>(ex)];
+    mc.name = siteName(cell.x, cell.y);
+    mc.hasFf = cell.useFf;
+
+    // Keep driven pins (in pin order); cofactor the truth table at 0 over
+    // undriven pins — exactly the device's evaluation semantics.
+    std::vector<std::uint32_t> drivenPins;
+    for (std::uint32_t p = 0; p < cell.inputs.size(); ++p) {
+      if (cell.inputs[p].kind == SignalSource::Kind::kUndriven) continue;
+      NetId net = kNoNet;
+      std::string why;
+      if (!sourceNet(cell.inputs[p], net, why)) {
+        out.problems.push_back(mc.name + " pin " + std::to_string(p) + ": " +
+                               why);
+        continue;
+      }
+      drivenPins.push_back(p);
+      mc.inputs.push_back(net);
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>(drivenPins.size());
+    std::uint64_t folded = 0;
+    for (std::uint64_t j = 0; j < (std::uint64_t{1} << n); ++j) {
+      std::uint32_t idx = 0;
+      for (std::uint32_t b = 0; b < n; ++b) {
+        if ((j >> b) & 1u) idx |= 1u << drivenPins[b];
+      }
+      folded |= static_cast<std::uint64_t>((cell.lutTable >> idx) & 1u) << j;
+    }
+    mc.lutTable = folded;
+  }
+
+  // ---- FF initial values: by site, from the compiled record ----------------
+  std::map<std::pair<std::uint16_t, std::uint16_t>, bool> initOfSite;
+  for (std::size_t k = 0; k < c.ffSites.size(); ++k) {
+    const bool init = k < c.initialState.size() && c.initialState[k];
+    initOfSite[{c.ffSites[k].x, c.ffSites[k].y}] = init;
+  }
+  for (std::size_t cc = 0; cc < out.mapped.cells.size(); ++cc) {
+    MappedCell& mc = out.mapped.cells[cc];
+    if (!mc.hasFf) continue;
+    auto it = initOfSite.find({out.cellSites[cc].x, out.cellSites[cc].y});
+    if (it == initOfSite.end()) {
+      out.notes.push_back(mc.name +
+                          " is registered but has no compiled initial-state "
+                          "record; assuming initial value 0");
+      mc.ffInit = false;
+    } else {
+      mc.ffInit = it->second;
+    }
+  }
+
+  // ---- output ports: enabled output pad -> driving net ---------------------
+  std::unordered_map<std::uint32_t, const Elaboration::PadOut*> padOutOfSlot;
+  for (const Elaboration::PadOut& po : e.padOuts) padOutOfSlot[po.slot] = &po;
+  for (const PortBinding& p : c.ports) {
+    if (p.isInput) {
+      if (padOutOfSlot.count(p.padSlot)) {
+        out.portProblems.push_back("input pad slot " +
+                                   std::to_string(p.padSlot) + " ('" + p.name +
+                                   "') is configured as an output");
+      }
+      continue;
+    }
+    auto it = padOutOfSlot.find(p.padSlot);
+    if (it == padOutOfSlot.end()) {
+      // A disabled output pad reads back as constant 0; model that so the
+      // functional checker can produce a counterexample instead of giving
+      // up on the whole extraction.
+      out.notes.push_back("output pad slot " + std::to_string(p.padSlot) +
+                          " ('" + p.name +
+                          "') is disabled; modelled as constant 0");
+      out.mapped.outputs.push_back(
+          MappedPort{p.name, addConstCell(out.mapped, out.cellSites, false)});
+      continue;
+    }
+    NetId net = kNoNet;
+    std::string why;
+    if (!sourceNet(it->second->source, net, why)) {
+      out.portProblems.push_back("output pad slot " +
+                                 std::to_string(p.padSlot) + " ('" + p.name +
+                                 "'): " + why);
+      continue;
+    }
+    out.mapped.outputs.push_back(MappedPort{p.name, net});
+  }
+
+  return out;
+}
+
+namespace {
+
+/// Shannon expansion of `table` over pins[0..n): MUX tree on the highest
+/// pin, memoized on (table, n) so shared subfunctions synthesize once.
+GateId synthTable(Netlist& nl, std::uint64_t table,
+                  const std::vector<GateId>& pins, std::size_t n,
+                  std::map<std::pair<std::uint64_t, std::size_t>, GateId>& memo) {
+  const std::uint64_t mask =
+      (n >= 6) ? ~std::uint64_t{0}
+               : ((std::uint64_t{1} << (std::uint64_t{1} << n)) - 1);
+  table &= mask;
+  if (table == 0) return nl.constant(false);
+  if (table == mask) return nl.constant(true);
+  auto it = memo.find({table, n});
+  if (it != memo.end()) return it->second;
+
+  const std::uint64_t half = std::uint64_t{1} << (n - 1);
+  const std::uint64_t halfMask =
+      (half >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << half) - 1);
+  const std::uint64_t lo = table & halfMask;
+  const std::uint64_t hi = (table >> half) & halfMask;
+  const GateId sel = pins[n - 1];
+
+  GateId result;
+  if (lo == hi) {
+    result = synthTable(nl, lo, pins, n - 1, memo);
+  } else if (lo == 0 && hi == halfMask) {
+    result = nl.addGate(GateKind::kBuf, {sel});
+  } else if (lo == halfMask && hi == 0) {
+    result = nl.addGate(GateKind::kNot, {sel});
+  } else {
+    const GateId a = synthTable(nl, lo, pins, n - 1, memo);
+    const GateId b = synthTable(nl, hi, pins, n - 1, memo);
+    result = nl.addGate(GateKind::kMux, {sel, a, b});
+  }
+  memo.emplace(std::make_pair(table, n), result);
+  return result;
+}
+
+}  // namespace
+
+Netlist mappedToNetlist(const MappedNetlist& m, const std::string& name) {
+  Netlist nl(name);
+  std::vector<GateId> netGate(m.netCount(), kNoGate);
+  for (std::size_t i = 0; i < m.inputs.size(); ++i) {
+    netGate[m.inputNet(i)] = nl.addInput(m.inputs[i].name);
+  }
+  // Registers first (deferred D) so feedback nets resolve; declaration
+  // order = mapped cell order = MappedEvaluator / ffSites order.
+  std::vector<GateId> dffGate(m.cells.size(), kNoGate);
+  for (std::size_t cc = 0; cc < m.cells.size(); ++cc) {
+    if (!m.cells[cc].hasFf) continue;
+    dffGate[cc] = nl.addDff(kNoGate, m.cells[cc].ffInit);
+    netGate[m.cellNet(cc)] = dffGate[cc];
+  }
+  for (std::uint32_t cc : m.evalOrder()) {
+    const MappedCell& mc = m.cells[cc];
+    std::vector<GateId> pins;
+    pins.reserve(mc.inputs.size());
+    for (NetId in : mc.inputs) pins.push_back(netGate[in]);
+    std::map<std::pair<std::uint64_t, std::size_t>, GateId> memo;
+    const GateId f = synthTable(nl, mc.lutTable, pins, pins.size(), memo);
+    if (mc.hasFf) {
+      nl.rebindDff(dffGate[cc], f);
+    } else {
+      netGate[m.cellNet(cc)] = f;
+    }
+  }
+  for (const MappedPort& p : m.outputs) {
+    nl.addOutput(p.name, netGate[p.net]);
+  }
+  return nl;
+}
+
+}  // namespace vfpga::analysis::equiv

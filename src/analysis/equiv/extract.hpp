@@ -1,0 +1,61 @@
+// Reverse extraction: read the *configured device* (LUT truth tables,
+// FF-enable bits and decoded routing from the elaborated ConfigMap image)
+// back into a MappedNetlist / gate-level Netlist, restricted to one
+// compiled circuit's region and port bindings.
+//
+// The extracted design is the ground truth of what the fabric will compute
+// — it is decoded from the configuration RAM alone, never from the
+// compiler's own data structures — so comparing it against the source
+// netlist (analysis/equiv/check.hpp) proves that downloads, relocations,
+// migrations and scrub repairs preserved the circuit's function.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "fabric/device.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placer.hpp"
+#include "techmap/mapped_netlist.hpp"
+
+namespace vfpga::analysis::equiv {
+
+/// A circuit read back out of the configuration RAM.
+struct ExtractedDesign {
+  /// Reverse-mapped view: one cell per enabled CLB in the region, truth
+  /// tables cofactored at 0 over undriven pins (the device reads undriven
+  /// sources as 0), ports named from the circuit's pad-slot bindings.
+  MappedNetlist mapped;
+  /// CLB site of each extracted cell ((0xffff, 0xffff) for synthesized
+  /// constant cells modelling disabled output pads).
+  std::vector<CellSite> cellSites;
+  /// Hard decode failures: the configuration cannot be interpreted as a
+  /// standalone circuit in this region (elaboration faults, signals
+  /// entering from outside the region).
+  std::vector<std::string> problems;
+  /// Port-binding decode failures (bound pad slot has the wrong direction,
+  /// output pad driven from outside the region, ...).
+  std::vector<std::string> portProblems;
+  /// Non-fatal observations (e.g. a registered cell with no compile-time
+  /// initial-state record); the functional checker still decides.
+  std::vector<std::string> notes;
+
+  bool ok() const { return problems.empty() && portProblems.empty(); }
+};
+
+/// Decodes the device's current configuration restricted to `c`'s region
+/// and port bindings. The device is only read (elaboration is cached by
+/// the device itself). `c` supplies *names and places* — region, pad-slot
+/// bindings, FF initial values by site — never logic content.
+ExtractedDesign extractConfigured(Device& dev, const CompiledCircuit& c);
+
+/// Converts a mapped netlist (extracted or compiler-produced) to a
+/// gate-level Netlist by Shannon-expanding each LUT truth table into a
+/// MUX/NOT/constant tree; registered cells become DFFs (feedback handled
+/// via deferred D binding). The DFF declaration order equals the mapped
+/// cell order, i.e. the MappedEvaluator / CompiledCircuit::ffSites order.
+Netlist mappedToNetlist(const MappedNetlist& m, const std::string& name);
+
+}  // namespace vfpga::analysis::equiv

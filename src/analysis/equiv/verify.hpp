@@ -1,0 +1,59 @@
+// High-level equivalence verification drivers: extract the configured
+// device, prove it equivalent to a golden reference, and surface the
+// outcome as EQ diagnostics / invariant checks.
+//
+// These run at the three places corruption can enter a live system:
+//  * after Compiler::relocate (installRelocateVerifier);
+//  * after cluster migration resume (OsKernel calls verifyConfiguredOrThrow);
+//  * after fault-layer scrub repair (ditto).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/equiv/check.hpp"
+#include "analysis/equiv/extract.hpp"
+
+namespace vfpga::analysis::equiv {
+
+/// Outcome of one configured-vs-golden check.
+struct ConfiguredCheck {
+  ExtractedDesign extracted;
+  EquivResult result;
+  bool ok() const { return extracted.ok() && result.equivalent; }
+};
+
+/// Checks the device's configuration in `c`'s region against the compiled
+/// mapped netlist (the painter's input). Registers are pinned exactly via
+/// CompiledCircuit::ffSites, so the proof is fully structural/exhaustive
+/// for healthy configurations.
+ConfiguredCheck checkConfigured(Device& dev, const CompiledCircuit& c,
+                                EquivOptions opt = {});
+
+/// Same, but against an independent golden netlist (typically the *source*
+/// netlist the circuit was compiled from). Registers the optimizer or
+/// mapper re-arranged are matched by simulation signature; leftovers fall
+/// back to the sequential random-simulation oracle.
+ConfiguredCheck checkConfiguredAgainst(Device& dev, const CompiledCircuit& c,
+                                       const Netlist& golden,
+                                       EquivOptions opt = {});
+
+/// Maps a ConfiguredCheck onto the EQ rule family of `rep`.
+void lintEquivalence(const ConfiguredCheck& chk, const std::string& circuit,
+                     Report& rep);
+
+/// Invariant form: checkConfigured + lintEquivalence + throwIfErrors.
+/// Throws InvariantViolation when the configured fabric no longer computes
+/// the compiled circuit.
+void verifyConfiguredOrThrow(Device& dev, const CompiledCircuit& c,
+                             std::string_view context);
+
+/// Installs the process-wide Compiler post-relocate observer (idempotent):
+/// after every relocate(), when invariant checks are enabled
+/// (VFPGA_CHECK_INVARIANTS / setInvariantChecks), the relocated image is
+/// applied to a scratch device, extracted, and proven equivalent to the
+/// relocated mapped netlist. OsKernel installs this at construction.
+void installRelocateVerifier();
+
+}  // namespace vfpga::analysis::equiv

@@ -1,0 +1,107 @@
+#include "analysis/timing_lint/timing_lint.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vfpga::analysis {
+
+namespace {
+
+Location siteLoc(std::uint16_t x, std::uint16_t y) {
+  Location loc;
+  loc.kind = Location::Kind::kSite;
+  loc.x = x;
+  loc.y = y;
+  return loc;
+}
+
+}  // namespace
+
+TimingConstraints constraintsFor(const DeviceProfile& profile) {
+  TimingConstraints tc;
+  tc.clockPeriod = profile.targetClockPeriod;
+  return tc;
+}
+
+TimingAnalysis lintTiming(Device& device, const TimingConstraints& tc,
+                          Report& rep, std::size_t topN) {
+  TimingAnalysis ta = analyzeTiming(device, topN);
+
+  if (ta.status == TimingStatus::kConfigFaulted) {
+    Diagnostic& d = rep.add(
+        "TA006", "timing analysis unavailable: configuration has " +
+                     std::to_string(ta.configFaults.size()) + " fault(s)");
+    for (const std::string& f : ta.configFaults) d.notes.push_back(f);
+    return ta;
+  }
+  if (ta.status == TimingStatus::kNoLogic) return ta;
+
+  const SimDuration margin = device.timing().clockMargin;
+  for (const TimingPath& p : ta.paths) {
+    const SimDuration required = p.arrival + margin;
+    if (required > tc.clockPeriod) {
+      Diagnostic& d = rep.add(
+          "TA001", "negative slack: " + p.startpoint + " -> " + p.endpoint +
+                       " needs " + std::to_string(required) +
+                       " ns against a " + std::to_string(tc.clockPeriod) +
+                       " ns clock constraint");
+      d.notes.push_back("arrival " + std::to_string(p.arrival) + " ns + " +
+                        std::to_string(margin) + " ns clock margin, depth " +
+                        std::to_string(p.cells.size()) + " LUTs");
+    } else if (static_cast<double>(required) >
+               tc.nearCriticalFraction * static_cast<double>(tc.clockPeriod)) {
+      rep.add("TA002",
+              "near-critical path: " + p.startpoint + " -> " + p.endpoint +
+                  " uses " + std::to_string(required) + " of " +
+                  std::to_string(tc.clockPeriod) + " ns");
+    }
+    if (p.cells.size() > tc.maxLogicDepth) {
+      rep.add("TA003", "excessive logic depth: " + p.startpoint + " -> " +
+                           p.endpoint + " traverses " +
+                           std::to_string(p.cells.size()) +
+                           " LUT levels (limit " +
+                           std::to_string(tc.maxLogicDepth) + ")");
+    }
+  }
+
+  // Structural checks walk the full elaboration, not just the top paths.
+  const Elaboration& e = device.elaboration();
+  std::vector<std::size_t> fanout(e.cells.size(), 0);
+  auto countSink = [&](const SignalSource& s) {
+    if (s.kind == SignalSource::Kind::kCell) ++fanout[s.index];
+  };
+  for (const Elaboration::Cell& c : e.cells) {
+    for (const SignalSource& in : c.inputs) countSink(in);
+  }
+  for (const auto& po : e.padOuts) countSink(po.source);
+  for (std::size_t ci = 0; ci < e.cells.size(); ++ci) {
+    if (fanout[ci] > tc.maxFanout) {
+      rep.add("TA004",
+              "excessive fanout: lut(" + std::to_string(e.cells[ci].x) + "," +
+                  std::to_string(e.cells[ci].y) + ") drives " +
+                  std::to_string(fanout[ci]) + " sinks (limit " +
+                  std::to_string(tc.maxFanout) + ")",
+              siteLoc(e.cells[ci].x, e.cells[ci].y));
+    }
+  }
+
+  // Unconstrained endpoints: registers whose D input is entirely undriven
+  // (no timing arc ends there, so no path above covers them).
+  for (const Elaboration::Cell& c : e.cells) {
+    if (!c.useFf) continue;
+    bool driven = false;
+    for (const SignalSource& in : c.inputs) {
+      if (in.kind != SignalSource::Kind::kUndriven) driven = true;
+    }
+    if (!driven) {
+      rep.add("TA005",
+              "unconstrained endpoint: ff(" + std::to_string(c.x) + "," +
+                  std::to_string(c.y) + ") has no driven timing arc",
+              siteLoc(c.x, c.y));
+    }
+  }
+
+  return ta;
+}
+
+}  // namespace vfpga::analysis

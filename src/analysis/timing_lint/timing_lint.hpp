@@ -1,0 +1,37 @@
+// Timing-driven lint: checks the configured device's static timing against
+// the device family's clock constraint and structural sanity thresholds,
+// reporting through the TA rule family.
+//
+// Unlike `criticalPaths` (which returns an ambiguous empty list for both
+// "blank device" and "corrupted configuration"), the lint consumes
+// analyzeTiming()'s status and turns a faulted configuration into a hard
+// TA006 error.
+#pragma once
+
+#include <cstddef>
+
+#include "analysis/diagnostics.hpp"
+#include "fabric/device_family.hpp"
+#include "fabric/sta.hpp"
+
+namespace vfpga::analysis {
+
+/// Per-run timing constraints; defaults are derived from the device
+/// family's targetClockPeriod via constraintsFor().
+struct TimingConstraints {
+  SimDuration clockPeriod = 100;   ///< required period, ns (TA001)
+  double nearCriticalFraction = 0.95;  ///< TA002 fires above this fraction
+  std::size_t maxLogicDepth = 24;  ///< LUT levels on one path (TA003)
+  std::size_t maxFanout = 24;      ///< sinks of one LUT/FF output (TA004)
+};
+
+/// The constraint set implied by a device profile.
+TimingConstraints constraintsFor(const DeviceProfile& profile);
+
+/// Runs the TA rule family over the device's current configuration.
+/// `topN` bounds how many critical paths are examined for TA001–TA003.
+/// Returns the analysis so callers can also render the timing report.
+TimingAnalysis lintTiming(Device& device, const TimingConstraints& tc,
+                          Report& rep, std::size_t topN = 16);
+
+}  // namespace vfpga::analysis

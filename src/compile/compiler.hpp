@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -114,6 +115,19 @@ class Compiler {
   /// `newX0` by coordinate translation. Throws CompileError for
   /// non-relocatable inputs or out-of-range targets.
   CompiledCircuit relocate(const CompiledCircuit& c, std::uint16_t newX0);
+
+  /// Process-wide observer fired after every successful relocate() with
+  /// the target fabric parameters and the (original, relocated) pair.
+  /// Installed by the analysis layer (which links *against* this library,
+  /// so the compiler cannot call it directly) to prove the relocated image
+  /// still computes the source netlist; see
+  /// analysis/equiv/verify.hpp::installRelocateVerifier. Returns the
+  /// previous observer; pass {} to clear.
+  using RelocateObserver = std::function<void(
+      const FabricGeometry&, const DeviceTiming&, std::uint32_t frameBits,
+      const CompiledCircuit& original, const CompiledCircuit& relocated)>;
+  static RelocateObserver setRelocateObserver(RelocateObserver obs);
+  static const RelocateObserver& relocateObserver();
 
   /// Pad-slot capacity available to a compile in `region`.
   std::size_t ioCapacity(const Region& region, bool relocatable) const;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/equiv/verify.hpp"
 #include "analysis/kernel_check.hpp"
 #include "core/obs_bridge.hpp"
 
@@ -78,6 +79,10 @@ OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
           "vfpga_os_relocations", policyLabels(options_.policy),
           "Resident circuits moved by compaction")) {
   installFlightRecorderHook();
+  // Every relocate() this kernel triggers (partition load, GC compaction,
+  // quarantine evacuation) is formally re-proven against its mapped netlist
+  // when invariant checks are on.
+  analysis::equiv::installRelocateVerifier();
   flight_.attachTrace(&trace_);
   flight_.attachRegistry(&metricsRegistry_);
   flight_.attachSpans(&spans_);
@@ -776,6 +781,14 @@ void OsKernel::tryDispatchPartitioned() {
         trace_.record(sim_->now(), TraceKind::kStateRestore,
                       tr.spec.name + " (migrated in)");
         tr.spec.migratedStateBits = 0;
+        if (analysis::invariantChecksEnabled()) {
+          // Migration resume is a corruption entry point: the image crossed
+          // devices and the state crossed the wire. Re-prove the configured
+          // partition still computes its mapped netlist before running it.
+          analysis::equiv::verifyConfiguredOrThrow(
+              *dev_, pm_->circuitIn(load->partition),
+              "cluster migration resume post-condition");
+        }
       }
 
       const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
@@ -953,6 +966,15 @@ void OsKernel::scrubTick() {
     trace_.record(sim_->now(), TraceKind::kConfigReadback,
                   "scrub repaired " + std::to_string(res.repairedFrames) +
                       " frame(s)");
+    if (pm_ && analysis::invariantChecksEnabled()) {
+      // Scrub repair is a corruption entry point: the golden image itself
+      // could be stale or the repair incomplete. Re-prove every resident
+      // circuit still computes its mapped netlist.
+      for (const PartitionId pid : pm_->occupiedPartitions()) {
+        analysis::equiv::verifyConfiguredOrThrow(
+            *dev_, pm_->circuitIn(pid), "scrub repair post-condition");
+      }
+    }
   }
   sim_->scheduleAfter(options_.ft.scrubInterval, [this] { scrubTick(); });
 }

@@ -1,5 +1,6 @@
 #include "core/partition_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "analysis/kernel_check.hpp"
@@ -342,6 +343,14 @@ const CompiledCircuit& PartitionManager::circuitIn(PartitionId id) const {
     throw std::out_of_range("partition has no occupant");
   }
   return it->second.circuit;
+}
+
+std::vector<PartitionId> PartitionManager::occupiedPartitions() const {
+  std::vector<PartitionId> ids;
+  ids.reserve(occupants_.size());
+  for (const auto& [id, occ] : occupants_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 void PartitionManager::checkInvariants() const {

@@ -116,6 +116,9 @@ class PartitionManager {
   LoadedCircuit loaded(PartitionId id);
   /// The relocated circuit occupying a partition.
   const CompiledCircuit& circuitIn(PartitionId id) const;
+  /// All currently occupied partitions, ascending (deterministic order for
+  /// whole-device sweeps like the post-scrub equivalence audit).
+  std::vector<PartitionId> occupiedPartitions() const;
 
   const StripAllocator& allocator() const { return alloc_; }
   std::uint64_t garbageCollections() const { return gcRuns_; }

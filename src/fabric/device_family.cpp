@@ -11,6 +11,7 @@ DeviceProfile tinyProfile() {
   p.port.partialReconfig = true;
   p.port.bitPeriod = nanos(200);
   p.frameBits = 64;
+  p.targetClockPeriod = 80;
   return p;
 }
 
@@ -21,6 +22,7 @@ DeviceProfile mediumPartialProfile() {
   p.port.partialReconfig = true;
   p.port.bitPeriod = nanos(400);
   p.frameBits = 128;
+  p.targetClockPeriod = 120;
   return p;
 }
 
@@ -42,6 +44,7 @@ DeviceProfile xc4000SerialProfile() {
   p.port.stateAccess = true;  // XC4000 readback mode
   p.port.bitPeriod = nanos(1400);
   p.frameBits = 128;
+  p.targetClockPeriod = 200;
   return p;
 }
 

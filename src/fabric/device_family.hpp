@@ -21,6 +21,9 @@ struct DeviceProfile {
   DeviceTiming timing;
   ConfigPortSpec port;
   std::uint32_t frameBits = 128;
+  /// Family clock constraint, ns: designs on this part must meet this
+  /// period. TA lint rules check post-route slack against it.
+  SimDuration targetClockPeriod = 100;
 
   Device makeDevice() const { return Device(geometry, timing, frameBits); }
 };

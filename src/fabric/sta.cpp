@@ -11,11 +11,9 @@ std::string cellName(const Elaboration::Cell& c) {
   return "lut(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
 }
 
-}  // namespace
-
-std::vector<TimingPath> criticalPaths(Device& device, std::size_t topN) {
-  const Elaboration& e = device.elaboration();
-  if (!e.ok() || e.cells.empty()) return {};
+// Core path tracer over a known-clean elaboration.
+std::vector<TimingPath> tracePaths(Device& device, const Elaboration& e,
+                                   std::size_t topN) {
   const DeviceTiming& t = device.timing();
 
   // Arrival at each cell's LUT output plus the predecessor that set it.
@@ -58,9 +56,9 @@ std::vector<TimingPath> criticalPaths(Device& device, std::size_t topN) {
     std::int32_t bestKind = kNone;
     std::uint32_t bestIdx = 0;
     for (const SignalSource& in : e.cells[ci].inputs) {
-      SimDuration a;
-      std::int32_t kind;
-      std::uint32_t idx;
+      SimDuration a = 0;
+      std::int32_t kind = kNone;
+      std::uint32_t idx = 0;
       sourceArrival(in, a, kind, idx);
       if (kind != kNone && a >= best) {
         best = a;
@@ -87,9 +85,9 @@ std::vector<TimingPath> criticalPaths(Device& device, std::size_t topN) {
     std::int32_t bestKind = kNone;
     std::uint32_t bestIdx = 0;
     for (const SignalSource& in : ins) {
-      SimDuration a;
-      std::int32_t kind;
-      std::uint32_t idx;
+      SimDuration a = 0;
+      std::int32_t kind = kNone;
+      std::uint32_t idx = 0;
       sourceArrival(in, a, kind, idx);
       if (kind != kNone && a >= best) {
         best = a;
@@ -144,11 +142,52 @@ std::vector<TimingPath> criticalPaths(Device& device, std::size_t topN) {
   return paths;
 }
 
+}  // namespace
+
+const char* timingStatusName(TimingStatus s) {
+  switch (s) {
+    case TimingStatus::kOk: return "ok";
+    case TimingStatus::kNoLogic: return "no_logic";
+    case TimingStatus::kConfigFaulted: return "config_faulted";
+  }
+  return "?";
+}
+
+TimingAnalysis analyzeTiming(Device& device, std::size_t topN) {
+  TimingAnalysis r;
+  const Elaboration& e = device.elaboration();
+  if (!e.ok()) {
+    r.status = TimingStatus::kConfigFaulted;
+    r.configFaults = e.faults;
+    return r;
+  }
+  if (e.cells.empty()) {
+    r.status = TimingStatus::kNoLogic;
+    r.minClockPeriod = device.minClockPeriod();
+    return r;
+  }
+  r.status = TimingStatus::kOk;
+  r.paths = tracePaths(device, e, topN);
+  r.minClockPeriod = device.minClockPeriod();
+  return r;
+}
+
+std::vector<TimingPath> criticalPaths(Device& device, std::size_t topN) {
+  return analyzeTiming(device, topN).paths;
+}
+
 std::string renderTimingReport(Device& device, std::size_t topN) {
   std::ostringstream os;
-  const auto paths = criticalPaths(device, topN);
+  const TimingAnalysis ta = analyzeTiming(device, topN);
+  if (ta.status == TimingStatus::kConfigFaulted) {
+    os << "critical paths unavailable: configuration has "
+       << ta.configFaults.size() << " fault(s):\n";
+    for (const std::string& f : ta.configFaults) os << "  " << f << "\n";
+    return os.str();
+  }
+  const std::vector<TimingPath>& paths = ta.paths;
   os << "critical paths (slowest first), min clock period "
-     << device.minClockPeriod() << " ns:\n";
+     << ta.minClockPeriod << " ns:\n";
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const TimingPath& p = paths[i];
     os << "  #" << (i + 1) << "  " << p.arrival << " ns  " << p.startpoint

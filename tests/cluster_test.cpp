@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/cluster_lint.hpp"
+#include "analysis/equiv/verify.hpp"
 #include "cluster/scheduler.hpp"
 #include "core/strip_allocator.hpp"
 #include "netlist/library/coding.hpp"
@@ -161,6 +162,13 @@ TEST(Migration, SnapshotMoveResumeIsBitIdentical) {
   const CompiledCircuit cB = compilerB.relocate(cA, 5);
   devB.applyBitstream(cB.fullBitstream());
   ASSERT_TRUE(devB.configOk());
+  // Equivalence invariant: the destination fabric must provably compute
+  // the migrated circuit before any state is restored into it.
+  {
+    const auto chk = analysis::equiv::checkConfigured(devB, cB);
+    ASSERT_TRUE(chk.ok()) << chk.result.summary();
+    EXPECT_TRUE(chk.result.fullyProven) << chk.result.summary();
+  }
   LoadedCircuit lb(devB, cB);
   lb.restoreState(snapshot);
   clockCounter(lb, 41);
@@ -207,6 +215,15 @@ TEST(Migration, QuarantineForcedRelocationIsBitIdentical) {
   EXPECT_TRUE(q.relocated);
   ASSERT_NE(q.movedTo, kNoPartition);
 
+  // Equivalence invariant: the forced relocation left a configuration
+  // that still provably computes the compiled circuit.
+  {
+    const auto chk =
+        analysis::equiv::checkConfigured(dev, pm.circuitIn(q.movedTo));
+    ASSERT_TRUE(chk.ok()) << chk.result.summary();
+    EXPECT_TRUE(chk.result.fullyProven) << chk.result.summary();
+  }
+
   LoadedCircuit moved = pm.loaded(q.movedTo);
   moved.setInput("en", false);
   moved.setInput("clr", false);
@@ -231,6 +248,13 @@ TEST(Migration, QuarantineForcedRelocationIsBitIdentical) {
 // ---- kernel migration ticket ----------------------------------------------
 
 TEST(Migration, ExtractedRunningTaskResumesOnSecondKernel) {
+  // With invariant checks on, the destination kernel proves the resumed
+  // configuration equivalent right after the migrated state is restored
+  // (the OsKernel migration-resume hook); a corrupted move would throw.
+  struct ChecksGuard {
+    ChecksGuard() { analysis::setInvariantChecks(true); }
+    ~ChecksGuard() { analysis::setInvariantChecks(false); }
+  } guard;
   Simulation sim;
   DeviceProfile prof = mediumPartialProfile();
   Device devA = prof.makeDevice(), devB = prof.makeDevice();

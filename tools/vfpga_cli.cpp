@@ -71,9 +71,11 @@
 #include <string>
 
 #include "analysis/cluster_lint.hpp"
+#include "analysis/equiv/verify.hpp"
 #include "analysis/fault_lint.hpp"
 #include "analysis/flow_lint.hpp"
 #include "analysis/netlist_lint.hpp"
+#include "analysis/timing_lint/timing_lint.hpp"
 #include "cluster/scheduler.hpp"
 #include "fault/fault_plan.hpp"
 #include "compile/compiler.hpp"
@@ -135,6 +137,9 @@ int usage() {
                " [--device <name>] [--width N] [--no-optimize] [--json]\n"
                "  lint --list-rules\n"
                "  lint --fix --netlist file.vnl [--out fixed.vnl]\n"
+               "  equiv (--circuit <name> | --netlist file.vnl | --all)"
+               " [--device <name>] [--width N] [--relocate] [--seed N]"
+               " [--json] [--out file]\n"
                "  cluster [--devices N] [--seed N] [--campaign ci|heal|"
                "stress]\n"
                "          [--policy first_fit|least_loaded|best_fit]"
@@ -184,7 +189,7 @@ std::optional<Args> parse(int argc, char** argv) {
     key = key.substr(2);
     if (key == "no-optimize" || key == "all" || key == "json" ||
         key == "list-rules" || key == "validate" || key == "links" ||
-        key == "fix") {
+        key == "fix" || key == "relocate") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -1100,6 +1105,16 @@ int lintCmd(const Args& a) {
           return workloads::compileMinimal(compiler, nl);
         }();
         analysis::lintCompiled(c, dev.rrg(), dev.configMap(), rep);
+        // Configure the device and close the loop: timing against the
+        // family clock constraint (TA rules) and formal equivalence of the
+        // configured fabric against the netlist that was compiled (EQ
+        // rules). fullBitstream() blanks everything outside the circuit,
+        // so reusing one device across --all iterations is safe.
+        dev.applyBitstream(c.fullBitstream());
+        analysis::lintTiming(dev, analysis::constraintsFor(p), rep);
+        const analysis::equiv::ConfiguredCheck chk =
+            analysis::equiv::checkConfiguredAgainst(dev, c, nl);
+        analysis::equiv::lintEquivalence(chk, circuit.name, rep);
       }
     } catch (const std::exception& e) {
       failure = e.what();
@@ -1130,6 +1145,139 @@ int lintCmd(const Args& a) {
                 errors, warnings, circuits.size());
   }
   return errors != 0 ? 1 : 0;
+}
+
+/// Formal equivalence gate: compile each circuit, download it, extract the
+/// configuration back out of the device and prove the fabric computes the
+/// *source* netlist; with --relocate the circuit is additionally retargeted
+/// to the rightmost strip and re-proven there. Output is byte-deterministic
+/// for a given seed; exit 0 iff every stage of every circuit is equivalent.
+int equivCmd(const Args& a) {
+  if (!a.has("circuit") && !a.has("netlist") && !a.has("all")) return usage();
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  const std::uint64_t seed = std::stoull(a.get("seed", "1"));
+
+  std::vector<AppCircuit> circuits;
+  if (a.has("all")) {
+    circuits = workloads::allSuites();
+  } else {
+    circuits.push_back(loadCircuit(a));
+  }
+
+  struct Stage {
+    std::string name;
+    analysis::equiv::ConfiguredCheck chk;
+  };
+  const bool json = a.has("json");
+  std::ostringstream os;
+  std::size_t failed = 0;
+  if (json) os << "[";
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const AppCircuit& circuit = circuits[i];
+    std::vector<Stage> stages;
+    std::string failure;
+    try {
+      Device dev = p.makeDevice();
+      Compiler compiler(dev);
+      const CompiledCircuit c = [&] {
+        if (a.has("width")) {
+          const auto w = static_cast<std::uint16_t>(std::stoul(a.get("width")));
+          CompileOptions co;
+          co.seed = seed;
+          return compiler.compile(circuit.netlist,
+                                  Region::columns(dev.geometry(), 0, w), co);
+        }
+        return workloads::compileMinimal(compiler, circuit.netlist, seed);
+      }();
+      dev.applyBitstream(c.fullBitstream());
+      stages.push_back({"post_pnr", analysis::equiv::checkConfiguredAgainst(
+                                        dev, c, circuit.netlist)});
+      if (a.has("relocate")) {
+        const auto newX0 =
+            static_cast<std::uint16_t>(dev.geometry().cols - c.region.w);
+        const CompiledCircuit r = compiler.relocate(c, newX0);
+        Device dev2 = p.makeDevice();
+        dev2.applyBitstream(r.fullBitstream());
+        stages.push_back({"post_relocate_x" + std::to_string(newX0),
+                          analysis::equiv::checkConfiguredAgainst(
+                              dev2, r, circuit.netlist)});
+      }
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
+    bool circuitOk = failure.empty();
+    for (const Stage& s : stages) {
+      if (!s.chk.ok()) circuitOk = false;
+    }
+    if (!circuitOk) ++failed;
+
+    if (json) {
+      os << (i == 0 ? "" : ",") << "\n{\"name\":\""
+         << obs::jsonEscape(circuit.name) << "\"";
+      if (!failure.empty()) {
+        os << ",\"error\":\"" << obs::jsonEscape(failure) << "\"";
+      }
+      os << ",\"equivalent\":" << (circuitOk ? "true" : "false")
+         << ",\"stages\":[";
+      for (std::size_t s = 0; s < stages.size(); ++s) {
+        const Stage& st = stages[s];
+        os << (s == 0 ? "" : ",") << "{\"stage\":\"" << st.name
+           << "\",\"equivalent\":" << (st.chk.ok() ? "true" : "false")
+           << ",\"fully_proven\":"
+           << (st.chk.result.fullyProven ? "true" : "false") << ",\"summary\":\""
+           << obs::jsonEscape(st.chk.result.summary()) << "\"";
+        if (!st.chk.extracted.problems.empty()) {
+          os << ",\"extraction_problems\":[";
+          for (std::size_t k = 0; k < st.chk.extracted.problems.size(); ++k) {
+            os << (k == 0 ? "" : ",") << "\""
+               << obs::jsonEscape(st.chk.extracted.problems[k]) << "\"";
+          }
+          os << "]";
+        }
+        if (!st.chk.result.counterexamples.empty()) {
+          os << ",\"counterexamples\":[";
+          for (std::size_t k = 0; k < st.chk.result.counterexamples.size();
+               ++k) {
+            os << (k == 0 ? "" : ",") << "\""
+               << obs::jsonEscape(st.chk.result.counterexamples[k].render())
+               << "\"";
+          }
+          os << "]";
+        }
+        os << "}";
+      }
+      os << "]}";
+    } else {
+      os << "== " << circuit.name << " ==\n";
+      if (!failure.empty()) os << "  flow error: " << failure << "\n";
+      for (const Stage& st : stages) {
+        os << "  " << st.name << ": "
+           << (st.chk.ok() ? "EQUIVALENT" : "NOT EQUIVALENT") << " ("
+           << st.chk.result.summary() << ")\n";
+        for (const std::string& prob : st.chk.extracted.problems) {
+          os << "    extraction: " << prob << "\n";
+        }
+        for (const std::string& prob : st.chk.result.portMismatches) {
+          os << "    port: " << prob << "\n";
+        }
+        for (const std::string& prob : st.chk.result.stateMismatches) {
+          os << "    state: " << prob << "\n";
+        }
+        for (const auto& cx : st.chk.result.counterexamples) {
+          os << "    counterexample: " << cx.render() << "\n";
+        }
+      }
+    }
+  }
+  if (json) {
+    os << "\n]\n";
+  } else {
+    os << "equiv: " << circuits.size() << " circuit(s), " << failed
+       << " failure(s)\n";
+  }
+  const int rc = emitPayload(a, os.str());
+  if (rc != 0) return rc;
+  return failed != 0 ? 1 : 0;
 }
 
 /// Seeded fault-injection campaign against the partitioned kernel: three
@@ -1642,6 +1790,7 @@ int main(int argc, char** argv) {
     if (args->command == "compile") return compileCmd(*args);
     if (args->command == "simulate") return simulateCmd(*args);
     if (args->command == "lint") return lintCmd(*args);
+    if (args->command == "equiv") return equivCmd(*args);
     if (args->command == "trace") return traceCmd(*args);
     if (args->command == "report") return reportCmd(*args);
     if (args->command == "heatmap") return heatmapCmd(*args);
