@@ -46,11 +46,14 @@ WorkloadId DevicePool::registerWorkload(const std::string& name,
                                         const Netlist& nl,
                                         std::uint16_t width) {
   WorkloadId id = kNoConfig;
+  std::vector<bool> cachedPerNode;
+  cachedPerNode.reserve(nodes_.size());
   for (auto& nodePtr : nodes_) {
     DeviceNode& node = *nodePtr;
     const std::uint64_t digest =
         compileDigest(nl, node.profile().geometry, node.profile().frameBits,
                       width);
+    const std::uint64_t hitsBefore = cache_->stats().hits;
     auto circuit = cache_->getOrCompile(digest, [&] {
       CompileOptions opt;
       CompiledCircuit c = node.compiler().compile(
@@ -58,6 +61,7 @@ WorkloadId DevicePool::registerWorkload(const std::string& name,
       c.name = name;
       return c;
     });
+    cachedPerNode.push_back(cache_->stats().hits > hitsBefore);
     const ConfigId got = node.kernel().registerConfig(*circuit);
     if (id == kNoConfig) {
       id = got;
@@ -68,6 +72,7 @@ WorkloadId DevicePool::registerWorkload(const std::string& name,
     }
   }
   widths_.push_back(width);
+  cached_.push_back(std::move(cachedPerNode));
   return id;
 }
 

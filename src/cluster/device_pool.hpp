@@ -100,11 +100,19 @@ class DevicePool {
   std::size_t workloadCount() const { return widths_.size(); }
   BitstreamCache& cache() { return *cache_; }
 
+  /// True when `id`'s compile for node `d` was served from the shared
+  /// cache (some earlier node of the same fabric signature paid the
+  /// compile). The resource ledger attributes cache hits/misses from this.
+  bool workloadCached(WorkloadId id, std::size_t d) const {
+    return cached_.at(id).at(d);
+  }
+
  private:
   Simulation* sim_;
   BitstreamCache* cache_;
   std::vector<std::unique_ptr<DeviceNode>> nodes_;
   std::vector<std::uint16_t> widths_;  ///< indexed by WorkloadId
+  std::vector<std::vector<bool>> cached_;  ///< [workload][node] cache hit
 };
 
 }  // namespace vfpga::cluster

@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "analysis/diagnostics.hpp"
+#include "core/obs_bridge.hpp"
 
 namespace vfpga::cluster {
 
@@ -227,6 +228,15 @@ void ClusterScheduler::place(std::size_t j, std::size_t d) {
   job.queueWaitNs = sim_->now() - job.spec.submitAt;
   ++cAdmitted_;
   sQueueWait_.observe(static_cast<double>(job.queueWaitNs));
+  // Waterfall phase mark: placement closes the admission-wait phase; the
+  // queue wait rides along so the profiler can attribute it without the
+  // scheduler's job table.
+  node.kernel().spanTracer().instantAt(
+      sim_->now(), "place/" + job.spec.name, "cluster.place",
+      {{"job", job.spec.name},
+       {"device", node.name()},
+       {"queue_wait_ns", std::to_string(job.queueWaitNs)}},
+      static_cast<std::uint32_t>(taskIdx) + 1);
 }
 
 void ClusterScheduler::placeQueued() {
@@ -268,6 +278,15 @@ bool ClusterScheduler::migrateTask(std::size_t from, std::size_t taskIdx,
   } else {
     ++cMigrRebalance_;
   }
+  // Arrival-side twin of the source kernel's os.migrate mark, on the
+  // continuation task's track.
+  dst.kernel().spanTracer().instantAt(
+      sim_->now(), "migrate_in/" + job.spec.name, "cluster.migrate",
+      {{"job", job.spec.name},
+       {"from", src.name()},
+       {"to", dst.name()},
+       {"reason", drain ? "drain" : "rebalance"}},
+      static_cast<std::uint32_t>(newIdx) + 1);
   return true;
 }
 
@@ -467,6 +486,42 @@ void ClusterScheduler::finalizeResults() {
                "Jobs that finished on this device")
         .set(static_cast<double>(completedHere));
   }
+  // Per-task / per-class cost attribution (vfpga_profile_*): the same
+  // rollup a single-kernel profile publishes, summed across devices.
+  resourceLedger().publish(reg_);
+}
+
+obs::profile::ResourceLedger ClusterScheduler::resourceLedger() const {
+  obs::profile::ResourceLedger ledger;
+  for (std::size_t d = 0; d < pool_->nodeCount(); ++d) {
+    const DeviceNode& node = pool_->node(d);
+    const obs::profile::ResourceLedger part =
+        buildLedger(node.kernel(), node.name());
+    for (std::size_t t = 0; t < part.rows().size(); ++t) {
+      obs::profile::LedgerRow row = part.rows()[t];
+      // Bitstream-cache attribution: each distinct workload the task's
+      // program references was either compiled on this node or served
+      // from the shared cache when the pool registered it here.
+      const TaskRuntime& tr = node.kernel().tasks()[t];
+      std::vector<ConfigId> seen;
+      for (const TaskOp& op : tr.spec.ops) {
+        const auto* fx = std::get_if<FpgaExec>(&op);
+        if (fx == nullptr ||
+            std::find(seen.begin(), seen.end(), fx->config) != seen.end()) {
+          continue;
+        }
+        seen.push_back(fx->config);
+        if (fx->config < pool_->workloadCount() &&
+            pool_->workloadCached(fx->config, d)) {
+          ++row.cacheHits;
+        } else {
+          ++row.cacheMisses;
+        }
+      }
+      ledger.add(std::move(row));
+    }
+  }
+  return ledger;
 }
 
 std::string ClusterScheduler::renderReport() const {

@@ -24,6 +24,7 @@
 
 #include "cluster/device_pool.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/ledger.hpp"
 
 namespace vfpga::cluster {
 
@@ -132,6 +133,12 @@ class ClusterScheduler {
   std::string renderReport() const;
   /// Deterministic JSON campaign report (strict-parser compatible).
   std::string renderJsonReport() const;
+
+  /// Campaign-wide resource ledger: one row per kernel task per device
+  /// (a migrated job leaves a row on each device it touched), with
+  /// bitstream-cache hit/miss attribution from the pool's registration
+  /// record. finalizeResults() publishes its rollup into the registry.
+  obs::profile::ResourceLedger resourceLedger() const;
 
  private:
   enum class JobState : std::uint8_t {

@@ -3,6 +3,7 @@
 #include <string_view>
 
 #include "analysis/diagnostics.hpp"
+#include "core/os_kernel.hpp"
 #include "obs/flight_recorder.hpp"
 
 namespace vfpga {
@@ -128,6 +129,46 @@ void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
   reg.counter("vfpga_io_mux_busy_ns_total", labels,
               "Simulated time the multiplexer was busy")
       .inc(mux.busyTime());
+}
+
+void collectActivity(ActivityProbe& probe,
+                     obs::profile::ActivityAggregator& agg) {
+  for (const ActivitySite& s : probe.sites()) {
+    agg.add(obs::profile::SiteSample{s.x, s.y, s.evals, s.toggles, s.hops});
+  }
+  agg.setCycles(agg.cycles() + probe.cyclesObserved());
+}
+
+obs::profile::ResourceLedger buildLedger(const OsKernel& kernel,
+                                         const std::string& device) {
+  obs::profile::ResourceLedger ledger;
+  for (const TaskRuntime& tr : kernel.tasks()) {
+    obs::profile::LedgerRow row;
+    row.task = tr.spec.name;
+    row.device = device;
+    row.priority = tr.spec.priority;
+    row.completed = tr.done();
+    row.fpgaCycles = tr.cyclesExecuted;
+    row.configBits = tr.configBitsWritten;
+    row.downloads = tr.downloads;
+    row.configHits = tr.configHits;
+    row.relocations = tr.relocations;
+    row.preemptions = tr.preemptions;
+    row.migrations = tr.state == TaskState::kMigrated ? 1 : 0;
+    row.waitNs = tr.fpgaWaitTotal;
+    row.execNs = tr.fpgaExecTotal;
+    ledger.add(std::move(row));
+  }
+  return ledger;
+}
+
+std::vector<std::string> taskTrackNames(const OsKernel& kernel) {
+  std::vector<std::string> names;
+  names.reserve(kernel.tasks().size());
+  for (const TaskRuntime& tr : kernel.tasks()) {
+    names.push_back(tr.spec.name);
+  }
+  return names;
 }
 
 std::vector<obs::CellState> occupancyCells(const StripAllocator& alloc) {

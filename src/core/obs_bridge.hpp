@@ -11,6 +11,9 @@
 // analysis- and manager-aware glue has to sit above both.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/dynamic_loader.hpp"
 #include "core/io_mux.hpp"
 #include "core/overlay_manager.hpp"
@@ -19,10 +22,15 @@
 #include "core/prefetch_loader.hpp"
 #include "core/segment_manager.hpp"
 #include "core/strip_allocator.hpp"
+#include "fabric/activity_probe.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/activity.hpp"
+#include "obs/profile/ledger.hpp"
 
 namespace vfpga {
+
+class OsKernel;
 
 /// Idempotent: installs (once per process) the analysis invariant-failure
 /// hook that dumps through obs::FlightRecorder::global(), when one is
@@ -48,5 +56,23 @@ void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
 /// Per-column occupancy snapshot of the strip table, for the heatmap
 /// collector (obs/heatmap.hpp): faulty > busy > idle per column.
 std::vector<obs::CellState> occupancyCells(const StripAllocator& alloc);
+
+// ---- hierarchical profiler glue (obs/profile) -----------------------------
+// The profile components consume plain structs so obs stays fabric- and
+// kernel-free; these adapters do the type crossing.
+
+/// Folds the fabric probe's accumulated per-site counters (and its cycle
+/// count) into the hot-cone aggregator.
+void collectActivity(ActivityProbe& probe,
+                     obs::profile::ActivityAggregator& agg);
+
+/// Per-task resource-ledger rows for one kernel, in task order. `device`
+/// labels every row ("" for a single-kernel run).
+obs::profile::ResourceLedger buildLedger(const OsKernel& kernel,
+                                         const std::string& device = "");
+
+/// Task names in track order (taskNames[i] labels span track i + 1), for
+/// the waterfall builder and the flamegraph renderers.
+std::vector<std::string> taskTrackNames(const OsKernel& kernel);
 
 }  // namespace vfpga

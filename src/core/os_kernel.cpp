@@ -280,6 +280,9 @@ void OsKernel::dispatchService(Service& svc) {
   const FpgaExec& fx = currentExec(t);
   const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
   cFpgaComputeNs_ += execTime;
+  tr.cyclesExecuted += tr.cyclesRemaining;
+  tr.fpgaExecTotal += execTime;
+  ++tr.configHits;
   spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
                   "os.service", sim_->now(), execTime,
                   {{"config", registry_.circuit(fx.config).name},
@@ -545,7 +548,18 @@ void OsKernel::startFpgaWait(std::size_t t) {
 
 void OsKernel::chargeFpgaWait(std::size_t t) {
   TaskRuntime& tr = task(t);
-  tr.fpgaWaitTotal += sim_->now() - tr.fpgaWaitStart;
+  const SimDuration waited = sim_->now() - tr.fpgaWaitStart;
+  tr.fpgaWaitTotal += waited;
+  if (waited > 0) {
+    // Waterfall phase mark: the admission/FPGA wait that just ended. An
+    // instant, not a span — exec spans are recorded optimistically at
+    // dispatch, so a post-preemption re-wait span would partially overlap
+    // them and fail the Chrome-trace validator (same convention as
+    // os.stall).
+    spans_.instantAt(sim_->now(), "wait", "os.wait",
+                     {{"wait_ns", std::to_string(waited)}},
+                     static_cast<std::uint32_t>(t) + 1);
+  }
 }
 
 void OsKernel::submitWholeDevice(std::size_t t) {
@@ -572,8 +586,17 @@ void OsKernel::dispatchWholeDevice() {
   // Save the resident circuit's registers only when a preemption left
   // live intermediate state behind; a completed execution needs nothing.
   const ConfigId outgoing = loader_.current();
+  const std::uint64_t bitsBefore = port_->stats().bitsWritten;
   const auto cost = loader_.activate(
       fx.config, options_.saveStateOnPreempt && residentStateLive_);
+  // Ledger attribution: whatever the activation pushed through the port
+  // (download and state moves, retries included) is this task's bill.
+  tr.configBitsWritten += port_->stats().bitsWritten - bitsBefore;
+  if (cost.downloaded) {
+    ++tr.downloads;
+  } else {
+    ++tr.configHits;
+  }
   if (cost.saveTime > 0 && outgoing != kNoConfig) {
     trace_.record(sim_->now(), TraceKind::kStateSave,
                   registry_.circuit(outgoing).name);
@@ -621,6 +644,8 @@ void OsKernel::dispatchWholeDevice() {
   cyclesRun = std::min(cyclesRun, tr.cyclesRemaining);
   const SimDuration execTime = cyclesRun * period;
   cFpgaComputeNs_ += execTime;
+  tr.cyclesExecuted += cyclesRun;
+  tr.fpgaExecTotal += execTime;
   spans_.complete(tr.spec.name + "/" + registry_.circuit(fx.config).name,
                   "os.fpga_exec", sim_->now(), cost.total + execTime,
                   {{"config", registry_.circuit(fx.config).name},
@@ -659,6 +684,9 @@ void OsKernel::wholeWatchdogFire(std::size_t t) {
   if (fm_.watchdogPreempts != nullptr) *fm_.watchdogPreempts += 1;
   trace_.record(sim_->now(), TraceKind::kTaskPreempt,
                 tr.spec.name + " (watchdog)");
+  spans_.instantAt(sim_->now(), "preempt/watchdog", "os.preempt",
+                   {{"task", tr.spec.name}},
+                   static_cast<std::uint32_t>(t) + 1);
   if (tr.watchdogTrips >= options_.ft.watchdogTripLimit) {
     parkTask(t, "execution hung past the watchdog trip limit");
   } else {
@@ -677,6 +705,9 @@ void OsKernel::wholeDeviceExecDone(std::size_t t, bool preempted) {
     ++cFpgaPreemptions_;
     trace_.record(sim_->now(), TraceKind::kTaskPreempt,
                   tr.spec.name + " (fpga)");
+    spans_.instantAt(sim_->now(), "preempt/slice", "os.preempt",
+                     {{"task", tr.spec.name}},
+                     static_cast<std::uint32_t>(t) + 1);
     if (!options_.saveStateOnPreempt) {
       // Roll-back: all progress of this execution is lost (§3). The aging
       // rule lets the restarted execution run to completion so the system
@@ -721,6 +752,7 @@ void OsKernel::tryDispatchPartitioned() {
     for (auto it = fpgaWaiting_.begin(); it != fpgaWaiting_.end(); ++it) {
       const std::size_t t = *it;
       const FpgaExec& fx = currentExec(t);
+      const std::uint64_t bitsBefore = port_->stats().bitsWritten;
       auto load = pm_->load(fx.config);
       if (!load) continue;
       fpgaWaiting_.erase(it);
@@ -732,14 +764,23 @@ void OsKernel::tryDispatchPartitioned() {
       ++tr.grants;
       ++cFpgaGrants_;
       ++cDownloads_;
+      ++tr.downloads;
+      tr.configBitsWritten += port_->stats().bitsWritten - bitsBefore;
       ++cPartitionsCreated_;
       cConfigNs_ += load->cost;
       // Serialize on the single configuration port: this download starts
       // only when the port is free; the queueing delay counts as wait.
       const SimTime portStart = std::max(sim_->now(), portFreeAt_);
       portFreeAt_ = portStart + load->cost + load->gcCost;
-      chargeFpgaWait(t);
-      tr.fpgaWaitTotal += portStart - sim_->now();
+      // The wait really ends when the port starts this task's download,
+      // not at the grant decision: account (and mark) through portStart.
+      const SimDuration waited = portStart - tr.fpgaWaitStart;
+      tr.fpgaWaitTotal += waited;
+      if (waited > 0) {
+        spans_.instantAt(portStart, "wait", "os.wait",
+                         {{"wait_ns", std::to_string(waited)}},
+                         static_cast<std::uint32_t>(t) + 1);
+      }
       if (load->downloadFailed) {
         // Retry budget exhausted: release the strip (its RAM holds an
         // unverified image; the scrubber repairs it toward the golden
@@ -778,6 +819,7 @@ void OsKernel::tryDispatchPartitioned() {
             static_cast<std::size_t>(tr.spec.migratedStateBits));
         cStateMoveNs_ += restore;
         portFreeAt_ += restore;
+        tr.configBitsWritten += tr.spec.migratedStateBits;
         trace_.record(sim_->now(), TraceKind::kStateRestore,
                       tr.spec.name + " (migrated in)");
         tr.spec.migratedStateBits = 0;
@@ -793,6 +835,8 @@ void OsKernel::tryDispatchPartitioned() {
 
       const SimDuration execTime = execDuration(fx, tr.cyclesRemaining);
       cFpgaComputeNs_ += execTime;
+      tr.cyclesExecuted += tr.cyclesRemaining;
+      tr.fpgaExecTotal += execTime;
       const SimTime deadline = portFreeAt_ + execTime;
       spans_.complete("download/" + registry_.circuit(fx.config).name,
                       "os.config", portStart, load->cost,
@@ -932,6 +976,12 @@ OsKernel::MigrationTicket OsKernel::extractForMigration(std::size_t t) {
   trace_.record(sim_->now(), TraceKind::kInfo,
                 tr.spec.name + " migrated out" +
                     (ticket.fromRunning ? " (preempted mid-execution)" : ""));
+  spans_.instantAt(sim_->now(), "migrate_out", "os.migrate",
+                   {{"task", tr.spec.name},
+                    {"from_running", ticket.fromRunning ? "true" : "false"},
+                    {"state_bits",
+                     std::to_string(ticket.savedState.size())}},
+                   static_cast<std::uint32_t>(t) + 1);
   if (ticket.fromRunning) {
     // A strip just freed up; treat it like any other release.
     retryPendingQuarantines();
@@ -998,7 +1048,10 @@ bool OsKernel::attemptQuarantine(std::uint16_t column) {
   }
   if (res.relocated) {
     for (TaskRuntime& tr : tasks_) {
-      if (tr.partition == res.movedFrom) tr.partition = res.movedTo;
+      if (tr.partition == res.movedFrom) {
+        tr.partition = res.movedTo;
+        ++tr.relocations;
+      }
     }
     for (Service& svc : services_) {
       if (svc.partition == res.movedFrom) svc.partition = res.movedTo;
@@ -1075,6 +1128,8 @@ void OsKernel::parkTask(std::size_t t, const std::string& reason) {
   tr.finish = sim_->now();
   trace_.record(sim_->now(), TraceKind::kInfo,
                 tr.spec.name + " parked: " + reason);
+  spans_.instantAt(sim_->now(), "park", "os.park", {{"reason", reason}},
+                   static_cast<std::uint32_t>(t) + 1);
   if (fm_.parked != nullptr) *fm_.parked += 1;
   flight_.dump("FT_PARK", tr.spec.name + ": " + reason);
 }
@@ -1084,6 +1139,14 @@ void OsKernel::stallRunningExecs(SimDuration d) {
     sim_->cancel(re.completionEvent);
     re.deadline += d;
     const std::size_t rt = re.task;
+    // Instant (not a span): the exec span already in the tracer keeps its
+    // original duration, and a stall interval would straddle its end —
+    // partial overlap the Chrome validator rejects. The waterfall builder
+    // reads stall_ns off the mark instead.
+    spans_.instantAt(sim_->now(), "stall", "os.stall",
+                     {{"task", tasks_[rt].spec.name},
+                      {"stall_ns", std::to_string(d)}},
+                     static_cast<std::uint32_t>(rt) + 1);
     re.completionEvent =
         sim_->scheduleAt(re.deadline, [this, rt] { partitionedExecDone(rt); });
   }
@@ -1097,6 +1160,9 @@ void OsKernel::watchdogFire(std::size_t t) {
   if (fm_.watchdogPreempts != nullptr) *fm_.watchdogPreempts += 1;
   trace_.record(sim_->now(), TraceKind::kTaskPreempt,
                 tr.spec.name + " (watchdog)");
+  spans_.instantAt(sim_->now(), "preempt/watchdog", "os.preempt",
+                   {{"task", tr.spec.name}},
+                   static_cast<std::uint32_t>(t) + 1);
   chargeUnload(pm_->unload(tr.partition));
   trace_.record(sim_->now(), TraceKind::kPartitionRelease, tr.spec.name);
   tr.partition = kNoPartition;

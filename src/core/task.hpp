@@ -87,6 +87,17 @@ struct TaskRuntime {
   std::uint64_t rollbacks = 0;
   std::uint64_t watchdogTrips = 0;
 
+  // Resource-ledger attribution (obs/profile/ledger.hpp): simulated cost
+  // this task *paid for*, charged at dispatch — a rolled-back execution
+  // still consumed the fabric, so its cycles stay on the bill.
+  std::uint64_t cyclesExecuted = 0;
+  std::uint64_t configBitsWritten = 0;  ///< config-port bits (incl. state)
+  std::uint64_t downloads = 0;          ///< grants that paid a download
+  std::uint64_t configHits = 0;         ///< grants served by resident config
+  std::uint64_t relocations = 0;        ///< times compaction/quarantine
+                                        ///< moved this task's partition
+  SimDuration fpgaExecTotal = 0;        ///< fabric compute time charged
+
   bool done() const { return state == TaskState::kDone; }
   /// Done, parked or migrated away: the kernel will never run this task
   /// again.

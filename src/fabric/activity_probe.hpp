@@ -1,0 +1,108 @@
+// Fabric activity probe: per-LUT evaluation counts, per-net toggle counts
+// and switchbox-traversal counters sampled inside Device::evaluate() and
+// Device::tick(). Attachment is optional — the device checks a single
+// nullable pointer per cell, so the probe is zero-cost when off.
+//
+// Counters survive reconfiguration: the device rebinds the probe on every
+// elaboration rebuild, and the probe folds the outgoing per-cell counters
+// into a coordinate-keyed accumulator first. One probe can therefore
+// profile an entire multi-task campaign where circuits come and go, and
+// the accumulated per-site numbers are what the hot-cone report (see
+// obs/profile/activity.hpp) ranks to pick fast-path specialization
+// candidates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vfpga {
+
+/// Accumulated activity of one CLB site across all elaborations.
+struct ActivitySite {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  std::uint64_t evals = 0;    ///< LUT evaluations performed at this site
+  std::uint64_t toggles = 0;  ///< output-net value changes at this site
+  std::uint64_t hops = 0;     ///< switchbox traversals feeding those evals
+};
+
+class ActivityProbe {
+ public:
+  /// Called by the device on every elaboration rebuild (and on attach):
+  /// folds the previous elaboration's counters into the accumulator and
+  /// sizes fresh per-cell arrays.
+  void beginElaboration(std::size_t cellCount) {
+    fold();
+    x_.assign(cellCount, 0);
+    y_.assign(cellCount, 0);
+    hopsPerEval_.assign(cellCount, 0);
+    evals_.assign(cellCount, 0);
+    toggles_.assign(cellCount, 0);
+  }
+
+  /// Static per-cell facts: site coordinate and switchbox hops traversed
+  /// by one evaluation (the sum of the cell's input-path hop counts).
+  void bindCell(std::size_t ci, std::uint16_t x, std::uint16_t y,
+                std::uint32_t hopsPerEval) {
+    x_[ci] = x;
+    y_[ci] = y;
+    hopsPerEval_[ci] = hopsPerEval;
+  }
+
+  void noteEval(std::size_t ci) { ++evals_[ci]; }
+  void noteToggle(std::size_t ci) { ++toggles_[ci]; }
+  void noteCycle() { ++cycles_; }
+
+  /// Clock edges observed (across reconfigurations, unlike
+  /// Device::cyclesTicked() which resets on every rebuild).
+  std::uint64_t cyclesObserved() const { return cycles_; }
+
+  /// Accumulated per-site counters in deterministic (y, x) order. Folds
+  /// the live elaboration's counters first, so the snapshot is current.
+  std::vector<ActivitySite> sites() {
+    fold();
+    std::vector<ActivitySite> out;
+    out.reserve(acc_.size());
+    for (const auto& [key, s] : acc_) out.push_back(s);
+    return out;
+  }
+
+  void reset() {
+    acc_.clear();
+    cycles_ = 0;
+    std::fill(evals_.begin(), evals_.end(), 0);
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+  }
+
+ private:
+  void fold() {
+    for (std::size_t ci = 0; ci < evals_.size(); ++ci) {
+      if (evals_[ci] == 0 && toggles_[ci] == 0) continue;
+      const std::uint32_t key =
+          (static_cast<std::uint32_t>(y_[ci]) << 16) | x_[ci];
+      ActivitySite& s = acc_[key];
+      s.x = x_[ci];
+      s.y = y_[ci];
+      s.evals += evals_[ci];
+      s.toggles += toggles_[ci];
+      s.hops += evals_[ci] * static_cast<std::uint64_t>(hopsPerEval_[ci]);
+      evals_[ci] = 0;
+      toggles_[ci] = 0;
+    }
+  }
+
+  // Per-cell arrays for the live elaboration (index = cell index).
+  std::vector<std::uint16_t> x_;
+  std::vector<std::uint16_t> y_;
+  std::vector<std::uint32_t> hopsPerEval_;
+  std::vector<std::uint64_t> evals_;
+  std::vector<std::uint64_t> toggles_;
+
+  /// (y << 16 | x) -> accumulated counters; map keys give (y, x) order.
+  std::map<std::uint32_t, ActivitySite> acc_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace vfpga

@@ -236,6 +236,22 @@ void Device::rebuildElaboration() {
   std::fill(padOutput_.begin(), padOutput_.end(), 0);
   cycles_ = 0;
   elabValid_ = true;
+  if (probe_ != nullptr) bindProbe();
+}
+
+void Device::attachActivityProbe(ActivityProbe* probe) {
+  probe_ = probe;
+  if (probe_ != nullptr && elabValid_) bindProbe();
+}
+
+void Device::bindProbe() {
+  probe_->beginElaboration(elab_.cells.size());
+  for (std::size_t ci = 0; ci < elab_.cells.size(); ++ci) {
+    const Elaboration::Cell& cell = elab_.cells[ci];
+    std::uint32_t hops = 0;
+    for (const SignalSource& in : cell.inputs) hops += in.hops;
+    probe_->bindCell(ci, cell.x, cell.y, hops);
+  }
 }
 
 bool Device::sourceValue(const SignalSource& s) const {
@@ -272,12 +288,20 @@ void Device::evaluate() {
   for (std::uint32_t ci : e.evalOrder) {
     const auto& cell = e.cells[ci];
     const std::uint8_t v = lutEval(cell);
+    if (probe_ != nullptr && !cell.useFf) {
+      probe_->noteEval(ci);
+      if (v != cellValue_[ci]) probe_->noteToggle(ci);
+    }
     cellLutOut_[ci] = v;
     if (!cell.useFf) cellValue_[ci] = v;
   }
-  // FF cells' next-state values: all comb values are now final.
+  // FF cells' next-state values: all comb values are now final. The probe
+  // counts one eval per enabled cell per evaluate(): comb cells above, FF
+  // cells here (their output toggles are counted at the clock edge).
   for (std::uint32_t ci = 0; ci < e.cells.size(); ++ci) {
-    if (e.cells[ci].useFf) cellLutOut_[ci] = lutEval(e.cells[ci]);
+    if (!e.cells[ci].useFf) continue;
+    cellLutOut_[ci] = lutEval(e.cells[ci]);
+    if (probe_ != nullptr) probe_->noteEval(ci);
   }
   for (const auto& po : e.padOuts) {
     padOutput_[po.slot] = sourceValue(po.source) ? 1 : 0;
@@ -287,9 +311,14 @@ void Device::evaluate() {
 void Device::tick() {
   const Elaboration& e = elaboration();
   for (std::uint32_t ci = 0; ci < e.cells.size(); ++ci) {
-    if (e.cells[ci].useFf) ffState_[e.cells[ci].ffIndex] = cellLutOut_[ci];
+    if (!e.cells[ci].useFf) continue;
+    if (probe_ != nullptr && cellLutOut_[ci] != ffState_[e.cells[ci].ffIndex]) {
+      probe_->noteToggle(ci);
+    }
+    ffState_[e.cells[ci].ffIndex] = cellLutOut_[ci];
   }
   ++cycles_;
+  if (probe_ != nullptr) probe_->noteCycle();
 }
 
 std::vector<bool> Device::ffState() {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/activity_probe.hpp"
 #include "fabric/bitstream.hpp"
 #include "fabric/config_map.hpp"
 #include "fabric/routing_graph.hpp"
@@ -101,6 +102,14 @@ class Device {
   void tick();
   std::uint64_t cyclesTicked() const { return cycles_; }
 
+  /// Attaches (or detaches, with nullptr) an activity profiler. The probe
+  /// counts LUT evaluations, output toggles and switchbox traversals per
+  /// site inside evaluate()/tick(); when no probe is attached the only
+  /// cost is a null-pointer check. Counters accumulate across
+  /// reconfigurations — see fabric/activity_probe.hpp.
+  void attachActivityProbe(ActivityProbe* probe);
+  ActivityProbe* activityProbe() const { return probe_; }
+
   // ---- FF state (readback / writeback) --------------------------------------
   std::size_t ffCount() { return elaboration().ffCount; }
   std::vector<bool> ffState();
@@ -134,8 +143,10 @@ class Device {
   std::vector<std::uint8_t> cellLutOut_; // LUT output per cell (pre-FF)
   std::vector<std::uint8_t> ffState_;    // per dense FF index
   std::uint64_t cycles_ = 0;
+  ActivityProbe* probe_ = nullptr;
 
   void rebuildElaboration();
+  void bindProbe();
   SignalSource traceSource(RRNodeId sink,
                            const std::vector<RREdgeId>& driverEdge,
                            std::vector<std::string>& faults) const;

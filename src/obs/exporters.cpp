@@ -230,6 +230,24 @@ std::vector<std::string> validateChromeTrace(std::string_view json) {
 
 namespace {
 
+/// Prometheus exposition-format label-value escaping. The text format
+/// escapes exactly three characters — backslash, double-quote and newline
+/// — unlike JSON (whose \t, \uXXXX etc. a Prometheus scraper would read
+/// back literally, which is why jsonEscape is wrong here).
+std::string promEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string promLabels(const Labels& labels, const char* extraKey = nullptr,
                        const std::string& extraValue = {}) {
   if (labels.empty() && extraKey == nullptr) return "";
@@ -238,7 +256,7 @@ std::string promLabels(const Labels& labels, const char* extraKey = nullptr,
   for (const auto& [k, v] : labels) {
     if (!first) out += ',';
     first = false;
-    out += k + "=\"" + jsonEscape(v) + "\"";
+    out += k + "=\"" + promEscape(v) + "\"";
   }
   if (extraKey != nullptr) {
     if (!first) out += ',';
@@ -351,8 +369,14 @@ std::vector<PromSample> parsePrometheus(std::string_view text) {
         std::string value;
         std::size_t j = eq + 2;
         while (j < line.size() && line[j] != '"') {
-          if (line[j] == '\\' && j + 1 < line.size()) ++j;
-          value.push_back(line[j]);
+          if (line[j] == '\\' && j + 1 < line.size()) {
+            ++j;
+            // Decode the exposition format's three escapes; \n is the only
+            // one that maps to a different character than it spells.
+            value.push_back(line[j] == 'n' ? '\n' : line[j]);
+          } else {
+            value.push_back(line[j]);
+          }
           ++j;
         }
         if (j >= line.size()) fail("unterminated label value", line);

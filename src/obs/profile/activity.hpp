@@ -1,0 +1,68 @@
+// Fabric activity aggregation: folds per-site samples (LUT evaluations,
+// output toggles, switchbox traversals — produced by the fabric
+// ActivityProbe, fed in here as plain structs to keep obs free of fabric
+// headers) into a deterministic hot-cone report. A "cone" is a LUT site
+// plus the routed fan-in feeding it; the report ranks cones by an
+// activity score so the compiled-fabric fast path (ROADMAP item 1) can
+// pick specialization candidates, and names the strip column each cone
+// lives in so the OS layers can reason about placement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vfpga::obs::profile {
+
+/// One site's counters, as sampled by the fabric probe.
+struct SiteSample {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t toggles = 0;
+  std::uint64_t hops = 0;
+};
+
+/// One ranked cone of the hot-cone report.
+struct ConeStat {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+  std::uint16_t strip = 0;  ///< strip column (strips are device columns)
+  std::uint64_t evals = 0;
+  std::uint64_t toggles = 0;
+  std::uint64_t hops = 0;
+  /// Activity score the ranking uses: toggles weigh double because a
+  /// toggling cone invalidates downstream memoization, evals and hops
+  /// count the raw interpretive work a compiled cone would eliminate.
+  std::uint64_t score() const { return evals + 2 * toggles + hops; }
+};
+
+class ActivityAggregator {
+ public:
+  /// Folds a sample into the per-coordinate accumulator.
+  void add(const SiteSample& s);
+  void setCycles(std::uint64_t cycles) { cycles_ = cycles; }
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t totalEvals() const { return totalEvals_; }
+  std::uint64_t totalToggles() const { return totalToggles_; }
+  std::uint64_t totalHops() const { return totalHops_; }
+  std::size_t siteCount() const { return sites_.size(); }
+
+  /// Top-k cones by (score desc, y asc, x asc) — fully deterministic.
+  std::vector<ConeStat> topK(std::size_t k) const;
+
+  /// Deterministic human-readable hot-cone report.
+  std::string renderText(std::size_t k) const;
+  /// Deterministic JSON hot-cone report (strict-parser compatible).
+  std::string renderJson(std::size_t k) const;
+
+ private:
+  std::vector<ConeStat> sites_;  ///< unsorted accumulator, folded by (x, y)
+  std::uint64_t cycles_ = 0;
+  std::uint64_t totalEvals_ = 0;
+  std::uint64_t totalToggles_ = 0;
+  std::uint64_t totalHops_ = 0;
+};
+
+}  // namespace vfpga::obs::profile

@@ -1,0 +1,35 @@
+// Flamegraph exports over the span tree: the classic collapsed-stack text
+// format (one "frame;frame;frame value" line per stack, self-time
+// weighted — pipe into any flamegraph.pl-compatible tool) and the
+// speedscope JSON file format (evented profiles, one per span track —
+// drop onto https://www.speedscope.app). Both renders are
+// byte-deterministic for a deterministic tracer: spans are re-sorted by
+// (start, -duration, name) and stacks derived from interval containment,
+// so insertion order does not leak into the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span_tracer.hpp"
+
+namespace vfpga::obs::profile {
+
+struct FlamegraphInput {
+  const SpanTracer* tracer = nullptr;
+  /// Root frame of every stack (e.g. "kernel" or a device name).
+  std::string processName = "vfpga";
+  /// trackNames[i] labels track i + 1 (kernel convention: task index + 1);
+  /// track 0 and unnamed tracks get synthetic labels.
+  std::vector<std::string> trackNames;
+};
+
+/// Collapsed-stack format: "proc;track;outer;inner <self_ns>" lines,
+/// lexicographically sorted, self-time weighted.
+std::string renderCollapsedStacks(const FlamegraphInput& input);
+
+/// Speedscope file-format JSON: one evented profile per non-empty track.
+std::string renderSpeedscope(const FlamegraphInput& input,
+                             const std::string& profileName);
+
+}  // namespace vfpga::obs::profile

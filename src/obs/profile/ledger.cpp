@@ -1,0 +1,167 @@
+#include "obs/profile/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace vfpga::obs::profile {
+
+std::vector<ResourceLedger::ClassRollup> ResourceLedger::byClass() const {
+  std::map<int, ClassRollup> acc;
+  for (const LedgerRow& r : rows_) {
+    ClassRollup& c = acc[r.priority];
+    c.priority = r.priority;
+    ++c.tasks;
+    if (r.completed) ++c.completed;
+    c.fpgaCycles += r.fpgaCycles;
+    c.configBits += r.configBits;
+    c.downloads += r.downloads;
+    c.configHits += r.configHits;
+    c.cacheHits += r.cacheHits;
+    c.cacheMisses += r.cacheMisses;
+    c.relocations += r.relocations;
+    c.preemptions += r.preemptions;
+    c.migrations += r.migrations;
+    c.waitNs += r.waitNs;
+    c.execNs += r.execNs;
+  }
+  std::vector<ClassRollup> out;
+  out.reserve(acc.size());
+  for (const auto& [prio, c] : acc) out.push_back(c);
+  return out;
+}
+
+void ResourceLedger::publish(MetricsRegistry& registry) const {
+  for (const LedgerRow& r : rows_) {
+    const Labels l = {{"task", r.task}};
+    registry.counter("vfpga_profile_task_fpga_cycles_total", l,
+                     "fabric cycles executed per task")
+        .inc(r.fpgaCycles);
+    registry.counter("vfpga_profile_task_config_bits_total", l,
+                     "config-port bits written per task")
+        .inc(r.configBits);
+    registry.counter("vfpga_profile_task_wait_ns_total", l,
+                     "FPGA wait time per task")
+        .inc(r.waitNs);
+    registry.counter("vfpga_profile_task_exec_ns_total", l,
+                     "FPGA exec time per task")
+        .inc(r.execNs);
+  }
+  for (const ClassRollup& c : byClass()) {
+    const Labels l = {{"class", std::to_string(c.priority)}};
+    auto cnt = [&](const char* name, const char* help, std::uint64_t v) {
+      registry.counter(name, l, help).inc(v);
+    };
+    cnt("vfpga_profile_class_tasks_total", "tasks per priority class",
+        c.tasks);
+    cnt("vfpga_profile_class_fpga_cycles_total",
+        "fabric cycles per priority class", c.fpgaCycles);
+    cnt("vfpga_profile_class_config_bits_total",
+        "config-port bits per priority class", c.configBits);
+    cnt("vfpga_profile_class_downloads_total",
+        "configuration downloads per priority class", c.downloads);
+    cnt("vfpga_profile_class_config_hits_total",
+        "resident-config grants per priority class", c.configHits);
+    cnt("vfpga_profile_class_cache_hits_total",
+        "bitstream-cache hits per priority class", c.cacheHits);
+    cnt("vfpga_profile_class_relocations_total",
+        "relocations per priority class", c.relocations);
+    cnt("vfpga_profile_class_preemptions_total",
+        "preemptions per priority class", c.preemptions);
+    cnt("vfpga_profile_class_migrations_total",
+        "migrations per priority class", c.migrations);
+    cnt("vfpga_profile_class_wait_ns_total",
+        "FPGA wait time per priority class", c.waitNs);
+    cnt("vfpga_profile_class_exec_ns_total",
+        "FPGA exec time per priority class", c.execNs);
+  }
+}
+
+std::string ResourceLedger::renderText() const {
+  std::ostringstream os;
+  os << "resource ledger\n";
+  os << "===============\n";
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "%-10s %-8s %5s %4s %12s %12s %5s %5s %6s %8s %12s %12s\n",
+                "task", "device", "class", "done", "cycles", "cfg_bits",
+                "dls", "hits", "reloc", "preempt", "wait_ns", "exec_ns");
+  os << buf;
+  for (const LedgerRow& r : rows_) {
+    std::snprintf(buf, sizeof buf,
+                  "%-10s %-8s %5d %4s %12llu %12llu %5llu %5llu %6llu "
+                  "%8llu %12llu %12llu\n",
+                  r.task.c_str(), r.device.empty() ? "-" : r.device.c_str(),
+                  r.priority, r.completed ? "yes" : "no",
+                  static_cast<unsigned long long>(r.fpgaCycles),
+                  static_cast<unsigned long long>(r.configBits),
+                  static_cast<unsigned long long>(r.downloads),
+                  static_cast<unsigned long long>(r.configHits),
+                  static_cast<unsigned long long>(r.relocations),
+                  static_cast<unsigned long long>(r.preemptions),
+                  static_cast<unsigned long long>(r.waitNs),
+                  static_cast<unsigned long long>(r.execNs));
+    os << buf;
+  }
+  os << "\nper priority class\n";
+  std::snprintf(buf, sizeof buf,
+                "%5s %5s %4s %12s %12s %5s %5s %12s %12s\n", "class",
+                "tasks", "done", "cycles", "cfg_bits", "dls", "hits",
+                "wait_ns", "exec_ns");
+  os << buf;
+  for (const ClassRollup& c : byClass()) {
+    std::snprintf(buf, sizeof buf,
+                  "%5d %5llu %4llu %12llu %12llu %5llu %5llu %12llu "
+                  "%12llu\n",
+                  c.priority, static_cast<unsigned long long>(c.tasks),
+                  static_cast<unsigned long long>(c.completed),
+                  static_cast<unsigned long long>(c.fpgaCycles),
+                  static_cast<unsigned long long>(c.configBits),
+                  static_cast<unsigned long long>(c.downloads),
+                  static_cast<unsigned long long>(c.configHits),
+                  static_cast<unsigned long long>(c.waitNs),
+                  static_cast<unsigned long long>(c.execNs));
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string ResourceLedger::renderJson() const {
+  std::ostringstream os;
+  os << "{\n\"tasks\":[";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const LedgerRow& r = rows_[i];
+    os << (i == 0 ? "" : ",") << "\n{\"task\":\"" << jsonEscape(r.task)
+       << "\",\"device\":\"" << jsonEscape(r.device)
+       << "\",\"class\":" << r.priority << ",\"completed\":"
+       << (r.completed ? "true" : "false") << ",\"fpga_cycles\":"
+       << r.fpgaCycles << ",\"config_bits\":" << r.configBits
+       << ",\"downloads\":" << r.downloads << ",\"config_hits\":"
+       << r.configHits << ",\"cache_hits\":" << r.cacheHits
+       << ",\"cache_misses\":" << r.cacheMisses << ",\"relocations\":"
+       << r.relocations << ",\"preemptions\":" << r.preemptions
+       << ",\"migrations\":" << r.migrations << ",\"wait_ns\":" << r.waitNs
+       << ",\"exec_ns\":" << r.execNs << "}";
+  }
+  os << "\n],\n\"classes\":[";
+  const std::vector<ClassRollup> classes = byClass();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const ClassRollup& c = classes[i];
+    os << (i == 0 ? "" : ",") << "\n{\"class\":" << c.priority
+       << ",\"tasks\":" << c.tasks << ",\"completed\":" << c.completed
+       << ",\"fpga_cycles\":" << c.fpgaCycles << ",\"config_bits\":"
+       << c.configBits << ",\"downloads\":" << c.downloads
+       << ",\"config_hits\":" << c.configHits << ",\"cache_hits\":"
+       << c.cacheHits << ",\"cache_misses\":" << c.cacheMisses
+       << ",\"relocations\":" << c.relocations << ",\"preemptions\":"
+       << c.preemptions << ",\"migrations\":" << c.migrations
+       << ",\"wait_ns\":" << c.waitNs << ",\"exec_ns\":" << c.execNs << "}";
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+}  // namespace vfpga::obs::profile

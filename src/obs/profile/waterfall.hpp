@@ -1,0 +1,72 @@
+// Task waterfall profiler: folds the kernel's sim-clock span tree into a
+// per-task lifecycle breakdown — admission/FPGA wait, configuration
+// download, net fabric execution, CPU service, scrub/GC stalls — plus
+// preemption and migration marks, with critical-path attribution per task
+// and per campaign. Works on plain SpanRecord/InstantRecord vectors so it
+// can profile any tracer: a single kernel, a replayed NDJSON stream, or
+// every kernel of a cluster campaign.
+//
+// Span categories consumed (track = task index + 1 by kernel convention):
+//   os.wait      admission/FPGA wait (span form, synthetic producers)
+//   os.config    configuration download on the config port
+//   os.fpga_exec FPGA execution (gross; nested config/stall is subtracted)
+//   os.service   CPU service bursts
+//   os.stall     scrub/GC stalls (span form, synthetic producers)
+// Instant categories consumed:
+//   os.preempt, os.migrate, os.park, plus os.stall marks carrying a
+//   "stall_ns" attribute and os.wait marks carrying a "wait_ns"
+//   attribute — the kernel's forms: exec spans are recorded
+//   optimistically at dispatch, so stall stretches and post-preemption
+//   re-waits are instants to keep tracks free of partial overlaps
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span_tracer.hpp"
+
+namespace vfpga::obs::profile {
+
+struct PhaseBreakdown {
+  std::uint64_t waitNs = 0;
+  std::uint64_t configNs = 0;
+  std::uint64_t execNs = 0;  ///< net fabric time (config/stall subtracted)
+  std::uint64_t cpuNs = 0;
+  std::uint64_t stallNs = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t parks = 0;
+
+  std::uint64_t totalNs() const {
+    return waitNs + configNs + execNs + cpuNs + stallNs;
+  }
+  /// Phase name holding the largest share ("idle" when nothing recorded).
+  const char* criticalPhase() const;
+};
+
+struct TaskWaterfall {
+  std::string task;
+  std::uint32_t track = 0;
+  std::uint64_t startNs = 0;  ///< earliest span start on the track
+  std::uint64_t endNs = 0;    ///< latest span end on the track
+  PhaseBreakdown phases;
+};
+
+struct WaterfallReport {
+  std::vector<TaskWaterfall> tasks;  ///< track order (== task order)
+  PhaseBreakdown total;
+  std::uint64_t makespanNs = 0;  ///< max task endNs
+  bool complete = false;  ///< every named task produced at least one span
+};
+
+/// Builds the report from a tracer. taskNames[i] labels track i + 1;
+/// tracks beyond the list get synthetic "track<N>" names.
+WaterfallReport buildWaterfall(const SpanTracer& tracer,
+                               const std::vector<std::string>& taskNames);
+
+/// Deterministic renders.
+std::string renderText(const WaterfallReport& report);
+std::string renderJson(const WaterfallReport& report);
+
+}  // namespace vfpga::obs::profile

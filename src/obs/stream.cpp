@@ -1,5 +1,7 @@
 #include "obs/stream.hpp"
 
+#include <chrono>
+
 #include "obs/json.hpp"
 
 namespace vfpga::obs {
@@ -134,6 +136,7 @@ bool StreamExporter::enqueue(const std::string& key, std::uint64_t atNs,
 
 void StreamExporter::flushLocked() {
   if (out_ == nullptr) return;
+  const auto t0 = std::chrono::steady_clock::now();
   for (std::string& line : buffer_) {
     writeLineLocked(line);
     ++written_;
@@ -141,6 +144,11 @@ void StreamExporter::flushLocked() {
   buffer_.clear();
   std::fflush(out_);
   ++flushes_;
+  // Self-observation: what this flush cost the host, wall-clock.
+  flushNs_.push_back(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
 }
 
 void StreamExporter::writeLineLocked(const std::string& line) {
@@ -213,6 +221,21 @@ std::uint64_t StreamExporter::sampledOut() const {
 std::map<std::string, std::uint64_t> StreamExporter::droppedByKey() const {
   std::lock_guard<std::mutex> lock(mu_);
   return droppedByKey_;
+}
+
+std::vector<std::uint64_t> StreamExporter::flushDurationsNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushNs_;
+}
+
+void StreamExporter::publishSelfMetrics(MetricsRegistry& registry) const {
+  HistogramMetric& h = registry.histogram(
+      "vfpga_obs_flush_ns", 0.0, 1e7, 20, {},
+      "Wall-clock nanoseconds per stream-exporter flush (telemetry "
+      "self-overhead)");
+  for (const std::uint64_t ns : flushDurationsNs()) {
+    h.observe(static_cast<double>(ns));
+  }
 }
 
 }  // namespace vfpga::obs

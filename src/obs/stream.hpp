@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "obs/span_tracer.hpp"
 
 namespace vfpga::obs {
@@ -90,6 +91,16 @@ class StreamExporter {
   std::uint64_t sampledOut() const;
   std::map<std::string, std::uint64_t> droppedByKey() const;
 
+  /// Wall-clock duration of every flush so far, in nanoseconds (one entry
+  /// per flush, including the final one finish() runs). This is the
+  /// telemetry overhead the exporter itself adds to the host process.
+  std::vector<std::uint64_t> flushDurationsNs() const;
+  /// Publishes the `vfpga_obs_flush_ns` self-observation histogram into
+  /// `registry`, so reports can show what streaming cost. Wall-clock
+  /// values — callers that need byte-deterministic output should surface
+  /// only the sample count, never the durations.
+  void publishSelfMetrics(MetricsRegistry& registry) const;
+
  private:
   /// Returns false when the record was sampled out or dropped.
   bool enqueue(const std::string& key, std::uint64_t atNs, std::string line);
@@ -114,6 +125,7 @@ class StreamExporter {
   std::map<std::string, std::uint64_t> droppedByKey_;
   std::map<std::string, std::uint64_t> sampledOutByKey_;
   std::map<std::string, std::uint64_t> seenByKey_;
+  std::vector<std::uint64_t> flushNs_;  ///< wall-clock ns per flush
 };
 
 }  // namespace vfpga::obs

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -18,6 +20,7 @@
 #include "obs/heatmap.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/output_dir.hpp"
 #include "obs/span_tracer.hpp"
 #include "obs/stream.hpp"
 #include "sim/stats.hpp"
@@ -454,6 +457,99 @@ TEST(Heatmap, PartitionManagerObserverSnapshotsAllocatorState) {
   EXPECT_EQ(hm.samples()[0].cells[0], obs::CellState::kBusy);
   EXPECT_EQ(hm.samples()[1].cells[11], obs::CellState::kFaulty);
   EXPECT_EQ(hm.samples()[2].cells[0], obs::CellState::kIdle);
+}
+
+TEST(Prometheus, LabelValuesEscapeBackslashQuoteAndNewline) {
+  obs::MetricsRegistry reg;
+  // One value per escape case the exposition format defines, plus one
+  // mixing all three.
+  reg.counter("vfpga_esc_total", {{"p", "a\\b"}}).inc(1);
+  reg.counter("vfpga_esc_total", {{"p", "a\"b"}}).inc(2);
+  reg.counter("vfpga_esc_total", {{"p", "a\nb"}}).inc(3);
+  reg.counter("vfpga_esc_total", {{"p", "\\\"\n"}}).inc(4);
+
+  const std::string text = obs::renderPrometheus(reg);
+  // Golden escapes: every label value stays on one physical line with the
+  // two-character sequences the format requires.
+  EXPECT_NE(text.find("p=\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(text.find("p=\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(text.find("p=\"a\\nb\""), std::string::npos);
+  EXPECT_EQ(text.find('\n', text.find("a\\nb")),
+            text.find("} 3", text.find("a\\nb")) + 3);
+
+  // And the parser decodes them back to the original bytes.
+  const std::vector<obs::PromSample> samples = obs::parsePrometheus(text);
+  auto value = [&](const std::string& labelValue) -> double {
+    for (const obs::PromSample& s : samples) {
+      if (s.name == "vfpga_esc_total" && !s.labels.empty() &&
+          s.labels[0].second == labelValue) {
+        return s.value;
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value("a\\b"), 1.0);
+  EXPECT_DOUBLE_EQ(value("a\"b"), 2.0);
+  EXPECT_DOUBLE_EQ(value("a\nb"), 3.0);
+  EXPECT_DOUBLE_EQ(value("\\\"\n"), 4.0);
+}
+
+TEST(StreamExporter, FlushDurationsFeedTheSelfHistogram) {
+  const std::string path = ::testing::TempDir() + "/stream_self.ndjson";
+  obs::StreamOptions opt;
+  opt.path = path;
+  opt.flushEveryRecords = 0;  // exactly one flush: the one finish() runs
+  obs::StreamExporter stream(opt);
+  ASSERT_TRUE(stream.ok());
+  obs::SpanTracer tracer = steppedTracer(10);
+  stream.attach(tracer, "unit");
+  tracer.complete("s", "os.test", 0, 5);
+  stream.finish();
+
+  ASSERT_EQ(stream.flushDurationsNs().size(), 1u);
+
+  obs::MetricsRegistry reg;
+  stream.publishSelfMetrics(reg);
+  const std::vector<obs::PromSample> samples =
+      obs::parsePrometheus(obs::renderPrometheus(reg));
+  double count = -1.0;
+  for (const obs::PromSample& s : samples) {
+    if (s.name == "vfpga_obs_flush_ns_count") count = s.value;
+  }
+  EXPECT_DOUBLE_EQ(count, 1.0);
+}
+
+TEST(OutputDir, CreatesNestedPathsAndFollowsMidProcessOverride) {
+  const char* saved = std::getenv("VFPGA_OBS_DIR");
+  const std::string savedValue = saved ? saved : "";
+
+  // Nested, not-yet-existing path: created on demand.
+  const std::string nested = ::testing::TempDir() + "/vfpga_od/a/b/c";
+  ASSERT_EQ(setenv("VFPGA_OBS_DIR", nested.c_str(), 1), 0);
+  EXPECT_EQ(obs::outputDir(), nested);
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+
+  // Trailing slash is preserved verbatim and still usable as a prefix.
+  const std::string slashed = ::testing::TempDir() + "/vfpga_od/slash/";
+  ASSERT_EQ(setenv("VFPGA_OBS_DIR", slashed.c_str(), 1), 0);
+  EXPECT_EQ(obs::outputDir(), slashed);
+  EXPECT_TRUE(std::filesystem::is_directory(slashed));
+  {
+    std::ofstream probe(obs::outputDir() + "probe.txt");
+    EXPECT_TRUE(probe.good());
+  }
+
+  // The env var is read on every call, so a mid-process override moves
+  // subsequent outputs without any re-initialization.
+  const std::string second = ::testing::TempDir() + "/vfpga_od/second";
+  ASSERT_EQ(setenv("VFPGA_OBS_DIR", second.c_str(), 1), 0);
+  EXPECT_EQ(obs::outputDir(), second);
+
+  if (saved) {
+    setenv("VFPGA_OBS_DIR", savedValue.c_str(), 1);
+  } else {
+    unsetenv("VFPGA_OBS_DIR");
+  }
 }
 
 }  // namespace

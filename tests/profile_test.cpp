@@ -1,0 +1,299 @@
+// Hierarchical profiler: fabric activity aggregation (checked against an
+// independent software model of the counter circuit), the task-waterfall
+// builder, the per-task resource ledger and the flamegraph renders — plus
+// the obs_bridge glue that feeds them from a real kernel run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.hpp"
+#include "compile/loaded_circuit.hpp"
+#include "core/obs_bridge.hpp"
+#include "core/os_kernel.hpp"
+#include "fabric/activity_probe.hpp"
+#include "fabric/device_family.hpp"
+#include "netlist/library/control.hpp"
+#include "obs/json.hpp"
+#include "obs/profile/activity.hpp"
+#include "obs/profile/flamegraph.hpp"
+#include "obs/profile/ledger.hpp"
+#include "obs/profile/waterfall.hpp"
+
+namespace vfpga {
+namespace {
+
+using obs::profile::ActivityAggregator;
+using obs::profile::ConeStat;
+using obs::profile::SiteSample;
+
+TEST(ActivityAggregator, FoldsByCoordinateAndRanksDeterministically) {
+  ActivityAggregator agg;
+  agg.add(SiteSample{2, 3, 10, 5, 1});
+  agg.add(SiteSample{2, 3, 10, 5, 1});  // same site folds
+  agg.add(SiteSample{1, 1, 100, 0, 0});
+  agg.add(SiteSample{4, 1, 50, 25, 0});  // score ties with (1,1): 100
+  agg.setCycles(16);
+
+  EXPECT_EQ(agg.siteCount(), 3u);
+  EXPECT_EQ(agg.totalEvals(), 170u);
+  EXPECT_EQ(agg.totalToggles(), 35u);
+
+  const std::vector<ConeStat> top = agg.topK(10);
+  ASSERT_EQ(top.size(), 3u);
+  // Ties on score (100) break by y then x: (1,1) before (4,1).
+  EXPECT_EQ(top[0].x, 1);
+  EXPECT_EQ(top[1].x, 4);
+  // Folded site: counters doubled, score = evals + 2*toggles + hops.
+  EXPECT_EQ(top[2].evals, 20u);
+  EXPECT_EQ(top[2].score(), 20u + 2 * 10u + 2u);
+
+  // topK truncates; renders are strict-parser clean and repeatable.
+  EXPECT_EQ(agg.topK(2).size(), 2u);
+  const obs::JsonValue doc = obs::JsonValue::parse(agg.renderJson(2));
+  EXPECT_EQ(doc.at("sites").asNumber(), 3.0);
+  EXPECT_EQ(doc.at("cones").asArray().size(), 2u);
+  EXPECT_EQ(agg.renderText(3), agg.renderText(3));
+}
+
+// The acceptance oracle: drive a compiled 4-bit counter (en=1, clr=0) for
+// N cycles and check the probe's per-FF-site toggle counts against the
+// closed form — counter bit b flips exactly floor(N / 2^b) times starting
+// from zero. The probe samples the device simulator itself, so this pins
+// the whole chain: elaboration binding, eval/tick hooks, site folding.
+TEST(ActivityProbe, CounterToggleCountsMatchSoftwareOracle) {
+  const DeviceProfile p = mediumPartialProfile();
+  Device dev = p.makeDevice();
+  Compiler compiler(dev);
+  const CompiledCircuit c = compiler.compile(
+      lib::makeCounter(4), Region::columns(dev.geometry(), 0, 4));
+
+  ActivityProbe probe;
+  dev.attachActivityProbe(&probe);
+  dev.applyBitstream(c.fullBitstream());
+  LoadedCircuit lc(dev, c);
+  lc.applyInitialState();
+  lc.setInput("en", true);
+  lc.setInput("clr", false);
+
+  const std::uint64_t kCycles = 32;
+  for (std::uint64_t i = 0; i < kCycles; ++i) {
+    dev.evaluate();
+    dev.tick();
+  }
+  EXPECT_EQ(probe.cyclesObserved(), kCycles);
+
+  ActivityAggregator agg;
+  collectActivity(probe, agg);
+
+  // Pull the per-site toggle count at each FF's CLB site. Mapped FF order
+  // need not match bit order, so compare as sorted multisets.
+  ASSERT_EQ(c.ffSites.size(), 4u);
+  const std::vector<ConeStat> sites = agg.topK(agg.siteCount());
+  std::vector<std::uint64_t> got;
+  for (const CellSite& ff : c.ffSites) {
+    bool found = false;
+    for (const ConeStat& s : sites) {
+      if (s.x == ff.x && s.y == ff.y) {
+        got.push_back(s.toggles);
+        // Every enabled cell evaluates once per cycle.
+        EXPECT_EQ(s.evals, kCycles);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no activity at FF site (" << ff.x << "," << ff.y
+                       << ")";
+  }
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    want.push_back(kCycles >> b);  // floor(N / 2^b)
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(Waterfall, SyntheticSpansBreakDownPhasesAndCriticalPath) {
+  obs::SpanTracer tracer(obs::SpanTracer::Clock([] {
+    return std::uint64_t{0};
+  }));
+  tracer.complete("wait", "os.wait", 0, 100, {}, 1);
+  tracer.complete("download/c", "os.config", 100, 50, {}, 1);
+  tracer.complete("t0/c", "os.fpga_exec", 150, 200, {}, 1);
+  tracer.complete("t0/svc", "os.service", 350, 50, {}, 1);
+  tracer.instantAt(360, "stall", "os.stall", {{"stall_ns", "25"}}, 1);
+  tracer.instantAt(365, "wait", "os.wait", {{"wait_ns", "40"}}, 1);
+  tracer.instantAt(370, "preempt/slice", "os.preempt", {}, 1);
+
+  // One named task with records -> complete; a second named, silent task
+  // flips the campaign to incomplete.
+  const auto one = obs::profile::buildWaterfall(tracer, {"t0"});
+  ASSERT_EQ(one.tasks.size(), 1u);
+  EXPECT_TRUE(one.complete);
+  const obs::profile::PhaseBreakdown& ph = one.tasks[0].phases;
+  EXPECT_EQ(ph.waitNs, 140u);  // 100 from the span + 40 from the instant
+  EXPECT_EQ(ph.configNs, 50u);
+  EXPECT_EQ(ph.execNs, 200u);
+  EXPECT_EQ(ph.cpuNs, 50u);
+  EXPECT_EQ(ph.stallNs, 25u);
+  EXPECT_EQ(ph.preemptions, 1u);
+  EXPECT_STREQ(ph.criticalPhase(), "exec");
+  EXPECT_EQ(one.makespanNs, 400u);
+
+  const auto two = obs::profile::buildWaterfall(tracer, {"t0", "ghost"});
+  EXPECT_FALSE(two.complete);
+
+  const obs::JsonValue doc = obs::JsonValue::parse(renderJson(one));
+  EXPECT_EQ(doc.at("tasks").asArray().size(), 1u);
+  EXPECT_EQ(doc.at("complete").asBool(), true);
+  EXPECT_EQ(renderText(one), renderText(one));
+}
+
+TEST(Waterfall, NestedConfigIsSubtractedFromGrossExec) {
+  obs::SpanTracer tracer(obs::SpanTracer::Clock([] {
+    return std::uint64_t{0};
+  }));
+  // Whole-device shape: the gross exec span [0,300) contains its own
+  // download [0,100); net fabric time is 200.
+  tracer.complete("download/c", "os.config", 0, 100, {}, 1);
+  tracer.complete("t0/c", "os.fpga_exec", 0, 300, {}, 1);
+  const auto report = obs::profile::buildWaterfall(tracer, {"t0"});
+  EXPECT_EQ(report.tasks[0].phases.configNs, 100u);
+  EXPECT_EQ(report.tasks[0].phases.execNs, 200u);
+}
+
+TEST(ResourceLedger, ClassRollupSumsAndPublishes) {
+  obs::profile::ResourceLedger ledger;
+  obs::profile::LedgerRow a;
+  a.task = "a";
+  a.priority = 0;
+  a.completed = true;
+  a.fpgaCycles = 100;
+  a.configBits = 1000;
+  a.downloads = 1;
+  a.waitNs = 10;
+  a.execNs = 20;
+  obs::profile::LedgerRow b = a;
+  b.task = "b";
+  b.fpgaCycles = 50;
+  obs::profile::LedgerRow c = a;
+  c.task = "c";
+  c.priority = 2;
+  c.completed = false;
+  c.relocations = 3;
+  ledger.add(a);
+  ledger.add(b);
+  ledger.add(c);
+
+  const auto classes = ledger.byClass();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].priority, 0);
+  EXPECT_EQ(classes[0].tasks, 2u);
+  EXPECT_EQ(classes[0].fpgaCycles, 150u);
+  EXPECT_EQ(classes[1].priority, 2);
+  EXPECT_EQ(classes[1].completed, 0u);
+  EXPECT_EQ(classes[1].relocations, 3u);
+
+  obs::MetricsRegistry reg;
+  ledger.publish(reg);
+  EXPECT_EQ(reg.counter("vfpga_profile_task_fpga_cycles_total",
+                        {{"task", "a"}})
+                .value(),
+            100u);
+  EXPECT_EQ(reg.counter("vfpga_profile_class_relocations_total",
+                        {{"class", "2"}})
+                .value(),
+            3u);
+
+  const obs::JsonValue doc = obs::JsonValue::parse(ledger.renderJson());
+  EXPECT_EQ(doc.at("tasks").asArray().size(), 3u);
+  EXPECT_EQ(doc.at("classes").asArray().size(), 2u);
+}
+
+TEST(Flamegraph, CollapsedStacksAreSelfTimeWeightedAndSorted) {
+  obs::SpanTracer tracer(obs::SpanTracer::Clock([] {
+    return std::uint64_t{0};
+  }));
+  // Insert inner before outer: containment, not insertion order, must
+  // decide the stacks.
+  tracer.complete("inner", "t", 10, 30, {}, 1);
+  tracer.complete("outer", "t", 0, 100, {}, 1);
+  tracer.complete("solo", "t", 0, 40, {}, 2);
+
+  obs::profile::FlamegraphInput input;
+  input.tracer = &tracer;
+  input.processName = "proc";
+  input.trackNames = {"t0", "t1"};
+  const std::string collapsed = renderCollapsedStacks(input);
+  EXPECT_EQ(collapsed,
+            "proc;t0;outer 70\n"
+            "proc;t0;outer;inner 30\n"
+            "proc;t1;solo 40\n");
+
+  const std::string ss = renderSpeedscope(input, "unit");
+  const obs::JsonValue doc = obs::JsonValue::parse(ss);
+  EXPECT_EQ(doc.at("name").asString(), "unit");
+  EXPECT_EQ(doc.at("profiles").asArray().size(), 2u);
+  EXPECT_EQ(doc.at("$schema").asString(),
+            "https://www.speedscope.app/file-format-schema.json");
+  EXPECT_EQ(renderSpeedscope(input, "unit"), ss);  // byte-deterministic
+}
+
+// End-to-end: a real partitioned kernel run feeds the bridge adapters; the
+// waterfall is complete, the ledger bills the cycles the tasks asked for,
+// and the wait phase marks agree with the kernel's own accounting.
+TEST(KernelProfile, BridgeBuildsCompleteWaterfallAndLedger) {
+  const DeviceProfile p = mediumPartialProfile();
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+  Simulation sim;
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  OsKernel kernel(sim, dev, port, compiler, opt);
+
+  Netlist nl = lib::makeCounter(6);
+  nl.setName("ctr");
+  const ConfigId cfg = kernel.registerConfig(
+      compiler.compile(nl, Region::columns(dev.geometry(), 0, 4)));
+  for (int i = 0; i < 2; ++i) {
+    TaskSpec t;
+    t.name = "k" + std::to_string(i);
+    t.arrival = static_cast<SimTime>(i) * micros(10);
+    t.ops = {CpuBurst{micros(5)},
+             FpgaExec{cfg, 10000u + 1000u * static_cast<unsigned>(i)}};
+    kernel.addTask(std::move(t));
+  }
+  kernel.run();
+
+  const std::vector<std::string> names = taskTrackNames(kernel);
+  ASSERT_EQ(names.size(), 2u);
+  const auto report = obs::profile::buildWaterfall(kernel.spanTracer(), names);
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.tasks.size(), 2u);
+  for (const auto& tw : report.tasks) {
+    EXPECT_GT(tw.phases.configNs + tw.phases.execNs, 0u) << tw.task;
+  }
+
+  const obs::profile::ResourceLedger ledger = buildLedger(kernel, "dev0");
+  ASSERT_EQ(ledger.rows().size(), 2u);
+  EXPECT_EQ(ledger.rows()[0].fpgaCycles, 10000u);
+  EXPECT_EQ(ledger.rows()[1].fpgaCycles, 11000u);
+  EXPECT_EQ(ledger.rows()[0].device, "dev0");
+  EXPECT_TRUE(ledger.rows()[0].completed);
+  EXPECT_GE(ledger.rows()[0].downloads + ledger.rows()[0].configHits, 1u);
+  EXPECT_GT(ledger.rows()[0].configBits, 0u);
+  // Ledger wait must equal the kernel's fpgaWaitTotal (same source), and
+  // the waterfall's wait phase is rebuilt from os.wait spans — the two
+  // paths must agree.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(ledger.rows()[i].waitNs, kernel.tasks()[i].fpgaWaitTotal);
+    EXPECT_EQ(report.tasks[i].phases.waitNs, kernel.tasks()[i].fpgaWaitTotal);
+  }
+}
+
+}  // namespace
+}  // namespace vfpga

@@ -35,14 +35,27 @@
 //              re-render a captured NDJSON stream (exit 3 when any line
 //              is truncated or fails the strict JSON parser)
 //   vfpga_cli report [--device <name>] [--format prometheus|csv|json]
-//              [--min-names N] [--links] [--out file] run a six-technique
-//              workload and expose every metric the substrate collected;
+//              [--min-names N] [--links] [--stream file.ndjson] [--out
+//              file] run a six-technique workload and expose every metric
+//              the substrate collected; --stream additionally writes live
+//              NDJSON records and publishes the vfpga_obs_flush_ns
+//              self-observation histogram (what streaming itself cost);
 //              --links instead prints the compile-span -> OS-span link
 //              table (exit 1 when any FPGA task resolves no link)
 //   vfpga_cli heatmap [--device <name>] [--seed N]
 //              [--format csv|json|html] [--out file]  deterministic
 //              partitioned run with scripted strip failures; emit the
 //              per-strip occupancy matrix (byte-identical per seed)
+//   vfpga_cli profile [--device <name>] [--seed N] [--cycles N] [--top K]
+//              [--activity] [--waterfall] [--ledger]
+//              [--format text|json|collapsed|speedscope] [--out file]
+//              hierarchical profile of a seeded campaign: fabric hot-cone
+//              activity (probe-sampled LUT evals / net toggles / switchbox
+//              hops), per-task lifecycle waterfall with critical-path
+//              attribution, and the per-task resource ledger; collapsed/
+//              speedscope render the span tree as a flamegraph. Output is
+//              byte-identical per seed; exit 0 iff the profile is complete
+//              (every task produced spans and the probe saw activity)
 //   vfpga_cli faults [--seed N] [--campaign ci|stress] [--out file]
 //              [--flight-dir dir] [--stream file.ndjson]
 //              run a seeded fault-injection campaign (bit flips, aborted
@@ -101,6 +114,8 @@
 #include "obs/heatmap.hpp"
 #include "obs/json.hpp"
 #include "obs/output_dir.hpp"
+#include "obs/profile/flamegraph.hpp"
+#include "obs/profile/waterfall.hpp"
 #include "obs/stream.hpp"
 #include "sim/rng.hpp"
 #include "workloads/app_circuits.hpp"
@@ -150,9 +165,14 @@ int usage() {
                "  trace --from file.ndjson [--format chrome|csv]"
                " [--validate] [--out file]\n"
                "  report [--device <name>] [--format prometheus|csv|json]"
-               " [--min-names N] [--links] [--out file]\n"
+               " [--min-names N] [--links] [--stream file.ndjson]"
+               " [--out file]\n"
                "  heatmap [--device <name>] [--seed N]"
                " [--format csv|json|html] [--out file]\n"
+               "  profile [--device <name>] [--seed N] [--cycles N]"
+               " [--top K] [--activity] [--waterfall] [--ledger]\n"
+               "          [--format text|json|collapsed|speedscope]"
+               " [--out file]\n"
                "  faults [--seed N] [--campaign ci|stress] [--out file]"
                " [--flight-dir dir] [--stream file.ndjson]\n"
                "  bench-trend --baseline file.json [--dir dir]"
@@ -189,7 +209,8 @@ std::optional<Args> parse(int argc, char** argv) {
     key = key.substr(2);
     if (key == "no-optimize" || key == "all" || key == "json" ||
         key == "list-rules" || key == "validate" || key == "links" ||
-        key == "fix" || key == "relocate") {
+        key == "fix" || key == "relocate" || key == "activity" ||
+        key == "waterfall" || key == "ledger") {
       a.options[key] = "1";
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -766,6 +787,21 @@ int reportCmd(const Args& a) {
   obs::SpanTracer wall;
   compiler.setObservers(&wall, &reg);
 
+  // --stream: live NDJSON of the wall tracer and both kernel runs. The
+  // exporter's own flush cost lands in the vfpga_obs_flush_ns histogram
+  // (published only when a stream is attached, so plain runs keep their
+  // exact metric-family set).
+  std::optional<obs::StreamExporter> stream;
+  if (a.has("stream")) {
+    stream.emplace(streamOptions(a));
+    if (!stream->ok()) {
+      std::fprintf(stderr, "error: cannot open stream %s\n",
+                   a.get("stream").c_str());
+      return 3;
+    }
+    stream->attach(wall, "flow");
+  }
+
   // --links: per-config counts of OS spans carrying the compile span id,
   // plus a per-task verdict (>=1 linked download span for some config the
   // task names).
@@ -844,6 +880,7 @@ int reportCmd(const Args& a) {
     opt.policy = FpgaPolicy::kDynamicLoading;
     opt.fpgaSlice = micros(100);
     OsKernel kernel(sim, dev, port, compiler, opt);
+    if (stream) attachKernelStream(*stream, kernel, "os/dynamic_loading");
     const ConfigId ka = kernel.registerConfig(count);
     const ConfigId kb = kernel.registerConfig(csum);
     kernel.addTask(traceTask("d0", 0, ka, 30000));
@@ -858,6 +895,7 @@ int reportCmd(const Args& a) {
     OsOptions opt;
     opt.policy = FpgaPolicy::kPartitionedVariable;
     OsKernel kernel(sim, dev, port, compiler, opt);
+    if (stream) attachKernelStream(*stream, kernel, "os/partitioned_variable");
     const ConfigId ka = kernel.registerConfig(count);
     const ConfigId kb = kernel.registerConfig(csum);
     const ConfigId kc = kernel.registerConfig(lfsr);
@@ -941,6 +979,12 @@ int reportCmd(const Args& a) {
     mux.transfer(64);
     mux.transfer(64);
     publishMetrics(mux, reg);
+  }
+
+  if (stream) {
+    stream->finish();
+    stream->publishSelfMetrics(reg);
+    reportStreamTotals(*stream, "report");
   }
 
   if (a.has("links")) {
@@ -1655,6 +1699,160 @@ int heatmapCmd(const Args& a) {
   return emitPayload(a, payload);
 }
 
+/// Hierarchical profile of a seeded two-phase campaign. Phase 1 drives the
+/// three report circuits on a probe-instrumented device for --cycles clock
+/// cycles each, sampling per-LUT evaluations, net toggles and switchbox
+/// traversals into the hot-cone report. Phase 2 reruns the heatmap
+/// fault-recovery campaign under the partitioned kernel and folds its span
+/// tree into the task waterfall, the per-task resource ledger, and (for
+/// --format collapsed|speedscope) a flamegraph. Everything downstream of
+/// the seed is event-driven, so all four formats are byte-identical per
+/// seed — the determinism ctest runs the command twice and compares.
+/// Exit 0 iff the profile is complete: every task produced spans and (when
+/// the activity section is selected) the probe saw fabric activity.
+int profileCmd(const Args& a) {
+  const std::string fmt = a.get("format", "text");
+  const bool flame = fmt == "collapsed" || fmt == "speedscope";
+  if (fmt != "text" && fmt != "json" && !flame) {
+    std::fprintf(stderr,
+                 "profile: unknown --format '%s'"
+                 " (text|json|collapsed|speedscope)\n",
+                 fmt.c_str());
+    return 2;
+  }
+  // Section selectors; none selected = the full profile. The flamegraph
+  // formats render the span tree itself and ignore the selectors.
+  const bool selActivity = a.has("activity");
+  const bool selWaterfall = a.has("waterfall");
+  const bool selLedger = a.has("ledger");
+  const bool allSections = !selActivity && !selWaterfall && !selLedger;
+  const std::size_t topk = std::stoul(a.get("top", "10"));
+
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  const Region strip = Region::columns(p.geometry, 0, 4);
+
+  // Phase 1: fabric activity under real evaluation, on a dedicated device
+  // so the campaign below starts from a blank fabric.
+  obs::profile::ActivityAggregator activity;
+  if (!flame && (allSections || selActivity)) {
+    Device dev = p.makeDevice();
+    Compiler compiler(dev);
+    ActivityProbe probe;
+    dev.attachActivityProbe(&probe);
+    const int cycles = std::stoi(a.get("cycles", "256"));
+    Rng rng(std::stoull(a.get("seed", "7")));
+    const CompiledCircuit circuits[3] = {
+        compiler.compile(named(lib::makeCounter(6), "count"), strip),
+        compiler.compile(named(lib::makeChecksum(6), "csum"), strip),
+        compiler.compile(named(lib::makeLfsr(8, 0b10111000), "lfsr"), strip)};
+    for (const CompiledCircuit& c : circuits) {
+      dev.applyBitstream(c.fullBitstream());
+      LoadedCircuit lc(dev, c);
+      lc.applyInitialState();
+      for (int cycle = 0; cycle < cycles; ++cycle) {
+        for (const PortBinding& pb : c.ports) {
+          if (pb.isInput) lc.setInput(pb.name, rng.bernoulli(0.5));
+        }
+        dev.evaluate();
+        dev.tick();
+      }
+    }
+    collectActivity(probe, activity);
+  }
+
+  // Phase 2: the heatmap campaign — scripted strip failures, scrubbing,
+  // quarantine recovery — whose span tree feeds the waterfall/ledger.
+  fault::FaultPlanSpec spec;
+  spec.seed = std::stoull(a.get("seed", "7"));
+  spec.stripFailures = {{millis(2), 2}, {millis(5), 9}};
+  fault::FaultPlan plan(spec);
+
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  opt.ft.plan = &plan;
+  opt.ft.scrubInterval = micros(500);
+  opt.ft.recovery = fault::RecoveryOptions{true, 4, micros(50)};
+  opt.ft.watchdogFactor = 4.0;
+
+  Device dev = p.makeDevice();
+  ConfigPort port(dev, p.port);
+  Compiler compiler(dev);
+  Simulation sim;
+  OsKernel kernel(sim, dev, port, compiler, opt);
+  const ConfigId cfgs[3] = {
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeCounter(6), "count"), strip)),
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeChecksum(6), "csum"), strip)),
+      kernel.registerConfig(
+          compiler.compile(named(lib::makeLfsr(8, 0b10111000), "lfsr"), strip)),
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    TaskSpec t;
+    t.name = "pf" + std::to_string(i);
+    t.arrival = static_cast<SimTime>(i) * micros(200);
+    t.ops = {CpuBurst{micros(25)}, FpgaExec{cfgs[i % 3], 15000 + 4000 * i},
+             CpuBurst{micros(15)}};
+    kernel.addTask(std::move(t));
+  }
+  kernel.run();
+
+  const std::vector<std::string> names = taskTrackNames(kernel);
+  const obs::profile::WaterfallReport wf =
+      obs::profile::buildWaterfall(kernel.spanTracer(), names);
+  obs::profile::ResourceLedger ledger = buildLedger(kernel);
+  ledger.publish(kernel.metricsRegistry());
+
+  const bool complete =
+      wf.complete &&
+      (flame || !(allSections || selActivity) || activity.totalEvals() > 0);
+  std::fprintf(stderr,
+               "profile: %zu sites, %llu evals, %zu tasks, makespan %llu ns,"
+               " critical %s, %s\n",
+               activity.siteCount(),
+               static_cast<unsigned long long>(activity.totalEvals()),
+               wf.tasks.size(),
+               static_cast<unsigned long long>(wf.makespanNs),
+               wf.total.criticalPhase(), complete ? "complete" : "INCOMPLETE");
+
+  std::string payload;
+  if (flame) {
+    obs::profile::FlamegraphInput input;
+    input.tracer = &kernel.spanTracer();
+    input.processName = "os/partitioned_variable";
+    input.trackNames = names;
+    payload = fmt == "collapsed"
+                  ? renderCollapsedStacks(input)
+                  : renderSpeedscope(input, "vfpga profile - " + p.name);
+  } else if (fmt == "json") {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    auto section = [&os, &first](const char* key, const std::string& body) {
+      os << (first ? "" : ",") << "\n\"" << key << "\":" << body;
+      first = false;
+    };
+    if (allSections || selActivity) {
+      section("activity", activity.renderJson(topk));
+    }
+    if (allSections || selWaterfall) section("waterfall", renderJson(wf));
+    if (allSections || selLedger) section("ledger", ledger.renderJson());
+    os << "}\n";
+    payload = os.str();
+  } else {
+    std::ostringstream os;
+    if (allSections || selActivity) {
+      os << activity.renderText(topk) << "\n";
+    }
+    if (allSections || selWaterfall) os << renderText(wf) << "\n";
+    if (allSections || selLedger) os << ledger.renderText();
+    payload = os.str();
+  }
+  const int rc = emitPayload(a, payload);
+  if (rc != 0) return rc;
+  return complete ? 0 : 1;
+}
+
 /// Compares BENCH_*.json sidecars in --dir against the committed baseline
 /// file. Only metrics named in the baseline participate (new metrics never
 /// fail the build); a metric missing from the sidecars, or drifting beyond
@@ -1794,6 +1992,7 @@ int main(int argc, char** argv) {
     if (args->command == "trace") return traceCmd(*args);
     if (args->command == "report") return reportCmd(*args);
     if (args->command == "heatmap") return heatmapCmd(*args);
+    if (args->command == "profile") return profileCmd(*args);
     if (args->command == "faults") return faultsCmd(*args);
     if (args->command == "cluster") return clusterCmd(*args);
     if (args->command == "bench-trend") return benchTrendCmd(*args);
