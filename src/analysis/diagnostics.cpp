@@ -179,6 +179,15 @@ constexpr RuleInfo kRules[] = {
     {"FT006", Severity::kWarning, "strip failures without compaction",
      "permanent strip failures are scripted but garbage collection is off, "
      "so busy strips cannot be evacuated by compaction"},
+    {"FT007", Severity::kError, "stale overlay reuse without verification",
+     "the fault plan reuses evicted overlay configurations but residency "
+     "verification is off, so stale logic executes undetected"},
+    {"FT008", Severity::kError, "segment-table corruption without verification",
+     "the fault plan corrupts segment-table entries but residency "
+     "verification is off, so corrupt mappings are followed undetected"},
+    {"FT009", Severity::kError, "page residency loss without verification",
+     "the fault plan drops page residency bits but residency verification "
+     "is off, so missing configuration pages are assumed present"},
     // ---- cluster scheduling (CL) --------------------------------------------
     {"CL001", Severity::kError, "workload fits no pool device",
      "a registered workload is wider than every device in the pool, so no "
@@ -234,6 +243,23 @@ constexpr RuleInfo kRules[] = {
     {"EQ005", Severity::kError, "port binding mismatch",
      "a circuit port is missing, has the wrong direction, or is driven "
      "from outside the circuit in the configured fabric"},
+    // ---- checkpoint files (CK) ------------------------------------------------
+    {"CK001", Severity::kError, "not a checkpoint / unsupported version",
+     "the file is missing the checkpoint magic or carries a format version "
+     "this build cannot decode"},
+    {"CK002", Severity::kError, "checkpoint payload CRC failure",
+     "the checkpoint payload fails its CRC-16 guard (bit rot or "
+     "truncation); the file must not be restored"},
+    {"CK003", Severity::kError, "register snapshot CRC failure",
+     "the register snapshot inside an otherwise intact payload fails its "
+     "own CRC; restoring would resume from corrupt state"},
+    {"CK004", Severity::kError, "register snapshot length mismatch",
+     "the snapshot's bit count does not match the FF count of the "
+     "configuration it targets; the checkpoint was taken against a "
+     "different circuit"},
+    {"CK005", Severity::kError, "stale checkpoint generation",
+     "the header generation does not match its double-buffer slot parity "
+     "(re-stamped or rolled-back generation); restore from the other slot"},
 };
 
 std::span<const RuleInfo> registry() { return kRules; }

@@ -36,6 +36,51 @@ void lintFaultTolerance(const FaultToleranceProfile& p, Report& rep) {
             "permanent strip failures are scripted but garbage collection "
             "is off; busy strips cannot be evacuated via compaction");
   }
+  if (p.overlayStaleReuseRate > 0.0 && !p.verifyResidency) {
+    rep.add("FT007",
+            "stale overlay reuse is injected but residency verification is "
+            "off; evicted overlays are reused silently");
+  }
+  if (p.segmentTableCorruptRate > 0.0 && !p.verifyResidency) {
+    rep.add("FT008",
+            "segment-table corruption is injected but residency "
+            "verification is off; corrupt mappings are followed silently");
+  }
+  if (p.pageResidencyLossRate > 0.0 && !p.verifyResidency) {
+    rep.add("FT009",
+            "page residency loss is injected but residency verification is "
+            "off; missing pages are assumed present silently");
+  }
+}
+
+void lintCheckpoint(const CheckpointProfile& p, Report& rep) {
+  if (!p.magicOk || !p.versionSupported) {
+    rep.add("CK001",
+            !p.magicOk
+                ? std::string("not a checkpoint file (bad magic)")
+                : "unsupported checkpoint version " +
+                      std::to_string(p.version));
+  }
+  if (p.magicOk && p.versionSupported && !p.payloadCrcOk) {
+    rep.add("CK002", "checkpoint payload fails its CRC (bit rot or "
+                     "truncation)");
+  }
+  if (p.payloadCrcOk && !p.stateCrcOk) {
+    rep.add("CK003", "register snapshot fails its CRC inside an otherwise "
+                     "intact payload");
+  }
+  if (p.stateBits > 0 && p.expectedStateBits > 0 &&
+      p.stateBits != p.expectedStateBits) {
+    rep.add("CK004",
+            "register snapshot length (" + std::to_string(p.stateBits) +
+                ") does not match the target configuration's FF count (" +
+                std::to_string(p.expectedStateBits) + ")");
+  }
+  if (!p.generationParityOk) {
+    rep.add("CK005",
+            "header generation does not match its slot parity (stale or "
+            "re-stamped generation); restore from the other slot");
+  }
 }
 
 }  // namespace vfpga::analysis

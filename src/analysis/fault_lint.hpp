@@ -1,8 +1,10 @@
-// Fault-tolerance configuration lint (FT001-FT006): static checks on the
-// combination of fault-injection rates and recovery knobs, run before a
-// campaign starts. A plan that injects faults the recovery machinery
-// cannot see (or ever repair) is almost always a harness bug, not an
-// experiment.
+// Fault-tolerance configuration lint (FT001-FT009) and checkpoint-file
+// lint (CK001-CK005): static checks on the combination of fault-injection
+// rates and recovery knobs (run before a campaign starts), and on the
+// validation verdict of a durable checkpoint (run before a restore). A
+// plan that injects faults the recovery machinery cannot see (or ever
+// repair) is almost always a harness bug, not an experiment; a checkpoint
+// that fails any of its guards must never be restored.
 //
 // The profile is a plain snapshot of the knobs so this library needs no
 // dependency on vfpga_fault or the kernel: callers copy the fields out of
@@ -23,6 +25,9 @@ struct FaultToleranceProfile {
   double stateCorruptRate = 0.0;
   double meanUpsetsPerScrub = 0.0;
   double execHangRate = 0.0;
+  double overlayStaleReuseRate = 0.0;
+  double segmentTableCorruptRate = 0.0;
+  double pageResidencyLossRate = 0.0;
   bool anyStripFailures = false;
   // Recovery (from OsOptions).
   SimDuration scrubInterval = 0;
@@ -30,12 +35,37 @@ struct FaultToleranceProfile {
   int maxDownloadRetries = 0;
   double watchdogFactor = 0.0;
   bool garbageCollect = true;
+  /// Residency verification in the overlay/segment/page managers (FT007-
+  /// FT009 fire when the corresponding fault class is injected without it).
+  bool verifyResidency = true;
   /// Shortest expected FPGA execution across the workload; 0 = unknown
   /// (FT004 is skipped).
   SimDuration minTaskPeriod = 0;
 };
 
-/// Appends FT001-FT006 findings for the profile to `rep`.
+/// Appends FT001-FT009 findings for the profile to `rep`.
 void lintFaultTolerance(const FaultToleranceProfile& p, Report& rep);
+
+/// Validation verdict of one durable checkpoint file, copied out of
+/// fault::DecodeResult / CheckpointStore::load by the caller (this library
+/// stays independent of vfpga_fault, mirroring FaultToleranceProfile).
+struct CheckpointProfile {
+  bool magicOk = true;
+  bool versionSupported = true;
+  std::uint16_t version = 0;
+  bool payloadCrcOk = true;
+  bool stateCrcOk = true;
+  /// Slot parity matches the header generation (false = re-stamped /
+  /// stale-generation tampering).
+  bool generationParityOk = true;
+  /// Register snapshot length vs the FF count of the configuration it
+  /// targets (0 expected = unknown, CK004 skipped; empty snapshots pass).
+  std::uint64_t stateBits = 0;
+  std::uint64_t expectedStateBits = 0;
+};
+
+/// Appends CK001-CK005 findings for the checkpoint verdict to `rep`. Any
+/// error finding means the checkpoint must not be restored.
+void lintCheckpoint(const CheckpointProfile& p, Report& rep);
 
 }  // namespace vfpga::analysis

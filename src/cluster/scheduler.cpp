@@ -95,6 +95,41 @@ void ClusterScheduler::submit(ClusterJobSpec job) {
   sim_->scheduleAt(jobs_[j].spec.submitAt, [this, j] { onSubmit(j); });
 }
 
+std::size_t ClusterScheduler::submitFromCheckpoint(
+    const fault::TaskCheckpoint& ck, SimTime submitAt) {
+  ClusterJobSpec job;
+  job.name = ck.task;
+  job.submitAt = submitAt;
+  job.priority = ck.priority;
+  // Workload registration order is identical on every kernel, so node 0's
+  // registry resolves names to the cluster-wide ids.
+  ConfigRegistry& registry = pool_->node(0).kernel().registry();
+  for (const fault::CheckpointOp& op : ck.ops) {
+    if (op.isFpga) {
+      const WorkloadId id = registry.byName(op.config);
+      if (id == kNoConfig) {
+        throw std::runtime_error("checkpoint restore: workload '" +
+                                 op.config + "' is not registered on this "
+                                 "pool");
+      }
+      if (pool_->workloadWidth(id) != op.configWidth) {
+        throw std::runtime_error(
+            "checkpoint restore: workload '" + op.config +
+            "' congruence violation (checkpointed width " +
+            std::to_string(op.configWidth) + ", pool width " +
+            std::to_string(pool_->workloadWidth(id)) + ")");
+      }
+      job.ops.push_back(FpgaExec{id, op.cycles});
+    } else {
+      job.ops.push_back(CpuBurst{op.cpuNs});
+    }
+  }
+  job.migratedStateBits = ck.registers.size();
+  const std::size_t j = jobs_.size();
+  submit(std::move(job));
+  return j;
+}
+
 void ClusterScheduler::onSubmit(std::size_t j) {
   ++cSubmitted_;
   JobRecord& job = jobs_[j];
@@ -220,6 +255,10 @@ void ClusterScheduler::place(std::size_t j, std::size_t d) {
   ts.arrival = sim_->now();
   ts.priority = job.spec.priority;
   ts.ops = job.spec.ops;
+  // Continuation of a checkpointed task: the snapshot's writeback is
+  // charged once, at this placement's first grant.
+  ts.migratedStateBits = job.spec.migratedStateBits;
+  job.spec.migratedStateBits = 0;
   node.kernel().addTask(std::move(ts));
   taskJob_[d].push_back(j);
   job.state = JobState::kPlaced;

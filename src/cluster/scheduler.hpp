@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cluster/device_pool.hpp"
+#include "fault/checkpoint.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile/ledger.hpp"
 
@@ -44,6 +45,10 @@ struct ClusterJobSpec {
   SimTime submitAt = 0;
   int priority = 0;  ///< higher places first (FIFO among equals)
   std::vector<TaskOp> ops;  ///< FpgaExec.config holds a WorkloadId
+  /// Nonzero for the continuation of a checkpointed (or externally
+  /// migrated) task: register bits written back through the target's
+  /// configuration port at its first grant.
+  std::uint64_t migratedStateBits = 0;
 };
 
 /// Service-level objectives the campaign is graded against.
@@ -99,6 +104,17 @@ class ClusterScheduler {
 
   /// Declares a job; call before run(). Jobs are admitted at submitAt.
   void submit(ClusterJobSpec job);
+
+  /// Re-admits a durably checkpointed task as a cluster job submitted at
+  /// `submitAt`: each FPGA op's circuit name is resolved to the pool-wide
+  /// workload id (every kernel registered workloads in the same order) and
+  /// the register snapshot rides in as migrated state, so placement may
+  /// pick *any* congruent device. Throws std::runtime_error when a name is
+  /// unknown to the pool or the registered strip width differs from the
+  /// checkpointed one (congruence violation — a diagnosed rejection, never
+  /// a silent wrong restore). Returns the job index.
+  std::size_t submitFromCheckpoint(const fault::TaskCheckpoint& ck,
+                                   SimTime submitAt);
 
   /// Starts every kernel, drives the shared simulation to completion and
   /// folds per-device results into the cluster metrics/report.

@@ -70,6 +70,16 @@ void publishMetrics(const OverlayManager& ov, obs::MetricsRegistry& reg,
   reg.gauge("vfpga_overlay_hit_rate", labels,
             "Fraction of invocations served without a download")
       .set(ov.hitRate());
+  if (ov.faultPlanInstalled()) {
+    // Fault families appear only when injection is live, keeping the
+    // fault-free exporter output byte-identical.
+    reg.counter("vfpga_overlay_stale_reuse_detected_total", labels,
+                "Stale overlay reuses caught by residency verification")
+        .inc(ov.staleReusesDetected());
+    reg.counter("vfpga_overlay_stale_reuse_silent_total", labels,
+                "Stale overlay reuses executed without verification")
+        .inc(ov.silentStaleReuses());
+  }
 }
 
 void publishMetrics(const SegmentManager& sg, obs::MetricsRegistry& reg,
@@ -85,6 +95,14 @@ void publishMetrics(const SegmentManager& sg, obs::MetricsRegistry& reg,
       .set(sg.faultRate());
   reg.gauge("vfpga_segment_resident", labels, "Segments currently resident")
       .set(static_cast<double>(sg.residentCount()));
+  if (sg.faultPlanInstalled()) {
+    reg.counter("vfpga_segment_table_corruptions_detected_total", labels,
+                "Segment-table corruptions caught by residency verification")
+        .inc(sg.tableCorruptionsDetected());
+    reg.counter("vfpga_segment_table_corruptions_silent_total", labels,
+                "Corrupt segment mappings followed without verification")
+        .inc(sg.silentTableCorruptions());
+  }
 }
 
 void publishMetrics(const PageManager& pg, obs::MetricsRegistry& reg,
@@ -100,6 +118,14 @@ void publishMetrics(const PageManager& pg, obs::MetricsRegistry& reg,
       .set(pg.faultRate());
   reg.gauge("vfpga_page_resident", labels, "Pages currently resident")
       .set(static_cast<double>(pg.residentPages()));
+  if (pg.faultPlanInstalled()) {
+    reg.counter("vfpga_page_residency_losses_detected_total", labels,
+                "Lost page residency bits caught by verification")
+        .inc(pg.residencyLossesDetected());
+    reg.counter("vfpga_page_residency_losses_silent_total", labels,
+                "Missing pages assumed present without verification")
+        .inc(pg.silentResidencyLosses());
+  }
 }
 
 void publishMetrics(const PrefetchLoader& pf, obs::MetricsRegistry& reg,
@@ -155,6 +181,9 @@ obs::profile::ResourceLedger buildLedger(const OsKernel& kernel,
     row.relocations = tr.relocations;
     row.preemptions = tr.preemptions;
     row.migrations = tr.state == TaskState::kMigrated ? 1 : 0;
+    row.checkpoints = tr.checkpoints;
+    row.restores = tr.restores;
+    row.checkpointedBytes = tr.checkpointedBytes;
     row.waitNs = tr.fpgaWaitTotal;
     row.execNs = tr.fpgaExecTotal;
     ledger.add(std::move(row));

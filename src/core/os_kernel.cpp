@@ -121,6 +121,10 @@ OsKernel::OsKernel(Simulation& sim, Device& device, ConfigPort& port,
     // registerConfig() re-bases it after each behind-the-port download.
     port_->resyncExpected();
   }
+  if (!options_.ft.checkpointDir.empty()) {
+    ckpt_ = std::make_unique<fault::CheckpointStore>(options_.ft.checkpointDir);
+    bindCheckpointMetrics();
+  }
 }
 
 OsKernel::~OsKernel() {
@@ -162,6 +166,28 @@ void OsKernel::bindFaultMetrics() {
                     "Tasks permanently parked after unrecoverable faults");
   fm_.healed = bind("vfpga_fault_strips_healed_total",
                     "Quarantined strips recovered after a transient fault");
+  fm_.scrubDeferred =
+      bind("vfpga_fault_scrub_deferred_total",
+           "Scrub passes deferred because the configuration port was busy");
+}
+
+void OsKernel::bindCheckpointMetrics() {
+  const obs::Labels l = policyLabels(options_.policy);
+  auto bind = [&](const char* name, const char* help) {
+    return &metricsRegistry_.counter(name, l, help);
+  };
+  fm_.ckptWritten = bind("vfpga_fault_checkpoint_written_total",
+                         "Durable task checkpoints written");
+  fm_.ckptBytes = bind("vfpga_fault_checkpoint_bytes_total",
+                       "Bytes written to the checkpoint store");
+  fm_.ckptRestores = bind("vfpga_fault_checkpoint_restores_total",
+                          "Tasks re-admitted from a durable checkpoint");
+  fm_.ckptCorruptions =
+      bind("vfpga_fault_checkpoint_corruptions_total",
+           "Checkpoint slots rejected by CRC/version/parity guards");
+  fm_.ckptFallbacks =
+      bind("vfpga_fault_checkpoint_fallbacks_total",
+           "Restores served by an older generation past a corrupt slot");
 }
 
 const OsMetrics& OsKernel::metrics() const {
@@ -353,6 +379,10 @@ void OsKernel::run() {
 
 void OsKernel::start() {
   started_ = true;
+  if (ckpt_ && options_.ft.checkpointInterval > 0) {
+    sim_->scheduleAfter(options_.ft.checkpointInterval,
+                        [this] { checkpointTick(); });
+  }
   if (options_.ft.plan) {
     if (options_.ft.scrubInterval > 0) {
       sim_->scheduleAfter(options_.ft.scrubInterval, [this] { scrubTick(); });
@@ -390,6 +420,14 @@ void OsKernel::finalize() {
       *fm_.quarantines += fs.quarantinedStrips;
       *fm_.quarantineRelocations += fs.quarantineRelocations;
     }
+  }
+  if (ckpt_) {
+    // Fold the store's validation verdicts into the checkpoint families
+    // (write/restore totals were counted live; corruptions and fallbacks
+    // accrue inside the store's load path).
+    const fault::CheckpointStore::Stats& cs = ckpt_->stats();
+    *fm_.ckptCorruptions += cs.corruptSlots;
+    *fm_.ckptFallbacks += cs.fallbacks;
   }
   gBitsDownloaded_.set(static_cast<double>(port_->stats().bitsWritten));
   if (pm_) {
@@ -690,6 +728,7 @@ void OsKernel::wholeWatchdogFire(std::size_t t) {
   if (tr.watchdogTrips >= options_.ft.watchdogTripLimit) {
     parkTask(t, "execution hung past the watchdog trip limit");
   } else {
+    writeCheckpoint(t, {}, "preempt");
     startFpgaWait(t);
     fpgaQueue_.push_back(t);
   }
@@ -1003,6 +1042,17 @@ void OsKernel::scrubTick() {
   // Stop rescheduling once nothing is left to protect, so the simulation
   // can drain; run() performs one final pass.
   if (allDone) return;
+  if (sim_->now() < portFreeAt_) {
+    // The configuration port is mid-download: a readback scrub would
+    // contend with live configuration traffic. Yield and retry the moment
+    // the port frees instead of stretching the download.
+    *fm_.scrubDeferred += 1;
+    trace_.record(sim_->now(), TraceKind::kInfo,
+                  "scrub deferred: configuration port busy until " +
+                      std::to_string(portFreeAt_));
+    sim_->scheduleAt(portFreeAt_, [this] { scrubTick(); });
+    return;
+  }
   const std::vector<std::uint32_t> upsets =
       options_.ft.plan->drawUpsets(dev_->configMap().totalBits());
   for (const std::uint32_t bit : upsets) {
@@ -1126,6 +1176,11 @@ void OsKernel::parkTask(std::size_t t, const std::string& reason) {
   tr.state = TaskState::kParked;
   tr.partition = kNoPartition;
   tr.finish = sim_->now();
+  // Durable park: the remaining program survives this kernel's death, so
+  // a repaired (or different congruent) kernel can resurrect the task.
+  // Registers are never saved here — every park path either lost its
+  // partition already or holds garbage state.
+  writeCheckpoint(t, {}, "park");
   trace_.record(sim_->now(), TraceKind::kInfo,
                 tr.spec.name + " parked: " + reason);
   spans_.instantAt(sim_->now(), "park", "os.park", {{"reason", reason}},
@@ -1171,10 +1226,176 @@ void OsKernel::watchdogFire(std::size_t t) {
     parkTask(t, "execution hung past the watchdog trip limit");
   } else {
     // Full re-run: cyclesRemaining was never decremented for a hung exec.
+    // The hung circuit's registers are garbage, so the durable checkpoint
+    // carries the whole op — a restore restarts it from scratch.
+    writeCheckpoint(t, {}, "preempt");
     startFpgaWait(t);
     fpgaWaiting_.push_back(t);
   }
   tryDispatchPartitioned();
+}
+
+// ------------------------------------------------ durable checkpointing
+
+fault::TaskCheckpoint OsKernel::buildCheckpoint(
+    std::size_t t, std::vector<bool> registers) const {
+  const TaskRuntime& tr = tasks_[t];
+  fault::TaskCheckpoint ck;
+  ck.task = tr.spec.name;
+  ck.priority = tr.spec.priority;
+  ck.device = std::to_string(dev_->geometry().cols) + "x" +
+              std::to_string(dev_->geometry().rows);
+  if (pm_ && tr.partition != kNoPartition) {
+    const CompiledCircuit& placed = pm_->circuitIn(tr.partition);
+    ck.placementX0 = placed.region.x0;
+    ck.placementWidth = placed.region.w;
+  }
+  for (std::size_t i = tr.opIndex; i < tr.spec.ops.size(); ++i) {
+    fault::CheckpointOp op;
+    if (const auto* fx = std::get_if<FpgaExec>(&tr.spec.ops[i])) {
+      const CompiledCircuit& c = registry_.circuit(fx->config);
+      op.isFpga = true;
+      op.config = c.name;
+      op.configWidth = c.region.w;
+      op.cycles = fx->cycles;
+      if (i == tr.opIndex) {
+        // The cut op: cycles still owed. A running execution with a
+        // completion in flight owes the whole cycles between now and its
+        // deadline (same rule as live migration); otherwise the residual
+        // counter stands (full cycles when the op was never entered).
+        std::uint64_t owed =
+            tr.cyclesRemaining > 0 ? tr.cyclesRemaining : fx->cycles;
+        if (tr.state == TaskState::kRunningFpga) {
+          for (const RunningExec& re : runningExecs_) {
+            if (re.task != t) continue;
+            const SimDuration period = clockPeriods_.at(fx->config);
+            const SimTime now = sim_->now();
+            std::uint64_t rem = 0;
+            if (re.deadline > now && period > 0) {
+              rem = (re.deadline - now + period - 1) / period;
+            }
+            rem = std::min(rem, owed);
+            if (rem == 0) rem = 1;
+            owed = rem;
+            break;
+          }
+        }
+        op.cycles = owed;
+      }
+    } else {
+      const auto& cb = std::get<CpuBurst>(tr.spec.ops[i]);
+      op.cpuNs = (i == tr.opIndex && tr.cpuRemaining > 0) ? tr.cpuRemaining
+                                                          : cb.duration;
+    }
+    ck.ops.push_back(std::move(op));
+  }
+  ck.registers = std::move(registers);
+  return ck;
+}
+
+void OsKernel::writeCheckpoint(std::size_t t, std::vector<bool> registers,
+                               const char* reason) {
+  if (!ckpt_) return;
+  TaskRuntime& tr = task(t);
+  const std::uint64_t stateBits = registers.size();
+  const fault::CheckpointStore::WriteResult wr =
+      ckpt_->write(buildCheckpoint(t, std::move(registers)));
+  ++tr.checkpoints;
+  tr.checkpointedBytes += wr.bytes;
+  if (fm_.ckptWritten != nullptr) *fm_.ckptWritten += 1;
+  if (fm_.ckptBytes != nullptr) *fm_.ckptBytes += wr.bytes;
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                tr.spec.name + " checkpoint g" + std::to_string(wr.generation) +
+                    " (" + reason + ", " + std::to_string(wr.bytes) +
+                    " bytes)");
+  spans_.instantAt(sim_->now(), "checkpoint", "os.checkpoint",
+                   {{"task", tr.spec.name},
+                    {"reason", reason},
+                    {"generation", std::to_string(wr.generation)},
+                    {"bytes", std::to_string(wr.bytes)},
+                    {"state_bits", std::to_string(stateBits)}},
+                   static_cast<std::uint32_t>(t) + 1);
+}
+
+void OsKernel::checkpointTick() {
+  bool allDone = true;
+  for (const TaskRuntime& tr : tasks_) {
+    if (!tr.terminal()) {
+      allDone = false;
+      break;
+    }
+  }
+  // Stop rescheduling once every task is terminal so the simulation drains.
+  if (allDone) return;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    TaskRuntime& tr = task(t);
+    if (tr.terminal() || tr.state == TaskState::kNew) continue;
+    if (tr.opIndex >= tr.spec.ops.size()) continue;
+    std::vector<bool> registers;
+    if (tr.state == TaskState::kRunningFpga && pm_ &&
+        tr.partition != kNoPartition) {
+      // Live snapshot of a running partitioned execution: real register
+      // readback through the configuration port, charged like a migration
+      // hand-off (the port serializes behind in-flight downloads).
+      registers = pm_->loaded(tr.partition).saveState();
+      const SimDuration readCost = port_->chargeStateRead(registers.size());
+      cStateMoveNs_ += readCost;
+      portFreeAt_ = std::max(sim_->now(), portFreeAt_) + readCost;
+      trace_.record(sim_->now(), TraceKind::kStateSave,
+                    tr.spec.name + " (checkpoint)");
+    }
+    writeCheckpoint(t, std::move(registers), "cadence");
+  }
+  sim_->scheduleAfter(options_.ft.checkpointInterval,
+                      [this] { checkpointTick(); });
+}
+
+std::size_t OsKernel::restoreTask(const fault::TaskCheckpoint& ck) {
+  TaskSpec ts;
+  ts.name = ck.task;
+  ts.priority = ck.priority;
+  ts.arrival = sim_->now();
+  for (const fault::CheckpointOp& op : ck.ops) {
+    if (op.isFpga) {
+      const ConfigId id = registry_.byName(op.config);
+      if (id == kNoConfig) {
+        throw std::runtime_error("restore: checkpoint references circuit '" +
+                                 op.config +
+                                 "' which this kernel never registered");
+      }
+      const std::uint16_t width = registry_.circuit(id).region.w;
+      if (width != op.configWidth) {
+        throw std::runtime_error(
+            "restore: circuit '" + op.config + "' congruence violation " +
+            "(checkpointed width " + std::to_string(op.configWidth) +
+            ", registered width " + std::to_string(width) + ")");
+      }
+      ts.ops.push_back(FpgaExec{id, op.cycles});
+    } else {
+      ts.ops.push_back(CpuBurst{op.cpuNs});
+    }
+  }
+  // The register snapshot rides in exactly like a live migration: written
+  // back through the port at the first grant, then the configured fabric
+  // is re-proven against its mapped netlist under invariant checks.
+  ts.migratedStateBits = ck.registers.size();
+  const std::size_t t = tasks_.size();
+  addTask(std::move(ts));
+  TaskRuntime& tr = task(t);
+  ++tr.restores;
+  if (fm_.ckptRestores != nullptr) *fm_.ckptRestores += 1;
+  const std::string geom = std::to_string(dev_->geometry().cols) + "x" +
+                           std::to_string(dev_->geometry().rows);
+  trace_.record(sim_->now(), TraceKind::kInfo,
+                ck.task + " restored from checkpoint onto " + geom +
+                    (geom == ck.device ? "" : " (checkpointed on " +
+                                                  ck.device + ")"));
+  spans_.instantAt(sim_->now(), "restore", "os.restore",
+                   {{"task", ck.task},
+                    {"device", geom},
+                    {"state_bits", std::to_string(ck.registers.size())}},
+                   static_cast<std::uint32_t>(t) + 1);
+  return t;
 }
 
 }  // namespace vfpga

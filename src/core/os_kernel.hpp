@@ -26,7 +26,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "compile/compiler.hpp"
@@ -35,6 +37,7 @@
 #include "core/metrics.hpp"
 #include "core/partition_manager.hpp"
 #include "core/task.hpp"
+#include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/recovery.hpp"
 #include "obs/flight_recorder.hpp"
@@ -91,6 +94,15 @@ struct OsOptions {
     double watchdogFactor = 4.0;
     /// Watchdog preemptions of one task before it is parked.
     std::uint64_t watchdogTripLimit = 8;
+    /// Durable checkpoint directory (empty = checkpointing off; kernel
+    /// behaviour, cost model and metric families stay bit-identical).
+    /// When set — independently of `plan` — every park and watchdog
+    /// preemption writes a versioned, CRC-guarded, double-buffered
+    /// checkpoint, and `checkpointInterval` adds a periodic cadence that
+    /// snapshots running partitioned executions through the config port.
+    std::string checkpointDir;
+    /// Period of the checkpoint cadence (0 = only on park/preempt).
+    SimDuration checkpointInterval = 0;
   };
   FaultToleranceOptions ft;
 };
@@ -159,6 +171,29 @@ class OsKernel {
   /// released), marks the task kMigrated here and returns the continuation
   /// the target kernel should addTask(). Partitioned policies only.
   MigrationTicket extractForMigration(std::size_t t);
+
+  // ---- durable checkpoint / restart -----------------------------------------
+  /// The store behind ft.checkpointDir (nullptr when checkpointing is off).
+  fault::CheckpointStore* checkpointStore() { return ckpt_.get(); }
+
+  /// Re-admits a checkpointed task into this kernel (possibly a different
+  /// kernel instance, device or process than the one that wrote it). Each
+  /// op's configuration is resolved by circuit name through this kernel's
+  /// registry; the register snapshot rides in as migrated state, charged
+  /// through the configuration port at the task's first grant and verified
+  /// against the configured fabric exactly like a cluster migration.
+  /// Throws std::runtime_error when an op names an unregistered circuit or
+  /// the registered strip width differs (a congruence violation — the
+  /// caller records a diagnosed rejection, never a silent wrong restore).
+  /// Returns the new task index.
+  std::size_t restoreTask(const fault::TaskCheckpoint& ck);
+
+  /// Builds a durable checkpoint of task `t` as it stands now: remaining
+  /// program (current FPGA op rewritten to the cycles still owed),
+  /// placement when the task holds a partition, and the given register
+  /// snapshot (empty = no live state, e.g. a parked or waiting task).
+  fault::TaskCheckpoint buildCheckpoint(std::size_t t,
+                                        std::vector<bool> registers) const;
 
   /// Queue-depth view for cluster placement policies.
   std::size_t fpgaWaitingCount() const { return fpgaWaiting_.size(); }
@@ -332,15 +367,36 @@ class OsKernel {
     obs::Counter* quarantineRelocations = nullptr;
     obs::Counter* parked = nullptr;
     obs::Counter* healed = nullptr;
+    /// Scrub passes deferred because the config port was busy (the scrubber
+    /// yields to configuration traffic and retries when the port frees).
+    obs::Counter* scrubDeferred = nullptr;
+    // Checkpoint families (bound when ft.checkpointDir is set, which may be
+    // independent of a fault plan).
+    obs::Counter* ckptWritten = nullptr;
+    obs::Counter* ckptBytes = nullptr;
+    obs::Counter* ckptRestores = nullptr;
+    obs::Counter* ckptCorruptions = nullptr;
+    obs::Counter* ckptFallbacks = nullptr;
   };
   FaultMetrics fm_;
+  /// Durable checkpoint store (null unless ft.checkpointDir is set).
+  std::unique_ptr<fault::CheckpointStore> ckpt_;
   /// Columns whose quarantine was deferred (occupant could not move yet);
   /// retried after every unload.
   std::vector<std::uint16_t> pendingQuarantines_;
   bool tamperInstalled_ = false;
 
   void bindFaultMetrics();
+  void bindCheckpointMetrics();
   void scrubTick();
+  /// Periodic checkpoint cadence: snapshots every running partitioned
+  /// execution (register readback charged through the config port) and
+  /// every FPGA waiter (no live state), then reschedules itself.
+  void checkpointTick();
+  /// Writes a durable checkpoint of task `t` (no-op when ckpt_ is null).
+  /// `registers` may be empty (park/preempt of garbage or absent state).
+  void writeCheckpoint(std::size_t t, std::vector<bool> registers,
+                       const char* reason);
   void onStripFailure(std::uint16_t column);
   void onStripHeal(std::uint16_t column);
   bool attemptQuarantine(std::uint16_t column);

@@ -60,7 +60,24 @@ OverlayManager::InvokeResult OverlayManager::invoke(OverlayId id) {
   if (id >= overlays_.size()) throw std::out_of_range("unknown overlay");
   ++invocations_;
   InvokeResult r;
-  if (active_ && *active_ == id) return r;  // already loaded
+  if (active_ && *active_ == id) {
+    if (plan_ != nullptr && plan_->reuseEvictedOverlay()) {
+      // Fault: the overlay strip no longer holds this circuit (evicted or
+      // clobbered since the last invocation), but the manager's table says
+      // it does. Readback verification catches the mismatch and recovers
+      // with a forced reload; without verification the stale image would
+      // be reused — never repair silently, so the hazard is only counted.
+      if (verifyResidency_) {
+        ++staleDetected_;
+        active_.reset();  // fall through to the reload path below
+      } else {
+        ++staleSilent_;
+        return r;
+      }
+    } else {
+      return r;  // already loaded
+    }
+  }
 
   const CompiledCircuit& target = overlays_[id];
   if (port_->spec().partialReconfig) {

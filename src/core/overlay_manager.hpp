@@ -17,6 +17,7 @@
 #include "compile/compiler.hpp"
 #include "compile/loaded_circuit.hpp"
 #include "fabric/config_port.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace vfpga {
 
@@ -55,6 +56,21 @@ class OverlayManager {
   /// Hit rate of overlay invocations (active overlay already loaded).
   double hitRate() const;
 
+  /// Installs seeded fault injection (not owned; outlives the manager).
+  /// With verifyResidency on, a stale-reuse fault is detected by readback
+  /// verification at invoke time and recovers with a forced reload; with it
+  /// off the stale overlay is reused — the silent-wrong-state hazard lint
+  /// rule FT007 exists to flag.
+  void setFaultPlan(fault::FaultPlan* plan, bool verifyResidency = true) {
+    plan_ = plan;
+    verifyResidency_ = verifyResidency;
+  }
+  bool faultPlanInstalled() const { return plan_ != nullptr; }
+  /// Stale reuses caught by residency verification (each forced a reload).
+  std::uint64_t staleReusesDetected() const { return staleDetected_; }
+  /// Stale reuses that went unverified (wrong results in a real system).
+  std::uint64_t silentStaleReuses() const { return staleSilent_; }
+
   /// Verifies the OV* invariants (resident/overlay circuits inside their
   /// strips, active id valid) and throws analysis::InvariantViolation on
   /// any breach. Runs automatically after every mutation when
@@ -71,6 +87,10 @@ class OverlayManager {
   std::optional<OverlayId> active_;
   std::uint64_t invocations_ = 0;
   std::uint64_t loads_ = 0;
+  fault::FaultPlan* plan_ = nullptr;
+  bool verifyResidency_ = true;
+  std::uint64_t staleDetected_ = 0;
+  std::uint64_t staleSilent_ = 0;
 };
 
 }  // namespace vfpga

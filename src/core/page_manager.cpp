@@ -40,8 +40,24 @@ void PageManager::touchPage(ConfigId id, std::uint32_t page,
   ++clock_;
   const PageKey key{id, page};
   if (auto it = resident_.find(key); it != resident_.end()) {
-    it->second.lastUse = clock_;
-    return;
+    if (plan_ != nullptr && plan_->dropPageResidency()) {
+      // Fault: the configuration RAM no longer holds this page but the
+      // table says it does. Verification detects the loss and recovers by
+      // re-faulting; without verification the page is assumed present —
+      // counted, never silently repaired.
+      if (verifyResidency_) {
+        ++lossDetected_;
+        resident_.erase(it);
+        // fall through to the page-fault path below
+      } else {
+        ++lossSilent_;
+        it->second.lastUse = clock_;
+        return;
+      }
+    } else {
+      it->second.lastUse = clock_;
+      return;
+    }
   }
   ++faults_;
   ++r.pageFaults;

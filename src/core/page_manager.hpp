@@ -21,6 +21,7 @@
 #include "core/config_registry.hpp"
 #include "core/segment_manager.hpp"  // ReplacementPolicy
 #include "fabric/config_port.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace vfpga {
 
@@ -52,6 +53,21 @@ class PageManager {
   AccessResult access(ConfigId id);
   /// Touches a specific page only (partial use of a function).
   AccessResult accessPage(ConfigId id, std::uint32_t page);
+
+  /// Installs seeded fault injection (not owned; outlives the manager).
+  /// With verifyResidency on, a lost residency bit is detected at touch
+  /// time and recovers by re-faulting the page; with it off the page is
+  /// assumed present — the silent-wrong-state hazard lint rule FT009
+  /// exists to flag.
+  void setFaultPlan(fault::FaultPlan* plan, bool verifyResidency = true) {
+    plan_ = plan;
+    verifyResidency_ = verifyResidency;
+  }
+  bool faultPlanInstalled() const { return plan_ != nullptr; }
+  /// Residency losses caught by verification (each re-faulted the page).
+  std::uint64_t residencyLossesDetected() const { return lossDetected_; }
+  /// Losses that went unverified (missing configuration assumed present).
+  std::uint64_t silentResidencyLosses() const { return lossSilent_; }
 
   std::uint64_t accesses() const { return accesses_; }
   std::uint64_t faults() const { return faults_; }
@@ -95,6 +111,10 @@ class PageManager {
   std::uint64_t touches_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t bitsMoved_ = 0;
+  fault::FaultPlan* plan_ = nullptr;
+  bool verifyResidency_ = true;
+  std::uint64_t lossDetected_ = 0;
+  std::uint64_t lossSilent_ = 0;
 
   SimDuration pageLoadCost() const;
   void touchPage(ConfigId id, std::uint32_t page, AccessResult& r);

@@ -50,8 +50,25 @@ SegmentManager::AccessResult SegmentManager::access(SegmentId id) {
   ++clock_;
   AccessResult r;
   if (auto it = residency_.find(id); it != residency_.end()) {
-    it->second.lastUse = clock_;
-    return r;  // hit
+    if (plan_ != nullptr && plan_->corruptSegmentTable()) {
+      // Fault: this entry's mapping is corrupt. Verification detects it
+      // (the strip's readback no longer matches the segment) and recovers
+      // by dropping the entry and re-faulting; without verification the
+      // corrupt mapping is followed — counted, never silently repaired.
+      if (verifyResidency_) {
+        ++corruptDetected_;
+        alloc_.release(it->second.strip);
+        residency_.erase(it);
+        // fall through to the segment-fault path below
+      } else {
+        ++corruptSilent_;
+        it->second.lastUse = clock_;
+        return r;
+      }
+    } else {
+      it->second.lastUse = clock_;
+      return r;  // hit
+    }
   }
   r.fault = true;
   ++faults_;

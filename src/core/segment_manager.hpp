@@ -18,6 +18,7 @@
 #include "compile/compiler.hpp"
 #include "core/strip_allocator.hpp"
 #include "fabric/config_port.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace vfpga {
 
@@ -49,6 +50,21 @@ class SegmentManager {
   std::uint64_t accesses() const { return accesses_; }
   std::uint64_t faults() const { return faults_; }
   std::uint64_t evictions() const { return evictions_; }
+
+  /// Installs seeded fault injection (not owned; outlives the manager).
+  /// With verifyResidency on, a corrupted residency-table entry is
+  /// detected at access time and recovers by dropping the entry and
+  /// re-faulting the segment; with it off the corrupt mapping is followed
+  /// — the silent-wrong-state hazard lint rule FT008 exists to flag.
+  void setFaultPlan(fault::FaultPlan* plan, bool verifyResidency = true) {
+    plan_ = plan;
+    verifyResidency_ = verifyResidency;
+  }
+  bool faultPlanInstalled() const { return plan_ != nullptr; }
+  /// Table corruptions caught by verification (each forced a re-fault).
+  std::uint64_t tableCorruptionsDetected() const { return corruptDetected_; }
+  /// Corruptions that went unverified (wrong mapping followed).
+  std::uint64_t silentTableCorruptions() const { return corruptSilent_; }
   double faultRate() const {
     return accesses_ ? static_cast<double>(faults_) / accesses_ : 0.0;
   }
@@ -76,6 +92,10 @@ class SegmentManager {
   std::uint64_t accesses_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t evictions_ = 0;
+  fault::FaultPlan* plan_ = nullptr;
+  bool verifyResidency_ = true;
+  std::uint64_t corruptDetected_ = 0;
+  std::uint64_t corruptSilent_ = 0;
 
   std::optional<SegmentId> evictionVictim() const;
 };

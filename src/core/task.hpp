@@ -97,6 +97,9 @@ struct TaskRuntime {
   std::uint64_t relocations = 0;        ///< times compaction/quarantine
                                         ///< moved this task's partition
   SimDuration fpgaExecTotal = 0;        ///< fabric compute time charged
+  std::uint64_t checkpoints = 0;        ///< durable checkpoints written
+  std::uint64_t restores = 0;           ///< admissions from a checkpoint
+  std::uint64_t checkpointedBytes = 0;  ///< bytes written to the store
 
   bool done() const { return state == TaskState::kDone; }
   /// Done, parked or migrated away: the kernel will never run this task

@@ -71,4 +71,25 @@ bool FaultPlan::execHangs() {
   return true;
 }
 
+bool FaultPlan::reuseEvictedOverlay() {
+  if (spec_.overlayStaleReuseRate <= 0.0) return false;
+  if (!rng_.bernoulli(spec_.overlayStaleReuseRate)) return false;
+  ++counters_.staleOverlayReuses;
+  return true;
+}
+
+bool FaultPlan::corruptSegmentTable() {
+  if (spec_.segmentTableCorruptRate <= 0.0) return false;
+  if (!rng_.bernoulli(spec_.segmentTableCorruptRate)) return false;
+  ++counters_.segmentTableCorruptions;
+  return true;
+}
+
+bool FaultPlan::dropPageResidency() {
+  if (spec_.pageResidencyLossRate <= 0.0) return false;
+  if (!rng_.bernoulli(spec_.pageResidencyLossRate)) return false;
+  ++counters_.pageResidencyLosses;
+  return true;
+}
+
 }  // namespace vfpga::fault

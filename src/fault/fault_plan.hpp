@@ -52,6 +52,13 @@ struct FaultPlanSpec {
   double meanUpsetsPerScrub = 0.0;
   /// P(an FPGA execution hangs and never signals completion).
   double execHangRate = 0.0;
+  /// P(an overlay "hit" actually reuses a strip whose overlay was lost —
+  /// evicted or clobbered — since the last invocation).
+  double overlayStaleReuseRate = 0.0;
+  /// P(a resident segment's table entry is corrupted at access time).
+  double segmentTableCorruptRate = 0.0;
+  /// P(a resident page's residency bit is lost at touch time).
+  double pageResidencyLossRate = 0.0;
   /// Scripted permanent strip failures, in any order.
   std::vector<StripFailureEvent> stripFailures;
 };
@@ -64,6 +71,9 @@ struct FaultCounters {
   std::uint64_t stateCorruptions = 0;
   std::uint64_t upsets = 0;
   std::uint64_t hangs = 0;
+  std::uint64_t staleOverlayReuses = 0;
+  std::uint64_t segmentTableCorruptions = 0;
+  std::uint64_t pageResidencyLosses = 0;
 };
 
 class FaultPlan {
@@ -90,6 +100,18 @@ class FaultPlan {
 
   /// One draw per dispatched FPGA execution: true = this execution hangs.
   bool execHangs();
+
+  /// One draw per overlay invocation hit: true = the overlay the manager
+  /// believes resident is stale (evicted/clobbered since last use).
+  bool reuseEvictedOverlay();
+
+  /// One draw per segment access hit: true = the residency table entry is
+  /// corrupt and must not be trusted.
+  bool corruptSegmentTable();
+
+  /// One draw per resident page touch: true = the page's residency bit was
+  /// lost (the configuration RAM no longer holds it).
+  bool dropPageResidency();
 
  private:
   FaultPlanSpec spec_;

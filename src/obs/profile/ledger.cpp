@@ -25,6 +25,9 @@ std::vector<ResourceLedger::ClassRollup> ResourceLedger::byClass() const {
     c.relocations += r.relocations;
     c.preemptions += r.preemptions;
     c.migrations += r.migrations;
+    c.checkpoints += r.checkpoints;
+    c.restores += r.restores;
+    c.checkpointedBytes += r.checkpointedBytes;
     c.waitNs += r.waitNs;
     c.execNs += r.execNs;
   }
@@ -73,6 +76,17 @@ void ResourceLedger::publish(MetricsRegistry& registry) const {
         "preemptions per priority class", c.preemptions);
     cnt("vfpga_profile_class_migrations_total",
         "migrations per priority class", c.migrations);
+    // Checkpoint families appear only for runs that checkpointed (or
+    // restored), keeping checkpoint-free exporter output byte-identical.
+    if (c.checkpoints > 0 || c.restores > 0) {
+      cnt("vfpga_profile_class_checkpoints_total",
+          "durable checkpoints written per priority class", c.checkpoints);
+      cnt("vfpga_profile_class_restores_total",
+          "checkpoint restores per priority class", c.restores);
+      cnt("vfpga_profile_class_checkpointed_bytes_total",
+          "checkpoint bytes written per priority class",
+          c.checkpointedBytes);
+    }
     cnt("vfpga_profile_class_wait_ns_total",
         "FPGA wait time per priority class", c.waitNs);
     cnt("vfpga_profile_class_exec_ns_total",
@@ -86,14 +100,16 @@ std::string ResourceLedger::renderText() const {
   os << "===============\n";
   char buf[320];
   std::snprintf(buf, sizeof buf,
-                "%-10s %-8s %5s %4s %12s %12s %5s %5s %6s %8s %12s %12s\n",
+                "%-10s %-8s %5s %4s %12s %12s %5s %5s %6s %8s %5s %5s "
+                "%12s %12s\n",
                 "task", "device", "class", "done", "cycles", "cfg_bits",
-                "dls", "hits", "reloc", "preempt", "wait_ns", "exec_ns");
+                "dls", "hits", "reloc", "preempt", "ckpt", "rstr",
+                "wait_ns", "exec_ns");
   os << buf;
   for (const LedgerRow& r : rows_) {
     std::snprintf(buf, sizeof buf,
                   "%-10s %-8s %5d %4s %12llu %12llu %5llu %5llu %6llu "
-                  "%8llu %12llu %12llu\n",
+                  "%8llu %5llu %5llu %12llu %12llu\n",
                   r.task.c_str(), r.device.empty() ? "-" : r.device.c_str(),
                   r.priority, r.completed ? "yes" : "no",
                   static_cast<unsigned long long>(r.fpgaCycles),
@@ -102,6 +118,8 @@ std::string ResourceLedger::renderText() const {
                   static_cast<unsigned long long>(r.configHits),
                   static_cast<unsigned long long>(r.relocations),
                   static_cast<unsigned long long>(r.preemptions),
+                  static_cast<unsigned long long>(r.checkpoints),
+                  static_cast<unsigned long long>(r.restores),
                   static_cast<unsigned long long>(r.waitNs),
                   static_cast<unsigned long long>(r.execNs));
     os << buf;
@@ -143,7 +161,10 @@ std::string ResourceLedger::renderJson() const {
        << r.configHits << ",\"cache_hits\":" << r.cacheHits
        << ",\"cache_misses\":" << r.cacheMisses << ",\"relocations\":"
        << r.relocations << ",\"preemptions\":" << r.preemptions
-       << ",\"migrations\":" << r.migrations << ",\"wait_ns\":" << r.waitNs
+       << ",\"migrations\":" << r.migrations << ",\"checkpoints\":"
+       << r.checkpoints << ",\"restores\":" << r.restores
+       << ",\"checkpointed_bytes\":" << r.checkpointedBytes
+       << ",\"wait_ns\":" << r.waitNs
        << ",\"exec_ns\":" << r.execNs << "}";
   }
   os << "\n],\n\"classes\":[";
@@ -158,6 +179,8 @@ std::string ResourceLedger::renderJson() const {
        << c.cacheHits << ",\"cache_misses\":" << c.cacheMisses
        << ",\"relocations\":" << c.relocations << ",\"preemptions\":"
        << c.preemptions << ",\"migrations\":" << c.migrations
+       << ",\"checkpoints\":" << c.checkpoints << ",\"restores\":"
+       << c.restores << ",\"checkpointed_bytes\":" << c.checkpointedBytes
        << ",\"wait_ns\":" << c.waitNs << ",\"exec_ns\":" << c.execNs << "}";
   }
   os << "\n]\n}\n";

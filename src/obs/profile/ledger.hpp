@@ -29,6 +29,9 @@ struct LedgerRow {
   std::uint64_t relocations = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t migrations = 0;
+  std::uint64_t checkpoints = 0;        ///< durable checkpoints written
+  std::uint64_t restores = 0;           ///< admissions from a checkpoint
+  std::uint64_t checkpointedBytes = 0;  ///< bytes written to the store
   std::uint64_t waitNs = 0;
   std::uint64_t execNs = 0;
 };
@@ -52,6 +55,9 @@ class ResourceLedger {
     std::uint64_t relocations = 0;
     std::uint64_t preemptions = 0;
     std::uint64_t migrations = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t checkpointedBytes = 0;
     std::uint64_t waitNs = 0;
     std::uint64_t execNs = 0;
   };

@@ -92,6 +92,8 @@ WaterfallReport buildWaterfall(const SpanTracer& tracer,
       if (i.category == "os.preempt") ++tw.phases.preemptions;
       if (i.category == "os.migrate") ++tw.phases.migrations;
       if (i.category == "os.park") ++tw.phases.parks;
+      if (i.category == "os.checkpoint") ++tw.phases.checkpoints;
+      if (i.category == "os.restore") ++tw.phases.restores;
       if (i.category == "os.stall") {
         // Stalls that stretch a running execution are marked as instants
         // carrying the shift (spans would straddle the already-recorded
@@ -131,6 +133,8 @@ WaterfallReport buildWaterfall(const SpanTracer& tracer,
     rep.total.preemptions += tw.phases.preemptions;
     rep.total.migrations += tw.phases.migrations;
     rep.total.parks += tw.phases.parks;
+    rep.total.checkpoints += tw.phases.checkpoints;
+    rep.total.restores += tw.phases.restores;
     rep.makespanNs = std::max(rep.makespanNs, tw.endNs);
     rep.tasks.push_back(std::move(tw));
   }
@@ -144,14 +148,14 @@ std::string renderText(const WaterfallReport& report) {
   os << "=======================\n";
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "%-10s %12s %12s %12s %12s %12s %8s %6s %-8s\n", "task",
-                "wait", "config", "exec", "cpu", "stall", "preempt", "migr",
-                "critical");
+                "%-10s %12s %12s %12s %12s %12s %8s %6s %5s %5s %-8s\n",
+                "task", "wait", "config", "exec", "cpu", "stall", "preempt",
+                "migr", "ckpt", "rstr", "critical");
   os << buf;
   auto row = [&](const std::string& name, const PhaseBreakdown& p) {
     std::snprintf(buf, sizeof buf,
                   "%-10s %12llu %12llu %12llu %12llu %12llu %8llu %6llu "
-                  "%-8s\n",
+                  "%5llu %5llu %-8s\n",
                   name.c_str(), static_cast<unsigned long long>(p.waitNs),
                   static_cast<unsigned long long>(p.configNs),
                   static_cast<unsigned long long>(p.execNs),
@@ -159,6 +163,8 @@ std::string renderText(const WaterfallReport& report) {
                   static_cast<unsigned long long>(p.stallNs),
                   static_cast<unsigned long long>(p.preemptions),
                   static_cast<unsigned long long>(p.migrations),
+                  static_cast<unsigned long long>(p.checkpoints),
+                  static_cast<unsigned long long>(p.restores),
                   p.criticalPhase());
     os << buf;
   };
@@ -178,6 +184,8 @@ std::string renderJson(const WaterfallReport& report) {
        << ",\"stall_ns\":" << p.stallNs
        << ",\"preemptions\":" << p.preemptions
        << ",\"migrations\":" << p.migrations << ",\"parks\":" << p.parks
+       << ",\"checkpoints\":" << p.checkpoints
+       << ",\"restores\":" << p.restores
        << ",\"critical\":\"" << p.criticalPhase() << "\"}";
   };
   os << "{\n\"tasks\":[";

@@ -13,7 +13,8 @@
 //   os.service   CPU service bursts
 //   os.stall     scrub/GC stalls (span form, synthetic producers)
 // Instant categories consumed:
-//   os.preempt, os.migrate, os.park, plus os.stall marks carrying a
+//   os.preempt, os.migrate, os.park, os.checkpoint, os.restore, plus
+//   os.stall marks carrying a
 //   "stall_ns" attribute and os.wait marks carrying a "wait_ns"
 //   attribute — the kernel's forms: exec spans are recorded
 //   optimistically at dispatch, so stall stretches and post-preemption
@@ -37,6 +38,8 @@ struct PhaseBreakdown {
   std::uint64_t preemptions = 0;
   std::uint64_t migrations = 0;
   std::uint64_t parks = 0;
+  std::uint64_t checkpoints = 0;  ///< os.checkpoint marks (durable saves)
+  std::uint64_t restores = 0;     ///< os.restore marks (re-admissions)
 
   std::uint64_t totalNs() const {
     return waitNs + configNs + execNs + cpuNs + stallNs;

@@ -62,6 +62,16 @@
 //              downloads, permanent strip failures, hangs) against the
 //              partitioned kernel and emit a survival report; exit 0 iff
 //              every task finished
+//   vfpga_cli chaos [--seed N] [--campaign ci|stress] [--dir dir]
+//              [--out file] [--flight-dir dir]
+//              seeded kill-restore-verify campaign: a checkpointing
+//              kernel is killed mid-flight, its durable checkpoints are
+//              tampered with (truncation, bit rot, stale generations),
+//              and a fresh kernel restores every task it can prove
+//              intact; plus a bit-exact restore proof and residency
+//              fault classes in the technique managers. Byte-identical
+//              per seed; exit 0 iff every corruption was detected and
+//              zero silent wrong state survived
 //   vfpga_cli bench-trend --baseline bench/baselines.json [--dir dir]
 //              [--tolerance F] [--out trend.json]  compare BENCH_*.json
 //              sidecars against committed baselines; exit 1 on any metric
@@ -72,6 +82,7 @@
 // (lint --json and trace --validate return 3 on export/validation
 // failure, 1 on findings).
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -175,6 +186,8 @@ int usage() {
                " [--out file]\n"
                "  faults [--seed N] [--campaign ci|stress] [--out file]"
                " [--flight-dir dir] [--stream file.ndjson]\n"
+               "  chaos [--seed N] [--campaign ci|stress] [--dir dir]"
+               " [--out file] [--flight-dir dir]\n"
                "  bench-trend --baseline file.json [--dir dir]"
                " [--tolerance F] [--out trend.json]\n"
                "stream knobs: [--stream-ring N] [--stream-flush N]"
@@ -1504,6 +1517,467 @@ int faultsCmd(const Args& a) {
   return survived ? 0 : 1;
 }
 
+/// Seeded chaos campaign: prove the stack survives *kernel death*, not
+/// just device faults. Three phases, byte-deterministic per seed:
+///
+///   A  kill-restore-verify — a fault-injected partitioned campaign with
+///      durable checkpointing is killed mid-flight (the kernel object is
+///      destroyed without finalize, exactly what a crash leaves behind),
+///      the on-disk checkpoint slots are then tampered with (truncation,
+///      payload bit rot, stale-generation re-stamps), and a fresh kernel
+///      on the same directory re-admits every task it can prove intact.
+///      Every tampered slot must be rejected by the CRC / version / slot-
+///      parity guards AND named by a CK lint rule; recovery must fall
+///      back to the previous good generation or park with a diagnostic —
+///      never restore silent wrong state.
+///   B  bit-exactness — a counter is cut at cycle 23, checkpointed twice,
+///      the newest generation is rotted; the restore (forced to fall back
+///      to generation 1) relocates to a different strip on a fresh
+///      device, proves equivalence, runs the remaining 41 cycles and must
+///      match a 64-cycle uninterrupted reference register for register.
+///   C  technique-manager residency faults — overlay / segment / page
+///      managers run under stale-reuse / table-corruption / residency-
+///      loss injection with verification on; every injection must be
+///      detected (the silent counters stay zero).
+///
+/// Exit 0 iff all three phases survive with zero silent wrong state.
+int chaosCmd(const Args& a) {
+  const std::uint64_t seed = std::stoull(a.get("seed", "7"));
+  const std::string campaign = a.get("campaign", "ci");
+  const std::string ckDir = a.get("dir", ".vfpga_chaos");
+  if (a.has("flight-dir")) {
+    setenv("VFPGA_FLIGHT_DIR", a.get("flight-dir").c_str(), 1);
+  }
+  // Generation numbering continues from whatever is on disk (that is the
+  // point of a durable store), so start from a clean slate — otherwise a
+  // second run of the same seed would write different generation numbers
+  // and the report would not be byte-identical.
+  std::error_code ec;
+  std::filesystem::remove_all(ckDir, ec);
+
+  fault::FaultPlanSpec spec;
+  spec.seed = seed;
+  if (campaign == "ci") {
+    spec.downloadCorruptRate = 0.20;
+    spec.downloadAbortRate = 0.10;
+    spec.stateCorruptRate = 0.15;
+    spec.meanUpsetsPerScrub = 1.0;
+    spec.execHangRate = 0.05;
+  } else if (campaign == "stress") {
+    spec.downloadCorruptRate = 0.35;
+    spec.downloadAbortRate = 0.25;
+    spec.stateCorruptRate = 0.30;
+    spec.meanUpsetsPerScrub = 2.5;
+    spec.execHangRate = 0.12;
+    spec.stripFailures = {{millis(2), 9}};
+  } else {
+    std::fprintf(stderr, "error: unknown campaign '%s' (ci|stress)\n",
+                 campaign.c_str());
+    return 2;
+  }
+  fault::FaultPlan plan(spec);
+
+  OsOptions opt;
+  opt.policy = FpgaPolicy::kPartitionedVariable;
+  opt.ft.plan = &plan;
+  opt.ft.scrubInterval = micros(500);
+  opt.ft.recovery = fault::RecoveryOptions{true, 4, micros(50)};
+  opt.ft.watchdogFactor = 4.0;
+  opt.ft.checkpointDir = ckDir;
+  opt.ft.checkpointInterval = micros(200);
+
+  // Static sanity check of the knob combination (incl. the phase-C
+  // residency fault classes) before anything runs.
+  {
+    analysis::FaultToleranceProfile prof;
+    prof.downloadCorruptRate = spec.downloadCorruptRate;
+    prof.downloadAbortRate = spec.downloadAbortRate;
+    prof.stateCorruptRate = spec.stateCorruptRate;
+    prof.meanUpsetsPerScrub = spec.meanUpsetsPerScrub;
+    prof.execHangRate = spec.execHangRate;
+    prof.overlayStaleReuseRate = 0.35;
+    prof.segmentTableCorruptRate = 0.35;
+    prof.pageResidencyLossRate = 0.35;
+    prof.anyStripFailures = !spec.stripFailures.empty();
+    prof.scrubInterval = opt.ft.scrubInterval;
+    prof.verifyDownloads = opt.ft.recovery.verifyDownloads;
+    prof.maxDownloadRetries = opt.ft.recovery.maxDownloadRetries;
+    prof.watchdogFactor = opt.ft.watchdogFactor;
+    prof.garbageCollect = opt.garbageCollect;
+    prof.verifyResidency = true;
+    analysis::Report rep;
+    analysis::lintFaultTolerance(prof, rep);
+    if (!rep.diagnostics().empty()) {
+      std::fprintf(stderr, "%s", rep.renderText().c_str());
+    }
+    if (!rep.ok()) return 1;
+  }
+
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  // The serialized header in front of the payload: "VFCK" magic (4) +
+  // u16 version + u64 generation + u32 payloadLen.
+  constexpr std::size_t kHeader = 18;
+  auto readFile = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  auto writeFile = [](const std::string& path,
+                      const std::vector<char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  auto registerWorkload = [](OsKernel& kernel, Compiler& compiler,
+                             const Device& dev) {
+    const Region strip = Region::columns(dev.geometry(), 0, 4);
+    return std::array<ConfigId, 3>{
+        kernel.registerConfig(
+            compiler.compile(named(lib::makeCounter(6), "count"), strip)),
+        kernel.registerConfig(
+            compiler.compile(named(lib::makeChecksum(6), "csum"), strip)),
+        kernel.registerConfig(compiler.compile(
+            named(lib::makeLfsr(8, 0b10111000), "lfsr"), strip)),
+    };
+  };
+
+  // ---- phase A part 1: run to the kill point, then die without finalize.
+  const SimTime killAt = millis(1);
+  const std::size_t kTasks = 8;
+  {
+    Device dev = p.makeDevice();
+    ConfigPort port(dev, p.port);
+    Compiler compiler(dev);
+    Simulation sim;
+    OsKernel kernel(sim, dev, port, compiler, opt);
+    const auto cfgs = registerWorkload(kernel, compiler, dev);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      TaskSpec t;
+      t.name = "ch" + std::to_string(i);
+      t.arrival = static_cast<SimTime>(i) * micros(120);
+      t.ops = {CpuBurst{micros(30)}, FpgaExec{cfgs[i % 3], 20000 + 5000 * i},
+               CpuBurst{micros(20)}};
+      kernel.addTask(std::move(t));
+    }
+    kernel.start();
+    while (sim.step() && sim.now() < killAt) {
+    }
+    // Scope exit without finalize(): this is the kernel dying. Whatever
+    // reached disk is all the restart gets.
+  }
+
+  // ---- phase A part 2: seeded tampering with the checkpoint slots.
+  std::uint64_t tamperTruncated = 0;
+  std::uint64_t tamperRotten = 0;
+  std::uint64_t tamperStale = 0;
+  std::uint64_t leftIntact = 0;
+  std::size_t diskTasks = 0;
+  {
+    fault::CheckpointStore store(ckDir);
+    Rng rng(seed ^ 0xc5a0c5a0ull);
+    for (const std::string& task : store.taskNames()) {
+      ++diskTasks;
+      const auto lr = store.load(task);
+      if (!lr.ok) continue;  // the kill itself already broke this pair
+      // Tamper with the *newest* valid generation so recovery must fall
+      // back (or, when it was the only slot, park with a diagnostic).
+      const auto slot = static_cast<unsigned>(lr.generation & 1);
+      const std::string path = store.slotPaths(task)[slot];
+      std::vector<char> bytes = readFile(path);
+      if (bytes.size() < kHeader + 4) continue;
+      // Cycle the corruption class (seeded positions within it) so every
+      // run exercises truncation, bit rot, stale generations AND a clean
+      // untampered restore.
+      switch ((diskTasks - 1 + seed) % 4) {
+        case 0:  // truncation (a crash mid-write cut the file short)
+          bytes.resize(bytes.size() / 2);
+          ++tamperTruncated;
+          break;
+        case 1: {  // bit rot in the payload (or its trailing CRC)
+          const std::size_t idx =
+              kHeader + static_cast<std::size_t>(
+                            rng.below(bytes.size() - kHeader));
+          bytes[idx] = static_cast<char>(bytes[idx] ^
+                                         (1 << rng.below(8)));
+          ++tamperRotten;
+          break;
+        }
+        case 2: {  // stale generation: re-stamp the header out of parity
+          const std::uint64_t forged = lr.generation + 1;
+          for (int b = 0; b < 8; ++b) {
+            bytes[6 + b] = static_cast<char>((forged >> (8 * b)) & 0xff);
+          }
+          ++tamperStale;
+          break;
+        }
+        default:
+          ++leftIntact;
+          continue;
+      }
+      writeFile(path, bytes);
+    }
+  }
+  const std::uint64_t tampered =
+      tamperTruncated + tamperRotten + tamperStale;
+
+  // ---- phase A part 3: fresh kernel, same directory — restore or reject.
+  std::uint64_t detectedSlots = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t parkedDiag = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t congruenceRejects = 0;
+  std::uint64_t ckErrorSlots = 0;
+  std::size_t restoredFinished = 0;
+  std::size_t restoredParked = 0;
+  double restartMakespanMs = 0.0;
+  {
+    Device dev = p.makeDevice();
+    ConfigPort port(dev, p.port);
+    Compiler compiler(dev);
+    Simulation sim;
+    OsKernel kernel(sim, dev, port, compiler, opt);
+    registerWorkload(kernel, compiler, dev);
+    fault::CheckpointStore* store = kernel.checkpointStore();
+    for (const std::string& task : store->taskNames()) {
+      // Per-slot CK lint: every rejected slot must be named by a rule.
+      const std::vector<std::string> paths = store->slotPaths(task);
+      for (unsigned slot = 0; slot < 2; ++slot) {
+        std::ifstream in(paths[slot], std::ios::binary);
+        if (!in) continue;
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        const fault::DecodeResult dr = fault::decodeCheckpoint(bytes);
+        analysis::CheckpointProfile cp;
+        cp.magicOk = dr.magicOk;
+        cp.versionSupported = dr.versionSupported;
+        cp.version = dr.version;
+        cp.payloadCrcOk = dr.payloadCrcOk;
+        cp.stateCrcOk = dr.stateCrcOk;
+        cp.generationParityOk =
+            !dr.magicOk || (dr.generation & 1) == slot;
+        cp.stateBits = dr.checkpoint.registers.size();
+        analysis::Report rep;
+        analysis::lintCheckpoint(cp, rep);
+        if (!rep.ok()) ++ckErrorSlots;
+      }
+      const auto lr = store->load(task);
+      detectedSlots += lr.corruptSlots;
+      if (lr.fellBack) ++fallbacks;
+      if (!lr.ok) {
+        // No intact generation: a clean, diagnosed park — never a guess.
+        ++parkedDiag;
+        continue;
+      }
+      try {
+        kernel.restoreTask(lr.checkpoint);
+        ++restored;
+      } catch (const std::runtime_error&) {
+        ++congruenceRejects;
+      }
+    }
+    kernel.run();
+    for (const TaskRuntime& t : kernel.tasks()) {
+      if (t.state == TaskState::kDone) ++restoredFinished;
+      if (t.state == TaskState::kParked) ++restoredParked;
+    }
+    restartMakespanMs = toMilliseconds(kernel.metrics().makespan);
+  }
+  const bool phaseA = diskTasks > 0 && restored > 0 &&
+                      congruenceRejects == 0 && restoredParked == 0 &&
+                      restoredFinished == restored &&
+                      detectedSlots >= tampered && ckErrorSlots >= tampered;
+
+  // ---- phase B: bit-exact restore vs an uninterrupted reference.
+  bool bitFellBack = false;
+  bool equivOk = false;
+  bool bitExact = false;
+  std::uint64_t bitGen = 0;
+  {
+    fault::CheckpointStore store(ckDir);
+    Device devA = p.makeDevice();
+    Compiler ca(devA);
+    const CompiledCircuit cc =
+        ca.compile(named(lib::makeCounter(6), "bx_counter"),
+                   Region::columns(devA.geometry(), 0, 4));
+    devA.applyBitstream(cc.fullBitstream());
+    LoadedCircuit la(devA, cc);
+    la.applyInitialState();
+    auto clock = [](LoadedCircuit& lc, int cycles) {
+      lc.setInput("en", true);
+      lc.setInput("clr", false);
+      for (int i = 0; i < cycles; ++i) {
+        lc.evaluate();
+        lc.tick();
+      }
+      lc.evaluate();
+    };
+    clock(la, 23);
+
+    fault::TaskCheckpoint ck;
+    ck.task = "bitexact";
+    ck.device = std::to_string(devA.geometry().cols) + "x" +
+                std::to_string(devA.geometry().rows);
+    ck.placementX0 = 0;
+    ck.placementWidth = 4;
+    fault::CheckpointOp op;
+    op.isFpga = true;
+    op.config = "bx_counter";
+    op.configWidth = 4;
+    op.cycles = 41;
+    ck.ops = {op};
+    ck.registers = la.saveState();
+    store.write(ck);
+    const auto w2 = store.write(ck);
+    {  // rot the newest generation: the load below must fall back
+      std::vector<char> bytes = readFile(w2.path);
+      bytes[kHeader + (bytes.size() - kHeader) / 2] ^= 0x40;
+      writeFile(w2.path, bytes);
+    }
+    const auto lr = store.load("bitexact");
+    bitFellBack = lr.ok && lr.fellBack;
+    bitGen = lr.generation;
+    if (lr.ok) {
+      // Restore onto a *different strip* of a fresh device — the repaired-
+      // device path — via pure relocation, proven equivalent before any
+      // state is written back.
+      Device devB = p.makeDevice();
+      Compiler cb(devB);
+      const CompiledCircuit cr = cb.relocate(cc, 4);
+      devB.applyBitstream(cr.fullBitstream());
+      try {
+        analysis::equiv::verifyConfiguredOrThrow(devB, cr,
+                                                 "chaos bit-exact restore");
+        equivOk = true;
+      } catch (const std::exception&) {
+        equivOk = false;
+      }
+      if (equivOk) {
+        LoadedCircuit lb(devB, cr);
+        lb.restoreState(lr.checkpoint.registers);
+        clock(lb, 41);
+        Device devR = p.makeDevice();
+        devR.applyBitstream(cc.fullBitstream());
+        LoadedCircuit lref(devR, cc);
+        lref.applyInitialState();
+        clock(lref, 64);
+        bitExact = lb.outputBus("q", 6) == lref.outputBus("q", 6) &&
+                   lb.saveState() == lref.saveState();
+      }
+    }
+  }
+  const bool phaseB = bitFellBack && bitGen == 1 && equivOk && bitExact;
+
+  // ---- phase C: technique-manager residency fault classes.
+  fault::FaultPlanSpec mspec;
+  mspec.seed = seed + 101;
+  mspec.overlayStaleReuseRate = 0.35;
+  mspec.segmentTableCorruptRate = 0.35;
+  mspec.pageResidencyLossRate = 0.35;
+  fault::FaultPlan mplan(mspec);
+  std::uint64_t ovDet = 0, ovSil = 0;
+  std::uint64_t sgDet = 0, sgSil = 0;
+  std::uint64_t pgDet = 0, pgSil = 0;
+  {
+    Device dev = p.makeDevice();
+    ConfigPort port(dev, p.port);
+    Compiler compiler(dev);
+    OverlayManager om(dev, port, compiler, 4);
+    om.setFaultPlan(&mplan);
+    om.installResident(
+        compiler.compile(named(lib::makeChecksum(6), "cm_common"),
+                         Region::columns(dev.geometry(), 0, 4)));
+    const OverlayId o1 = om.addOverlay(
+        compiler.compile(named(lib::makeCounter(6), "cm_f1"),
+                         Region::columns(dev.geometry(), 0, 4)));
+    for (int i = 0; i < 24; ++i) om.invoke(o1);  // 23 hits draw the fault
+    ovDet = om.staleReusesDetected();
+    ovSil = om.silentStaleReuses();
+  }
+  {
+    Device dev = p.makeDevice();
+    ConfigPort port(dev, p.port);
+    Compiler compiler(dev);
+    SegmentManager sm(dev, port, compiler, ReplacementPolicy::kLru);
+    sm.setFaultPlan(&mplan);
+    std::vector<SegmentId> segs;
+    for (int i = 0; i < 2; ++i) {
+      Netlist nl = lib::makeCounter(6);
+      nl.setName("sg" + std::to_string(i));
+      segs.push_back(sm.addSegment(
+          compiler.compile(nl, Region::columns(dev.geometry(), 0, 5))));
+    }
+    for (int i = 0; i < 24; ++i) sm.access(segs[i % 2]);
+    sgDet = sm.tableCorruptionsDetected();
+    sgSil = sm.silentTableCorruptions();
+  }
+  {
+    PageManager pm(p.port, 128, PageManagerOptions{4, 16});
+    pm.setFaultPlan(&mplan);
+    const ConfigId f = pm.addFunction(10);
+    for (int i = 0; i < 24; ++i) pm.access(f);
+    pgDet = pm.residencyLossesDetected();
+    pgSil = pm.silentResidencyLosses();
+  }
+  const fault::FaultCounters& mc = mplan.counters();
+  const std::uint64_t silentTotal = ovSil + sgSil + pgSil;
+  const bool phaseC = silentTotal == 0 && (ovDet + sgDet + pgDet) > 0;
+
+  const bool survived = phaseA && phaseB && phaseC;
+  char buf[512];
+  std::string out;
+  auto line = [&](const char* fmt2, auto... args2) {
+    std::snprintf(buf, sizeof buf, fmt2, args2...);
+    out += buf;
+  };
+  auto yn = [](bool b) { return b ? "yes" : "no"; };
+  auto u64 = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  line("vfpga chaos campaign report\n");
+  line("===========================\n");
+  line("campaign: %s\nseed: %llu\ndevice: %s\ncheckpoint dir: %s\n\n",
+       campaign.c_str(), u64(seed), p.name.c_str(), ckDir.c_str());
+  line("phase A: kill-restore-verify (killed at %llu ns)\n", u64(killAt));
+  line("  tasks with checkpoints on disk: %zu / %zu\n", diskTasks, kTasks);
+  line("  slots tampered:              %llu (truncated %llu, rotten %llu,"
+       " stale-gen %llu, intact %llu)\n",
+       u64(tampered), u64(tamperTruncated), u64(tamperRotten),
+       u64(tamperStale), u64(leftIntact));
+  line("  corrupt slots detected:      %llu\n", u64(detectedSlots));
+  line("  CK-lint flagged slots:       %llu\n", u64(ckErrorSlots));
+  line("  fallbacks to older gen:      %llu\n", u64(fallbacks));
+  line("  parked with diagnostic:      %llu\n", u64(parkedDiag));
+  line("  congruence rejections:       %llu\n", u64(congruenceRejects));
+  line("  tasks restored:              %llu\n", u64(restored));
+  line("  restored tasks finished:     %zu (parked %zu)\n",
+       restoredFinished, restoredParked);
+  line("  restart makespan:            %.3f ms\n", restartMakespanMs);
+  line("  phase survived:              %s\n\n", yn(phaseA));
+  line("phase B: bit-exact restore (fallback + relocation)\n");
+  line("  fell back past rotten gen:   %s (restored generation %llu)\n",
+       yn(bitFellBack), u64(bitGen));
+  line("  equivalence proof:           %s\n", yn(equivOk));
+  line("  registers match reference:   %s\n", yn(bitExact));
+  line("  phase survived:              %s\n\n", yn(phaseB));
+  line("phase C: manager residency faults (verification on)\n");
+  line("  overlay stale reuses:        injected %llu detected %llu"
+       " silent %llu\n",
+       u64(mc.staleOverlayReuses), u64(ovDet), u64(ovSil));
+  line("  segment table corruptions:   injected %llu detected %llu"
+       " silent %llu\n",
+       u64(mc.segmentTableCorruptions), u64(sgDet), u64(sgSil));
+  line("  page residency losses:       injected %llu detected %llu"
+       " silent %llu\n",
+       u64(mc.pageResidencyLosses), u64(pgDet), u64(pgSil));
+  line("  phase survived:              %s\n\n", yn(phaseC));
+  line("silent wrong state: %llu\n", u64(silentTotal));
+  line("survived: %s\n", yn(survived));
+
+  const int rc = emitPayload(a, out);
+  if (rc != 0) return rc;
+  return survived ? 0 : 1;
+}
+
 /// Seeded multi-device cluster campaign: N partitioned kernels sharing one
 /// simulation and one content-addressed bitstream cache, admission
 /// backpressure, pluggable placement and live migration off degraded
@@ -1994,6 +2468,7 @@ int main(int argc, char** argv) {
     if (args->command == "heatmap") return heatmapCmd(*args);
     if (args->command == "profile") return profileCmd(*args);
     if (args->command == "faults") return faultsCmd(*args);
+    if (args->command == "chaos") return chaosCmd(*args);
     if (args->command == "cluster") return clusterCmd(*args);
     if (args->command == "bench-trend") return benchTrendCmd(*args);
   } catch (const std::exception& e) {
