@@ -9,10 +9,17 @@
 //  3. cache dedupe proof: registering W workloads on N devices compiles
 //     each distinct bitstream exactly once (compiles == unique digests),
 //     every other registration is a cache hit.
+//  4. monitor overhead: the same campaign with the continuous-monitor
+//     sampler off vs on (50 us cadence, per-device series + health) —
+//     sim-side outcomes must be identical (baselined), wall-clock ratio is
+//     informational only.
 // Every row is reproducible byte for byte (seeded arrivals, seeded fault
 // plans, index-ordered scheduler iteration).
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "cluster/scheduler.hpp"
+#include "core/obs_bridge.hpp"
 #include "sim/rng.hpp"
 
 using namespace vfpga;
@@ -29,10 +36,13 @@ struct ClusterResult {
   cluster::BitstreamCacheStats cache;
   double cacheHitRate = 0;
   std::size_t registrations = 0;
+  std::uint64_t monitorTicks = 0;   ///< store ticks taken (sampler on only)
+  std::uint64_t monitorSamples = 0; ///< ticks x series (sampler on only)
+  double wallMs = 0;                ///< informational, never baselined
 };
 
 ClusterResult runCluster(std::size_t devices, cluster::PlacementPolicy policy,
-                         bool faulty) {
+                         bool faulty, bool monitored = false) {
   Simulation sim;
   cluster::BitstreamCache cache(32);
 
@@ -77,13 +87,41 @@ ClusterResult runCluster(std::size_t devices, cluster::PlacementPolicy policy,
                CpuBurst{micros(10)}};
     sched.submit(std::move(job));
   }
+
+  obs::monitor::TimeSeriesStore store(4096);
+  obs::monitor::AlertEngine engine;
+  obs::monitor::HealthModel health;
+  if (monitored) {
+    for (std::size_t i = 0; i < devices; ++i) {
+      bindKernelSeries(store, pool.node(i).kernel(),
+                       pool.node(i).name() + ".");
+    }
+    store.addSeries("cluster.queue_depth", [&sched] {
+      return static_cast<double>(sched.queueDepth());
+    });
+    store.addSeries("cluster.p99_wait_ns", [&sched] {
+      return static_cast<double>(sched.liveP99QueueWaitNs());
+    });
+    cluster::ClusterScheduler::MonitorAttachment mon;
+    mon.store = &store;
+    mon.engine = &engine;
+    mon.health = &health;
+    mon.sampleInterval = micros(50);
+    sched.attachMonitor(mon);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
   sched.run();
+  const auto t1 = std::chrono::steady_clock::now();
 
   ClusterResult r;
   r.summary = sched.summary();
   r.cache = cache.stats();
   r.cacheHitRate = cache.hitRate();
   r.registrations = kWorkloads * devices;
+  r.monitorTicks = store.totalTicks();
+  r.monitorSamples = store.totalTicks() * store.seriesCount();
+  r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
   return r;
 }
 
@@ -161,6 +199,43 @@ int main() {
     json.sample("vfpga_bench_e13_cache_unique_digests", l,
                 static_cast<double>(r.cache.uniqueDigests));
     json.sample("vfpga_bench_e13_cache_hit_rate", l, r.cacheHitRate);
+  }
+
+  tableHeader("E13", "continuous-monitor overhead "
+                     "(3 devices, least_loaded, 50 us sampler)");
+  std::printf("%-8s | %9s %12s %9s %10s %10s\n", "sampler", "completed",
+              "makespan_ms", "ticks", "samples", "wall_ms");
+  const ClusterResult off =
+      runCluster(3, cluster::PlacementPolicy::kLeastLoaded, false, false);
+  const ClusterResult on =
+      runCluster(3, cluster::PlacementPolicy::kLeastLoaded, false, true);
+  for (const auto& [name, r] :
+       {std::pair<const char*, const ClusterResult*>{"off", &off},
+        {"on", &on}}) {
+    std::printf("%-8s | %9llu %12.3f %9llu %10llu %10.2f\n", name,
+                static_cast<unsigned long long>(r->summary.completed),
+                toMilliseconds(r->summary.makespanNs),
+                static_cast<unsigned long long>(r->monitorTicks),
+                static_cast<unsigned long long>(r->monitorSamples), r->wallMs);
+    const obs::Labels l = {{"sampler", name}};
+    // Sim-side outcomes are deterministic and trend-gated: the sampler must
+    // not perturb scheduling (fault-free campaign, every device healthy).
+    json.sample("vfpga_bench_e13_monitor_makespan_ms", l,
+                toMilliseconds(r->summary.makespanNs));
+    json.sample("vfpga_bench_e13_monitor_completed", l,
+                static_cast<double>(r->summary.completed));
+  }
+  json.sample("vfpga_bench_e13_monitor_ticks", {{"sampler", "on"}},
+              static_cast<double>(on.monitorTicks));
+  json.sample("vfpga_bench_e13_monitor_samples", {{"sampler", "on"}},
+              static_cast<double>(on.monitorSamples));
+  // Wall-clock ratio is machine-dependent: printed, not baselined.
+  std::printf("sampler wall overhead: %+.1f%%\n",
+              off.wallMs > 0.0 ? (on.wallMs / off.wallMs - 1.0) * 100.0 : 0.0);
+  if (on.summary.makespanNs != off.summary.makespanNs ||
+      on.summary.completed != off.summary.completed) {
+    std::printf("MONITOR PERTURBED THE CAMPAIGN\n");
+    rc = 1;  // observation must not change the observed schedule
   }
 
   json.write();

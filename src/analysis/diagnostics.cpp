@@ -260,6 +260,21 @@ constexpr RuleInfo kRules[] = {
     {"CK005", Severity::kError, "stale checkpoint generation",
      "the header generation does not match its double-buffer slot parity "
      "(re-stamped or rolled-back generation); restore from the other slot"},
+    // ---- continuous monitor (MO) ----------------------------------------------
+    {"MO001", Severity::kError, "alert rule watches unknown series",
+     "an alert rule references a series name that is not registered on the "
+     "time-series store; evaluation throws on the first tick"},
+    {"MO002", Severity::kError, "zero-width evaluation window",
+     "a windowed alert rule (burn-rate or rate-of-change) has a zero-width "
+     "window and can never accumulate a signal"},
+    {"MO003", Severity::kError, "burn-rate windows not strictly nested",
+     "a burn-rate rule's long confirmation window is not strictly wider "
+     "than its short window; the two-window guard against transient spikes "
+     "degenerates to a single window"},
+    {"MO004", Severity::kWarning, "health model without fault inputs",
+     "every fault-counter weight in the health options is zero, so device "
+     "grades can only move on capacity loss and alert pressure, never on "
+     "fault activity"},
 };
 
 std::span<const RuleInfo> registry() { return kRules; }

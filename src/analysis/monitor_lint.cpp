@@ -1,0 +1,50 @@
+#include "analysis/monitor_lint.hpp"
+
+#include <algorithm>
+
+namespace vfpga::analysis {
+
+void lintMonitor(const MonitorProfile& p, Report& rep) {
+  for (std::size_t r = 0; r < p.rules.size(); ++r) {
+    const MonitorRuleProfile& rule = p.rules[r];
+    Location loc;
+    loc.kind = Location::Kind::kStrip;
+    loc.index = static_cast<std::int64_t>(r);
+    if (std::find(p.seriesNames.begin(), p.seriesNames.end(), rule.series) ==
+        p.seriesNames.end()) {
+      rep.add("MO001",
+              "alert rule '" + rule.name + "' watches series '" +
+                  rule.series +
+                  "' which is not registered on the store; evaluation "
+                  "would throw on the first tick",
+              loc);
+    }
+    const bool windowed = rule.isBurnRate || rule.isRateOfChange;
+    if (windowed && rule.windowNs == 0) {
+      rep.add("MO002",
+              "alert rule '" + rule.name + "' (" + rule.kind +
+                  ") has a zero-width evaluation window; the rule can "
+                  "never accumulate a signal",
+              loc);
+    }
+    if (rule.isBurnRate && rule.windowNs > 0 &&
+        rule.longWindowNs <= rule.windowNs) {
+      rep.add("MO003",
+              "burn-rate rule '" + rule.name + "' has long window " +
+                  std::to_string(rule.longWindowNs) +
+                  " ns not strictly wider than short window " +
+                  std::to_string(rule.windowNs) +
+                  " ns; the two-window confirmation degenerates to one "
+                  "window",
+              loc);
+    }
+  }
+  if (p.healthAttached && !p.healthHasFaultInputs) {
+    rep.add("MO004",
+            "health model is attached but every fault-counter weight is "
+            "zero; grades can only move on capacity loss and alert "
+            "pressure, never on fault activity");
+  }
+}
+
+}  // namespace vfpga::analysis

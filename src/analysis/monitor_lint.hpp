@@ -1,0 +1,41 @@
+// Monitor configuration lint (MO001-MO004): static checks on a continuous
+// monitor setup before the campaign starts. Like the cluster lint, the
+// profile is a plain snapshot of the knobs so this library needs no
+// dependency on vfpga_obs: callers copy the fields out of their
+// TimeSeriesStore / AlertEngine / HealthModel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace vfpga::analysis {
+
+struct MonitorRuleProfile {
+  std::string name;
+  std::string series;
+  /// "threshold" / "rate_of_change" / "burn_rate" / "ewma_zscore".
+  std::string kind;
+  std::uint64_t windowNs = 0;
+  std::uint64_t longWindowNs = 0;
+  bool isBurnRate = false;
+  bool isRateOfChange = false;
+};
+
+struct MonitorProfile {
+  /// Every series registered on the store, registration order.
+  std::vector<std::string> seriesNames;
+  std::vector<MonitorRuleProfile> rules;
+  std::uint64_t sampleIntervalNs = 0;
+  /// A HealthModel is attached to the campaign.
+  bool healthAttached = false;
+  /// At least one fault-counter weight in HealthOptions is nonzero.
+  bool healthHasFaultInputs = true;
+};
+
+/// Appends MO001-MO004 findings for the profile to `rep`.
+void lintMonitor(const MonitorProfile& p, Report& rep);
+
+}  // namespace vfpga::analysis

@@ -83,8 +83,107 @@ ClusterScheduler::ClusterScheduler(Simulation& sim, DevicePool& pool,
       cMigrRebalance_(reg_.counter("vfpga_cluster_migrations_total",
                                    {{"reason", "rebalance"}},
                                    "Live migrations for load balancing")),
+      cHealthDrain_(reg_.counter(
+          "vfpga_cluster_health_drains_total", {},
+          "Early drains triggered by a critical health grade")),
       sQueueWait_(reg_.stats("vfpga_cluster_queue_wait_ns", {},
                              "Admission-queue wait, submit to placement")) {}
+
+void ClusterScheduler::attachMonitor(const MonitorAttachment& monitor) {
+  if (started_) {
+    throw std::logic_error("ClusterScheduler: attachMonitor after run()");
+  }
+  if (monitor.sampleInterval > 0 && monitor.store == nullptr) {
+    throw std::invalid_argument(
+        "ClusterScheduler: monitor sampling needs a TimeSeriesStore");
+  }
+  monitor_ = monitor;
+}
+
+obs::monitor::HealthGrade ClusterScheduler::deviceHealth(std::size_t d) const {
+  if (monitor_.health == nullptr) return obs::monitor::HealthGrade::kHealthy;
+  return monitor_.health->grade(pool_->node(d).name());
+}
+
+SimDuration ClusterScheduler::oldestQueuedWaitNs() const {
+  SimDuration worst = 0;
+  for (std::size_t j : queue_) {
+    worst = std::max(worst, sim_->now() - jobs_[j].spec.submitAt);
+  }
+  return worst;
+}
+
+SimDuration ClusterScheduler::liveP99QueueWaitNs() const {
+  std::vector<SimDuration> waits;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::kPlaced) waits.push_back(job.queueWaitNs);
+  }
+  std::sort(waits.begin(), waits.end());
+  return percentile(waits, 99);
+}
+
+double ClusterScheduler::liveRejectedFraction() const {
+  std::uint64_t arrived = 0;
+  std::uint64_t rejected = 0;
+  for (const JobRecord& job : jobs_) {
+    if (job.state == JobState::kPending) continue;
+    ++arrived;
+    if (job.state == JobState::kRejected) ++rejected;
+  }
+  return arrived == 0 ? 0.0
+                      : static_cast<double>(rejected) /
+                            static_cast<double>(arrived);
+}
+
+void ClusterScheduler::sampleMonitor() {
+  const SimTime now = sim_->now();
+  if (monitor_.health != nullptr && monitor_.collectHealth) {
+    for (std::size_t d = 0; d < pool_->nodeCount(); ++d) {
+      DeviceNode& node = pool_->node(d);
+      // Alert pressure from the *previous* evaluation feeds this tick's
+      // grade (one-tick lag; evaluation below sees this tick's samples).
+      std::uint32_t warn = 0;
+      std::uint32_t crit = 0;
+      if (monitor_.engine != nullptr) {
+        const std::string prefix = node.name() + ".";
+        for (const obs::monitor::RuleStatus& rs : monitor_.engine->rules()) {
+          if (rs.state != obs::monitor::AlertState::kFiring) continue;
+          if (rs.rule.series.rfind(prefix, 0) != 0) continue;
+          if (rs.rule.severity == obs::monitor::AlertSeverity::kCritical) {
+            ++crit;
+          } else {
+            ++warn;
+          }
+        }
+      }
+      const PartitionManager* pm = node.kernel().partitionManager();
+      const std::uint16_t total =
+          pm != nullptr ? pm->allocator().columns() : 0;
+      monitor_.health->update(
+          node.name(), now,
+          toHealthCounters(node.kernel().healthInputs(), node.usableColumns(),
+                           total),
+          warn, crit);
+    }
+  }
+  monitor_.store->sampleAll(now);
+  if (monitor_.engine != nullptr) monitor_.engine->evaluate(now, *monitor_.store);
+}
+
+void ClusterScheduler::monitorTick() {
+  sampleMonitor();
+  if (!settled()) {
+    sim_->scheduleAfter(monitor_.sampleInterval, [this] { monitorTick(); });
+    return;
+  }
+  // Give in-flight alert resolutions a bounded grace window so the
+  // pending -> firing -> resolved arc lands inside the campaign.
+  if (monitor_.engine != nullptr && monitor_.engine->resolutionPending() &&
+      postSettleTicks_ < kMaxPostSettleTicks) {
+    ++postSettleTicks_;
+    sim_->scheduleAfter(monitor_.sampleInterval, [this] { monitorTick(); });
+  }
+}
 
 void ClusterScheduler::submit(ClusterJobSpec job) {
   if (started_) {
@@ -175,6 +274,9 @@ bool ClusterScheduler::nodeEligible(std::size_t d,
                                     bool respectCap) const {
   const DeviceNode& node = pool_->node(d);
   if (node.usableColumns() < options_.minUsableColumns) return false;
+  // A critically graded device takes no new work at all; it is being
+  // drained (see drainDegraded) and will re-enter once its grade decays.
+  if (deviceHealth(d) == obs::monitor::HealthGrade::kCritical) return false;
   if (respectCap && options_.maxJobsPerDevice > 0 &&
       node.load() >= options_.maxJobsPerDevice) {
     return false;
@@ -194,6 +296,15 @@ std::size_t ClusterScheduler::chooseDevice(const JobRecord& job) const {
     if (nodeEligible(d, cfgs, /*respectCap=*/true)) cand.push_back(d);
   }
   if (cand.empty()) return pool_->nodeCount();
+  // Health is a placement hint: a degraded device only takes new work
+  // when no healthy candidate fits (critical ones never pass eligibility).
+  std::vector<std::size_t> healthy;
+  for (std::size_t d : cand) {
+    if (deviceHealth(d) == obs::monitor::HealthGrade::kHealthy) {
+      healthy.push_back(d);
+    }
+  }
+  if (!healthy.empty()) cand = std::move(healthy);
 
   switch (options_.placement) {
     case PlacementPolicy::kFirstFit:
@@ -332,10 +443,17 @@ bool ClusterScheduler::migrateTask(std::size_t from, std::size_t taskIdx,
 void ClusterScheduler::drainDegraded() {
   for (std::size_t d = 0; d < pool_->nodeCount(); ++d) {
     DeviceNode& node = pool_->node(d);
-    if (node.usableColumns() >= options_.minUsableColumns) continue;
-    // Degraded below the capacity threshold: move every movable task to a
-    // healthy device. Each migration mutates the queues, so re-list.
+    const bool belowCapacity =
+        node.usableColumns() < options_.minUsableColumns;
+    // Early drain: a critical health grade evacuates the device *before*
+    // quarantine erodes it past the hard capacity threshold.
+    const bool criticalHealth =
+        deviceHealth(d) == obs::monitor::HealthGrade::kCritical;
+    if (!belowCapacity && !criticalHealth) continue;
+    // Move every movable task to a healthy device. Each migration mutates
+    // the queues, so re-list.
     bool moved = true;
+    bool any = false;
     while (moved) {
       moved = false;
       for (std::size_t t : node.kernel().migratableTasks()) {
@@ -349,9 +467,11 @@ void ClusterScheduler::drainDegraded() {
         if (to == pool_->nodeCount()) continue;
         migrateTask(d, t, to, /*drain=*/true);
         moved = true;
+        any = true;
         break;
       }
     }
+    if (any && !belowCapacity) ++cHealthDrain_;
   }
 }
 
@@ -421,6 +541,9 @@ void ClusterScheduler::run() {
     pool_->node(d).kernel().start();
   }
   armTick();
+  if (monitor_.store != nullptr && monitor_.sampleInterval > 0) {
+    sim_->scheduleAfter(monitor_.sampleInterval, [this] { monitorTick(); });
+  }
   if (analysis::invariantChecksEnabled()) {
     while (sim_->step()) {
       for (std::size_t d = 0; d < pool_->nodeCount(); ++d) {

@@ -25,6 +25,9 @@
 #include "cluster/device_pool.hpp"
 #include "fault/checkpoint.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/monitor/alerts.hpp"
+#include "obs/monitor/health.hpp"
+#include "obs/monitor/timeseries.hpp"
 #include "obs/profile/ledger.hpp"
 
 namespace vfpga::cluster {
@@ -116,6 +119,39 @@ class ClusterScheduler {
   std::size_t submitFromCheckpoint(const fault::TaskCheckpoint& ck,
                                    SimTime submitAt);
 
+  /// Continuous-monitor attachment (all pointers owned by the caller and
+  /// must outlive the scheduler). With sampleInterval > 0 the scheduler
+  /// drives the monitor on its own sim-time cadence: each tick collects
+  /// per-device health counters into `health` (when collectHealth),
+  /// samples every store series, then evaluates the alert rules. With
+  /// sampleInterval == 0 the scheduler only *consults* `health` (placement
+  /// hints, early drain) and the caller drives sampling — the mode the
+  /// pinned placement tests use.
+  struct MonitorAttachment {
+    obs::monitor::TimeSeriesStore* store = nullptr;
+    obs::monitor::AlertEngine* engine = nullptr;
+    obs::monitor::HealthModel* health = nullptr;
+    SimDuration sampleInterval = 0;
+    bool collectHealth = true;
+  };
+  /// Call before run(). Health grades steer placement: critical devices
+  /// take no new placements or migrations and are drained early (before
+  /// the hard minUsableColumns quarantine threshold); degraded devices are
+  /// only chosen when no healthy candidate fits.
+  void attachMonitor(const MonitorAttachment& monitor);
+
+  /// Health grade the scheduler sees for node `d` (kHealthy when no model
+  /// is attached).
+  obs::monitor::HealthGrade deviceHealth(std::size_t d) const;
+
+  // Live signal probes for monitor series (valid mid-run, deterministic).
+  std::size_t queueDepth() const { return queue_.size(); }
+  /// Longest current wait among queued jobs (0 when the queue is empty).
+  SimDuration oldestQueuedWaitNs() const;
+  /// Nearest-rank p99 over the queue waits of jobs placed so far.
+  SimDuration liveP99QueueWaitNs() const;
+  double liveRejectedFraction() const;
+
   /// Starts every kernel, drives the shared simulation to completion and
   /// folds per-device results into the cluster metrics/report.
   void run();
@@ -182,6 +218,11 @@ class ClusterScheduler {
   std::vector<std::vector<std::size_t>> taskJob_;
   bool started_ = false;
   bool tickArmed_ = false;
+  MonitorAttachment monitor_;
+  /// Grace ticks after settled() while alert resolutions are in flight,
+  /// bounded so a stuck-true condition cannot keep the sim alive.
+  std::uint32_t postSettleTicks_ = 0;
+  static constexpr std::uint32_t kMaxPostSettleTicks = 64;
 
   Summary summary_;
   std::vector<ClusterJobOutcome> outcomes_;
@@ -194,12 +235,15 @@ class ClusterScheduler {
   obs::Counter& cParked_;
   obs::Counter& cMigrDrain_;
   obs::Counter& cMigrRebalance_;
+  obs::Counter& cHealthDrain_;
   obs::StatsMetric& sQueueWait_;
 
   void onSubmit(std::size_t j);
   void armTick();
   void tick();
   void pump();
+  void monitorTick();
+  void sampleMonitor();
   void drainDegraded();
   void rebalance();
   void placeQueued();

@@ -217,4 +217,50 @@ std::vector<obs::CellState> occupancyCells(const StripAllocator& alloc) {
   return cells;
 }
 
+obs::monitor::HealthCounters toHealthCounters(const fault::HealthInputs& hi,
+                                              std::uint16_t usableColumns,
+                                              std::uint16_t totalColumns) {
+  obs::monitor::HealthCounters c;
+  c.quarantinedStrips = hi.quarantinedStrips;
+  c.quarantineRelocations = hi.quarantineRelocations;
+  c.healedStrips = hi.healedStrips;
+  c.scrubRepairs = hi.scrubRepairs;
+  c.watchdogPreempts = hi.watchdogPreempts;
+  c.parkedTasks = hi.parkedTasks;
+  c.downloadRetries = hi.downloadRetries;
+  c.stateCrcFailures = hi.stateCrcFailures + hi.verifyFailures;
+  c.usableColumns = usableColumns;
+  c.totalColumns = totalColumns;
+  return c;
+}
+
+void bindKernelSeries(obs::monitor::TimeSeriesStore& store,
+                      const OsKernel& kernel, const std::string& prefix) {
+  const OsKernel* k = &kernel;
+  store.addSeries(prefix + "usable_columns", [k] {
+    const PartitionManager* pm = k->partitionManager();
+    return pm != nullptr
+               ? static_cast<double>(pm->allocator().largestUsableSpan())
+               : 0.0;
+  });
+  store.addSeries(prefix + "queued", [k] {
+    return static_cast<double>(k->fpgaWaitingCount());
+  });
+  store.addSeries(prefix + "running", [k] {
+    return static_cast<double>(k->runningExecCount());
+  });
+  store.addSeries(prefix + "quarantined_strips", [k] {
+    return static_cast<double>(k->healthInputs().quarantinedStrips);
+  });
+  store.addSeries(prefix + "scrub_repairs", [k] {
+    return static_cast<double>(k->healthInputs().scrubRepairs);
+  });
+  store.addSeries(prefix + "watchdog_preempts", [k] {
+    return static_cast<double>(k->healthInputs().watchdogPreempts);
+  });
+  store.addSeries(prefix + "parked", [k] {
+    return static_cast<double>(k->healthInputs().parkedTasks);
+  });
+}
+
 }  // namespace vfpga

@@ -23,8 +23,11 @@
 #include "core/segment_manager.hpp"
 #include "core/strip_allocator.hpp"
 #include "fabric/activity_probe.hpp"
+#include "fault/health_inputs.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/monitor/health.hpp"
+#include "obs/monitor/timeseries.hpp"
 #include "obs/profile/activity.hpp"
 #include "obs/profile/ledger.hpp"
 
@@ -74,5 +77,25 @@ obs::profile::ResourceLedger buildLedger(const OsKernel& kernel,
 /// Task names in track order (taskNames[i] labels span track i + 1), for
 /// the waterfall builder and the flamegraph renderers.
 std::vector<std::string> taskTrackNames(const OsKernel& kernel);
+
+// ---- continuous monitor glue (obs/monitor) --------------------------------
+// The monitor's HealthModel consumes a plain HealthCounters struct (obs
+// cannot link fault); these adapters do the type crossing at the layering
+// boundary.
+
+/// Converts a live kernel fault snapshot into monitor health counters.
+/// verifyFailures folds into stateCrcFailures (both are integrity-check
+/// trips, weighed by HealthOptions::wCrc); usable/total describe the
+/// device's current column capacity.
+obs::monitor::HealthCounters toHealthCounters(const fault::HealthInputs& hi,
+                                              std::uint16_t usableColumns,
+                                              std::uint16_t totalColumns);
+
+/// Registers the standard per-kernel monitor series on a store, each named
+/// `<prefix><what>` (prefix e.g. "dev1."): usable_columns, queued, running,
+/// quarantined_strips, scrub_repairs, watchdog_preempts, parked. The kernel
+/// must outlive the store.
+void bindKernelSeries(obs::monitor::TimeSeriesStore& store,
+                      const OsKernel& kernel, const std::string& prefix);
 
 }  // namespace vfpga

@@ -377,11 +377,65 @@ void OsKernel::run() {
   finalize();
 }
 
+void OsKernel::setMonitorTick(SimDuration interval,
+                              std::function<void(SimTime)> hook) {
+  if (started_) {
+    throw std::logic_error("setMonitorTick must be called before start()");
+  }
+  monitorInterval_ = interval;
+  monitorHook_ = std::move(hook);
+}
+
+void OsKernel::monitorTick() {
+  bool allDone = true;
+  for (const TaskRuntime& tr : tasks_) {
+    if (!tr.terminal()) {
+      allDone = false;
+      break;
+    }
+  }
+  if (monitorHook_) monitorHook_(sim_->now());
+  // One final sample once everything is terminal, then stop rescheduling
+  // so the simulation can drain (same idiom as scrubTick).
+  if (allDone) return;
+  sim_->scheduleAfter(monitorInterval_, [this] { monitorTick(); });
+}
+
+fault::HealthInputs OsKernel::healthInputs() const {
+  fault::HealthInputs hi;
+  if (pm_) {
+    const PartitionManager::FtStats& fs = pm_->ftStats();
+    hi.quarantinedStrips = fs.quarantinedStrips;
+    hi.quarantineRelocations = fs.quarantineRelocations;
+    hi.healedStrips = fs.stripsHealed;
+    hi.downloadRetries += fs.downloadRetries;
+    hi.stateCrcFailures += fs.stateCrcFailures;
+  }
+  hi.downloadRetries += loader_.stats().downloadRetries;
+  hi.stateCrcFailures += loader_.stats().stateCrcFailures;
+  hi.verifyFailures = port_->stats().verifyFailures;
+  // The scrub/watchdog families are counted live (bound only with a fault
+  // plan; without one those sources cannot fire).
+  if (fm_.scrubRepairs != nullptr) {
+    hi.scrubRepairs = fm_.scrubRepairs->value();
+  }
+  if (fm_.watchdogPreempts != nullptr) {
+    hi.watchdogPreempts = fm_.watchdogPreempts->value();
+  }
+  for (const TaskRuntime& tr : tasks_) {
+    if (tr.state == TaskState::kParked) ++hi.parkedTasks;
+  }
+  return hi;
+}
+
 void OsKernel::start() {
   started_ = true;
   if (ckpt_ && options_.ft.checkpointInterval > 0) {
     sim_->scheduleAfter(options_.ft.checkpointInterval,
                         [this] { checkpointTick(); });
+  }
+  if (monitorHook_ && monitorInterval_ > 0) {
+    sim_->scheduleAfter(monitorInterval_, [this] { monitorTick(); });
   }
   if (options_.ft.plan) {
     if (options_.ft.scrubInterval > 0) {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,7 @@
 #include "core/task.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/health_inputs.hpp"
 #include "fault/recovery.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/heatmap.hpp"
@@ -244,6 +246,20 @@ class OsKernel {
   /// strip table at the current simulated time. Partitioned policies only.
   void attachHeatmap(obs::HeatmapCollector* heatmap);
 
+  /// Live fault-activity snapshot for continuous health grading: reads the
+  /// component stats (partition manager, config port, state loader, fault
+  /// families) as they stand *now*, unlike finalize()'s one-shot fold.
+  /// Valid at any point of the run; counters are monotonic.
+  fault::HealthInputs healthInputs() const;
+
+  /// Periodic observer hook (the continuous monitor's sampling cadence):
+  /// start() schedules `hook(now)` every `interval` of simulated time until
+  /// every task is terminal, then invokes it one final time and stops
+  /// rescheduling so the simulation can drain — the same self-stopping
+  /// idiom as the scrub tick. Call before start(); interval 0 disables.
+  void setMonitorTick(SimDuration interval,
+                      std::function<void(SimTime)> hook);
+
  private:
   /// {compile span id} link list for a config (empty when untraced).
   std::vector<std::uint64_t> linksFor(ConfigId id) const;
@@ -385,10 +401,14 @@ class OsKernel {
   /// retried after every unload.
   std::vector<std::uint16_t> pendingQuarantines_;
   bool tamperInstalled_ = false;
+  /// Monitor sampling hook (setMonitorTick); 0 interval = disabled.
+  SimDuration monitorInterval_ = 0;
+  std::function<void(SimTime)> monitorHook_;
 
   void bindFaultMetrics();
   void bindCheckpointMetrics();
   void scrubTick();
+  void monitorTick();
   /// Periodic checkpoint cadence: snapshots every running partitioned
   /// execution (register readback charged through the config port) and
   /// every FPGA waiter (no live state), then reschedules itself.

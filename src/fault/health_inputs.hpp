@@ -1,0 +1,38 @@
+// Live fault-activity counters for one device — the health-model feed.
+//
+// OsKernel::healthInputs() fills this every monitor tick from the live
+// component stats (PartitionManager FtStats, config-port verify counters,
+// state-loader CRC/retry counters, the watchdog/parked fault families), so
+// continuous health grading never has to wait for finalize()'s one-shot
+// fold into the vfpga_fault_* metric families.
+//
+// This is a plain value struct on purpose: vfpga_obs cannot link
+// vfpga_fault, so core/obs_bridge converts HealthInputs into the monitor's
+// HealthCounters (obs/monitor/health.hpp) at the layering boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace vfpga::fault {
+
+struct HealthInputs {
+  std::uint64_t quarantinedStrips = 0;
+  std::uint64_t quarantineRelocations = 0;
+  std::uint64_t healedStrips = 0;
+  std::uint64_t scrubRepairs = 0;
+  std::uint64_t watchdogPreempts = 0;
+  std::uint64_t parkedTasks = 0;
+  std::uint64_t downloadRetries = 0;
+  std::uint64_t stateCrcFailures = 0;
+  std::uint64_t verifyFailures = 0;
+
+  /// Unweighted total of the fault events above (capacity excluded); a
+  /// quick "anything happened?" check for tests and trace lines.
+  std::uint64_t eventTotal() const {
+    return quarantinedStrips + quarantineRelocations + healedStrips +
+           scrubRepairs + watchdogPreempts + parkedTasks + downloadRetries +
+           stateCrcFailures + verifyFailures;
+  }
+};
+
+}  // namespace vfpga::fault

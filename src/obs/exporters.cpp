@@ -280,6 +280,13 @@ void promHeader(std::ostringstream& os, std::string& lastName,
 std::string renderPrometheus(const MetricsRegistry& registry) {
   std::ostringstream os;
   std::string lastName;
+  // Convenience percentile samples derived from histograms. They are their
+  // own gauge families (`<name>_p50` etc.), so they cannot be emitted
+  // inside the `# TYPE <name> histogram` block — exposition requires every
+  // sample of a family to sit contiguously under its own TYPE header. They
+  // are collected during the walk and emitted at the end, grouped per
+  // family in sorted order.
+  std::map<std::string, std::vector<std::string>> percentileFamilies;
   for (const Metric* m : registry.sorted()) {
     switch (m->kind()) {
       case MetricKind::kCounter: {
@@ -324,15 +331,21 @@ std::string renderPrometheus(const MetricsRegistry& registry) {
            << fmtDouble(hm.sum()) << "\n";
         os << m->name << "_count" << promLabels(m->labels) << " " << h.total()
            << "\n";
-        // Percentile samples via the fixed-width quantile accessor.
+        // Percentile samples via the fixed-width quantile accessor,
+        // buffered for the trailing gauge families.
         for (const auto& [suffix, p] :
              {std::pair{"_p50", 50.0}, {"_p90", 90.0}, {"_p99", 99.0}}) {
-          os << m->name << suffix << promLabels(m->labels) << " "
-             << fmtDouble(h.percentile(p)) << "\n";
+          percentileFamilies[m->name + suffix].push_back(
+              m->name + suffix + promLabels(m->labels) + " " +
+              fmtDouble(h.percentile(p)) + "\n");
         }
         break;
       }
     }
+  }
+  for (const auto& [family, samples] : percentileFamilies) {
+    os << "# TYPE " << family << " gauge\n";
+    for (const std::string& line : samples) os << line;
   }
   return os.str();
 }

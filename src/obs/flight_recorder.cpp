@@ -71,6 +71,18 @@ std::string FlightRecorder::renderBundle(std::string_view ruleId,
   }
   os << "],\n";
 
+  os << "  \"notes\": [";
+  {
+    bool first = true;
+    for (const Note& n : notes_) {
+      os << (first ? "\n" : ",\n") << "    {\"at_ns\": " << n.atNs
+         << ", \"text\": \"" << jsonEscape(n.text) << "\"}";
+      first = false;
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "],\n";
+
   os << "  \"metrics\": ";
   if (registry_ != nullptr) {
     os << renderMetricsJson(*registry_);
@@ -79,6 +91,12 @@ std::string FlightRecorder::renderBundle(std::string_view ruleId,
   }
   os << "}\n";
   return os.str();
+}
+
+void FlightRecorder::note(std::uint64_t atNs, std::string text) {
+  if (options_.noteCapacity == 0) return;
+  if (notes_.size() == options_.noteCapacity) notes_.pop_front();
+  notes_.push_back({atNs, std::move(text)});
 }
 
 std::string FlightRecorder::dump(std::string_view ruleId,

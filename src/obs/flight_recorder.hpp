@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 
@@ -29,6 +31,8 @@ class FlightRecorder {
     std::string prefix = "vfpga_flight";
     /// How many of the newest Trace records to keep in the bundle.
     std::size_t traceTail = 256;
+    /// How many of the newest note() entries to keep.
+    std::size_t noteCapacity = 256;
   };
 
   FlightRecorder() = default;
@@ -39,6 +43,17 @@ class FlightRecorder {
   void attachTrace(const Trace* trace) { trace_ = trace; }
   void attachRegistry(const MetricsRegistry* registry) { registry_ = registry; }
   void attachSpans(const SpanTracer* spans) { spans_ = spans; }
+
+  /// Appends a time-stamped note to a bounded ring (newest `noteCapacity`
+  /// kept) included in every bundle under "notes". The continuous monitor
+  /// records alert transitions here so a post-mortem shows what was firing
+  /// leading up to the failure.
+  void note(std::uint64_t atNs, std::string text);
+  struct Note {
+    std::uint64_t atNs = 0;
+    std::string text;
+  };
+  const std::deque<Note>& notes() const { return notes_; }
 
   /// Writes the bundle and returns its path. `diagnosticsJson` must be
   /// either empty or a valid JSON value (it is embedded verbatim). Throws
@@ -63,6 +78,7 @@ class FlightRecorder {
   const Trace* trace_ = nullptr;
   const MetricsRegistry* registry_ = nullptr;
   const SpanTracer* spans_ = nullptr;
+  std::deque<Note> notes_;
   std::size_t dumps_ = 0;
 };
 

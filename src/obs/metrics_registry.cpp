@@ -121,6 +121,14 @@ Metric& MetricsRegistry::findOrCreate(std::string_view name, Labels labels,
   return ref;
 }
 
+const Metric* MetricsRegistry::find(std::string_view name,
+                                    const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  auto it = metrics_.find(makeKey(name, sorted));
+  return it != metrics_.end() ? it->second.get() : nullptr;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name, Labels labels,
                                   std::string_view help) {
   return std::get<Counter>(findOrCreate(name, std::move(labels), help,

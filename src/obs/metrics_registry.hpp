@@ -123,6 +123,11 @@ class MetricsRegistry {
   /// are contiguous, as Prometheus exposition requires).
   std::vector<const Metric*> sorted() const;
 
+  /// Looks up an existing instance without creating it; nullptr when the
+  /// (name, labels) pair was never registered. This is what the monitor's
+  /// TimeSeriesStore uses to resolve lazily-created families each tick.
+  const Metric* find(std::string_view name, const Labels& labels = {}) const;
+
   std::size_t size() const { return metrics_.size(); }
   /// Number of distinct metric *names* (families).
   std::size_t familyCount() const;

@@ -1,0 +1,35 @@
+// Dashboard renderers for the continuous monitor: a text panel (also used
+// as the live-refresh frame by `vfpga_cli monitor`), a strict-JSON report
+// and a self-contained HTML timeline (inline CSS + SVG sparklines, alert
+// transitions drawn as annotation markers). Everything renders from the
+// deterministic store/engine/health state — byte-identical per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/monitor/alerts.hpp"
+#include "obs/monitor/health.hpp"
+#include "obs/monitor/timeseries.hpp"
+
+namespace vfpga::obs::monitor {
+
+struct DashboardInput {
+  const TimeSeriesStore* store = nullptr;   // required
+  const AlertEngine* engine = nullptr;      // optional
+  const HealthModel* health = nullptr;      // optional
+  std::string title = "vfpga monitor";
+  std::uint64_t atNs = 0;  // report time (usually the last tick)
+};
+
+std::string renderMonitorText(const DashboardInput& in);
+std::string renderMonitorJson(const DashboardInput& in);
+std::string renderMonitorHtml(const DashboardInput& in);
+
+/// ASCII sparkline of the newest `width` samples of a series, scaled to its
+/// retained min/max (flat series render as a mid-level band). Exposed for
+/// tests.
+std::string asciiSparkline(const TimeSeriesStore& store,
+                           const std::string& series, std::size_t width);
+
+}  // namespace vfpga::obs::monitor

@@ -1,0 +1,122 @@
+#include "obs/monitor/health.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vfpga::obs::monitor {
+
+const char* healthGradeName(HealthGrade g) {
+  switch (g) {
+    case HealthGrade::kHealthy: return "healthy";
+    case HealthGrade::kDegraded: return "degraded";
+    case HealthGrade::kCritical: return "critical";
+  }
+  return "?";
+}
+
+HealthModel::HealthModel(HealthOptions options) : options_(options) {}
+
+namespace {
+
+// Saturating counter delta: restores after a device restart (counter reset)
+// read as zero activity rather than underflowing.
+std::uint64_t delta(std::uint64_t now, std::uint64_t then) {
+  return now >= then ? now - then : 0;
+}
+
+}  // namespace
+
+void HealthModel::update(const std::string& device, std::uint64_t atNs,
+                         const HealthCounters& counters,
+                         std::size_t firingWarnings,
+                         std::size_t firingCriticals) {
+  DeviceState& st = devices_[device];
+  if (!st.history.empty() && atNs < st.history.back().atNs) {
+    throw std::logic_error("health update times must be non-decreasing for " +
+                           device);
+  }
+  st.history.push_back({atNs, counters});
+  // Prune to the trailing window, keeping one snapshot at or before the
+  // window edge as the delta baseline.
+  const std::uint64_t windowStart =
+      atNs >= options_.windowNs ? atNs - options_.windowNs : 0;
+  while (st.history.size() > 1 && st.history[1].atNs <= windowStart) {
+    st.history.pop_front();
+  }
+
+  const HealthCounters& base = st.history.front().counters;
+  double score = 0.0;
+  score += options_.wQuarantine *
+           static_cast<double>(
+               delta(counters.quarantinedStrips, base.quarantinedStrips));
+  score += options_.wRelocation *
+           static_cast<double>(delta(counters.quarantineRelocations,
+                                     base.quarantineRelocations));
+  score += options_.wScrubRepair *
+           static_cast<double>(delta(counters.scrubRepairs,
+                                     base.scrubRepairs));
+  score += options_.wWatchdog *
+           static_cast<double>(
+               delta(counters.watchdogPreempts, base.watchdogPreempts));
+  score += options_.wParked *
+           static_cast<double>(delta(counters.parkedTasks, base.parkedTasks));
+  score += options_.wRetry *
+           static_cast<double>(
+               delta(counters.downloadRetries, base.downloadRetries));
+  score += options_.wCrc *
+           static_cast<double>(
+               delta(counters.stateCrcFailures, base.stateCrcFailures));
+  score += options_.wFiringWarning * static_cast<double>(firingWarnings);
+  score += options_.wFiringCritical * static_cast<double>(firingCriticals);
+  st.score = score;
+
+  const double capacity =
+      counters.totalColumns == 0
+          ? 1.0
+          : static_cast<double>(counters.usableColumns) /
+                static_cast<double>(counters.totalColumns);
+  HealthGrade grade = HealthGrade::kHealthy;
+  if (score >= options_.criticalAt ||
+      capacity < options_.capacityCriticalBelow) {
+    grade = HealthGrade::kCritical;
+  } else if (score >= options_.degradedAt ||
+             capacity < options_.capacityDegradedBelow) {
+    grade = HealthGrade::kDegraded;
+  }
+  if (grade != st.grade) {
+    events_.push_back({atNs, device, st.grade, grade, score});
+    st.grade = grade;
+  }
+}
+
+HealthGrade HealthModel::grade(const std::string& device) const {
+  auto it = devices_.find(device);
+  return it != devices_.end() ? it->second.grade : HealthGrade::kHealthy;
+}
+
+double HealthModel::score(const std::string& device) const {
+  auto it = devices_.find(device);
+  return it != devices_.end() ? it->second.score : 0.0;
+}
+
+HealthCounters HealthModel::lastCounters(const std::string& device) const {
+  auto it = devices_.find(device);
+  if (it == devices_.end() || it->second.history.empty()) return {};
+  return it->second.history.back().counters;
+}
+
+std::vector<std::string> HealthModel::devices() const {
+  std::vector<std::string> names;
+  names.reserve(devices_.size());
+  for (const auto& [name, st] : devices_) names.push_back(name);
+  return names;
+}
+
+bool HealthModel::hasFaultInputs() const {
+  return options_.wQuarantine != 0.0 || options_.wRelocation != 0.0 ||
+         options_.wScrubRepair != 0.0 || options_.wWatchdog != 0.0 ||
+         options_.wParked != 0.0 || options_.wRetry != 0.0 ||
+         options_.wCrc != 0.0;
+}
+
+}  // namespace vfpga::obs::monitor

@@ -1,0 +1,117 @@
+// Per-device health model: folds fault/scrub/quarantine counters and alert
+// state into a graded verdict (healthy / degraded / critical) that the
+// ClusterScheduler consults as a placement hint and as an early-drain
+// trigger — a device goes critical on *activity*, before the hard
+// usable-columns quarantine threshold is reached.
+//
+// Scoring is windowed: each update snapshots the raw counters, and the
+// score weighs the counter *deltas* accumulated over the trailing
+// `windowNs` (so a device that stops faulting decays back to healthy),
+// plus the number of firing alerts attributed to the device, plus a
+// capacity term from the usable/total column ratio. All inputs arrive as a
+// plain HealthCounters struct — layering keeps vfpga_obs independent of
+// vfpga_fault; core/obs_bridge converts fault::HealthInputs into it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vfpga::obs::monitor {
+
+enum class HealthGrade : std::uint8_t { kHealthy, kDegraded, kCritical };
+
+const char* healthGradeName(HealthGrade g);
+
+/// Monotonic raw counters (plus the current capacity pair) for one device.
+struct HealthCounters {
+  std::uint64_t quarantinedStrips = 0;
+  std::uint64_t quarantineRelocations = 0;
+  std::uint64_t healedStrips = 0;
+  std::uint64_t scrubRepairs = 0;
+  std::uint64_t watchdogPreempts = 0;
+  std::uint64_t parkedTasks = 0;
+  std::uint64_t downloadRetries = 0;
+  std::uint64_t stateCrcFailures = 0;
+  std::uint16_t usableColumns = 0;
+  std::uint16_t totalColumns = 0;
+};
+
+struct HealthOptions {
+  // Weights on windowed counter deltas.
+  double wQuarantine = 3.0;
+  double wRelocation = 1.0;
+  double wScrubRepair = 0.5;
+  double wWatchdog = 2.0;
+  double wParked = 5.0;
+  double wRetry = 0.25;
+  double wCrc = 1.0;
+  // Weights on firing alerts attributed to the device.
+  double wFiringWarning = 1.0;
+  double wFiringCritical = 3.0;
+  /// Trailing window over which counter deltas are scored.
+  std::uint64_t windowNs = 2'000'000;  // 2 ms sim time
+  /// Score thresholds for the activity grades.
+  double degradedAt = 2.0;
+  double criticalAt = 6.0;
+  /// Capacity grades: usable/total ratio strictly below these marks the
+  /// device degraded/critical regardless of activity (total == 0 reads as
+  /// full capacity).
+  double capacityDegradedBelow = 0.60;
+  double capacityCriticalBelow = 0.35;
+};
+
+/// Grade-change event (the monitor records these as span instants too).
+struct HealthEvent {
+  std::uint64_t atNs = 0;
+  std::string device;
+  HealthGrade from = HealthGrade::kHealthy;
+  HealthGrade to = HealthGrade::kHealthy;
+  double score = 0.0;
+};
+
+class HealthModel {
+ public:
+  explicit HealthModel(HealthOptions options = {});
+
+  /// Feeds one counter snapshot for `device` at sim time `atNs` (times per
+  /// device must be non-decreasing). firingWarnings/firingCriticals are the
+  /// device's currently-firing alert counts (callers typically pass the
+  /// previous tick's evaluation — documented one-tick lag).
+  void update(const std::string& device, std::uint64_t atNs,
+              const HealthCounters& counters, std::size_t firingWarnings = 0,
+              std::size_t firingCriticals = 0);
+
+  /// kHealthy for devices never updated.
+  HealthGrade grade(const std::string& device) const;
+  double score(const std::string& device) const;
+  /// Latest raw counters seen for the device (zeros when unknown).
+  HealthCounters lastCounters(const std::string& device) const;
+
+  std::vector<std::string> devices() const;  // sorted by name
+  const std::vector<HealthEvent>& events() const { return events_; }
+  const HealthOptions& options() const { return options_; }
+
+  /// False when every counter weight is zero — the model would grade on
+  /// alerts/capacity alone, which MO004 flags.
+  bool hasFaultInputs() const;
+
+ private:
+  struct Snapshot {
+    std::uint64_t atNs = 0;
+    HealthCounters counters;
+  };
+  struct DeviceState {
+    std::deque<Snapshot> history;  // trailing windowNs plus one baseline
+    HealthGrade grade = HealthGrade::kHealthy;
+    double score = 0.0;
+  };
+
+  HealthOptions options_;
+  std::map<std::string, DeviceState> devices_;
+  std::vector<HealthEvent> events_;
+};
+
+}  // namespace vfpga::obs::monitor

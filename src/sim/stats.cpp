@@ -78,7 +78,13 @@ double Histogram::quantile(double q) const {
   double acc = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     acc += static_cast<double>(counts_[i]);
-    if (acc >= target) return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    // The empty-bucket guard matters only at q == 0 (target 0): without it
+    // the scan would report the midpoint of bucket 0 even when every sample
+    // clamped into a later bucket. With it, q == 0 is the midpoint of the
+    // first non-empty bucket — the bucket holding the smallest sample.
+    if (counts_[i] > 0 && acc >= target) {
+      return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    }
   }
   return hi_;
 }

@@ -50,11 +50,21 @@ class Histogram {
   double bucketLow(std::size_t i) const;
   double bucketHigh(std::size_t i) const;
 
-  /// Approximate quantile (q in [0,1]) using bucket midpoints.
+  /// Approximate quantile (q in [0,1]) using bucket midpoints. Pinned edge
+  /// semantics (tested in obs_test.cpp):
+  ///  - empty histogram: returns `lo` for every q;
+  ///  - q outside [0,1] clamps;
+  ///  - q == 0 returns the midpoint of the first *non-empty* bucket (the
+  ///    bucket holding the smallest sample — in particular, when every
+  ///    sample clamped into the overflow bucket, q == 0 reports that
+  ///    bucket, not bucket 0);
+  ///  - q == 1 returns the midpoint of the last non-empty bucket;
+  ///  - single sample: every q returns that sample's bucket midpoint.
   double quantile(double q) const;
 
   /// Approximate percentile (p in [0,100]); p outside the range clamps.
-  /// Convenience over quantile() for exporters (p50/p90/p99).
+  /// Convenience over quantile() for exporters (p50/p90/p99); shares the
+  /// edge semantics documented on quantile().
   double percentile(double p) const { return quantile(p / 100.0); }
 
   /// Renders a compact one-line-per-bucket ASCII view for reports.

@@ -225,6 +225,79 @@ TEST(Prometheus, RoundTripPreservesEveryScalar) {
   EXPECT_DOUBLE_EQ(hsum->value, 10.0);
 }
 
+// Pinned golden exposition: cumulative `le` buckets, `+Inf` == `_count`,
+// `_sum`, and the derived percentile gauges as their own trailing families
+// (exposition format requires every sample of a family to sit contiguously
+// under a single TYPE header).
+TEST(Prometheus, GoldenHistogramExposition) {
+  obs::MetricsRegistry reg;
+  reg.counter("vfpga_gold_total", {{"dev", "0"}}, "jobs").inc(3);
+  obs::HistogramMetric& h =
+      reg.histogram("vfpga_gold_wait_ns", 0.0, 10.0, 5, {}, "wait");
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(25.0);  // clamps into the last bucket
+
+  const std::string expected =
+      "# HELP vfpga_gold_total jobs\n"
+      "# TYPE vfpga_gold_total counter\n"
+      "vfpga_gold_total{dev=\"0\"} 3\n"
+      "# HELP vfpga_gold_wait_ns wait\n"
+      "# TYPE vfpga_gold_wait_ns histogram\n"
+      "vfpga_gold_wait_ns_bucket{le=\"2\"} 1\n"
+      "vfpga_gold_wait_ns_bucket{le=\"4\"} 2\n"
+      "vfpga_gold_wait_ns_bucket{le=\"6\"} 2\n"
+      "vfpga_gold_wait_ns_bucket{le=\"8\"} 2\n"
+      "vfpga_gold_wait_ns_bucket{le=\"10\"} 3\n"
+      "vfpga_gold_wait_ns_bucket{le=\"+Inf\"} 3\n"
+      "vfpga_gold_wait_ns_sum 29\n"
+      "vfpga_gold_wait_ns_count 3\n"
+      "# TYPE vfpga_gold_wait_ns_p50 gauge\n"
+      "vfpga_gold_wait_ns_p50 3\n"
+      "# TYPE vfpga_gold_wait_ns_p90 gauge\n"
+      "vfpga_gold_wait_ns_p90 9\n"
+      "# TYPE vfpga_gold_wait_ns_p99 gauge\n"
+      "vfpga_gold_wait_ns_p99 9\n";
+  EXPECT_EQ(obs::renderPrometheus(reg), expected);
+}
+
+// Conformance invariants every exposition must keep, checked through the
+// strict parser: bucket counts are cumulative (monotonically non-decreasing
+// in `le` order) and the `+Inf` bucket equals `_count` exactly.
+TEST(Prometheus, HistogramBucketsAreCumulativeAndInfMatchesCount) {
+  obs::MetricsRegistry reg;
+  obs::HistogramMetric& h =
+      reg.histogram("vfpga_conf_ns", 0.0, 100.0, 8, {{"dev", "1"}}, "lat");
+  for (double v : {5.0, 5.0, 37.0, 61.0, 61.0, 61.0, 99.0, 250.0}) {
+    h.observe(v);
+  }
+  const std::vector<obs::PromSample> samples =
+      obs::parsePrometheus(obs::renderPrometheus(reg));
+  auto label = [](const obs::PromSample& s, const std::string& key) {
+    for (const auto& [k, v] : s.labels) {
+      if (k == key) return v;
+    }
+    return std::string();
+  };
+  double prev = 0.0;
+  double infValue = -1.0;
+  double countValue = -2.0;
+  std::size_t buckets = 0;
+  for (const obs::PromSample& s : samples) {
+    if (s.name == "vfpga_conf_ns_bucket") {
+      ++buckets;
+      EXPECT_GE(s.value, prev) << "non-cumulative at le=" << label(s, "le");
+      prev = s.value;
+      if (label(s, "le") == "+Inf") infValue = s.value;
+    } else if (s.name == "vfpga_conf_ns_count") {
+      countValue = s.value;
+    }
+  }
+  EXPECT_EQ(buckets, 9u);  // 8 finite bounds + +Inf
+  EXPECT_DOUBLE_EQ(infValue, 8.0);
+  EXPECT_DOUBLE_EQ(infValue, countValue);
+}
+
 TEST(Exporters, CsvAndJsonSnapshots) {
   obs::MetricsRegistry reg;
   reg.counter("vfpga_csv_total", {{"k", "v"}}).inc(7);
@@ -315,7 +388,18 @@ TEST(Histogram, PercentileEmptySingleAndDuplicateHeavy) {
   EXPECT_DOUBLE_EQ(one.percentile(50), 5.5);
   EXPECT_DOUBLE_EQ(one.percentile(100), 5.5);
   EXPECT_DOUBLE_EQ(one.percentile(150), 5.5);  // clamps to p100
-  EXPECT_DOUBLE_EQ(one.percentile(-5), 0.5);   // clamps to p0: first midpoint
+  // Clamps to p0, which is the sample's own bucket (the first *non-empty*
+  // one), not bucket 0.
+  EXPECT_DOUBLE_EQ(one.percentile(-5), 5.5);
+
+  // All samples clamped into the overflow bucket: every percentile —
+  // including p0 — reports the overflow bucket's midpoint.
+  Histogram overflow(0.0, 10.0, 10);
+  overflow.add(50.0);
+  overflow.add(99.0);
+  EXPECT_DOUBLE_EQ(overflow.percentile(0), 9.5);
+  EXPECT_DOUBLE_EQ(overflow.percentile(50), 9.5);
+  EXPECT_DOUBLE_EQ(overflow.percentile(100), 9.5);
 
   // Duplicate-heavy: the mode dominates up through p99; only p100 reaches
   // the lone outlier.

@@ -25,6 +25,20 @@
 //              migration off degraded devices; the report is
 //              byte-identical per seed and a copy lands in the obs output
 //              directory; exit 0 iff every SLO was met
+//   vfpga_cli monitor [--devices N] [--seed N] [--refresh N]
+//              [--format text|json|html] [--out file]
+//              continuous health monitor over a seeded degradation
+//              campaign: a time-series store samples cluster and
+//              per-device signals on a sim-time cadence, an alert engine
+//              evaluates SLO burn-rate / rate-of-change / threshold /
+//              EWMA-anomaly rules with pending->firing->resolved
+//              hysteresis, and a per-device health model steers placement
+//              away from degrading devices before hard quarantine.
+//              Text / JSON / HTML dashboards are byte-identical per seed
+//              (sidecars of all three land in the obs output directory);
+//              --refresh N prints N live dashboard frames to stderr while
+//              the campaign runs. Exit 0 when nothing is left firing,
+//              1 when the worst firing alert is a warning, 2 critical
 //   vfpga_cli trace (--circuit <name> | --netlist file.vnl)
 //              [--device <name>] [--width N] [--format chrome|csv]
 //              [--validate] [--stream file.ndjson] [--out file]
@@ -98,6 +112,7 @@
 #include "analysis/equiv/verify.hpp"
 #include "analysis/fault_lint.hpp"
 #include "analysis/flow_lint.hpp"
+#include "analysis/monitor_lint.hpp"
 #include "analysis/netlist_lint.hpp"
 #include "analysis/timing_lint/timing_lint.hpp"
 #include "cluster/scheduler.hpp"
@@ -122,8 +137,10 @@
 #include "netlist/optimize.hpp"
 #include "netlist/text_io.hpp"
 #include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/json.hpp"
+#include "obs/monitor/dashboard.hpp"
 #include "obs/output_dir.hpp"
 #include "obs/profile/flamegraph.hpp"
 #include "obs/profile/waterfall.hpp"
@@ -170,6 +187,8 @@ int usage() {
                "stress]\n"
                "          [--policy first_fit|least_loaded|best_fit]"
                " [--format text|json] [--out file]\n"
+               "  monitor [--devices N] [--seed N] [--refresh N]"
+               " [--format text|json|html] [--out file]\n"
                "  trace (--circuit <name> | --netlist file.vnl)"
                " [--device <name>] [--width N] [--format chrome|csv]"
                " [--validate] [--stream file.ndjson] [--out file]\n"
@@ -2110,6 +2129,302 @@ int clusterCmd(const Args& a) {
   return sched.summary().slosMet ? 0 : 1;
 }
 
+/// Continuous health monitor over a seeded cluster degradation campaign:
+/// the ci cluster workload with dev1 losing two strips mid-run, watched by
+/// a TimeSeriesStore + AlertEngine + HealthModel attached to the
+/// scheduler. Every signal is sampled on a sim-time cadence and every
+/// render is byte-identical per seed — the determinism ctest runs the
+/// command twice and compares. Alert transitions land as span instants on
+/// dev0's tracer and as flight-recorder notes. Exit code is the worst
+/// firing severity at campaign end (0 none, 1 warning, 2 critical): a
+/// healthy campaign resolves everything and exits 0.
+int monitorCmd(const Args& a) {
+  const std::uint64_t seed = std::stoull(a.get("seed", "7"));
+  const std::size_t devices = std::stoul(a.get("devices", "3"));
+  const std::size_t refresh = std::stoul(a.get("refresh", "0"));
+  const std::string fmt = a.get("format", "text");
+  if (devices < 2 || devices > 8) {
+    std::fprintf(stderr, "monitor: --devices must be in [2, 8]\n");
+    return 2;
+  }
+  if (fmt != "text" && fmt != "json" && fmt != "html") {
+    std::fprintf(stderr, "monitor: unknown --format '%s' (text|json|html)\n",
+                 fmt.c_str());
+    return 2;
+  }
+
+  // The ci cluster campaign: dev1 is the unlucky device, losing strip
+  // columns 2 and 9 at 2 ms and 4 ms while jobs keep arriving.
+  cluster::ClusterOptions copt;
+  copt.placement = cluster::PlacementPolicy::kLeastLoaded;
+  copt.minUsableColumns = 8;
+  copt.maxJobsPerDevice = 3;
+  copt.slos.maxRejectedFraction = 0.0;
+  copt.slos.maxP99QueueWaitNs = millis(20);
+  fault::FaultPlanSpec faulty;
+  faulty.seed = seed + 1;
+  faulty.stripFailures = {{millis(2), 2}, {millis(4), 9}};
+
+  std::vector<cluster::DeviceNodeSpec> specs;
+  for (std::size_t i = 0; i < devices; ++i) {
+    cluster::DeviceNodeSpec s;
+    s.name = "dev" + std::to_string(i);
+    s.profile = mediumPartialProfile();
+    if (i == 1) {
+      s.faulty = true;
+      s.faultSpec = faulty;
+    }
+    specs.push_back(std::move(s));
+  }
+
+  Simulation sim;
+  cluster::BitstreamCache cache(32);
+  OsOptions base;
+  base.priorityScheduling = true;
+  cluster::DevicePool pool(sim, specs, cache, base);
+  const cluster::WorkloadId ws[3] = {
+      pool.registerWorkload("count", named(lib::makeCounter(6), "count"), 4),
+      pool.registerWorkload("csum", named(lib::makeChecksum(6), "csum"), 4),
+      pool.registerWorkload("lfsr",
+                            named(lib::makeLfsr(8, 0b10111000), "lfsr"), 4),
+  };
+
+  cluster::ClusterScheduler sched(sim, pool, copt);
+  Rng rng(seed);
+  const std::size_t jobCount = 5 * devices;
+  for (std::size_t j = 0; j < jobCount; ++j) {
+    cluster::ClusterJobSpec job;
+    job.name = "j" + std::to_string(j);
+    job.submitAt = static_cast<SimTime>(j) * micros(120) +
+                   rng.below(micros(60));
+    job.priority = static_cast<int>(rng.below(3));
+    job.ops = {CpuBurst{micros(20)},
+               FpgaExec{ws[rng.below(3)], 15000 + 1000 * rng.below(20)},
+               CpuBurst{micros(10)}};
+    sched.submit(std::move(job));
+  }
+
+  // ---- signal plane ----
+  const SimDuration interval = micros(50);
+  obs::monitor::TimeSeriesStore store(4096);
+  store.setSampleIntervalNs(interval);
+  store.addSeries("cluster.queue_depth", [&sched] {
+    return static_cast<double>(sched.queueDepth());
+  });
+  store.addSeries("cluster.oldest_wait_ns", [&sched] {
+    return static_cast<double>(sched.oldestQueuedWaitNs());
+  }, "ns");
+  store.addSeries("cluster.p99_wait_ns", [&sched] {
+    return static_cast<double>(sched.liveP99QueueWaitNs());
+  }, "ns");
+  store.addSeries("cluster.rejected_fraction", [&sched] {
+    return sched.liveRejectedFraction();
+  });
+  // SLO badness series (fraction of ticks in [0,1]): a tick is bad when
+  // some admitted job has been stuck in the queue longer than the burn
+  // target — well under the hard 20 ms SLO, so the burn alert leads it.
+  const SimDuration waitTarget = micros(300);
+  store.addSeries("slo.wait_bad", [&sched, waitTarget] {
+    return sched.oldestQueuedWaitNs() > waitTarget ? 1.0 : 0.0;
+  });
+  obs::monitor::HealthModel health;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const std::string prefix = "dev" + std::to_string(d) + ".";
+    bindKernelSeries(store, pool.node(d).kernel(), prefix);
+    // Named OUTSIDE the "devN." attribution prefix: an alert on the score
+    // would otherwise feed back into the score it watches (firing-alert
+    // weight), and a self-sustained alert can never resolve.
+    const std::string name = "dev" + std::to_string(d);
+    store.addSeries("health." + name + ".score",
+                    [&health, name] { return health.score(name); });
+  }
+
+  // ---- alert rules ----
+  obs::monitor::AlertEngine engine;
+  {
+    using namespace obs::monitor;
+    AlertRule burn;
+    burn.name = "slo_wait_burn";
+    burn.series = "slo.wait_bad";
+    burn.kind = RuleKind::kBurnRate;
+    burn.severity = AlertSeverity::kCritical;
+    burn.objective = 0.10;  // 10% of ticks may exceed the wait target
+    burn.burnFactor = 2.0;
+    burn.windowNs = micros(400);
+    burn.longWindowNs = micros(1600);
+    burn.forNs = micros(100);
+    burn.resolveNs = micros(300);
+    engine.addRule(burn);
+
+    AlertRule reject;
+    reject.name = "reject_burn";
+    reject.series = "cluster.rejected_fraction";
+    reject.kind = RuleKind::kBurnRate;
+    reject.severity = AlertSeverity::kCritical;
+    reject.objective = 0.01;
+    reject.burnFactor = 1.0;
+    reject.windowNs = micros(400);
+    reject.longWindowNs = micros(1600);
+    engine.addRule(reject);
+
+    AlertRule cols;
+    cols.name = "dev1_capacity_drop";
+    cols.series = "dev1.usable_columns";
+    cols.kind = RuleKind::kRateOfChange;
+    cols.severity = AlertSeverity::kWarning;
+    cols.threshold = -1.0;  // any sustained column loss per second
+    cols.above = false;
+    cols.windowNs = micros(200);
+    cols.resolveNs = micros(200);
+    engine.addRule(cols);
+
+    AlertRule score;
+    score.name = "dev1_health_degraded";
+    score.series = "health.dev1.score";
+    score.kind = RuleKind::kThreshold;
+    score.severity = AlertSeverity::kCritical;
+    score.threshold = health.options().degradedAt;
+    score.forNs = micros(100);
+    score.resolveNs = micros(200);
+    engine.addRule(score);
+
+    AlertRule anomaly;
+    anomaly.name = "queue_depth_anomaly";
+    anomaly.series = "cluster.queue_depth";
+    anomaly.kind = RuleKind::kEwmaZScore;
+    anomaly.severity = AlertSeverity::kWarning;
+    anomaly.ewmaAlpha = 0.2;
+    anomaly.zThreshold = 3.0;
+    anomaly.warmupSamples = 10;
+    anomaly.resolveNs = micros(200);
+    engine.addRule(anomaly);
+
+    AlertRule parked;
+    parked.name = "dev1_parked_tasks";
+    parked.series = "dev1.parked";
+    parked.kind = RuleKind::kThreshold;
+    parked.severity = AlertSeverity::kCritical;
+    parked.threshold = 0.5;
+    engine.addRule(parked);
+  }
+
+  // Static sanity check of the monitor setup before anything runs (MO
+  // rules), same pattern as the cluster lint.
+  {
+    analysis::MonitorProfile prof;
+    prof.seriesNames = store.seriesNames();
+    for (const obs::monitor::RuleStatus& rs : engine.rules()) {
+      analysis::MonitorRuleProfile rp;
+      rp.name = rs.rule.name;
+      rp.series = rs.rule.series;
+      rp.kind = obs::monitor::ruleKindName(rs.rule.kind);
+      rp.windowNs = rs.rule.windowNs;
+      rp.longWindowNs = rs.rule.longWindowNs;
+      rp.isBurnRate = rs.rule.kind == obs::monitor::RuleKind::kBurnRate;
+      rp.isRateOfChange =
+          rs.rule.kind == obs::monitor::RuleKind::kRateOfChange;
+      prof.rules.push_back(std::move(rp));
+    }
+    prof.sampleIntervalNs = interval;
+    prof.healthAttached = true;
+    prof.healthHasFaultInputs = health.hasFaultInputs();
+    analysis::Report rep;
+    analysis::lintMonitor(prof, rep);
+    if (!rep.diagnostics().empty()) {
+      std::fprintf(stderr, "%s", rep.renderText().c_str());
+    }
+    if (!rep.ok()) return 1;
+  }
+
+  // Alert transitions land on dev0's span track and in the flight
+  // recorder's note ring, so a post-mortem shows what was firing.
+  obs::FlightRecorder::Options fro;
+  fro.directory = obs::outputDir();
+  obs::FlightRecorder recorder(fro);
+  obs::FlightRecorder* prevRecorder =
+      obs::FlightRecorder::installGlobal(&recorder);
+  engine.setTransitionObserver(
+      [&pool](const obs::monitor::AlertTransition& t) {
+        pool.node(0).kernel().spanTracer().instantAt(
+            t.atNs, "alert/" + t.rule, "monitor.alert",
+            {{"rule", t.rule},
+             {"to", t.to},
+             {"severity", obs::monitor::alertSeverityName(t.severity)},
+             {"value", obs::monitor::formatSampleValue(t.value)}},
+            0);
+        if (obs::FlightRecorder* fr = obs::FlightRecorder::global()) {
+          fr->note(t.atNs, "alert " + t.rule + " -> " + t.to);
+        }
+      });
+
+  cluster::ClusterScheduler::MonitorAttachment mon;
+  mon.store = &store;
+  mon.engine = &engine;
+  mon.health = &health;
+  mon.sampleInterval = interval;
+  sched.attachMonitor(mon);
+
+  // Live refresh: N dashboard frames to stderr while the campaign runs,
+  // evenly spaced over the first 6 ms (the campaign's active span).
+  if (refresh > 0) {
+    const SimDuration span = millis(6);
+    for (std::size_t f = 1; f <= refresh; ++f) {
+      sim.scheduleAt(span * f / refresh, [&store, &engine, &health, &sim] {
+        obs::monitor::DashboardInput frame;
+        frame.store = &store;
+        frame.engine = &engine;
+        frame.health = &health;
+        frame.title = "vfpga monitor (live)";
+        frame.atNs = sim.now();
+        const std::string text = obs::monitor::renderMonitorText(frame);
+        std::fprintf(stderr, "%s\n", text.c_str());
+      });
+    }
+  }
+
+  sched.run();
+  obs::FlightRecorder::installGlobal(prevRecorder);
+
+  obs::monitor::DashboardInput in;
+  in.store = &store;
+  in.engine = &engine;
+  in.health = &health;
+  in.title = "vfpga monitor - degradation campaign, seed " +
+             std::to_string(seed);
+  in.atNs = store.lastTickNs();
+  const std::string text = obs::monitor::renderMonitorText(in);
+  const std::string json = obs::monitor::renderMonitorJson(in);
+  const std::string html = obs::monitor::renderMonitorHtml(in);
+
+  // Sidecar copies of all three renders into the obs output directory
+  // (never the repo root); the CI determinism job compares them bytewise.
+  const std::string stem =
+      obs::outputDir() + "/monitor_ci_" + std::to_string(seed);
+  struct SidecarFile {
+    const char* ext;
+    const std::string* payload;
+  };
+  const SidecarFile sidecars[3] = {
+      {".txt", &text}, {".json", &json}, {".html", &html}};
+  for (const SidecarFile& sc : sidecars) {
+    const std::string path = stem + sc.ext;
+    std::ofstream sf(path, std::ios::binary);
+    sf.write(sc.payload->data(),
+             static_cast<std::streamsize>(sc.payload->size()));
+    if (sf) {
+      std::fprintf(stderr, "monitor: sidecar %s\n", path.c_str());
+    }
+  }
+
+  const std::string& payload =
+      fmt == "json" ? json : fmt == "html" ? html : text;
+  const int rc = emitPayload(a, payload);
+  if (rc != 0) return rc;
+  // Grade the exit by what is *still* firing: a campaign whose alerts all
+  // resolved exits 0 even though incidents happened along the way.
+  return engine.worstFiringGrade();
+}
+
 /// Deterministic partitioned workload with scripted permanent strip
 /// failures: every allocator mutation (allocate / release / relocate /
 /// quarantine) appends one row to the per-column occupancy matrix. The
@@ -2470,6 +2785,7 @@ int main(int argc, char** argv) {
     if (args->command == "faults") return faultsCmd(*args);
     if (args->command == "chaos") return chaosCmd(*args);
     if (args->command == "cluster") return clusterCmd(*args);
+    if (args->command == "monitor") return monitorCmd(*args);
     if (args->command == "bench-trend") return benchTrendCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
