@@ -238,6 +238,88 @@ int main() {
     rc = 1;  // observation must not change the observed schedule
   }
 
+  tableHeader("E13", "parallel fabric replay "
+                     "(3 devices, 30k cycles, shared kernel cache)");
+  {
+    Simulation sim;
+    cluster::BitstreamCache cache(8);
+    std::vector<cluster::DeviceNodeSpec> specs;
+    for (std::size_t i = 0; i < 3; ++i) {
+      cluster::DeviceNodeSpec s;
+      s.name = "replay" + std::to_string(i);
+      s.profile = mediumPartialProfile();
+      specs.push_back(std::move(s));
+    }
+    cluster::DevicePool pool(sim, specs, cache, OsOptions{});
+    auto circuits = standardCircuits();
+    const cluster::WorkloadId w = pool.registerWorkload(
+        circuits[0].name, circuits[0].netlist, circuits[0].width);
+
+    cluster::FabricReplaySpec spec;
+    spec.workload = w;
+    spec.cycles = 30000;
+    spec.syncEvery = 512;
+    spec.seed = kSeed;
+
+    auto timed = [&pool, &spec](double& wallMs) {
+      const auto t0 = std::chrono::steady_clock::now();
+      cluster::FabricReplayResult r = pool.replayFabrics(spec);
+      const auto t1 = std::chrono::steady_clock::now();
+      wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      return r;
+    };
+    double wall1 = 0, wall4 = 0, wallI = 0;
+    spec.threads = 1;
+    const auto r1 = timed(wall1);
+    spec.threads = 4;
+    const auto r4 = timed(wall4);
+    spec.threads = 1;
+    spec.compiledFastPath = false;
+    const auto ri = timed(wallI);
+
+    std::uint64_t builds = 0, hits = 0, cycles = 0;
+    for (const auto& run : {&r1, &r4})
+      for (const auto& d : run->devices) {
+        builds += d.stats.builds;
+        hits += d.stats.hits;
+        cycles += d.cycles;
+      }
+    const bool deterministic = r1.mergedDigest == r4.mergedDigest;
+    const bool agrees = ri.mergedDigest == r1.mergedDigest;
+    if (!deterministic || !agrees) rc = 1;  // byte-identical merge broken
+
+    std::printf("%-14s | %8s %18s %8s %7s %10s\n", "mode", "threads",
+                "merged_digest", "builds", "hits", "wall_ms");
+    std::printf("%-14s | %8u %18llx %8llu %7llu %10.2f\n", "compiled", 1u,
+                static_cast<unsigned long long>(r1.mergedDigest),
+                static_cast<unsigned long long>(builds),
+                static_cast<unsigned long long>(hits), wall1);
+    std::printf("%-14s | %8u %18llx %8s %7s %10.2f\n", "compiled", 4u,
+                static_cast<unsigned long long>(r4.mergedDigest), "-", "-",
+                wall4);
+    std::printf("%-14s | %8u %18llx %8s %7s %10.2f\n", "interpretive", 1u,
+                static_cast<unsigned long long>(ri.mergedDigest), "-", "-",
+                wallI);
+    std::printf("thread determinism: %s; interpretive agreement: %s; "
+                "compiled/interpretive wall ratio %.2fx (informational)\n",
+                deterministic ? "yes" : "NO", agrees ? "yes" : "NO",
+                wall1 > 0.0 ? wallI / wall1 : 0.0);
+
+    // The digests themselves depend on the workload image, so the gated
+    // gauges are the invariants: merge is thread-count independent, the
+    // compiled engines reproduce the interpretive walk bit for bit, and
+    // the shared cache levelizes the image exactly once across both runs.
+    json.sample("vfpga_bench_e13_replay_deterministic", {},
+                deterministic ? 1.0 : 0.0);
+    json.sample("vfpga_bench_e13_replay_compiled_match", {},
+                agrees ? 1.0 : 0.0);
+    json.sample("vfpga_bench_e13_replay_cycles", {},
+                static_cast<double>(cycles));
+    json.sample("vfpga_bench_e13_replay_builds", {},
+                static_cast<double>(builds));
+    json.sample("vfpga_bench_e13_replay_hits", {}, static_cast<double>(hits));
+  }
+
   json.write();
   return rc;
 }

@@ -1,0 +1,37 @@
+#include "analysis/compiled_lint.hpp"
+
+#include <string>
+
+namespace vfpga::analysis {
+
+void lintCompiledPath(const CompiledPathProfile& p, Report& rep) {
+  if (p.kernelAttached && p.programReady &&
+      p.programGeneration != p.deviceGeneration) {
+    rep.add("CP001",
+            "compiled kernel program was resolved for configuration "
+            "generation " +
+                std::to_string(p.programGeneration) +
+                " but the device is at generation " +
+                std::to_string(p.deviceGeneration) +
+                "; the kernel must re-resolve before the next evaluation");
+  }
+  if (p.probeAttached && p.lastServedCompiled) {
+    rep.add("CP002",
+            "an activity probe is attached but the most recent evaluation "
+            "was served by the compiled engine; per-site activity counters "
+            "missed it");
+  }
+  if (p.kernelAttached && !p.noCache && p.cacheCapacity == 0) {
+    rep.add("CP003",
+            "compiled-kernel cache is unbounded; a reconfiguration-heavy "
+            "campaign retains every program ever levelized");
+  }
+  if (p.programFaulted) {
+    rep.add("CP004",
+            "compiled kernel build declined the current configuration "
+            "(elaboration reports faults); evaluation falls back to the "
+            "interpretive walk with its fault semantics");
+  }
+}
+
+}  // namespace vfpga::analysis

@@ -1,0 +1,42 @@
+// Compiled fast path lint (CP001-CP004): static checks on a compiled
+// evaluation engine's state against its device's, catching contract
+// violations before (or after) a campaign. As with the other operational
+// lints, the profile is a plain snapshot of the relevant knobs so this
+// library needs no dependency on the engine itself: callers copy the
+// fields out of their CompiledFabric / CompiledKernelCache / Device.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/diagnostics.hpp"
+
+namespace vfpga::analysis {
+
+struct CompiledPathProfile {
+  /// A fast-path kernel is attached to the device.
+  bool kernelAttached = false;
+  /// The kernel has a resolved program (CompiledFabric::program() != null).
+  bool programReady = false;
+  /// Config generation the program was resolved for
+  /// (CompiledFabric::programGeneration()).
+  std::uint64_t programGeneration = 0;
+  /// The device's current generation (Device::configGeneration()).
+  std::uint64_t deviceGeneration = 0;
+  /// An ActivityProbe is attached to the device.
+  bool probeAttached = false;
+  /// The device's fast path is inhibited (tamper hook etc.).
+  bool inhibited = false;
+  /// The engine's most recent resolution declined a faulted configuration.
+  bool programFaulted = false;
+  /// The most recent evaluate()/tick() was served by the compiled engine.
+  bool lastServedCompiled = false;
+  /// CompiledKernelCache::capacity() (0 = unbounded).
+  std::uint64_t cacheCapacity = 0;
+  /// True when no cache is in use at all (suppresses CP003).
+  bool noCache = false;
+};
+
+/// Appends CP001-CP004 findings for the profile to `rep`.
+void lintCompiledPath(const CompiledPathProfile& p, Report& rep);
+
+}  // namespace vfpga::analysis

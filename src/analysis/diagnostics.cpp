@@ -275,6 +275,22 @@ constexpr RuleInfo kRules[] = {
      "every fault-counter weight in the health options is zero, so device "
      "grades can only move on capacity loss and alert pressure, never on "
      "fault activity"},
+    // ---- compiled fast path (CP) -----------------------------------------------
+    {"CP001", Severity::kError, "stale compiled kernel after reconfiguration",
+     "a compiled kernel's program belongs to an older configuration "
+     "generation than the device's current image; evaluating it would "
+     "execute the pre-reconfiguration circuit"},
+    {"CP002", Severity::kError, "compiled path served while probe attached",
+     "an activity probe is attached but an evaluation was served by the "
+     "compiled engine, which maintains no per-site counters; the device "
+     "must fall back to the interpretive walk while probed"},
+    {"CP003", Severity::kWarning, "unbounded compiled-kernel cache",
+     "the compiled-kernel cache has no capacity bound, so a "
+     "reconfiguration-heavy campaign retains every program ever levelized"},
+    {"CP004", Severity::kWarning, "compiled kernel declined faulted config",
+     "the engine refused to build a program for a configuration whose "
+     "elaboration reports faults; evaluation runs interpretively so the "
+     "fault semantics stay authoritative"},
 };
 
 std::span<const RuleInfo> registry() { return kRules; }

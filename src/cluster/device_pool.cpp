@@ -1,8 +1,29 @@
 #include "cluster/device_pool.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "sim/parallel.hpp"
+
 namespace vfpga::cluster {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 OsOptions DeviceNode::withFaults(OsOptions options, fault::FaultPlan* plan,
                                  SimDuration scrubInterval) {
@@ -48,6 +69,8 @@ WorkloadId DevicePool::registerWorkload(const std::string& name,
   WorkloadId id = kNoConfig;
   std::vector<bool> cachedPerNode;
   cachedPerNode.reserve(nodes_.size());
+  std::vector<std::shared_ptr<const CompiledCircuit>> circuitPerNode;
+  circuitPerNode.reserve(nodes_.size());
   for (auto& nodePtr : nodes_) {
     DeviceNode& node = *nodePtr;
     const std::uint64_t digest =
@@ -62,6 +85,7 @@ WorkloadId DevicePool::registerWorkload(const std::string& name,
       return c;
     });
     cachedPerNode.push_back(cache_->stats().hits > hitsBefore);
+    circuitPerNode.push_back(circuit);
     const ConfigId got = node.kernel().registerConfig(*circuit);
     if (id == kNoConfig) {
       id = got;
@@ -73,7 +97,89 @@ WorkloadId DevicePool::registerWorkload(const std::string& name,
   }
   widths_.push_back(width);
   cached_.push_back(std::move(cachedPerNode));
+  circuits_.push_back(std::move(circuitPerNode));
   return id;
+}
+
+FabricReplayResult DevicePool::replayFabrics(const FabricReplaySpec& spec) {
+  const auto& circuits = circuits_.at(spec.workload);
+  FabricReplayResult result;
+  result.devices.resize(nodes_.size());
+
+  // Each worker touches only its own node's device and its own result
+  // slot; the only shared mutable state is the mutexed kernel cache, so
+  // the digests — and therefore the merged report — do not depend on the
+  // thread count or on scheduling order.
+  parallelFor(
+      nodes_.size(),
+      [&](std::size_t d) {
+        DeviceNode& node = *nodes_[d];
+        Device& dev = node.device();
+        const CompiledCircuit& c = *circuits[d];
+        dev.clearConfig();
+        dev.applyBitstream(c.fullBitstream());
+        dev.resetFfs();
+
+        const Elaboration& e = dev.elaboration();
+        const std::vector<std::uint32_t> inputSlots = e.inputSlots;
+        std::vector<std::uint32_t> outSlots;
+        outSlots.reserve(e.padOuts.size());
+        for (const Elaboration::PadOut& po : e.padOuts)
+          outSlots.push_back(po.slot);
+
+        std::optional<compiled::CompiledFabric> engine;
+        if (spec.compiledFastPath) engine.emplace(dev, &kernelCache_);
+
+        FabricReplayResult::PerDevice& out = result.devices[d];
+        out.device = node.name();
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        for (std::uint64_t cyc = 0; cyc < spec.cycles; ++cyc) {
+          for (std::size_t pos = 0; pos < inputSlots.size(); ++pos) {
+            const std::uint64_t w = splitmix64(
+                spec.seed ^ 0xd1342543de82ef95ull * (cyc + 1) ^
+                0x9e6c63d0876a9a47ull * (d + 1) ^ (pos >> 6));
+            dev.setPadSlotInput(inputSlots[pos], (w >> (pos & 63)) & 1);
+          }
+          dev.evaluate();
+          std::uint64_t outs = 0;
+          for (std::size_t i = 0; i < outSlots.size(); ++i) {
+            if (dev.padSlotOutput(outSlots[i])) outs |= 1ull << (i & 63);
+            if ((i & 63) == 63) {
+              h = fnv1a(h, outs);
+              outs = 0;
+            }
+          }
+          h = fnv1a(h, outs);
+          dev.tick();
+          const bool syncPoint =
+              (spec.syncEvery != 0 && (cyc + 1) % spec.syncEvery == 0) ||
+              cyc + 1 == spec.cycles;
+          if (syncPoint) {
+            const std::vector<bool> ff = dev.ffState();
+            std::uint64_t word = 0;
+            for (std::size_t i = 0; i < ff.size(); ++i) {
+              if (ff[i]) word |= 1ull << (i & 63);
+              if ((i & 63) == 63) {
+                h = fnv1a(h, word);
+                word = 0;
+              }
+            }
+            h = fnv1a(h, word);
+            ++out.syncPoints;
+          }
+        }
+        out.digest = h;
+        out.cycles = spec.cycles;
+        if (engine) out.stats = engine->stats();
+      },
+      spec.threads == 0 ? 1 : spec.threads);
+
+  std::uint64_t merged = 0xcbf29ce484222325ull;
+  for (const FabricReplayResult::PerDevice& pd : result.devices) {
+    merged = fnv1a(merged, pd.digest);
+  }
+  result.mergedDigest = merged;
+  return result;
 }
 
 }  // namespace vfpga::cluster

@@ -20,6 +20,7 @@
 #include "fabric/device_family.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/heatmap.hpp"
+#include "sim/compiled/compiled_fabric.hpp"
 #include "sim/event_queue.hpp"
 
 namespace vfpga::cluster {
@@ -78,6 +79,35 @@ class DeviceNode {
 /// every kernel (registration order is identical across nodes).
 using WorkloadId = ConfigId;
 
+/// One deterministic cycle-level fabric replay campaign across the pool:
+/// every node downloads the workload's bitstream and replays `cycles`
+/// seeded-stimulus cycles on its own fabric, each device on its own worker
+/// thread when `threads` > 1, with per-device output/state digests folded
+/// at sync points. No state is shared between workers except the mutexed
+/// compiled-kernel cache, so the merged report is byte-identical for any
+/// thread count — the determinism tests and bench_e13 check exactly that.
+struct FabricReplaySpec {
+  WorkloadId workload = 0;
+  std::uint64_t cycles = 10000;
+  std::uint64_t syncEvery = 1024;  ///< digest sync-point interval (0 = end only)
+  unsigned threads = 1;            ///< worker threads (1 = run inline)
+  std::uint64_t seed = 1;
+  bool compiledFastPath = true;    ///< false = force interpretive replay
+};
+
+struct FabricReplayResult {
+  struct PerDevice {
+    std::string device;
+    std::uint64_t digest = 0;  ///< outputs per cycle + FF state per sync
+    std::uint64_t cycles = 0;
+    std::uint64_t syncPoints = 0;
+    /// Engine counters for this device's replay (all zero interpretive).
+    compiled::CompiledFabricStats stats;
+  };
+  std::vector<PerDevice> devices;  ///< node order — the deterministic merge
+  std::uint64_t mergedDigest = 0;  ///< per-device digests folded in order
+};
+
 class DevicePool {
  public:
   /// Base OsOptions are applied to every node (policy is forced to
@@ -107,12 +137,30 @@ class DevicePool {
     return cached_.at(id).at(d);
   }
 
+  /// The workload's compiled circuit as registered on node `d`.
+  const CompiledCircuit& workloadCircuit(WorkloadId id, std::size_t d) const {
+    return *circuits_.at(id).at(d);
+  }
+
+  /// Pool-wide compiled-kernel cache: nodes holding bit-identical images
+  /// share one levelized program (first replay builds, the rest hit).
+  compiled::CompiledKernelCache& kernelCache() { return kernelCache_; }
+
+  /// Runs the replay campaign. NOTE: this *reconfigures* every device
+  /// (clearConfig + full download of the workload's bitstream, outside the
+  /// kernels' ConfigPorts) — run it before or after an OS campaign, never
+  /// mid-flight.
+  FabricReplayResult replayFabrics(const FabricReplaySpec& spec);
+
  private:
   Simulation* sim_;
   BitstreamCache* cache_;
   std::vector<std::unique_ptr<DeviceNode>> nodes_;
   std::vector<std::uint16_t> widths_;  ///< indexed by WorkloadId
   std::vector<std::vector<bool>> cached_;  ///< [workload][node] cache hit
+  /// [workload][node] circuit registered there (replay + readback use).
+  std::vector<std::vector<std::shared_ptr<const CompiledCircuit>>> circuits_;
+  compiled::CompiledKernelCache kernelCache_{64};
 };
 
 }  // namespace vfpga::cluster

@@ -46,6 +46,26 @@ void publishMetrics(const DynamicLoader& loader, obs::MetricsRegistry& reg,
       .inc(loader.stats().downloadAborts);
 }
 
+void publishMetrics(const compiled::CompiledFabric& engine,
+                    obs::MetricsRegistry& reg, obs::Labels labels) {
+  const compiled::CompiledFabricStats& st = engine.stats();
+  reg.counter("vfpga_sim_compiled_builds_total", labels,
+              "Fabric programs levelized by the compiled engine")
+      .inc(st.builds);
+  reg.counter("vfpga_sim_compiled_hits_total", labels,
+              "Fabric programs served from the compiled-kernel cache")
+      .inc(st.hits);
+  reg.counter("vfpga_sim_compiled_invalidations_total", labels,
+              "Compiled kernels dropped on reconfiguration")
+      .inc(st.invalidations);
+  reg.counter("vfpga_sim_compiled_fallbacks_total", labels,
+              "Evaluations served interpretively while a kernel was attached")
+      .inc(st.fallbacks);
+  reg.counter("vfpga_sim_compiled_evaluates_total", labels,
+              "Combinational settles served by the compiled engine")
+      .inc(st.compiledEvaluates);
+}
+
 void publishMetrics(const PartitionManager& pm, obs::MetricsRegistry& reg,
                     obs::Labels labels) {
   reg.counter("vfpga_partition_gc_total", labels,

@@ -30,6 +30,7 @@
 #include "obs/monitor/timeseries.hpp"
 #include "obs/profile/activity.hpp"
 #include "obs/profile/ledger.hpp"
+#include "sim/compiled/compiled_fabric.hpp"
 
 namespace vfpga {
 
@@ -55,6 +56,11 @@ void publishMetrics(const PrefetchLoader& pf, obs::MetricsRegistry& reg,
                     obs::Labels labels = {});
 void publishMetrics(const IoMux& mux, obs::MetricsRegistry& reg,
                     obs::Labels labels = {});
+
+/// Compiled fast-path engine counters
+/// (vfpga_sim_compiled_{builds,hits,invalidations,fallbacks}_total).
+void publishMetrics(const compiled::CompiledFabric& engine,
+                    obs::MetricsRegistry& reg, obs::Labels labels = {});
 
 /// Per-column occupancy snapshot of the strip table, for the heatmap
 /// collector (obs/heatmap.hpp): faulty > busy > idle per column.

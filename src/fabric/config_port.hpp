@@ -90,8 +90,14 @@ class ConfigPort {
   const ConfigPortStats& stats() const { return stats_; }
 
   /// Installs (or clears, with nullptr-like empty function) the wire-fault
-  /// model applied to subsequent downloads.
-  void setTamperHook(DownloadTamperHook hook) { tamper_ = std::move(hook); }
+  /// model applied to subsequent downloads. While a hook is active the
+  /// device's compiled fast path is inhibited: fault campaigns must run the
+  /// interpretive evaluation with its fault semantics, never a compiled
+  /// kernel built from an image the wire may have mangled mid-flight.
+  void setTamperHook(DownloadTamperHook hook) {
+    tamper_ = std::move(hook);
+    device_->setFastPathInhibited(static_cast<bool>(tamper_));
+  }
 
   /// Golden image: every *intended* download payload lands here even when
   /// the wire tampers with what reached the device, so the scrubber knows

@@ -16,17 +16,20 @@ Device::Device(const FabricGeometry& g, DeviceTiming timing,
 void Device::setConfigBit(std::uint32_t bit, bool v) {
   image_.set(bit, v);
   elabValid_ = false;
+  ++configGen_;
 }
 
 void Device::applyBitstream(const Bitstream& bs) {
   if (!bs.crcOk()) throw std::runtime_error("bitstream CRC mismatch");
   vfpga::applyBitstream(image_, bs);
   elabValid_ = false;
+  ++configGen_;
 }
 
 void Device::clearConfig() {
   image_.clear();
   elabValid_ = false;
+  ++configGen_;
 }
 
 const Elaboration& Device::elaboration() {
@@ -273,6 +276,13 @@ bool Device::padSlotOutput(std::size_t slotIndex) {
 }
 
 void Device::evaluate() {
+  if (fast_ != nullptr) {
+    // A probe or an active wire-fault model forces the interpretive walk
+    // (the only path with per-site counters and fault semantics); a kernel
+    // may also decline the current configuration itself.
+    if (probe_ == nullptr && !fastInhibit_ && fast_->evaluate()) return;
+    fast_->noteFallback();
+  }
   const Elaboration& e = elaboration();
   // FF cell outputs come from state; comb cells are computed in order.
   for (std::uint32_t ci = 0; ci < e.cells.size(); ++ci) {
@@ -309,6 +319,10 @@ void Device::evaluate() {
 }
 
 void Device::tick() {
+  if (fast_ != nullptr) {
+    if (probe_ == nullptr && !fastInhibit_ && fast_->tick()) return;
+    fast_->noteFallback();
+  }
   const Elaboration& e = elaboration();
   for (std::uint32_t ci = 0; ci < e.cells.size(); ++ci) {
     if (!e.cells[ci].useFf) continue;

@@ -23,10 +23,15 @@
 #include "fabric/activity_probe.hpp"
 #include "fabric/bitstream.hpp"
 #include "fabric/config_map.hpp"
+#include "fabric/fast_path.hpp"
 #include "fabric/routing_graph.hpp"
 #include "sim/types.hpp"
 
 namespace vfpga {
+
+namespace compiled {
+class CompiledFabric;
+}  // namespace compiled
 
 /// Delay model constants for the timing analyzer.
 struct DeviceTiming {
@@ -110,6 +115,27 @@ class Device {
   void attachActivityProbe(ActivityProbe* probe);
   ActivityProbe* activityProbe() const { return probe_; }
 
+  // ---- compiled fast path ---------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a compiled evaluation kernel.
+  /// While attached — and no probe is attached, and the fast path is not
+  /// inhibited — evaluate()/tick() are served by the kernel instead of the
+  /// interpretive walk (see fabric/fast_path.hpp for the full contract).
+  void attachFastPath(FastPathKernel* kernel) { fast_ = kernel; }
+  FastPathKernel* fastPath() const { return fast_; }
+
+  /// Forces interpretive evaluation while set. ConfigPort installs this
+  /// whenever a download tamper hook (wire-fault model) is active, so fault
+  /// campaigns always exercise the interpretive fault semantics.
+  void setFastPathInhibited(bool inhibited) { fastInhibit_ = inhibited; }
+  bool fastPathInhibited() const { return fastInhibit_; }
+
+  /// Monotonic configuration generation: bumped by every mutation of the
+  /// config image (setConfigBit / applyBitstream / clearConfig — i.e. every
+  /// download, relocation, scrub repair, migration resume and quarantine
+  /// blanking). Compiled kernels key their validity on this, which makes
+  /// invalidation mandatory on every reconfiguration path.
+  std::uint64_t configGeneration() const { return configGen_; }
+
   // ---- FF state (readback / writeback) --------------------------------------
   std::size_t ffCount() { return elaboration().ffCount; }
   std::vector<bool> ffState();
@@ -144,6 +170,14 @@ class Device {
   std::vector<std::uint8_t> ffState_;    // per dense FF index
   std::uint64_t cycles_ = 0;
   ActivityProbe* probe_ = nullptr;
+  FastPathKernel* fast_ = nullptr;
+  bool fastInhibit_ = false;
+  std::uint64_t configGen_ = 0;
+
+  // The compiled engine operates directly on the arrays above (tape-driven
+  // stores into cellValue_/cellLutOut_/ffState_/padOutput_), keeping
+  // readback, migration and probe hand-off coherent with the interpreter.
+  friend class compiled::CompiledFabric;
 
   void rebuildElaboration();
   void bindProbe();

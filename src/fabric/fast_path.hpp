@@ -1,0 +1,47 @@
+// Fast-path seam between the interpretive Device and a compiled evaluation
+// engine (src/sim/compiled).
+//
+// The Device stays the single owner of all architectural state (config
+// image, pad values, cell values, FF state, cycle counter). A FastPathKernel
+// is an accelerator that may service evaluate()/tick() *in place of* the
+// interpretive walk, writing the same state the interpreter would have
+// written, so the two paths are interchangeable cycle by cycle.
+//
+// Dispatch contract (implemented in Device::evaluate/tick):
+//  * a kernel is consulted only when no ActivityProbe is attached and the
+//    fast path is not inhibited (ConfigPort installs the inhibit while a
+//    wire-fault tamper hook is active — fault campaigns must exercise the
+//    interpretive fault semantics);
+//  * the kernel returns false when it cannot serve the current
+//    configuration (e.g. elaboration faults); the interpretive path then
+//    runs and the kernel is told via noteFallback();
+//  * every reconfiguration path (download, relocate, scrub repair,
+//    migration resume, quarantine blanking) funnels through
+//    Device::setConfigBit / applyBitstream / clearConfig, each of which
+//    bumps configGeneration() — kernels key their validity on it, so a
+//    stale kernel can never be consulted for a new configuration.
+#pragma once
+
+namespace vfpga {
+
+class FastPathKernel {
+ public:
+  virtual ~FastPathKernel() = default;
+
+  /// Combinational settle for the device's current configuration. Returns
+  /// false when the kernel cannot serve it (the caller falls back to the
+  /// interpretive walk). On true, pad outputs, cell values, FF next-state
+  /// staging and any probe-visible state match what the interpreter would
+  /// have produced.
+  virtual bool evaluate() = 0;
+
+  /// Clock edge counterpart of evaluate(); same return convention.
+  virtual bool tick() = 0;
+
+  /// The device served an evaluate()/tick() interpretively while this
+  /// kernel was attached (probe active, inhibit set, or the kernel itself
+  /// declined). Lets the kernel keep an honest fallback counter.
+  virtual void noteFallback() = 0;
+};
+
+}  // namespace vfpga

@@ -1,0 +1,92 @@
+// CompiledFabric: the single-lane compiled execution engine behind the
+// Device's fast-path seam (fabric/fast_path.hpp).
+//
+// On first use (and after every configuration-generation bump) the engine
+// resolves a FabricProgram for the device's current image — from the
+// shared CompiledKernelCache when another engine already levelized a
+// bit-identical image, otherwise by levelizing now. evaluate()/tick() then
+// run the flat schedule directly against the Device's own architectural
+// arrays (pad inputs/outputs, cell values, FF state, cycle counter), so
+// readback, state save/restore, migration and VCD-style inspection see
+// exactly the state the interpreter would have produced, and the two paths
+// can be interleaved freely cycle by cycle.
+//
+// Fallback matrix (who serves evaluate()/tick()):
+//   probe attached            -> interpreter (per-site counters needed)
+//   tamper hook active        -> interpreter (Device::fastPathInhibited())
+//   elaboration faulted       -> interpreter (fault semantics authoritative)
+//   otherwise                 -> this engine
+// Every interpretive service while attached increments stats().fallbacks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/fast_path.hpp"
+#include "sim/compiled/kernel_cache.hpp"
+#include "sim/compiled/program.hpp"
+
+namespace vfpga::compiled {
+
+/// Monotonic engine counters (metrics registry names:
+/// vfpga_sim_compiled_{builds,hits,invalidations,fallbacks}_total).
+struct CompiledFabricStats {
+  std::uint64_t builds = 0;         ///< programs levelized by this engine
+  std::uint64_t hits = 0;           ///< programs served from the cache
+  std::uint64_t invalidations = 0;  ///< kernels dropped on reconfiguration
+  std::uint64_t fallbacks = 0;      ///< interpretive services while attached
+  std::uint64_t compiledEvaluates = 0;
+  std::uint64_t compiledTicks = 0;
+};
+
+class CompiledFabric final : public FastPathKernel {
+ public:
+  /// Attaches itself to `dev` (displacing any previous kernel). `cache`
+  /// may be null (no cross-engine reuse) and must outlive the engine.
+  explicit CompiledFabric(Device& dev, CompiledKernelCache* cache = nullptr);
+  ~CompiledFabric() override;
+  CompiledFabric(const CompiledFabric&) = delete;
+  CompiledFabric& operator=(const CompiledFabric&) = delete;
+
+  bool evaluate() override;
+  bool tick() override;
+  void noteFallback() override {
+    ++stats_.fallbacks;
+    lastServedCompiled_ = false;
+  }
+
+  /// Resolves the program for the current configuration without running
+  /// anything; false = the engine would fall back (faulted config).
+  bool ready() { return ensureProgram(); }
+
+  const CompiledFabricStats& stats() const { return stats_; }
+  /// Program currently resolved (null before first use / when declined).
+  std::shared_ptr<const FabricProgram> program() const { return program_; }
+  /// Config generation the resolved verdict belongs to.
+  std::uint64_t programGeneration() const { return gen_; }
+  /// The most recent resolution declined a faulted configuration.
+  bool lastBuildFaulted() const { return lastBuildFaulted_; }
+  /// The most recent evaluate()/tick() was served by this engine (false
+  /// after any fallback) — lint rule CP002's input.
+  bool lastServedCompiled() const { return lastServedCompiled_; }
+
+  Device& device() { return *dev_; }
+  CompiledKernelCache* cache() { return cache_; }
+
+ private:
+  bool ensureProgram();
+
+  Device* dev_;
+  CompiledKernelCache* cache_;
+  std::shared_ptr<const FabricProgram> program_;
+  std::vector<std::uint8_t> tape_;
+  static constexpr std::uint64_t kNoGeneration = ~0ull;
+  std::uint64_t gen_ = kNoGeneration;
+  bool usable_ = false;
+  bool lastBuildFaulted_ = false;
+  bool lastServedCompiled_ = false;
+  CompiledFabricStats stats_;
+};
+
+}  // namespace vfpga::compiled

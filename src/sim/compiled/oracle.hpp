@@ -1,0 +1,80 @@
+// Differential oracle: the interpretive Device walk is the ground truth;
+// the compiled fast path (single-lane engine and 64-wide batch evaluator)
+// must reproduce it bit for bit, cycle by cycle.
+//
+// One oracle run, for a circuit currently configured on a device:
+//   1. reverse-extracts the configured region via analysis/equiv
+//      (extractConfigured) — the proof that what we are about to compile
+//      is what is *actually on the fabric*, decoded from config RAM alone;
+//   2. replays `cycles` seeded-stimulus cycles interpretively, recording
+//      every output-pad value and the full register state per cycle;
+//   3. replays the same stimulus through a CompiledFabric engine and
+//      compares outputs + registers every cycle;
+//   4. replays 64 stimulus lanes (lane 0 = the scalar stimulus) through a
+//      BatchEvaluator, compares lane 0 against the recording, and
+//      cross-checks sampled other lanes against fresh interpretive runs.
+// Any mismatch is a divergence with a first-failure description attached.
+//
+// Used by tests/compiled_test.cpp, the `vfpga_cli compiled` campaign and
+// the corruption-corpus sweeps (where extraction checking is optional:
+// a corrupted image may no longer decode as the intended circuit, yet the
+// compiled and interpretive paths must still agree on what it computes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/compiled/kernel_cache.hpp"
+
+namespace vfpga {
+class Device;
+struct CompiledCircuit;
+}  // namespace vfpga
+
+namespace vfpga::compiled {
+
+struct OracleOptions {
+  std::uint32_t cycles = 64;  ///< lockstep length (>= 64 in CI campaigns)
+  std::uint64_t seed = 1;
+  /// Extra batch lanes cross-checked against fresh interpretive runs
+  /// (lane 0 is always checked against the recorded reference).
+  unsigned batchProbeLanes = 2;
+  /// Require equiv reverse extraction of the circuit region to succeed.
+  bool checkExtraction = true;
+  /// Run the 64-wide batch phase.
+  bool batch = true;
+};
+
+struct OracleReport {
+  std::string circuit;
+  std::uint32_t cycles = 0;
+  bool extractionOk = false;
+  std::size_t extractedCells = 0;  ///< cells decoded out of the region
+  std::size_t programOps = 0;
+  std::size_t programLevels = 0;
+  /// Every scalar cycle was served by the compiled engine (false e.g. for
+  /// faulted corrupted configurations, where both phases run interpretively
+  /// — still a valid agreement check, not a divergence).
+  bool servedCompiled = false;
+  std::uint64_t divergences = 0;
+  /// FNV digest of the interpretive reference trace (outputs + registers
+  /// per cycle) — byte-identical across runs and across machines.
+  std::uint64_t referenceDigest = 0;
+  std::vector<std::string> problems;  ///< first-failure details
+
+  bool ok(bool requireExtraction = true) const {
+    return divergences == 0 && problems.empty() &&
+           (!requireExtraction || extractionOk);
+  }
+};
+
+/// Runs the oracle for `c`, which must currently be configured on `dev`
+/// (its bitstream downloaded). Restores the device's fast-path attachment
+/// and inhibit flag on exit; register/pad state is left at the end of the
+/// last replay.
+OracleReport runDifferentialOracle(Device& dev, const CompiledCircuit& c,
+                                   const OracleOptions& opt = {},
+                                   CompiledKernelCache* cache = nullptr);
+
+}  // namespace vfpga::compiled

@@ -109,6 +109,7 @@
 #include <string>
 
 #include "analysis/cluster_lint.hpp"
+#include "analysis/compiled_lint.hpp"
 #include "analysis/equiv/verify.hpp"
 #include "analysis/fault_lint.hpp"
 #include "analysis/flow_lint.hpp"
@@ -145,6 +146,8 @@
 #include "obs/profile/flamegraph.hpp"
 #include "obs/profile/waterfall.hpp"
 #include "obs/stream.hpp"
+#include "sim/compiled/compiled_fabric.hpp"
+#include "sim/compiled/oracle.hpp"
 #include "sim/rng.hpp"
 #include "workloads/app_circuits.hpp"
 #include "workloads/compile_suite.hpp"
@@ -1011,6 +1014,29 @@ int reportCmd(const Args& a) {
     mux.transfer(64);
     mux.transfer(64);
     publishMetrics(mux, reg);
+  }
+  {
+    // Compiled fast path: replay two circuits back to back on a scratch
+    // device (build, invalidation on the reconfiguration, rebuild) plus
+    // one forced interpretive service, so every
+    // vfpga_sim_compiled_*_total family carries signal.
+    Device cdev = p.makeDevice();
+    compiled::CompiledKernelCache kcache(16);
+    compiled::CompiledFabric engine(cdev, &kcache);
+    cdev.applyBitstream(count.fullBitstream());
+    for (int i = 0; i < 256; ++i) {
+      cdev.evaluate();
+      cdev.tick();
+    }
+    cdev.applyBitstream(csum.fullBitstream());
+    for (int i = 0; i < 256; ++i) {
+      cdev.evaluate();
+      cdev.tick();
+    }
+    cdev.setFastPathInhibited(true);
+    cdev.evaluate();
+    cdev.setFastPathInhibited(false);
+    publishMetrics(engine, reg);
   }
 
   if (stream) {
@@ -2765,6 +2791,188 @@ int benchTrendCmd(const Args& a) {
   return regressions == 0 && missing == 0 ? 0 : 1;
 }
 
+// ---- compiled: compiled fast path differential campaign --------------------
+
+/// Deterministic compiled-fast-path campaign: the differential oracle over
+/// the full circuit library (interpretive reference vs compiled scalar
+/// engine vs 64-wide batch), the mandatory-invalidation stages (download,
+/// relocate, scrub repair, blank + resume) with a CP lint check on the
+/// long-lived engine, and a seeded LUT-bit corruption corpus where the two
+/// paths must agree on whatever the corrupted image computes. Output is
+/// byte-identical per (device, seed, cycles) — CI runs it twice and cmp's.
+/// Exit 0 iff every stage passes.
+int compiledCmd(const Args& a) {
+  DeviceProfile p = profileByName(a.get("device", "medium_partial"));
+  const std::uint64_t seed = std::stoull(a.get("seed", "1"));
+  const std::uint32_t cycles =
+      static_cast<std::uint32_t>(std::stoull(a.get("cycles", "96")));
+  auto ull = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+
+  char buf[512];
+  std::string out;
+  auto line = [&](const char* fmt2, auto... args2) {
+    std::snprintf(buf, sizeof buf, fmt2, args2...);
+    out += buf;
+  };
+  bool fail = false;
+  compiled::CompiledKernelCache cache(32);
+
+  line("vfpga compiled fast path campaign\n");
+  line("=================================\n");
+  line("device: %s\nseed: %llu\ncycles per stage: %u\n\n",
+       a.get("device", "medium_partial").c_str(), ull(seed), cycles);
+
+  line("differential oracle: interpretive reference vs compiled scalar vs"
+       " batch64\n");
+  line("%-14s %5s %5s %5s %6s %6s %6s %16s  %s\n", "circuit", "cols", "cells",
+       "ops", "levels", "served", "diverg", "ref-digest", "extract");
+  for (const AppCircuit& app : workloads::allSuites()) {
+    Device dev = p.makeDevice();
+    Compiler compiler(dev);
+    const CompiledCircuit c =
+        workloads::compileMinimal(compiler, app.netlist, seed);
+    dev.applyBitstream(c.fullBitstream());
+    compiled::OracleOptions opt;
+    opt.cycles = cycles;
+    opt.seed = seed;
+    const compiled::OracleReport rep =
+        compiled::runDifferentialOracle(dev, c, opt, &cache);
+    fail = fail || !rep.ok() || !rep.servedCompiled;
+    line("%-14s %5u %5llu %5llu %6llu %6s %6llu %016llx  %s\n",
+         app.name.c_str(), static_cast<unsigned>(c.region.w),
+         ull(rep.extractedCells), ull(rep.programOps), ull(rep.programLevels),
+         rep.servedCompiled ? "yes" : "NO", ull(rep.divergences),
+         ull(rep.referenceDigest), rep.extractionOk ? "ok" : "FAIL");
+    for (const std::string& prob : rep.problems) {
+      line("    ! %s\n", prob.c_str());
+    }
+  }
+
+  line("\nreconfiguration invalidation stages (ct_counter, long-lived"
+       " engine)\n");
+  {
+    Device dev = p.makeDevice();
+    Compiler compiler(dev);
+    ConfigPort port(dev, p.port);
+    const AppCircuit app = workloads::appCircuitByName("ct_counter");
+    const CompiledCircuit c =
+        workloads::compileMinimal(compiler, app.netlist, seed);
+    compiled::CompiledFabric engine(dev, &cache);
+    auto stage = [&](const char* name, const CompiledCircuit& cur) {
+      compiled::OracleOptions opt;
+      opt.cycles = cycles;
+      opt.seed = seed;
+      const compiled::OracleReport rep =
+          compiled::runDifferentialOracle(dev, cur, opt, &cache);
+      fail = fail || !rep.ok() || !rep.servedCompiled;
+      dev.evaluate();  // the long-lived engine re-resolves here
+      const compiled::CompiledFabricStats& st = engine.stats();
+      line("  %-14s ok=%-3s builds=%llu hits=%llu invalidations=%llu"
+           " fallbacks=%llu\n",
+           name, rep.ok() && rep.servedCompiled ? "yes" : "NO",
+           ull(st.builds), ull(st.hits), ull(st.invalidations),
+           ull(st.fallbacks));
+      for (const std::string& prob : rep.problems) {
+        line("    ! %s\n", prob.c_str());
+      }
+    };
+    dev.applyBitstream(c.fullBitstream());
+    port.resyncExpected();
+    stage("download", c);
+
+    const std::uint16_t newX0 =
+        static_cast<std::uint16_t>(dev.geometry().cols - c.region.w);
+    const CompiledCircuit moved = compiler.relocate(c, newX0);
+    dev.clearConfig();
+    dev.applyBitstream(moved.fullBitstream());
+    port.resyncExpected();
+    stage("relocate", moved);
+
+    // An upset lands on a live LUT; the scrubber repairs it via the port.
+    const Elaboration::Cell& cell = dev.elaboration().cells.front();
+    const std::uint32_t upsetBit =
+        dev.configMap().clbLutBit(cell.x, cell.y, 0);
+    dev.setConfigBit(upsetBit, !dev.image().get(upsetBit));
+    const ScrubResult sr = port.scrub();
+    fail = fail || sr.repairedFrames == 0;
+    line("  scrub repaired %u frame(s)\n", sr.repairedFrames);
+    stage("scrub-repair", moved);
+
+    // Quarantine blanking, then migration-style resume of the same image.
+    dev.clearConfig();
+    dev.applyBitstream(moved.fullBitstream());
+    port.resyncExpected();
+    stage("resume", moved);
+
+    analysis::CompiledPathProfile prof;
+    prof.kernelAttached = dev.fastPath() != nullptr;
+    prof.programReady = engine.program() != nullptr;
+    prof.programGeneration = engine.programGeneration();
+    prof.deviceGeneration = dev.configGeneration();
+    prof.probeAttached = dev.activityProbe() != nullptr;
+    prof.inhibited = dev.fastPathInhibited();
+    prof.programFaulted = engine.lastBuildFaulted();
+    prof.lastServedCompiled = engine.lastServedCompiled();
+    prof.cacheCapacity = cache.capacity();
+    analysis::Report lint;
+    analysis::lintCompiledPath(prof, lint);
+    fail = fail || !lint.ok();
+    line("  lint: %s\n",
+         lint.clean() ? "clean (CP001-CP004)" : lint.renderText().c_str());
+  }
+
+  line("\nseeded corruption corpus (LUT-bit flips; paths must agree on the"
+       " corrupted function)\n");
+  line("%-14s %8s %10s %6s %6s\n", "circuit", "bit", "elaborates", "served",
+       "diverg");
+  for (const char* name : {"ct_counter", "tc_crc8", "ct_gray"}) {
+    const AppCircuit app = workloads::appCircuitByName(name);
+    Device dev = p.makeDevice();
+    Compiler compiler(dev);
+    const CompiledCircuit c =
+        workloads::compileMinimal(compiler, app.netlist, seed);
+    dev.applyBitstream(c.fullBitstream());
+    std::vector<std::uint32_t> bits;
+    const std::uint32_t lutBits =
+        static_cast<std::uint32_t>(dev.geometry().lutBits());
+    for (const Elaboration::Cell& cell : dev.elaboration().cells) {
+      for (std::uint32_t j = 0; j < lutBits; ++j) {
+        bits.push_back(dev.configMap().clbLutBit(cell.x, cell.y, j));
+      }
+    }
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull ^ bits.size());
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::uint32_t bit = bits[rng.next() % bits.size()];
+      dev.setConfigBit(bit, !dev.image().get(bit));
+      compiled::OracleOptions opt;
+      opt.cycles = cycles;
+      opt.seed = seed;
+      opt.checkExtraction = false;
+      const compiled::OracleReport rep =
+          compiled::runDifferentialOracle(dev, c, opt, &cache);
+      fail = fail || rep.divergences != 0 || !rep.problems.empty();
+      line("%-14s %8u %10s %6s %6llu\n", name, bit,
+           dev.configOk() ? "yes" : "no", rep.servedCompiled ? "yes" : "no",
+           ull(rep.divergences));
+      for (const std::string& prob : rep.problems) {
+        line("    ! %s\n", prob.c_str());
+      }
+      dev.setConfigBit(bit, !dev.image().get(bit));
+    }
+  }
+
+  const compiled::KernelCacheStats& cs = cache.stats();
+  line("\nkernel cache: lookups=%llu hits=%llu misses=%llu insertions=%llu"
+       " evictions=%llu capacity=%llu\n",
+       ull(cs.lookups), ull(cs.hits), ull(cs.misses), ull(cs.insertions),
+       ull(cs.evictions), ull(cache.capacity()));
+  line("\nRESULT: %s\n", fail ? "FAIL" : "PASS");
+
+  const int rc = emitPayload(a, out);
+  if (rc != 0) return rc;
+  return fail ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -2787,6 +2995,7 @@ int main(int argc, char** argv) {
     if (args->command == "cluster") return clusterCmd(*args);
     if (args->command == "monitor") return monitorCmd(*args);
     if (args->command == "bench-trend") return benchTrendCmd(*args);
+    if (args->command == "compiled") return compiledCmd(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
